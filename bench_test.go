@@ -1,0 +1,454 @@
+package csrank
+
+// Benchmark harness: one bench per table/figure of the paper's §6
+// evaluation, plus micro-benchmarks for the §3.2 cost model and ablations
+// for the design choices DESIGN.md calls out. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The shared experimental system (corpus + index + selected views) is
+// built once per process.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"csrank/internal/core"
+	"csrank/internal/experiments"
+	"csrank/internal/mining"
+	"csrank/internal/postings"
+	"csrank/internal/query"
+	"csrank/internal/selection"
+	"csrank/internal/views"
+)
+
+var (
+	benchOnce  sync.Once
+	benchSetup *experiments.Setup
+	benchErr   error
+)
+
+func getBenchSetup(b *testing.B) *experiments.Setup {
+	b.Helper()
+	benchOnce.Do(func() {
+		scale := experiments.DefaultScale()
+		scale.NumDocs = 12000
+		scale.OntologyTerms = 250
+		scale.NumTopics = 30
+		scale.TCFraction = 0.015
+		benchSetup, benchErr = experiments.NewSetup(scale)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchSetup
+}
+
+// benchWorkload caches the Figure 7/8 query workloads.
+var (
+	workloadOnce  sync.Once
+	largeWorkload experiments.Workload
+	smallWorkload experiments.Workload
+)
+
+func getWorkloads(b *testing.B) (large, small experiments.Workload) {
+	s := getBenchSetup(b)
+	workloadOnce.Do(func() {
+		largeWorkload = experiments.GenerateWorkload(s, 25, s.Scale.TC(), int64(s.Scale.NumDocs)+1, 42)
+		smallWorkload = experiments.GenerateWorkload(s, 25, 1, s.Scale.TC(), 43)
+	})
+	return largeWorkload, smallWorkload
+}
+
+// BenchmarkFig6RankingQuality regenerates Figure 6: both rankings of the
+// full 30-topic benchmark, reporting the headline means as metrics.
+func BenchmarkFig6RankingQuality(b *testing.B) {
+	s := getBenchSetup(b)
+	var r experiments.Fig6Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = experiments.RunFig6(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.ConvSummary.MeanPrecision, "conv-P@20")
+	b.ReportMetric(r.CtxSummary.MeanPrecision, "ctx-P@20")
+	b.ReportMetric(r.ConvSummary.MRR, "conv-MRR")
+	b.ReportMetric(r.CtxSummary.MRR, "ctx-MRR")
+	b.ReportMetric(float64(r.CtxWinsP20), "ctx-wins")
+}
+
+// runQueryBench measures one evaluation strategy over a workload bucket.
+func runQueryBench(b *testing.B, qs []query.Query, eng *core.Engine,
+	search func(query.Query, int) ([]core.Result, core.ExecStats, error)) {
+	if len(qs) == 0 {
+		b.Skip("workload bucket empty at this scale")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := qs[i%len(qs)]
+		if _, _, err := search(q, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7LargeContext regenerates Figure 7: large-context queries
+// under the three strategies, per keyword count.
+func BenchmarkFig7LargeContext(b *testing.B) {
+	s := getBenchSetup(b)
+	large, _ := getWorkloads(b)
+	for n := 2; n <= 5; n++ {
+		qs := large.ByKeywords[n]
+		b.Run(fmt.Sprintf("conventional/kw=%d", n), func(b *testing.B) {
+			runQueryBench(b, qs, s.WithViews, s.WithViews.SearchConventional)
+		})
+		b.Run(fmt.Sprintf("views/kw=%d", n), func(b *testing.B) {
+			runQueryBench(b, qs, s.WithViews, s.WithViews.SearchContextSensitive)
+		})
+		b.Run(fmt.Sprintf("straightforward/kw=%d", n), func(b *testing.B) {
+			runQueryBench(b, qs, s.NoViews, s.NoViews.SearchStraightforward)
+		})
+	}
+}
+
+// BenchmarkFig8SmallContext regenerates Figure 8: small-context queries,
+// conventional vs straightforward.
+func BenchmarkFig8SmallContext(b *testing.B) {
+	s := getBenchSetup(b)
+	_, small := getWorkloads(b)
+	for n := 2; n <= 5; n++ {
+		qs := small.ByKeywords[n]
+		b.Run(fmt.Sprintf("conventional/kw=%d", n), func(b *testing.B) {
+			runQueryBench(b, qs, s.WithViews, s.WithViews.SearchConventional)
+		})
+		b.Run(fmt.Sprintf("straightforward/kw=%d", n), func(b *testing.B) {
+			runQueryBench(b, qs, s.NoViews, s.NoViews.SearchStraightforward)
+		})
+	}
+}
+
+// BenchmarkViewSelection regenerates the §6.2 selection comparison: the
+// cost of each selection algorithm at the experiment thresholds.
+func BenchmarkViewSelection(b *testing.B) {
+	s := getBenchSetup(b)
+	cfg := selection.Config{TC: s.Scale.TC(), TV: s.Scale.TV, Seed: 1}
+	terms := selection.FrequentPredicateTerms(s.Index, cfg.TC)
+
+	b.Run("mining-apriori", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := selection.DataMiningBased(s.Table, terms, cfg, mining.Apriori); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mining-fpgrowth", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := selection.DataMiningBased(s.Table, terms, cfg, mining.FPGrowth); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mining-eclat", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := selection.DataMiningBased(s.Table, terms, cfg, mining.Eclat); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("graph-decomposition", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			selection.GraphDecompositionBased(s.Index, s.Table, terms, cfg)
+		}
+	})
+	b.Run("hybrid", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := selection.Hybrid(s.Index, s.Table, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkStorageAccounting regenerates the §6.2 storage table and
+// reports its headline numbers as metrics.
+func BenchmarkStorageAccounting(b *testing.B) {
+	s := getBenchSetup(b)
+	var r experiments.StorageReport
+	for i := 0; i < b.N; i++ {
+		r = experiments.RunStorage(s)
+	}
+	b.ReportMetric(float64(r.Views), "views")
+	b.ReportMetric(float64(r.TotalViewBytes)/(1<<20), "view-MB")
+	b.ReportMetric(float64(r.IndexBytes)/(1<<20), "index-MB")
+	b.ReportMetric(r.MeanViewSize, "mean-tuples")
+}
+
+// --- §3.2 cost-model micro-benchmarks ---------------------------------
+
+func randomList(rng *rand.Rand, n int, max uint32, seg int) *postings.List {
+	seen := make(map[uint32]bool, n)
+	for len(seen) < n {
+		seen[rng.Uint32()%max] = true
+	}
+	ids := make([]uint32, 0, n)
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sortUint32(ids)
+	ps := make([]postings.Posting, len(ids))
+	for i, id := range ids {
+		ps[i] = postings.Posting{DocID: id, TF: uint32(1 + rng.Intn(5))}
+	}
+	return postings.NewList(ps, seg)
+}
+
+func sortUint32(ids []uint32) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// BenchmarkIntersection compares the skip-pointer intersection against
+// the plain merge, in the regime where skips pay (|L_i| ≪ |L_j|) and
+// where they cannot (similar lengths).
+func BenchmarkIntersection(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	long := randomList(rng, 200000, 1<<24, postings.DefaultSegmentSize)
+	short := randomList(rng, 200, 1<<24, postings.DefaultSegmentSize)
+	similar := randomList(rng, 180000, 1<<24, postings.DefaultSegmentSize)
+
+	b.Run("skip/selective", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			postings.Intersect([]*postings.List{short, long}, nil)
+		}
+	})
+	b.Run("merge/selective", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			postings.MergeIntersect(short, long, nil)
+		}
+	})
+	b.Run("skip/similar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			postings.Intersect([]*postings.List{similar, long}, nil)
+		}
+	})
+	b.Run("merge/similar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			postings.MergeIntersect(similar, long, nil)
+		}
+	})
+}
+
+// --- Ablations ---------------------------------------------------------
+
+// BenchmarkAblationSegmentSize sweeps M0: small segments skip more
+// precisely but carry more skip entries.
+func BenchmarkAblationSegmentSize(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	for _, m0 := range []int{16, 64, 128, 512, 2048} {
+		long := randomList(rng, 200000, 1<<24, m0)
+		short := randomList(rng, 300, 1<<24, m0)
+		b.Run(fmt.Sprintf("M0=%d", m0), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				postings.Intersect([]*postings.List{short, long}, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationViewMatch compares the minimal-size view-matching
+// policy (§6.3: "the view with the minimal size is picked") against
+// taking any usable view.
+func BenchmarkAblationViewMatch(b *testing.B) {
+	s := getBenchSetup(b)
+	large, _ := getWorkloads(b)
+	var contexts [][]string
+	for n := 2; n <= 5; n++ {
+		for _, q := range large.ByKeywords[n] {
+			contexts = append(contexts, q.NormalizedContext())
+		}
+	}
+	if len(contexts) == 0 {
+		b.Skip("no large contexts")
+	}
+	b.Run("minimal-size", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ctx := contexts[i%len(contexts)]
+			if v := s.Catalog.Match(ctx); v != nil {
+				if _, err := v.Answer(ctx, nil, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("first-usable", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ctx := contexts[i%len(contexts)]
+			if v := s.Catalog.MatchFirst(ctx); v != nil {
+				if _, err := v.Answer(ctx, nil, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAblationDFColumns compares the §6.2 storage optimization
+// (df/tc columns only for frequent keywords, rare ones computed at query
+// time) against tracking every query keyword, measuring the query-time
+// price of the fallback.
+func BenchmarkAblationDFColumns(b *testing.B) {
+	s := getBenchSetup(b)
+	large, _ := getWorkloads(b)
+	qs := large.ByKeywords[2]
+	if len(qs) == 0 {
+		b.Skip("no large contexts")
+	}
+	// Build two single-view catalogs over the same K: one tracking all
+	// query keywords, one tracking none (every keyword falls back).
+	ctx := qs[0].NormalizedContext()
+	an := s.Index.AnalyzerFor("content")
+	var words []string
+	for _, q := range qs {
+		for _, kw := range q.Keywords {
+			words = append(words, an.Analyze(kw)...)
+		}
+	}
+	full, err := views.Materialize(s.Table, ctx, words)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bare, err := views.Materialize(s.Table, ctx, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := qs[0]
+	engFull := core.New(s.Index, views.NewCatalog([]*views.View{full}, s.Scale.TC(), s.Scale.TV), core.Options{})
+	engBare := core.New(s.Index, views.NewCatalog([]*views.View{bare}, s.Scale.TC(), s.Scale.TV), core.Options{})
+	b.Run("tracked-df-columns", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := engFull.SearchContextSensitive(q, 20); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fallback-intersections", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := engBare.SearchContextSensitive(q, 20); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkScorerComparison regenerates the scorer-sensitivity extension
+// experiment (every ranking model under both statistics sources).
+func BenchmarkScorerComparison(b *testing.B) {
+	s := getBenchSetup(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunScorerComparison(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkViewMaintenance measures incremental Apply/Remove throughput
+// across the whole catalog — the per-document ingestion cost.
+func BenchmarkViewMaintenance(b *testing.B) {
+	s := getBenchSetup(b)
+	terms := selection.FrequentPredicateTerms(s.Index, s.Scale.TC())
+	if len(terms) < 3 {
+		b.Skip("too few frequent terms")
+	}
+	u := views.DocUpdate{
+		Predicates: terms[:3],
+		Len:        120,
+		TF:         map[string]int64{"disease": 2, "organ": 1},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Catalog.Apply(u)
+		s.Catalog.Remove(u)
+	}
+}
+
+// BenchmarkAblationStatsCache measures the statistics cache: repeated
+// same-context queries with and without memoized S_c(D_P).
+func BenchmarkAblationStatsCache(b *testing.B) {
+	s := getBenchSetup(b)
+	large, _ := getWorkloads(b)
+	qs := large.ByKeywords[3]
+	if len(qs) == 0 {
+		b.Skip("no large contexts")
+	}
+	q := qs[0]
+	plain := core.New(s.Index, s.Catalog, core.Options{})
+	cached := core.New(s.Index, s.Catalog, core.Options{CacheContexts: 64})
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := plain.SearchContextSensitive(q, 20); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := cached.SearchContextSensitive(q, 20); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkConcurrentThroughput measures multi-goroutine query throughput
+// over the mixed large-context workload (the engine is safe for
+// concurrent use).
+func BenchmarkConcurrentThroughput(b *testing.B) {
+	s := getBenchSetup(b)
+	large, _ := getWorkloads(b)
+	var qs []query.Query
+	for n := 2; n <= 5; n++ {
+		qs = append(qs, large.ByKeywords[n]...)
+	}
+	if len(qs) == 0 {
+		b.Skip("no workload")
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			q := qs[i%len(qs)]
+			i++
+			if _, _, err := s.WithViews.SearchContextSensitive(q, 20); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCodec measures the compressed-persistence codec.
+func BenchmarkCodec(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	l := randomList(rng, 100000, 1<<22, postings.DefaultSegmentSize)
+	ps := l.Postings()
+	data := postings.EncodePostings(ps)
+	b.Run("encode", func(b *testing.B) {
+		b.SetBytes(int64(len(ps) * 8))
+		for i := 0; i < b.N; i++ {
+			postings.EncodePostings(ps)
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.SetBytes(int64(len(ps) * 8))
+		for i := 0; i < b.N; i++ {
+			if _, err := postings.DecodePostings(data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

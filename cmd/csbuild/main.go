@@ -1,0 +1,97 @@
+// Command csbuild generates a synthetic PubMed-like corpus, builds the
+// inverted index, runs hybrid view selection, and persists everything
+// into a data directory that cssearch and csexp can load.
+//
+// Usage:
+//
+//	csbuild -out ./data -docs 20000 -terms 300 -tc 0.01 -tv 4096
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"csrank/internal/corpus"
+	"csrank/internal/selection"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "data", "output directory (created if missing)")
+		docs    = flag.Int("docs", 20000, "number of synthetic citations")
+		terms   = flag.Int("terms", 300, "approximate MeSH vocabulary size")
+		topics  = flag.Int("topics", 30, "benchmark topics embedded in the corpus")
+		tcFrac  = flag.Float64("tc", 0.01, "context-size threshold T_C as a fraction of the corpus")
+		tv      = flag.Int("tv", 4096, "view-size limit T_V (non-empty tuples)")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		segSize = flag.Int("segsize", 0, "posting-list skip-segment size M0 (0 = default 128)")
+		dump    = flag.Bool("dump", false, "also write the raw citations as citations.jsonl")
+	)
+	flag.Parse()
+	if err := run(*out, *docs, *terms, *topics, *tcFrac, *tv, *seed, *segSize, *dump); err != nil {
+		fmt.Fprintln(os.Stderr, "csbuild:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, docs, terms, topics int, tcFrac float64, tv int, seed int64, segSize int, dump bool) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+
+	cfg := corpus.DefaultConfig()
+	cfg.Seed = seed
+	cfg.NumDocs = docs
+	cfg.OntologyTerms = terms
+	cfg.NumTopics = topics
+
+	t0 := time.Now()
+	c, err := corpus.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("generated %d citations over %d MeSH terms in %s\n",
+		len(c.Docs), c.Onto.Len(), time.Since(t0).Round(time.Millisecond))
+
+	t0 = time.Now()
+	ix, err := c.BuildIndex(segSize)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("indexed: %s in %s\n", ix, time.Since(t0).Round(time.Millisecond))
+
+	tc := int64(tcFrac * float64(docs))
+	t0 = time.Now()
+	m, err := selection.Select(ix, selection.Config{TC: tc, TV: tv, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("selected %d views (T_C=%d, T_V=%d) in %s\n",
+		m.Catalog.Len(), tc, tv, time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("  frequent terms=%d separators=%d clique remainders=%d\n",
+		m.Result.Stats.FrequentTerms, m.Result.Stats.Separators, m.Result.Stats.CliqueRemainders)
+
+	if err := ix.SaveFile(filepath.Join(out, "index.gob")); err != nil {
+		return err
+	}
+	if err := m.Catalog.SaveFile(filepath.Join(out, "views.gob")); err != nil {
+		return err
+	}
+	if err := c.Onto.SaveFile(filepath.Join(out, "mesh.gob")); err != nil {
+		return err
+	}
+	if dump {
+		path := filepath.Join(out, "citations.jsonl")
+		if err := c.SaveJSONL(path); err != nil {
+			return err
+		}
+		fmt.Printf("dumped raw citations to %s\n", path)
+	}
+	fmt.Printf("wrote %s and %s (views: %.2f MB)\n",
+		filepath.Join(out, "index.gob"), filepath.Join(out, "views.gob"),
+		float64(m.Catalog.TotalBytes())/(1<<20))
+	return nil
+}

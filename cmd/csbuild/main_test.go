@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"csrank/internal/index"
+	"csrank/internal/mesh"
+	"csrank/internal/views"
+)
+
+func TestRunProducesLoadableArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 2000, 100, 0, 0.02, 128, 1, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"index.gob", "views.gob", "mesh.gob", "citations.jsonl"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("missing artifact %s: %v", name, err)
+		}
+	}
+	ix, err := index.LoadFile(filepath.Join(dir, "index.gob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumDocs() != 2000 {
+		t.Errorf("NumDocs = %d", ix.NumDocs())
+	}
+	cat, err := views.LoadFile(filepath.Join(dir, "views.gob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.Len() == 0 {
+		t.Error("no views persisted")
+	}
+	onto, err := mesh.LoadFile(filepath.Join(dir, "mesh.gob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onto.Len() < 100 {
+		t.Errorf("ontology = %d terms", onto.Len())
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if err := run(t.TempDir(), 0, 100, 0, 0.02, 128, 1, 0, false); err == nil {
+		t.Error("zero docs accepted")
+	}
+	// Unwritable output directory.
+	if err := run("/proc/definitely/not/writable", 100, 50, 0, 0.02, 128, 1, 0, false); err == nil {
+		t.Error("unwritable dir accepted")
+	}
+}

@@ -1,0 +1,152 @@
+// Command csexp regenerates the paper's evaluation (§6) on the synthetic
+// corpus: Figure 6 (ranking quality), the §6.2 view-selection and storage
+// tables, and Figures 7–8 (query performance).
+//
+// Usage:
+//
+//	csexp                       # run everything at the default scale
+//	csexp -exp fig6             # one experiment
+//	csexp -docs 50000 -seed 7   # other scales
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"csrank/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "all | fig6 | fig7 | fig8 | viewsel | storage | scorers | scaling")
+		docs   = flag.Int("docs", 20000, "corpus size")
+		terms  = flag.Int("terms", 300, "MeSH vocabulary size")
+		topics = flag.Int("topics", 30, "benchmark topics")
+		tcFrac = flag.Float64("tc", 0.01, "T_C fraction")
+		tv     = flag.Int("tv", 256, "T_V view-size limit (paper: 4096 at 18M docs; scaled down with the corpus)")
+		seed   = flag.Int64("seed", 1, "generation seed")
+		perN   = flag.Int("queries", 50, "queries per keyword count for Figures 7–8")
+		export = flag.String("export", "", "also write TREC topics/qrels/run files into this directory")
+	)
+	flag.Parse()
+	scale := experiments.Scale{
+		NumDocs:       *docs,
+		OntologyTerms: *terms,
+		NumTopics:     *topics,
+		TCFraction:    *tcFrac,
+		TV:            *tv,
+		Seed:          *seed,
+	}
+	if err := run(scale, *exp, *perN, *export); err != nil {
+		fmt.Fprintln(os.Stderr, "csexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scale experiments.Scale, exp string, perN int, export string) error {
+	fmt.Printf("building system: %d docs, %d terms, T_C=%d, T_V=%d, seed=%d\n",
+		scale.NumDocs, scale.OntologyTerms, scale.TC(), scale.TV, scale.Seed)
+	s, err := experiments.NewSetup(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("built in gen=%s index=%s select=%s; %d views over %d frequent terms\n\n",
+		s.GenTime.Round(time.Millisecond), s.IndexTime.Round(time.Millisecond),
+		s.SelectTime.Round(time.Millisecond), s.Catalog.Len(), s.Selection.Stats.FrequentTerms)
+
+	runFig6 := func() error {
+		r, err := experiments.RunFig6(s)
+		if err != nil {
+			return err
+		}
+		r.Print(os.Stdout)
+		fmt.Println()
+		return nil
+	}
+	runFig7 := func() error {
+		r, err := experiments.RunFig7(s, perN)
+		if err != nil {
+			return err
+		}
+		r.Print(os.Stdout)
+		fmt.Println()
+		return nil
+	}
+	runFig8 := func() error {
+		r, err := experiments.RunFig8(s, perN)
+		if err != nil {
+			return err
+		}
+		r.Print(os.Stdout)
+		fmt.Println()
+		return nil
+	}
+	runViewsel := func() error {
+		r, err := experiments.RunSelectionComparison(s)
+		if err != nil {
+			return err
+		}
+		r.Print(os.Stdout)
+		fmt.Println()
+		return nil
+	}
+	runStorage := func() error {
+		experiments.RunStorage(s).Print(os.Stdout)
+		fmt.Println()
+		return nil
+	}
+	runScorers := func() error {
+		r, err := experiments.RunScorerComparison(s)
+		if err != nil {
+			return err
+		}
+		r.Print(os.Stdout)
+		fmt.Println()
+		return nil
+	}
+	runScaling := func() error {
+		sizes := []int{scale.NumDocs / 4, scale.NumDocs / 2, scale.NumDocs}
+		r, err := experiments.RunScaling(scale, sizes)
+		if err != nil {
+			return err
+		}
+		r.Print(os.Stdout)
+		fmt.Println()
+		return nil
+	}
+
+	if export != "" {
+		if err := experiments.ExportTREC(s, export); err != nil {
+			return err
+		}
+		fmt.Printf("wrote TREC topics/qrels/runs to %s\n\n", export)
+	}
+
+	switch exp {
+	case "fig6":
+		return runFig6()
+	case "fig7":
+		return runFig7()
+	case "fig8":
+		return runFig8()
+	case "viewsel":
+		return runViewsel()
+	case "storage":
+		return runStorage()
+	case "scorers":
+		return runScorers()
+	case "scaling":
+		return runScaling()
+	case "all":
+		for _, f := range []func() error{runFig6, runViewsel, runStorage, runFig7, runFig8, runScorers, runScaling} {
+			if err := f(); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+}

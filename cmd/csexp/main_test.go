@@ -1,0 +1,38 @@
+package main
+
+import (
+	"testing"
+
+	"csrank/internal/experiments"
+)
+
+func tinyScale() experiments.Scale {
+	return experiments.Scale{
+		NumDocs:       6000,
+		OntologyTerms: 150,
+		NumTopics:     10,
+		TCFraction:    0.02,
+		TV:            256,
+		Seed:          1,
+	}
+}
+
+func TestRunSingleExperiments(t *testing.T) {
+	for _, exp := range []string{"fig6", "viewsel", "storage", "fig7", "fig8", "scorers", "scaling"} {
+		if err := run(tinyScale(), exp, 5, ""); err != nil {
+			t.Errorf("exp %s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if err := run(tinyScale(), "all", 5, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run(tinyScale(), "bogus", 5, ""); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

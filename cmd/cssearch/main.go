@@ -1,0 +1,173 @@
+// Command cssearch runs context-sensitive queries against a data
+// directory built by csbuild.
+//
+// Usage:
+//
+//	cssearch -data ./data -q "pancreas leukemia | digestive_system" -k 10
+//	cssearch -data ./data -q "..." -mode compare
+//
+// Modes:
+//
+//	context         context-sensitive ranking (views when usable); default
+//	conventional    the baseline Q_t = Q_k ∪ P (global statistics)
+//	straightforward context-sensitive without views (Figure 3 plan)
+//	compare         conventional and context-sensitive side by side
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"csrank/internal/core"
+	"csrank/internal/index"
+	"csrank/internal/query"
+	"csrank/internal/ranking"
+	"csrank/internal/views"
+)
+
+func main() {
+	var (
+		data        = flag.String("data", "data", "data directory written by csbuild")
+		q           = flag.String("q", "", "query, e.g. \"pancreas leukemia | digestive_system\"")
+		k           = flag.Int("k", 10, "number of results")
+		mode        = flag.String("mode", "context", "context | conventional | straightforward | compare")
+		scorer      = flag.String("scorer", "pivoted-tfidf", "pivoted-tfidf | bm25 | dirichlet-lm")
+		interactive = flag.Bool("i", false, "interactive mode: read queries from stdin (prefix a line with '?' for plan explanation only)")
+	)
+	flag.Parse()
+	if *interactive {
+		if err := runInteractive(*data, *k, *mode, *scorer, os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "cssearch:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *q == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*data, *q, *k, *mode, *scorer); err != nil {
+		fmt.Fprintln(os.Stderr, "cssearch:", err)
+		os.Exit(1)
+	}
+}
+
+// runInteractive reads one query per line and evaluates it; lines
+// starting with '?' print the plan explanation instead; "exit" or EOF
+// ends the session. Per-query errors are reported and the loop
+// continues.
+func runInteractive(data string, k int, mode, scorerName string, in io.Reader, out io.Writer) error {
+	eng, ix, err := openEngine(data, scorerName)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "cssearch: %d citations loaded; enter queries like \"w1 w2 | m1 m2\" (exit to quit)\n", ix.NumDocs())
+	sc := bufio.NewScanner(in)
+	for {
+		fmt.Fprint(out, "> ")
+		if !sc.Scan() {
+			fmt.Fprintln(out)
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == "exit" || line == "quit":
+			return nil
+		case strings.HasPrefix(line, "?"):
+			pq, err := query.Parse(strings.TrimSpace(line[1:]))
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			ex, err := eng.Explain(pq)
+			if err != nil {
+				fmt.Fprintln(out, "error:", err)
+				continue
+			}
+			fmt.Fprint(out, ex)
+		default:
+			if err := searchAndPrint(eng, ix, line, k, mode, out); err != nil {
+				fmt.Fprintln(out, "error:", err)
+			}
+		}
+	}
+}
+
+func run(data, qstr string, k int, mode, scorerName string) error {
+	eng, ix, err := openEngine(data, scorerName)
+	if err != nil {
+		return err
+	}
+	return searchAndPrint(eng, ix, qstr, k, mode, os.Stdout)
+}
+
+// openEngine loads the persisted index and (optionally) views and wires
+// the requested scorer.
+func openEngine(data, scorerName string) (*core.Engine, *index.Index, error) {
+	var sc ranking.Scorer
+	switch scorerName {
+	case "pivoted-tfidf":
+		sc = ranking.NewPivotedTFIDF()
+	case "bm25":
+		sc = ranking.NewBM25()
+	case "dirichlet-lm":
+		sc = ranking.NewDirichletLM()
+	default:
+		return nil, nil, fmt.Errorf("unknown scorer %q", scorerName)
+	}
+	ix, err := index.LoadFile(filepath.Join(data, "index.gob"))
+	if err != nil {
+		return nil, nil, err
+	}
+	cat, err := views.LoadFile(filepath.Join(data, "views.gob"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "note: no views loaded; contextual queries use the straightforward plan")
+		cat = nil
+	}
+	return core.New(ix, cat, core.Options{Scorer: sc}), ix, nil
+}
+
+// searchAndPrint evaluates one query string in the given mode and prints
+// the ranked results.
+func searchAndPrint(e *core.Engine, ix *index.Index, qstr string, k int, mode string, out io.Writer) error {
+	pq, err := query.Parse(qstr)
+	if err != nil {
+		return err
+	}
+	show := func(label string, search func(query.Query, int) ([]core.Result, core.ExecStats, error)) error {
+		res, st, err := search(pq, k)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s  [plan=%s view=%v results=%d |D_P|=%d %s]\n",
+			label, st.Plan, st.UsedView, st.ResultSize, st.ContextSize,
+			st.Elapsed.Round(time.Microsecond))
+		for i, r := range res {
+			fmt.Fprintf(out, "  %2d. (%.4f) #%d %s\n", i+1, r.Score, r.DocID, ix.StoredField(r.DocID, "title"))
+		}
+		return nil
+	}
+	switch mode {
+	case "context":
+		return show("context-sensitive", e.SearchContextSensitive)
+	case "conventional":
+		return show("conventional", e.SearchConventional)
+	case "straightforward":
+		return show("straightforward", e.SearchStraightforward)
+	case "compare":
+		if err := show("conventional", e.SearchConventional); err != nil {
+			return err
+		}
+		return show("context-sensitive", e.SearchContextSensitive)
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+}

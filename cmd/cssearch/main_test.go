@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"csrank/internal/corpus"
+	"csrank/internal/selection"
+)
+
+// buildData creates a small persisted instance for the search tool.
+func buildData(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	cfg := corpus.DefaultConfig()
+	cfg.NumDocs = 2000
+	cfg.OntologyTerms = 100
+	cfg.NumTopics = 0
+	c, err := corpus.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := c.BuildIndex(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := selection.Select(ix, selection.Config{TC: 40, TV: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.SaveFile(filepath.Join(dir, "index.gob")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Catalog.SaveFile(filepath.Join(dir, "views.gob")); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunAllModes(t *testing.T) {
+	dir := buildData(t)
+	// "disease" and "organ" are curated topic words, "anatomy" a curated
+	// category always present in the generated ontology.
+	q := "disease organ | anatomy"
+	for _, mode := range []string{"context", "conventional", "straightforward", "compare"} {
+		if err := run(dir, q, 5, mode, "pivoted-tfidf"); err != nil {
+			t.Errorf("mode %s: %v", mode, err)
+		}
+	}
+}
+
+func TestRunScorers(t *testing.T) {
+	dir := buildData(t)
+	for _, sc := range []string{"pivoted-tfidf", "bm25", "dirichlet-lm"} {
+		if err := run(dir, "disease | anatomy", 3, "context", sc); err != nil {
+			t.Errorf("scorer %s: %v", sc, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := buildData(t)
+	if err := run(dir, "disease", 3, "context", "nope"); err == nil {
+		t.Error("unknown scorer accepted")
+	}
+	if err := run(dir, "disease", 3, "bogus", "bm25"); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := run(dir, "a | b | c", 3, "context", "bm25"); err == nil {
+		t.Error("unparseable query accepted")
+	}
+	if err := run(t.TempDir(), "disease", 3, "context", "bm25"); err == nil {
+		t.Error("missing data dir accepted")
+	}
+}
+
+func TestRunInteractive(t *testing.T) {
+	dir := buildData(t)
+	in := strings.NewReader("disease | anatomy\n? disease | anatomy\nbogus | | query\n\nexit\n")
+	var out bytes.Buffer
+	if err := runInteractive(dir, 3, "context", "pivoted-tfidf", in, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "context-sensitive") {
+		t.Errorf("missing search output: %q", s)
+	}
+	if !strings.Contains(s, "plan:") {
+		t.Errorf("missing explanation output: %q", s)
+	}
+	if !strings.Contains(s, "error:") {
+		t.Errorf("missing error report for bad query: %q", s)
+	}
+	// EOF without "exit" also terminates cleanly.
+	if err := runInteractive(dir, 3, "context", "pivoted-tfidf", strings.NewReader("disease\n"), &out); err != nil {
+		t.Fatal(err)
+	}
+	// Bad scorer surfaces immediately.
+	if err := runInteractive(dir, 3, "context", "nope", strings.NewReader(""), &out); err == nil {
+		t.Error("unknown scorer accepted")
+	}
+}

@@ -1,0 +1,351 @@
+// Package csrank is a context-sensitive document-retrieval library: an
+// implementation of "Context-sensitive Ranking for Document Retrieval"
+// (Chen & Papakonstantinou, SIGMOD 2011).
+//
+// A query has the form "w1 w2 | m1 m2": the keywords before '|' are a
+// conventional conjunctive keyword query, and the predicates after '|'
+// specify a search context — the sub-collection of documents carrying all
+// those predicates (e.g. MeSH annotations). Ranking statistics (document
+// frequency, collection cardinality, collection length, term counts) are
+// computed over the *context*, not the whole collection, so the same
+// keyword query ranks differently for users in different domains.
+//
+// Computing per-context statistics at query time requires expensive
+// inverted-list intersections and aggregations; the library accelerates
+// them with materialized group-by views over a wide sparse table, chosen
+// by a hybrid of graph decomposition and frequent-itemset mining so that
+// every context larger than a threshold is covered by a view no larger
+// than a size limit.
+//
+// Basic use:
+//
+//	b := csrank.NewBuilder()
+//	for _, d := range docs {
+//		b.Add(csrank.Document{Title: ..., Body: ..., Predicates: ...})
+//	}
+//	e, err := b.Build(csrank.BuildOptions{})
+//	hits, stats, err := e.Search("pancreas leukemia | digestive_system", 20)
+package csrank
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"csrank/internal/analysis"
+	"csrank/internal/core"
+	"csrank/internal/index"
+	"csrank/internal/query"
+	"csrank/internal/ranking"
+	"csrank/internal/selection"
+	"csrank/internal/views"
+)
+
+// Document is the unit of indexing.
+type Document struct {
+	// Title is stored and returned with hits.
+	Title string
+	// Body is additional searchable text (title and body together form
+	// the content field the ranking statistics describe).
+	Body string
+	// Predicates are the controlled-vocabulary annotations usable in
+	// context specifications (e.g. MeSH terms). Multi-word predicates
+	// should be joined with underscores.
+	Predicates []string
+}
+
+// Scorer selects the ranking model.
+type Scorer string
+
+// Available ranking models. All of them consume the same statistics
+// bundle, so all become context-sensitive automatically.
+const (
+	// PivotedTFIDF is the paper's pivoted-normalization TF-IDF
+	// (Formulas 3–4), the default.
+	PivotedTFIDF Scorer = "pivoted-tfidf"
+	// BM25 is Okapi BM25 (k1 = 1.2, b = 0.75).
+	BM25 Scorer = "bm25"
+	// DirichletLM is a Dirichlet-smoothed query-likelihood language
+	// model (μ = 2000).
+	DirichletLM Scorer = "dirichlet-lm"
+)
+
+func (s Scorer) build() (ranking.Scorer, error) {
+	switch s {
+	case "", PivotedTFIDF:
+		return ranking.NewPivotedTFIDF(), nil
+	case BM25:
+		return ranking.NewBM25(), nil
+	case DirichletLM:
+		return ranking.NewDirichletLM(), nil
+	default:
+		return nil, fmt.Errorf("csrank: unknown scorer %q", string(s))
+	}
+}
+
+// BuildOptions configures Build. The zero value gives the paper's
+// settings: T_C = 1% of the collection, T_V = 4096, pivoted TF-IDF.
+type BuildOptions struct {
+	// ContextThresholdFraction is T_C as a fraction of the collection
+	// size: contexts at least this large are guaranteed view coverage.
+	// Zero selects 0.01 (the paper's 1%).
+	ContextThresholdFraction float64
+	// ViewSizeLimit is T_V, the maximum non-empty tuple count per view.
+	// Zero selects 4096.
+	ViewSizeLimit int
+	// Scorer selects the ranking model ("" = pivoted TF-IDF).
+	Scorer Scorer
+	// DisableViews skips view selection entirely; every contextual query
+	// then runs the straightforward plan. Useful for baselines.
+	DisableViews bool
+	// SegmentSize is the posting-list skip-segment size (M0). Zero
+	// selects 128.
+	SegmentSize int
+	// CacheContexts, when positive, memoizes collection statistics for up
+	// to that many distinct contexts across queries.
+	CacheContexts int
+	// CostBasedPlanning consults a usable view only when its scan cost
+	// undercuts the straightforward plan's cost bound, instead of always
+	// preferring views.
+	CostBasedPlanning bool
+}
+
+// Builder accumulates documents for an Engine.
+type Builder struct {
+	docs []index.Document
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Add queues one document; documents are numbered in insertion order
+// starting at 0.
+func (b *Builder) Add(d Document) {
+	b.docs = append(b.docs, index.Document{Fields: map[string]string{
+		"title":   d.Title,
+		"content": d.Title + " " + d.Body,
+		"mesh":    strings.Join(d.Predicates, " "),
+	}})
+}
+
+// Len returns the number of queued documents.
+func (b *Builder) Len() int { return len(b.docs) }
+
+// Build indexes the queued documents, selects and materializes views, and
+// returns a ready Engine.
+func (b *Builder) Build(opts BuildOptions) (*Engine, error) {
+	scorer, err := opts.Scorer.build()
+	if err != nil {
+		return nil, err
+	}
+	frac := opts.ContextThresholdFraction
+	if frac == 0 {
+		frac = 0.01
+	}
+	tv := opts.ViewSizeLimit
+	if tv == 0 {
+		tv = 4096
+	}
+	ix, err := index.BuildFrom(schema(), opts.SegmentSize, b.docs)
+	if err != nil {
+		return nil, err
+	}
+	var cat *views.Catalog
+	var selTime time.Duration
+	if !opts.DisableViews {
+		tc := int64(frac * float64(ix.NumDocs()))
+		if tc < 1 {
+			tc = 1
+		}
+		t0 := time.Now()
+		m, err := selection.Select(ix, selection.Config{TC: tc, TV: tv})
+		if err != nil {
+			return nil, err
+		}
+		cat = m.Catalog
+		selTime = time.Since(t0)
+	}
+	return &Engine{
+		engine: core.New(ix, cat, core.Options{
+			Scorer:        scorer,
+			CacheContexts: opts.CacheContexts,
+			CostBased:     opts.CostBasedPlanning,
+		}),
+		selectTime: selTime,
+	}, nil
+}
+
+func schema() index.Schema {
+	return index.Schema{
+		Fields: []index.FieldSpec{
+			{Name: "title", Analyzer: analysis.Standard(), Stored: true},
+			{Name: "content", Analyzer: analysis.Standard()},
+			{Name: "mesh", Analyzer: analysis.Keyword()},
+		},
+		PredicateField: "mesh",
+		ContentField:   "content",
+	}
+}
+
+// Hit is one ranked search result.
+type Hit struct {
+	// DocID is the document's insertion-order number.
+	DocID int
+	// Title is the document's stored title.
+	Title string
+	// Score is the ranking score (higher is more relevant).
+	Score float64
+}
+
+// Stats summarizes one query execution.
+type Stats struct {
+	// Plan is the strategy used: "conventional", "view" or
+	// "straightforward".
+	Plan string
+	// UsedView reports whether a materialized view answered the context
+	// statistics.
+	UsedView bool
+	// ResultSize is the unranked result cardinality.
+	ResultSize int
+	// ContextSize is |D_P| for contextual queries.
+	ContextSize int64
+	// CacheHit reports that context statistics came from the statistics
+	// cache (only with BuildOptions.CacheContexts > 0).
+	CacheHit bool
+	// Elapsed is the wall-clock execution time.
+	Elapsed time.Duration
+}
+
+// Engine answers context-sensitive queries.
+type Engine struct {
+	engine     *core.Engine
+	selectTime time.Duration
+}
+
+// Search parses and evaluates q ("w1 w2 | m1 m2") with context-sensitive
+// ranking, returning the top k hits. Queries without '|' are conventional
+// keyword queries.
+func (e *Engine) Search(q string, k int) ([]Hit, Stats, error) {
+	pq, err := query.Parse(q)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	res, st, err := e.engine.Search(pq, k)
+	return e.convert(res), convertStats(st), err
+}
+
+// SearchConventional evaluates q with the conventional baseline: the
+// context (if any) filters the result set but statistics come from the
+// whole collection.
+func (e *Engine) SearchConventional(q string, k int) ([]Hit, Stats, error) {
+	pq, err := query.Parse(q)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	res, st, err := e.engine.SearchConventional(pq, k)
+	return e.convert(res), convertStats(st), err
+}
+
+// SearchStraightforward evaluates a contextual q without consulting
+// materialized views (the paper's straightforward plan), for comparison.
+func (e *Engine) SearchStraightforward(q string, k int) ([]Hit, Stats, error) {
+	pq, err := query.Parse(q)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	res, st, err := e.engine.SearchStraightforward(pq, k)
+	return e.convert(res), convertStats(st), err
+}
+
+func (e *Engine) convert(rs []core.Result) []Hit {
+	hits := make([]Hit, len(rs))
+	for i, r := range rs {
+		hits[i] = Hit{
+			DocID: int(r.DocID),
+			Title: e.engine.Index().StoredField(r.DocID, "title"),
+			Score: r.Score,
+		}
+	}
+	return hits
+}
+
+func convertStats(st core.ExecStats) Stats {
+	return Stats{
+		Plan:        string(st.Plan),
+		UsedView:    st.UsedView,
+		ResultSize:  st.ResultSize,
+		ContextSize: st.ContextSize,
+		CacheHit:    st.CacheHit,
+		Elapsed:     st.Elapsed,
+	}
+}
+
+// Explain reports, without executing the query, which evaluation plan
+// Search would choose and why: the analyzed keywords and context, the
+// matched view (if any) with its size and per-keyword df-column coverage,
+// and the straightforward plan's cost bound.
+func (e *Engine) Explain(q string) (string, error) {
+	pq, err := query.Parse(q)
+	if err != nil {
+		return "", err
+	}
+	ex, err := e.engine.Explain(pq)
+	if err != nil {
+		return "", err
+	}
+	return ex.String(), nil
+}
+
+// NumDocs returns the collection size.
+func (e *Engine) NumDocs() int { return e.engine.Index().NumDocs() }
+
+// NumViews returns the number of materialized views (0 when views are
+// disabled).
+func (e *Engine) NumViews() int {
+	if e.engine.Catalog() == nil {
+		return 0
+	}
+	return e.engine.Catalog().Len()
+}
+
+// ContextSize returns the number of documents matching a context
+// specification (space-separated predicates).
+func (e *Engine) ContextSize(context string) int64 {
+	return e.engine.ContextSize(strings.Fields(context))
+}
+
+// SelectionTime returns how long view selection and materialization took
+// during Build (zero for loaded or view-less engines).
+func (e *Engine) SelectionTime() time.Duration { return e.selectTime }
+
+// Save persists the engine (index + views) into dir, which must exist.
+func (e *Engine) Save(dir string) error {
+	if err := e.engine.Index().SaveFile(filepath.Join(dir, "index.gob")); err != nil {
+		return err
+	}
+	if cat := e.engine.Catalog(); cat != nil {
+		if err := cat.SaveFile(filepath.Join(dir, "views.gob")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Open loads an engine saved by Save. A missing views.gob yields an
+// engine without view acceleration.
+func Open(dir string, scorer Scorer) (*Engine, error) {
+	sc, err := scorer.build()
+	if err != nil {
+		return nil, err
+	}
+	ix, err := index.LoadFile(filepath.Join(dir, "index.gob"))
+	if err != nil {
+		return nil, err
+	}
+	cat, err := views.LoadFile(filepath.Join(dir, "views.gob"))
+	if err != nil {
+		cat = nil // view-less engine
+	}
+	return &Engine{engine: core.New(ix, cat, core.Options{Scorer: sc})}, nil
+}

@@ -1,0 +1,79 @@
+package csrank_test
+
+import (
+	"fmt"
+	"log"
+
+	"csrank"
+)
+
+// Example builds a small annotated collection and shows how the same
+// keyword query ranks differently with and without a context
+// specification.
+func Example() {
+	b := csrank.NewBuilder()
+	b.Add(csrank.Document{
+		Title:      "Complications following pancreas transplant",
+		Body:       "pancreas pancreas transplant complications leukemia",
+		Predicates: []string{"digestive_system"},
+	})
+	b.Add(csrank.Document{
+		Title:      "Organ failure in patients with acute leukemia",
+		Body:       "leukemia leukemia organ failure pancreas",
+		Predicates: []string{"digestive_system"},
+	})
+	for i := 0; i < 300; i++ {
+		b.Add(csrank.Document{
+			Title:      "Leukemia cohort study",
+			Body:       "leukemia lymphoma outcomes",
+			Predicates: []string{"neoplasms"},
+		})
+		if i < 150 {
+			b.Add(csrank.Document{
+				Title:      "Digestive surgery outcomes",
+				Body:       "pancreas liver gastric surgery",
+				Predicates: []string{"digestive_system"},
+			})
+		}
+	}
+	engine, err := b.Build(csrank.BuildOptions{DisableViews: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	conv, _, err := engine.SearchConventional("pancreas leukemia | digestive_system", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, _, err := engine.Search("pancreas leukemia | digestive_system", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("conventional top hit:     ", conv[0].Title)
+	fmt.Println("context-sensitive top hit:", ctx[0].Title)
+	// Output:
+	// conventional top hit:      Complications following pancreas transplant
+	// context-sensitive top hit: Organ failure in patients with acute leukemia
+}
+
+// ExampleEngine_ContextSize shows how to inspect a context before
+// searching in it.
+func ExampleEngine_ContextSize() {
+	b := csrank.NewBuilder()
+	for i := 0; i < 10; i++ {
+		p := []string{"sports"}
+		if i < 4 {
+			p = append(p, "national")
+		}
+		b.Add(csrank.Document{Title: "story", Body: "coach season", Predicates: p})
+	}
+	engine, err := b.Build(csrank.BuildOptions{DisableViews: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(engine.ContextSize("sports"))
+	fmt.Println(engine.ContextSize("sports national"))
+	// Output:
+	// 10
+	// 4
+}

@@ -1,0 +1,77 @@
+// Quickstart: index a handful of annotated documents and run the same
+// keyword query with and without a context specification.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"csrank"
+)
+
+func main() {
+	b := csrank.NewBuilder()
+
+	// Documents carry free text plus controlled-vocabulary predicates
+	// (here: cuisine regions for a recipe archive).
+	b.Add(csrank.Document{
+		Title:      "Saffron rice with toasted almonds",
+		Body:       "saffron rice almonds butter broth simmer",
+		Predicates: []string{"persian", "vegetarian"},
+	})
+	b.Add(csrank.Document{
+		Title:      "Weeknight saffron chicken",
+		Body:       "chicken saffron yogurt marinade grill",
+		Predicates: []string{"persian"},
+	})
+	b.Add(csrank.Document{
+		Title:      "Paella with chicken and shrimp",
+		Body:       "rice saffron chicken shrimp paprika skillet",
+		Predicates: []string{"spanish"},
+	})
+	// Pad the collection so statistics are meaningful: lots of Spanish
+	// rice dishes (rice is common there) and Persian chicken dishes.
+	for i := 0; i < 40; i++ {
+		b.Add(csrank.Document{
+			Title:      fmt.Sprintf("Spanish rice variation %d", i),
+			Body:       "rice tomato pepper olive oil",
+			Predicates: []string{"spanish"},
+		})
+		b.Add(csrank.Document{
+			Title:      fmt.Sprintf("Persian chicken stew %d", i),
+			Body:       "chicken walnut pomegranate stew",
+			Predicates: []string{"persian"},
+		})
+	}
+
+	engine, err := b.Build(csrank.BuildOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d documents, materialized %d views\n\n",
+		engine.NumDocs(), engine.NumViews())
+
+	show := func(label, q string) {
+		hits, stats, err := engine.Search(q, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %q  (plan=%s, results=%d)\n", label, q, stats.Plan, stats.ResultSize)
+		for i, h := range hits {
+			fmt.Printf("  %d. (%.3f) %s\n", i+1, h.Score, h.Title)
+		}
+		fmt.Println()
+	}
+
+	// Without a context, statistics come from the whole archive.
+	show("global search", "saffron rice")
+
+	// Within the Spanish context rice is ubiquitous, so "saffron" is the
+	// discriminative term there — the ranking adapts.
+	show("Spanish-cuisine context", "saffron rice | spanish")
+
+	// Contexts are conjunctive: multiple predicates narrow further.
+	show("Persian vegetarian context", "saffron rice | persian vegetarian")
+}

@@ -1,0 +1,110 @@
+// Viewselection: a tour of the §5 machinery on a synthetic corpus —
+// compare the data-mining-based, graph-decomposition-based and hybrid
+// view-selection algorithms, sweep the thresholds T_C and T_V, and
+// inspect what got materialized.
+//
+// This example uses the library's internal packages directly (it lives in
+// the same module), the level a systems person tuning a deployment would
+// work at.
+//
+//	go run ./examples/viewselection
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"csrank/internal/corpus"
+	"csrank/internal/mining"
+	"csrank/internal/selection"
+	"csrank/internal/widetable"
+)
+
+func main() {
+	cfg := corpus.DefaultConfig()
+	cfg.NumDocs = 10000
+	cfg.OntologyTerms = 250
+	cfg.NumTopics = 0
+	c, err := corpus.Generate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ix, err := c.BuildIndex(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("corpus: %d citations, %d MeSH terms; index: %s\n\n", len(c.Docs), c.Onto.Len(), ix)
+
+	tc := int64(cfg.NumDocs / 100) // the paper's 1%
+	terms := selection.FrequentPredicateTerms(ix, tc)
+	tbl := widetable.FromIndex(ix, selection.TrackedContentWords(ix, tc))
+	fmt.Printf("T_C = %d → %d frequent predicate terms form the KAG\n\n", tc, len(terms))
+
+	// --- Compare the three selection strategies at one setting. --------
+	selCfg := selection.Config{TC: tc, TV: 256}
+
+	t0 := time.Now()
+	mined, err := selection.DataMiningBased(tbl, terms, selCfg, mining.Apriori)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s %3d views in %8s (mined %d combinations, %d maximal)\n",
+		"mining (Apriori):", len(mined.KeySets), time.Since(t0).Round(time.Millisecond),
+		mined.Stats.MinedCombinations, mined.Stats.MaximalCombinations)
+
+	t0 = time.Now()
+	decomp := selection.GraphDecompositionBased(ix, tbl, terms, selCfg)
+	fmt.Printf("%-22s %3d views in %8s (%d separators, %d support queries)\n",
+		"graph decomposition:", len(decomp.KeySets), time.Since(t0).Round(time.Millisecond),
+		decomp.Stats.Separators, decomp.Stats.SupportQueries)
+
+	t0 = time.Now()
+	hybrid, err := selection.Hybrid(ix, tbl, selCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s %3d views in %8s (%d clique remainders re-mined)\n\n",
+		"hybrid:", len(hybrid.KeySets), time.Since(t0).Round(time.Millisecond),
+		hybrid.Stats.CliqueRemainders)
+
+	// Verify the §5.1 guarantee for the hybrid result.
+	holes, err := selection.CoverageHoles(tbl, terms, hybrid.KeySets, tc, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(holes) == 0 {
+		fmt.Println("coverage: every frequent keyword combination is inside some view ✓")
+	} else {
+		fmt.Printf("coverage HOLES: %v\n", holes)
+	}
+
+	// --- Sweep T_V: smaller views are cheaper to answer but more are
+	// needed. ------------------------------------------------------------
+	fmt.Println("\nT_V sweep (hybrid):")
+	fmt.Printf("%8s %8s %12s %14s\n", "T_V", "views", "mean tuples", "total storage")
+	for _, tv := range []int{64, 128, 256, 512, 1024} {
+		res, err := selection.Hybrid(ix, tbl, selection.Config{TC: tc, TV: tv})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cat, err := selection.MaterializeAll(tbl, res.KeySets, tbl.TrackedWords(), selection.Config{TC: tc, TV: tv})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d %8d %12.1f %11.2f MB\n",
+			tv, cat.Len(), cat.MeanSize(), float64(cat.TotalBytes())/(1<<20))
+	}
+
+	// --- Sweep T_C: a higher threshold covers fewer contexts. -----------
+	fmt.Println("\nT_C sweep (hybrid, T_V = 256):")
+	fmt.Printf("%8s %16s %8s\n", "T_C", "frequent terms", "views")
+	for _, f := range []float64{0.005, 0.01, 0.02, 0.05} {
+		tcf := int64(f * float64(cfg.NumDocs))
+		res, err := selection.Hybrid(ix, tbl, selection.Config{TC: tcf, TV: 256})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8d %16d %8d\n", tcf, res.Stats.FrequentTerms, len(res.KeySets))
+	}
+}

@@ -1,0 +1,3 @@
+module csrank
+
+go 1.22

@@ -1,0 +1,73 @@
+package analysis
+
+// Analyzer is a configurable text-analysis pipeline: tokenize, then
+// optionally drop stopwords, then optionally stem. The zero value is a
+// bare tokenizer; use Standard for the pipeline the engine indexes with.
+type Analyzer struct {
+	// RemoveStopwords drops tokens in the stopword list.
+	RemoveStopwords bool
+	// StemTerms applies a stemmer to each surviving token: the light
+	// S-stemmer by default, or full Porter when UsePorter is set.
+	StemTerms bool
+	// UsePorter selects the classic Porter algorithm instead of the light
+	// stemmer when StemTerms is set. Porter conflates more aggressively —
+	// fine for general retrieval, blurrier for per-context statistics.
+	UsePorter bool
+	// ExtraStopwords, if non-nil, is consulted in addition to the default
+	// list when RemoveStopwords is set.
+	ExtraStopwords map[string]bool
+}
+
+// Standard returns the analyzer used for document content fields: stopword
+// removal plus light stemming.
+func Standard() *Analyzer {
+	return &Analyzer{RemoveStopwords: true, StemTerms: true}
+}
+
+// Keyword returns the analyzer used for predicate fields (e.g. MeSH
+// annotations): terms are indexed verbatim apart from lowercasing, because
+// context predicates come from a controlled vocabulary and must round-trip
+// exactly.
+func Keyword() *Analyzer {
+	return &Analyzer{}
+}
+
+// Analyze runs the pipeline over text and returns the surviving terms in
+// order. Positions are re-assigned after filtering so downstream consumers
+// see a dense stream.
+func (a *Analyzer) Analyze(text string) []string {
+	tokens := Tokenize(text)
+	terms := make([]string, 0, len(tokens))
+	for _, tok := range tokens {
+		term := tok.Term
+		if a.RemoveStopwords {
+			if IsStopword(term) || (a.ExtraStopwords != nil && a.ExtraStopwords[term]) {
+				continue
+			}
+		}
+		if a.StemTerms {
+			if a.UsePorter {
+				term = PorterStem(term)
+			} else {
+				term = Stem(term)
+			}
+		}
+		if term == "" {
+			continue
+		}
+		terms = append(terms, term)
+	}
+	return terms
+}
+
+// AnalyzeCounts runs the pipeline and returns term -> occurrence count plus
+// the total number of surviving tokens (the field length used by ranking
+// functions).
+func (a *Analyzer) AnalyzeCounts(text string) (counts map[string]int, length int) {
+	terms := a.Analyze(text)
+	counts = make(map[string]int, len(terms))
+	for _, t := range terms {
+		counts[t]++
+	}
+	return counts, len(terms)
+}

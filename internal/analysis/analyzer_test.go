@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func terms(toks []Token) []string {
+	out := make([]string, len(toks))
+	for i, t := range toks {
+		out[i] = t.Term
+	}
+	return out
+}
+
+func TestTokenizeBasic(t *testing.T) {
+	got := terms(Tokenize("Complications following pancreas transplant"))
+	want := []string{"complications", "following", "pancreas", "transplant"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizePunctuationAndDigits(t *testing.T) {
+	got := terms(Tokenize("IL-2 receptor (CD25) levels: 3.5x baseline!"))
+	want := []string{"il-2", "receptor", "cd25", "levels", "3", "5x", "baseline"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeApostrophe(t *testing.T) {
+	got := terms(Tokenize("don't stop 'quoted'"))
+	want := []string{"don't", "stop", "quoted"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeEmptyAndWhitespace(t *testing.T) {
+	if got := Tokenize(""); len(got) != 0 {
+		t.Errorf("Tokenize(\"\") = %v, want empty", got)
+	}
+	if got := Tokenize("  \t\n  --- !!! "); len(got) != 0 {
+		t.Errorf("Tokenize(whitespace/punct) = %v, want empty", got)
+	}
+}
+
+func TestTokenizePositionsDense(t *testing.T) {
+	toks := Tokenize("acute  lymphoblastic, leukemia")
+	for i, tok := range toks {
+		if tok.Position != i {
+			t.Errorf("token %d has position %d", i, tok.Position)
+		}
+	}
+}
+
+func TestTokenizeLowercasesUnicode(t *testing.T) {
+	got := terms(Tokenize("Émile NOËL"))
+	want := []string{"émile", "noël"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Tokenize = %v, want %v", got, want)
+	}
+}
+
+func TestStopwords(t *testing.T) {
+	for _, w := range []string{"the", "of", "and", "is"} {
+		if !IsStopword(w) {
+			t.Errorf("IsStopword(%q) = false, want true", w)
+		}
+	}
+	for _, w := range []string{"leukemia", "pancreas", "transplant"} {
+		if IsStopword(w) {
+			t.Errorf("IsStopword(%q) = true, want false", w)
+		}
+	}
+}
+
+func TestStopwordsCopyIsIndependent(t *testing.T) {
+	m := Stopwords()
+	m["leukemia"] = true
+	if IsStopword("leukemia") {
+		t.Error("mutating Stopwords() copy affected the shared list")
+	}
+}
+
+func TestStem(t *testing.T) {
+	cases := map[string]string{
+		"studies":     "study",
+		"diseases":    "disease",
+		"transplants": "transplant",
+		"pancreas":    "pancreas", // -as is not plural
+		"diagnosis":   "diagnosis",
+		"classes":     "class",
+		"stopped":     "stop",
+		"running":     "runn", // light stemmer keeps doubled 'n'? no: undoubles
+		"infections":  "infection",
+		"virus":       "virus",
+		"stress":      "stress",
+		"caused":      "caus",
+		"go":          "go",
+	}
+	// Correct expectation for running: "running" -> strip "ing" -> "runn" -> undouble -> "run".
+	cases["running"] = "run"
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemIdempotentOnCommonForms(t *testing.T) {
+	// Stemming an already-stemmed plural form should not keep shrinking
+	// common nouns into unrelated stems.
+	for _, w := range []string{"disease", "transplant", "infection", "study"} {
+		once := Stem(w)
+		twice := Stem(once)
+		if once != twice {
+			t.Errorf("Stem not idempotent for %q: %q then %q", w, once, twice)
+		}
+	}
+}
+
+func TestAnalyzerStandard(t *testing.T) {
+	a := Standard()
+	got := a.Analyze("The complications following pancreas transplants")
+	want := []string{"complication", "follow", "pancreas", "transplant"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Analyze = %v, want %v", got, want)
+	}
+}
+
+func TestAnalyzerKeywordVerbatim(t *testing.T) {
+	a := Keyword()
+	got := a.Analyze("Digestive System")
+	want := []string{"digestive", "system"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Analyze = %v, want %v", got, want)
+	}
+}
+
+func TestAnalyzerExtraStopwords(t *testing.T) {
+	a := &Analyzer{RemoveStopwords: true, ExtraStopwords: map[string]bool{"pancreas": true}}
+	got := a.Analyze("the pancreas transplant")
+	want := []string{"transplant"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Analyze = %v, want %v", got, want)
+	}
+}
+
+func TestAnalyzeCounts(t *testing.T) {
+	a := Standard()
+	counts, n := a.AnalyzeCounts("leukemia leukemia pancreas the of")
+	if n != 3 {
+		t.Errorf("length = %d, want 3", n)
+	}
+	if counts["leukemia"] != 2 || counts["pancreas"] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestAnalyzeCountsEmpty(t *testing.T) {
+	a := Standard()
+	counts, n := a.AnalyzeCounts("")
+	if n != 0 || len(counts) != 0 {
+		t.Errorf("AnalyzeCounts(\"\") = %v, %d", counts, n)
+	}
+}
+
+// Property: tokens never contain uppercase letters or separators, and the
+// token stream is deterministic.
+func TestTokenizeProperties(t *testing.T) {
+	f := func(s string) bool {
+		toks := Tokenize(s)
+		for _, tok := range toks {
+			if tok.Term == "" {
+				return false
+			}
+			if tok.Term != strings.ToLower(tok.Term) {
+				return false
+			}
+			if strings.ContainsAny(tok.Term, " \t\n.,;!?") {
+				return false
+			}
+		}
+		// Determinism.
+		again := Tokenize(s)
+		if len(again) != len(toks) {
+			return false
+		}
+		for i := range toks {
+			if toks[i] != again[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the analyzer's counts sum to the reported length.
+func TestAnalyzeCountsSumProperty(t *testing.T) {
+	a := Standard()
+	f := func(s string) bool {
+		counts, n := a.AnalyzeCounts(s)
+		sum := 0
+		for _, c := range counts {
+			sum += c
+		}
+		return sum == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: stemming never lengthens a term and never empties a non-empty
+// term.
+func TestStemProperties(t *testing.T) {
+	f := func(s string) bool {
+		toks := Tokenize(s)
+		for _, tok := range toks {
+			st := Stem(tok.Term)
+			if len(st) > len(tok.Term) {
+				return false
+			}
+			if st == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,242 @@
+package analysis
+
+// PorterStem implements the classic Porter stemming algorithm (Porter,
+// "An algorithm for suffix stripping", 1980) — the stemmer standard text
+// search systems ship alongside lighter S-stemmers. The engine defaults
+// to the light stemmer (aggressive conflation blurs per-context
+// statistics; see Stem), but the analyzer is configurable and Porter is
+// the usual alternative.
+//
+// The implementation follows the original five-step definition over the
+// measure m (the count of VC sequences in the word form
+// [C](VC)^m[V]).
+func PorterStem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	w := []byte(word)
+	w = porterStep1a(w)
+	w = porterStep1b(w)
+	w = porterStep1c(w)
+	w = porterStep2(w)
+	w = porterStep3(w)
+	w = porterStep4(w)
+	w = porterStep5a(w)
+	w = porterStep5b(w)
+	return string(w)
+}
+
+// isCons reports whether w[i] is a consonant under Porter's definition:
+// vowels are a, e, i, o, u, plus y when preceded by a consonant.
+func isCons(w []byte, i int) bool {
+	switch w[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isCons(w, i-1)
+	default:
+		return true
+	}
+}
+
+// measure returns m for the prefix w[:k].
+func measure(w []byte, k int) int {
+	m := 0
+	i := 0
+	// Skip initial consonants.
+	for i < k && isCons(w, i) {
+		i++
+	}
+	for {
+		// Skip vowels.
+		for i < k && !isCons(w, i) {
+			i++
+		}
+		if i >= k {
+			return m
+		}
+		// Skip consonants: one VC sequence completed.
+		for i < k && isCons(w, i) {
+			i++
+		}
+		m++
+	}
+}
+
+// hasVowelIn reports whether w[:k] contains a vowel.
+func hasVowelIn(w []byte, k int) bool {
+	for i := 0; i < k; i++ {
+		if !isCons(w, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleCons reports whether w[:k] ends in a doubled consonant.
+func endsDoubleCons(w []byte, k int) bool {
+	return k >= 2 && w[k-1] == w[k-2] && isCons(w, k-1)
+}
+
+// endsCVC reports whether w[:k] ends consonant-vowel-consonant where the
+// final consonant is not w, x or y (Porter's *o condition).
+func endsCVC(w []byte, k int) bool {
+	if k < 3 {
+		return false
+	}
+	if !isCons(w, k-3) || isCons(w, k-2) || !isCons(w, k-1) {
+		return false
+	}
+	c := w[k-1]
+	return c != 'w' && c != 'x' && c != 'y'
+}
+
+// hasSuffix reports whether w ends with s.
+func hasSuffix(w []byte, s string) bool {
+	if len(w) < len(s) {
+		return false
+	}
+	return string(w[len(w)-len(s):]) == s
+}
+
+// replaceIf replaces suffix old with new when the stem measure (before
+// old) is greater than minM; it reports whether old matched at all.
+func replaceIf(w *[]byte, old, new string, minM int) bool {
+	if !hasSuffix(*w, old) {
+		return false
+	}
+	k := len(*w) - len(old)
+	if measure(*w, k) > minM {
+		*w = append((*w)[:k], new...)
+	}
+	return true
+}
+
+func porterStep1a(w []byte) []byte {
+	switch {
+	case hasSuffix(w, "sses"):
+		return w[:len(w)-2]
+	case hasSuffix(w, "ies"):
+		return w[:len(w)-2]
+	case hasSuffix(w, "ss"):
+		return w
+	case hasSuffix(w, "s"):
+		return w[:len(w)-1]
+	}
+	return w
+}
+
+func porterStep1b(w []byte) []byte {
+	if hasSuffix(w, "eed") {
+		if measure(w, len(w)-3) > 0 {
+			return w[:len(w)-1]
+		}
+		return w
+	}
+	stripped := false
+	if hasSuffix(w, "ed") && hasVowelIn(w, len(w)-2) {
+		w = w[:len(w)-2]
+		stripped = true
+	} else if hasSuffix(w, "ing") && hasVowelIn(w, len(w)-3) {
+		w = w[:len(w)-3]
+		stripped = true
+	}
+	if !stripped {
+		return w
+	}
+	switch {
+	case hasSuffix(w, "at"), hasSuffix(w, "bl"), hasSuffix(w, "iz"):
+		return append(w, 'e')
+	case endsDoubleCons(w, len(w)) && !hasSuffix(w, "l") && !hasSuffix(w, "s") && !hasSuffix(w, "z"):
+		return w[:len(w)-1]
+	case measure(w, len(w)) == 1 && endsCVC(w, len(w)):
+		return append(w, 'e')
+	}
+	return w
+}
+
+func porterStep1c(w []byte) []byte {
+	if hasSuffix(w, "y") && hasVowelIn(w, len(w)-1) {
+		w[len(w)-1] = 'i'
+	}
+	return w
+}
+
+var step2Rules = []struct{ old, new string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+	{"izer", "ize"}, {"abli", "able"}, {"alli", "al"}, {"entli", "ent"},
+	{"eli", "e"}, {"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+	{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"},
+}
+
+func porterStep2(w []byte) []byte {
+	for _, r := range step2Rules {
+		if replaceIf(&w, r.old, r.new, 0) {
+			return w
+		}
+	}
+	return w
+}
+
+var step3Rules = []struct{ old, new string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func porterStep3(w []byte) []byte {
+	for _, r := range step3Rules {
+		if replaceIf(&w, r.old, r.new, 0) {
+			return w
+		}
+	}
+	return w
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func porterStep4(w []byte) []byte {
+	for _, s := range step4Suffixes {
+		if !hasSuffix(w, s) {
+			continue
+		}
+		k := len(w) - len(s)
+		if measure(w, k) > 1 {
+			return w[:k]
+		}
+		return w
+	}
+	// (m>1 and (*S or *T)) ION -> drop ION.
+	if hasSuffix(w, "ion") {
+		k := len(w) - 3
+		if measure(w, k) > 1 && k > 0 && (w[k-1] == 's' || w[k-1] == 't') {
+			return w[:k]
+		}
+	}
+	return w
+}
+
+func porterStep5a(w []byte) []byte {
+	if !hasSuffix(w, "e") {
+		return w
+	}
+	k := len(w) - 1
+	m := measure(w, k)
+	if m > 1 || (m == 1 && !endsCVC(w, k)) {
+		return w[:k]
+	}
+	return w
+}
+
+func porterStep5b(w []byte) []byte {
+	if measure(w, len(w)) > 1 && endsDoubleCons(w, len(w)) && hasSuffix(w, "l") {
+		return w[:len(w)-1]
+	}
+	return w
+}

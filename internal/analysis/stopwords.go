@@ -1,0 +1,41 @@
+package analysis
+
+// defaultStopwords is a compact English stopword list. It mirrors the kind
+// of list standard text-search systems (e.g. Lucene's StandardAnalyzer) ship
+// with: high-frequency function words that carry no topical signal. Removing
+// them matters for the ranking-quality experiments because stopword df
+// values would otherwise dominate collection statistics.
+var defaultStopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "as": true, "at": true,
+	"be": true, "but": true, "by": true, "for": true, "from": true,
+	"if": true, "in": true, "into": true, "is": true, "it": true, "its": true,
+	"no": true, "not": true, "of": true, "on": true, "or": true,
+	"such": true, "that": true, "the": true, "their": true, "then": true,
+	"there": true, "these": true, "they": true, "this": true, "to": true,
+	"was": true, "were": true, "will": true, "with": true, "we": true,
+	"our": true, "has": true, "have": true, "had": true, "which": true,
+	"during": true, "after": true, "before": true, "between": true,
+	"among": true, "within": true, "using": true, "based": true,
+	"can": true, "may": true, "also": true, "been": true, "than": true,
+	"more": true, "most": true, "both": true, "each": true, "other": true,
+	"who": true, "whom": true, "what": true, "when": true, "where": true,
+	"how": true, "all": true, "any": true, "do": true, "does": true,
+	"did": true, "so": true, "because": true, "while": true, "about": true,
+	"against": true, "under": true, "over": true, "through": true,
+	"per": true, "via": true, "however": true, "therefore": true,
+	"thus": true, "upon": true,
+}
+
+// IsStopword reports whether term is in the default stopword list. The term
+// must already be lowercased (Tokenize lowercases).
+func IsStopword(term string) bool { return defaultStopwords[term] }
+
+// Stopwords returns a copy of the default stopword list, for callers that
+// want to extend or inspect it without mutating the shared table.
+func Stopwords() map[string]bool {
+	out := make(map[string]bool, len(defaultStopwords))
+	for w := range defaultStopwords {
+		out[w] = true
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+// Package analysis provides the text-analysis pipeline used when indexing
+// and querying documents: tokenization, case folding, stopword removal and
+// light stemming. The pipeline is deliberately simple — the paper's
+// contribution is statistics computation, not linguistic analysis — but it
+// is a real pipeline: the same analyzer must be applied at indexing time and
+// at query time or document-frequency lookups silently miss.
+package analysis
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Token is a single unit of text produced by the tokenizer, together with
+// its position in the token stream (0-based). Positions allow phrase-style
+// consumers even though the ranking models here only need counts.
+type Token struct {
+	Term     string
+	Position int
+}
+
+// Tokenize splits text into lowercase word tokens. A token is a maximal run
+// of letters, digits, or intra-word hyphens/apostrophes. All other runes
+// separate tokens. Hyphens and apostrophes at token boundaries are trimmed,
+// so "pancreas-transplant" yields two tokens joined later by the filter
+// chain while "don't" remains one token.
+func Tokenize(text string) []Token {
+	var tokens []Token
+	var b strings.Builder
+	pos := 0
+	flush := func() {
+		if b.Len() == 0 {
+			return
+		}
+		term := strings.Trim(b.String(), "-'")
+		b.Reset()
+		if term == "" {
+			return
+		}
+		tokens = append(tokens, Token{Term: term, Position: pos})
+		pos++
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_':
+			// Underscore is a word character so controlled-vocabulary
+			// terms like "digestive_system" survive intact.
+			b.WriteRune(unicode.ToLower(r))
+		case (r == '-' || r == '\'') && b.Len() > 0:
+			// Keep intra-word punctuation; it is trimmed if it turns
+			// out to be trailing.
+			b.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"strings"
+	"sync"
+)
+
+// statsCache memoizes collection-specific statistics per normalized
+// context. Contexts repeat heavily in practice — a working domain expert
+// issues many queries inside one context — and S_c(D_P) depends only on
+// P and the query keywords, so |D_P| and len(D_P) are reusable verbatim
+// while per-keyword df/tc accumulate lazily as new keywords appear.
+//
+// The cache is a bounded map with FIFO eviction: contexts are few (the
+// predicate vocabulary is controlled) and recency hardly matters at this
+// population, so simplicity wins over LRU bookkeeping. Safe for
+// concurrent use.
+type statsCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*cacheEntry
+	order   []string // insertion order for FIFO eviction
+}
+
+type cacheEntry struct {
+	n, totalLen int64
+	// words maps keyword -> (df, tc) within the context.
+	words map[string]dfTC
+}
+
+type dfTC struct {
+	df, tc int64
+}
+
+func newStatsCache(max int) *statsCache {
+	if max <= 0 {
+		return nil
+	}
+	return &statsCache{max: max, entries: make(map[string]*cacheEntry, max)}
+}
+
+func cacheKey(context []string) string { return strings.Join(context, "\x00") }
+
+// lookup returns the cached entry for the context, if any. The returned
+// snapshot copies the per-word map so callers never race with concurrent
+// extend calls.
+func (c *statsCache) lookup(context []string) (n, totalLen int64, words map[string]dfTC, ok bool) {
+	if c == nil {
+		return 0, 0, nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[cacheKey(context)]
+	if e == nil {
+		return 0, 0, nil, false
+	}
+	snapshot := make(map[string]dfTC, len(e.words))
+	for w, v := range e.words {
+		snapshot[w] = v
+	}
+	return e.n, e.totalLen, snapshot, true
+}
+
+// store inserts or extends the context's entry with the given statistics.
+func (c *statsCache) store(context []string, n, totalLen int64, words map[string]dfTC) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := cacheKey(context)
+	e := c.entries[key]
+	if e == nil {
+		if len(c.entries) >= c.max {
+			// FIFO eviction.
+			oldest := c.order[0]
+			c.order = c.order[1:]
+			delete(c.entries, oldest)
+		}
+		e = &cacheEntry{n: n, totalLen: totalLen, words: make(map[string]dfTC)}
+		c.entries[key] = e
+		c.order = append(c.order, key)
+	}
+	for w, v := range words {
+		e.words[w] = v
+	}
+}
+
+// len reports the number of cached contexts (for tests).
+func (c *statsCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"csrank/internal/postings"
+	"csrank/internal/ranking"
+	"csrank/internal/views"
+)
+
+// statsStraightforward computes S_c(D_P) with the Figure 3 plan: the
+// context is materialized by intersecting the predicate lists; γ_count
+// and γ_sum aggregations over it yield |D_P| and len(D_P); each keyword's
+// df(w, D_P) and tc(w, D_P) come from intersecting L_w with the context
+// lists. Its cost is bounded by O(Σ |L_m|) (Proposition 3.1).
+func (e *Engine) statsStraightforward(a analyzed, kw, ctx []*postings.List, st *postings.Stats) ranking.CollectionStats {
+	cs := ranking.CollectionStats{
+		DF: make(map[string]int64, len(a.kwTerms)),
+		TC: make(map[string]int64, len(a.kwTerms)),
+	}
+	// L_m1 ∩ L_m2 with aggregations.
+	ctxInter := postings.Intersect(ctx, st)
+	cs.N = postings.Count(ctxInter, st)
+	cs.TotalLen = postings.SumOver(ctxInter, func(d uint32) int64 {
+		return e.ix.FieldLen(d, e.contentField)
+	}, st)
+	// L_wi ∩ L_m1 ∩ L_m2 per keyword.
+	for i, w := range a.kwTerms {
+		df, tc := e.keywordContextStats(kw[i], ctx, st)
+		cs.DF[w] = df
+		cs.TC[w] = tc
+	}
+	return cs
+}
+
+// keywordContextStats computes df(w, D_P) and tc(w, D_P) by intersecting
+// w's posting list with the context lists. The intersection starts from
+// the most selective list (Intersect orders by length), so this is cheap
+// when w is rare — the argument §6.2 makes for not storing df columns of
+// infrequent keywords.
+func (e *Engine) keywordContextStats(l *postings.List, ctx []*postings.List, st *postings.Stats) (df, tc int64) {
+	if l == nil {
+		return 0, 0
+	}
+	all := make([]*postings.List, 0, len(ctx)+1)
+	all = append(all, l)
+	all = append(all, ctx...)
+	inter := postings.Intersect(all, st)
+	df = postings.Count(inter, st)
+	for _, f := range inter.TFs[0] {
+		tc += int64(f)
+	}
+	return df, tc
+}
+
+// statsFromView answers S_c(D_P) from a materialized view: |D_P|,
+// len(D_P) and the df/tc of every tracked keyword come from one scan of
+// the view's groups; untracked keywords (df < T_C) fall back to
+// query-time intersections. Returns the statistics and the number of
+// fallback keywords.
+func (e *Engine) statsFromView(v *views.View, a analyzed, kw, ctx []*postings.List, st *postings.Stats) (ranking.CollectionStats, int, error) {
+	ans, err := v.Answer(a.context, a.kwTerms, st)
+	if err != nil {
+		return ranking.CollectionStats{}, 0, err
+	}
+	cs := ranking.CollectionStats{
+		N:        ans.Count,
+		TotalLen: ans.Len,
+		DF:       ans.DF,
+		TC:       ans.TC,
+	}
+	fallback := 0
+	for i, w := range a.kwTerms {
+		if v.TracksWord(w) {
+			continue
+		}
+		fallback++
+		df, tc := e.keywordContextStats(kw[i], ctx, st)
+		cs.DF[w] = df
+		cs.TC[w] = tc
+	}
+	return cs, fallback, nil
+}
+
+// viewWorthwhile applies the cost-based plan choice: with CostBased off,
+// any usable view wins (the paper's policy); with it on, the view's scan
+// cost must undercut the straightforward plan's Proposition 3.1 bound of
+// (n+1)·Σ|L_m| — one context materialization plus one keyword-list
+// intersection pass per keyword.
+func (e *Engine) viewWorthwhile(v *views.View, a analyzed, ctx []*postings.List) bool {
+	if !e.costBased {
+		return true
+	}
+	var straightBound int64
+	for _, l := range ctx {
+		if l != nil {
+			straightBound += int64(l.Len())
+		}
+	}
+	straightBound *= int64(len(a.kwTerms) + 1)
+	return int64(v.Size()) < straightBound
+}
+
+// statsFromCache assembles collection statistics from the statistics
+// cache, computing and back-filling any keywords the cached entry lacks.
+// ok is false on a cache miss.
+func (e *Engine) statsFromCache(a analyzed, kw, ctx []*postings.List, useViews bool, st *ExecStats) (ranking.CollectionStats, bool) {
+	n, totalLen, words, ok := e.cache.lookup(a.context)
+	if !ok {
+		return ranking.CollectionStats{}, false
+	}
+	st.CacheHit = true
+	cs := ranking.CollectionStats{
+		N:        n,
+		TotalLen: totalLen,
+		DF:       make(map[string]int64, len(a.kwTerms)),
+		TC:       make(map[string]int64, len(a.kwTerms)),
+	}
+	var filled map[string]dfTC
+	var view *views.View
+	if useViews && e.catalog != nil {
+		view = e.catalog.Match(a.context)
+	}
+	for i, w := range a.kwTerms {
+		if v, hit := words[w]; hit {
+			cs.DF[w] = v.df
+			cs.TC[w] = v.tc
+			continue
+		}
+		var df, tc int64
+		if view != nil && view.TracksWord(w) {
+			if ans, err := view.Answer(a.context, []string{w}, &st.Stats); err == nil {
+				df, tc = ans.DF[w], ans.TC[w]
+			}
+		} else {
+			df, tc = e.keywordContextStats(kw[i], ctx, &st.Stats)
+		}
+		cs.DF[w] = df
+		cs.TC[w] = tc
+		if filled == nil {
+			filled = make(map[string]dfTC)
+		}
+		filled[w] = dfTC{df: df, tc: tc}
+	}
+	if filled != nil {
+		e.cache.store(a.context, n, totalLen, filled)
+	}
+	return cs, true
+}
+
+// cacheStore records freshly computed statistics for future queries in
+// the same context.
+func (e *Engine) cacheStore(a analyzed, cs ranking.CollectionStats) {
+	if e.cache == nil {
+		return
+	}
+	words := make(map[string]dfTC, len(cs.DF))
+	for _, w := range a.kwTerms {
+		words[w] = dfTC{df: cs.DF[w], tc: cs.TC[w]}
+	}
+	e.cache.store(a.context, cs.N, cs.TotalLen, words)
+}
+
+// ContextSize returns |D_P| for a context specification, answered from
+// the smallest usable view when possible and by intersection otherwise.
+// Workload generators use it to classify contexts against T_C.
+func (e *Engine) ContextSize(context []string) int64 {
+	var norm []string
+	seen := map[string]bool{}
+	for _, m := range context {
+		for _, term := range e.predAn.Analyze(m) {
+			if !seen[term] {
+				seen[term] = true
+				norm = append(norm, term)
+			}
+		}
+	}
+	if len(norm) == 0 {
+		return e.globalN
+	}
+	if e.catalog != nil {
+		if v := e.catalog.Match(norm); v != nil {
+			if ans, err := v.Answer(norm, nil, nil); err == nil {
+				return ans.Count
+			}
+		}
+	}
+	lists := make([]*postings.List, len(norm))
+	for i, m := range norm {
+		lists[i] = e.ix.Postings(e.predField, m)
+	}
+	return postings.IntersectionSize(lists, nil)
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// topK keeps the k best results seen so far in a min-heap (the weakest
+// kept result at the root), so pushing n results costs O(n log k).
+// k ≤ 0 keeps everything.
+type topK struct {
+	k    int
+	heap resultHeap
+	all  []Result // used when k ≤ 0
+}
+
+func newTopK(k int) *topK { return &topK{k: k} }
+
+func (t *topK) push(r Result) {
+	if t.k <= 0 {
+		t.all = append(t.all, r)
+		return
+	}
+	if len(t.heap) < t.k {
+		heap.Push(&t.heap, r)
+		return
+	}
+	if worseThan(t.heap[0], r) {
+		t.heap[0] = r
+		heap.Fix(&t.heap, 0)
+	}
+}
+
+// results returns the collected hits by descending score (ties broken by
+// ascending DocID for deterministic output).
+func (t *topK) results() []Result {
+	out := t.all
+	if t.k > 0 {
+		out = append([]Result(nil), t.heap...)
+	}
+	sort.Slice(out, func(i, j int) bool { return worseThan(out[j], out[i]) })
+	return out
+}
+
+// worseThan reports whether a ranks strictly below b.
+func worseThan(a, b Result) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.DocID > b.DocID
+}
+
+type resultHeap []Result
+
+func (h resultHeap) Len() int            { return len(h) }
+func (h resultHeap) Less(i, j int) bool  { return worseThan(h[i], h[j]) }
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

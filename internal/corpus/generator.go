@@ -1,0 +1,203 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"csrank/internal/mesh"
+)
+
+// Config controls corpus generation. The zero value is not valid; use
+// DefaultConfig and override fields.
+type Config struct {
+	// Seed drives all randomness; equal configs generate identical
+	// corpora.
+	Seed int64
+	// NumDocs is the collection size.
+	NumDocs int
+	// OntologyTerms is the approximate MeSH vocabulary size.
+	OntologyTerms int
+	// BackgroundVocab is the size of the shared background vocabulary.
+	BackgroundVocab int
+	// NumTopics is the number of benchmark topics (the paper qualifies
+	// 30).
+	NumTopics int
+	// GoodFitFrac and BadFitFrac split topics into good/bad context fits;
+	// the remainder is neutral. See Fit.
+	GoodFitFrac, BadFitFrac float64
+	// BackgroundProb is the probability that an abstract token comes from
+	// the background vocabulary rather than a topic model.
+	BackgroundProb float64
+	// HumansProb is the probability a citation is annotated with the
+	// "humans" term, mirroring PubMed where the Humans MeSH term indexes
+	// a majority of citations and creates one giant context.
+	HumansProb float64
+}
+
+// DefaultConfig returns the configuration the experiments use at test
+// scale: 20k documents over a ~300-term vocabulary with a 30-topic
+// benchmark.
+func DefaultConfig() Config {
+	return Config{
+		Seed:            1,
+		NumDocs:         20000,
+		OntologyTerms:   300,
+		BackgroundVocab: 2500,
+		NumTopics:       30,
+		GoodFitFrac:     0.67,
+		BadFitFrac:      0.13,
+		BackgroundProb:  0.45,
+		HumansProb:      0.7,
+	}
+}
+
+// Generate builds a corpus under cfg. It returns an error if cfg cannot
+// support its own benchmark (too few documents for the topics' relevant
+// and distractor sets).
+func Generate(cfg Config) (*Corpus, error) {
+	if cfg.NumDocs <= 0 {
+		return nil, fmt.Errorf("corpus: NumDocs must be positive, got %d", cfg.NumDocs)
+	}
+	// Each topic consumes up to ~125 context documents and needs a
+	// moderate-extent context term with enough unclaimed headroom; 400
+	// docs per topic keeps construction reliable across seeds.
+	if cfg.NumTopics > 0 && cfg.NumDocs < cfg.NumTopics*400 {
+		return nil, fmt.Errorf("corpus: %d docs cannot host %d benchmark topics (need ≥ %d)",
+			cfg.NumDocs, cfg.NumTopics, cfg.NumTopics*400)
+	}
+	onto, err := mesh.Generate(mesh.GenConfig{Seed: cfg.Seed, TargetTerms: cfg.OntologyTerms})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eedc0de))
+	c := &Corpus{
+		Config: cfg,
+		Onto:   onto,
+		extent: make(map[mesh.TermID][]int),
+	}
+
+	bg := makeBackground(rng, cfg.BackgroundVocab)
+	zipfBg := rand.NewZipf(rng, 1.1, 1, uint64(len(bg)-1))
+
+	// Focus-term sampling: Zipf over a shuffled permutation of non-root
+	// terms, so extent sizes are heavy-tailed as in PubMed (a few huge
+	// annotation contexts, a long tail of small ones).
+	var focusTerms []mesh.TermID
+	for i := 0; i < onto.Len(); i++ {
+		if len(onto.Term(mesh.TermID(i)).Parents) > 0 {
+			focusTerms = append(focusTerms, mesh.TermID(i))
+		}
+	}
+	rng.Shuffle(len(focusTerms), func(i, j int) {
+		focusTerms[i], focusTerms[j] = focusTerms[j], focusTerms[i]
+	})
+	zipfTerm := rand.NewZipf(rng, 1.05, 4, uint64(len(focusTerms)-1))
+
+	humansID, hasHumans := onto.ByName("humans")
+
+	c.Docs = make([]Citation, cfg.NumDocs)
+	for i := range c.Docs {
+		c.Docs[i] = c.generateDoc(rng, i, focusTerms, zipfTerm, bg, zipfBg, humansID, hasHumans)
+	}
+
+	if err := c.generateTopics(rng); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func makeBackground(rng *rand.Rand, n int) []string {
+	if n < 10 {
+		n = 10
+	}
+	gen := mesh.NewWordGen(rng)
+	words := make([]string, n)
+	for i := range words {
+		words[i] = gen.Next()
+	}
+	return words
+}
+
+// generateDoc produces one citation: correlated focus annotations, the
+// ancestor closure, and title/abstract text mixing background and topic
+// vocabulary.
+func (c *Corpus) generateDoc(rng *rand.Rand, idx int, focusTerms []mesh.TermID,
+	zipfTerm *rand.Zipf, bg []string, zipfBg *rand.Zipf,
+	humansID mesh.TermID, hasHumans bool) Citation {
+
+	onto := c.Onto
+	nFocus := 1 + rng.Intn(3)
+	focus := make([]mesh.TermID, 0, nFocus+1)
+	seen := make(map[mesh.TermID]bool)
+	add := func(t mesh.TermID) {
+		if !seen[t] {
+			seen[t] = true
+			focus = append(focus, t)
+		}
+	}
+	add(focusTerms[zipfTerm.Uint64()])
+	for len(focus) < nFocus {
+		if rng.Float64() < 0.5 {
+			// Correlated choice: a sibling of an existing focus term, so
+			// term pairs co-occur often enough to form large multi-term
+			// contexts (the cliques the KAG decomposition works on).
+			base := focus[rng.Intn(len(focus))]
+			parents := onto.Term(base).Parents
+			if len(parents) > 0 {
+				sibs := onto.Term(parents[rng.Intn(len(parents))]).Children
+				if len(sibs) > 0 {
+					add(sibs[rng.Intn(len(sibs))])
+					continue
+				}
+			}
+		}
+		add(focusTerms[zipfTerm.Uint64()])
+	}
+	if hasHumans && rng.Float64() < c.Config.HumansProb {
+		add(humansID)
+	}
+
+	closure := onto.Closure(focus)
+	names := onto.Names(closure)
+	sort.Strings(names)
+	for _, t := range closure {
+		c.extent[t] = append(c.extent[t], idx)
+	}
+
+	pickWord := func(topical float64) string {
+		if rng.Float64() < topical {
+			return bg[zipfBg.Uint64()]
+		}
+		// Topic word from a focus term, occasionally from an ancestor
+		// (generic vocabulary like "organ", "disease").
+		t := focus[rng.Intn(len(focus))]
+		if rng.Float64() < 0.2 {
+			if anc := onto.Ancestors(t); len(anc) > 0 {
+				t = anc[rng.Intn(len(anc))]
+			}
+		}
+		words := onto.Term(t).TopicWords
+		if len(words) == 0 {
+			return bg[zipfBg.Uint64()]
+		}
+		return words[rng.Intn(len(words))]
+	}
+
+	title := make([]string, 6+rng.Intn(6))
+	for i := range title {
+		title[i] = pickWord(0.3)
+	}
+	abstract := make([]string, 60+rng.Intn(90))
+	for i := range abstract {
+		abstract[i] = pickWord(c.Config.BackgroundProb)
+	}
+
+	return Citation{
+		PMID:     10_000_000 + idx,
+		Title:    strings.Join(title, " "),
+		Abstract: strings.Join(abstract, " "),
+		Mesh:     names,
+	}
+}

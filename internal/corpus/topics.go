@@ -1,0 +1,272 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"csrank/internal/mesh"
+)
+
+// generateTopics constructs the benchmark: NumTopics topics whose queries
+// and contexts reproduce, inside the synthetic collection, the statistical
+// situation of the paper's motivating example. For each topic we pick:
+//
+//   - a context term P (moderate extent), whose topic vocabulary supplies
+//     the "noise" keyword: common inside the context, rarer globally — so
+//     conventional ranking overweights it (high global idf);
+//   - an unrelated large-extent term U, whose topic vocabulary supplies the
+//     "signal" keyword: common globally (low global idf) but rare inside
+//     the context, where it is genuinely discriminative.
+//
+// Relevant documents emphasize the signal keyword; distractors emphasize
+// the noise keyword (roles swap for FitBad topics; FitNeutral topics get
+// no engineered asymmetry). Both keywords are injected into every
+// benchmark document so the conjunctive query retrieves them all, and the
+// paper's qualification filters (result set ≥ 20, relevant ≥ 5) hold by
+// construction.
+func (c *Corpus) generateTopics(rng *rand.Rand) error {
+	cfg := c.Config
+	if cfg.NumTopics == 0 {
+		return nil
+	}
+	pCands := c.termsWithExtentBetween(cfg.NumDocs*4/100, cfg.NumDocs/6)
+	uCands := c.termsWithExtentBetween(cfg.NumDocs/8, cfg.NumDocs+1)
+	if len(pCands) == 0 || len(uCands) == 0 {
+		return fmt.Errorf("corpus: extent distribution cannot support topics (p=%d, u=%d candidates)",
+			len(pCands), len(uCands))
+	}
+
+	// Raw-word document frequencies over the pre-injection text, used to
+	// verify the global-commonness asymmetry between signal and noise
+	// keywords at construction time.
+	wordDF := make(map[string]int, 1<<16)
+	for i := range c.Docs {
+		seen := make(map[string]bool, 160)
+		for _, w := range strings.Fields(c.Docs[i].Title + " " + c.Docs[i].Abstract) {
+			if !seen[w] {
+				seen[w] = true
+				wordDF[w]++
+			}
+		}
+	}
+
+	nGood := int(float64(cfg.NumTopics)*cfg.GoodFitFrac + 0.5)
+	nBad := int(float64(cfg.NumTopics)*cfg.BadFitFrac + 0.5)
+	if nGood+nBad > cfg.NumTopics {
+		nBad = cfg.NumTopics - nGood
+	}
+
+	used := make(map[int]bool)
+	c.Topics = make([]Topic, 0, cfg.NumTopics)
+	for i := 0; i < cfg.NumTopics; i++ {
+		fit := FitNeutral
+		switch {
+		case i < nGood:
+			fit = FitGood
+		case i < nGood+nBad:
+			fit = FitBad
+		}
+		t, err := c.makeTopic(rng, i+1, fit, pCands, uCands, used, wordDF)
+		if err != nil {
+			return err
+		}
+		c.Topics = append(c.Topics, t)
+	}
+	// Interleave fits so figure x-axes don't show fit blocks.
+	rng.Shuffle(len(c.Topics), func(i, j int) {
+		c.Topics[i], c.Topics[j] = c.Topics[j], c.Topics[i]
+	})
+	for i := range c.Topics {
+		c.Topics[i].ID = i + 1
+	}
+	return nil
+}
+
+func (c *Corpus) termsWithExtentBetween(lo, hi int) []mesh.TermID {
+	var out []mesh.TermID
+	for t, docs := range c.extent {
+		if len(docs) >= lo && len(docs) < hi && len(c.Onto.Term(t).TopicWords) > 0 {
+			out = append(out, t)
+		}
+	}
+	// Deterministic order: map iteration is random.
+	sortTermIDs(out)
+	return out
+}
+
+func sortTermIDs(ids []mesh.TermID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+func (c *Corpus) makeTopic(rng *rand.Rand, id int, fit Fit,
+	pCands, uCands []mesh.TermID, used map[int]bool, wordDF map[string]int) (Topic, error) {
+
+	onto := c.Onto
+	var pterm, uterm mesh.TermID
+	var signal, noise string
+	found := false
+	for attempt := 0; attempt < 200 && !found; attempt++ {
+		pterm = pCands[rng.Intn(len(pCands))]
+		uterm = uCands[rng.Intn(len(uCands))]
+		if pterm == uterm || related(onto, pterm, uterm) {
+			continue
+		}
+		// The unrelated term must really be unrelated: if its extent
+		// co-occurs heavily with the context, its topic words are common
+		// inside the context too and the signal keyword stops being
+		// context-discriminative.
+		if overlapFraction(c.extent[pterm], c.extent[uterm]) > 0.15 {
+			continue
+		}
+		pw, uw := onto.Term(pterm).TopicWords, onto.Term(uterm).TopicWords
+		noise = pw[rng.Intn(len(pw))]
+		signal = uw[rng.Intn(len(uw))]
+		if signal == noise || contains(pw, signal) || contains(uw, noise) {
+			continue
+		}
+		// Signal must really be globally common and noise naturally
+		// present (concentrated in the context by construction, since it
+		// is the context term's topic word).
+		if wordDF[signal] < 100 || wordDF[signal] < 3*wordDF[noise] || wordDF[noise] < 20 {
+			continue
+		}
+		// Enough unused docs in the context extent, with headroom so the
+		// benchmark documents don't swamp the context's natural
+		// statistics?
+		free := 0
+		for _, d := range c.extent[pterm] {
+			if !used[d] {
+				free++
+			}
+		}
+		if free >= 250 {
+			found = true
+		}
+	}
+	if !found {
+		return Topic{}, fmt.Errorf("corpus: topic %d: no viable (context, unrelated-term) pair", id)
+	}
+
+	// Sample relevant and distractor documents from the context extent.
+	nRel := 6 + rng.Intn(19)    // 6..24 relevant, like the TREC per-topic spread
+	nDis := 40 + rng.Intn(61)   // 40..100 distractors
+	pool := make([]int, 0, 256) // unused docs in extent(pterm)
+	for _, d := range c.extent[pterm] {
+		if !used[d] {
+			pool = append(pool, d)
+		}
+	}
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	if len(pool) < nRel+nDis {
+		nDis = len(pool) - nRel
+	}
+	rel, dis := pool[:nRel], pool[nRel:nRel+nDis]
+	for _, d := range rel {
+		used[d] = true
+	}
+	for _, d := range dis {
+		used[d] = true
+	}
+
+	inject := func(doc int, word string, tf int) {
+		c.Docs[doc].Abstract += " " + strings.TrimSpace(strings.Repeat(word+" ", tf))
+	}
+	heavy := func() int { return 2 + rng.Intn(3) } // tf 2..4
+
+	for _, d := range rel {
+		switch fit {
+		case FitGood:
+			inject(d, signal, heavy())
+			inject(d, noise, 1)
+		case FitBad:
+			inject(d, noise, heavy())
+			inject(d, signal, 1)
+		case FitNeutral:
+			inject(d, signal, 1+rng.Intn(2))
+			inject(d, noise, 1+rng.Intn(2))
+		}
+	}
+	for i, d := range dis {
+		weak := i%2 == 1 // half the distractors are weak in both systems
+		switch {
+		case fit == FitNeutral || weak:
+			inject(d, signal, 1)
+			inject(d, noise, 1)
+		case fit == FitGood:
+			inject(d, noise, heavy())
+			inject(d, signal, 1)
+		case fit == FitBad:
+			inject(d, signal, heavy())
+			inject(d, noise, 1)
+		}
+	}
+
+	// Context specification: the context term, plus (sometimes) one of its
+	// ancestors — a redundant predicate that leaves the extent unchanged
+	// but exercises multi-term context plans, as ATM's multi-term mappings
+	// do.
+	ctx := []string{onto.Term(pterm).Name}
+	if anc := onto.Ancestors(pterm); len(anc) > 0 && rng.Float64() < 0.5 {
+		ctx = append(ctx, onto.Term(anc[rng.Intn(len(anc))]).Name)
+	}
+
+	return Topic{
+		ID: id,
+		Question: fmt.Sprintf("What is the role of %s in %s-associated %s?",
+			signal, noise, strings.ReplaceAll(onto.Term(pterm).Name, "_", " ")),
+		Keywords:     []string{signal, noise},
+		ContextTerms: ctx,
+		Relevant:     rel,
+		Fit:          fit,
+	}, nil
+}
+
+// overlapFraction returns |a ∩ b| / |a| for sorted ascending doc-index
+// slices.
+func overlapFraction(a, b []int) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return float64(n) / float64(len(a))
+}
+
+func related(o *mesh.Ontology, a, b mesh.TermID) bool {
+	for _, x := range o.Ancestors(a) {
+		if x == b {
+			return true
+		}
+	}
+	for _, x := range o.Ancestors(b) {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+func contains(ws []string, w string) bool {
+	for _, x := range ws {
+		if x == w {
+			return true
+		}
+	}
+	return false
+}

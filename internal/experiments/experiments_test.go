@@ -1,0 +1,279 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+
+	"bytes"
+	"csrank/internal/trec"
+	"strings"
+	"testing"
+)
+
+// smallScale keeps experiment tests quick.
+func smallScale() Scale {
+	return Scale{
+		NumDocs:       8000,
+		OntologyTerms: 200,
+		NumTopics:     20,
+		TCFraction:    0.02,
+		TV:            256,
+		Seed:          1,
+	}
+}
+
+var cachedSetup *Setup
+
+func getSetup(t *testing.T) *Setup {
+	t.Helper()
+	if cachedSetup == nil {
+		s, err := NewSetup(smallScale())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cachedSetup = s
+	}
+	return cachedSetup
+}
+
+func TestSetupBuilds(t *testing.T) {
+	s := getSetup(t)
+	if s.Index.NumDocs() != 8000 {
+		t.Fatalf("index docs = %d", s.Index.NumDocs())
+	}
+	if s.Catalog.Len() == 0 {
+		t.Fatal("no views selected")
+	}
+	if s.Scale.TC() != 160 {
+		t.Fatalf("TC = %d", s.Scale.TC())
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	s := getSetup(t)
+	r, err := RunFig6(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) < 15 {
+		t.Fatalf("only %d qualifying queries (disqualified %d)", len(r.Rows), r.Disqualified)
+	}
+	// The paper's headline shape: context-sensitive ranking wins on most
+	// queries and improves both means.
+	if r.CtxWinsP20 <= r.ConvWinsP20 {
+		t.Errorf("context wins %d vs conventional %d — shape lost", r.CtxWinsP20, r.ConvWinsP20)
+	}
+	if r.CtxSummary.MeanPrecision <= r.ConvSummary.MeanPrecision {
+		t.Errorf("mean P@20: ctx %.2f ≤ conv %.2f", r.CtxSummary.MeanPrecision, r.ConvSummary.MeanPrecision)
+	}
+	if r.CtxSummary.MRR < r.ConvSummary.MRR {
+		t.Errorf("MRR: ctx %.2f < conv %.2f", r.CtxSummary.MRR, r.ConvSummary.MRR)
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "Figure 6") {
+		t.Error("Print output malformed")
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	s := getSetup(t)
+	r, err := RunFig7(s, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range r.Points {
+		if p.ViewHits != p.Queries {
+			t.Errorf("n=%d: only %d/%d large-context queries used views", p.Keywords, p.ViewHits, p.Queries)
+		}
+		// The central §6.3 shape in machine-independent cost: the view
+		// plan does far less inverted-list work than the straightforward
+		// plan on large contexts.
+		if p.ViewWork >= p.StraightWork {
+			t.Errorf("n=%d: view work %d ≥ straightforward work %d", p.Keywords, p.ViewWork, p.StraightWork)
+		}
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "Figure 7") {
+		t.Error("Print output malformed")
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	s := getSetup(t)
+	r, err := RunFig8(s, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range r.Points {
+		if p.ViewHits != 0 {
+			t.Errorf("n=%d: small-context queries used views %d times", p.Keywords, p.ViewHits)
+		}
+		if p.MeanContextSize >= s.Scale.TC() {
+			t.Errorf("n=%d: mean context size %d not below T_C", p.Keywords, p.MeanContextSize)
+		}
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "Figure 8") {
+		t.Error("Print output malformed")
+	}
+}
+
+func TestSelectionComparison(t *testing.T) {
+	s := getSetup(t)
+	c, err := RunSelectionComparison(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.FrequentTerms == 0 {
+		t.Fatal("no frequent terms")
+	}
+	if len(c.Rows) != 5 {
+		t.Fatalf("rows = %d", len(c.Rows))
+	}
+	for _, r := range c.Rows {
+		if r.Views == 0 {
+			t.Errorf("%s selected no views", r.Algorithm)
+		}
+	}
+	if len(c.Holes) != 0 {
+		t.Errorf("hybrid coverage holes: %v", c.Holes)
+	}
+	var buf bytes.Buffer
+	c.Print(&buf)
+	if !strings.Contains(buf.String(), "View selection") {
+		t.Error("Print output malformed")
+	}
+}
+
+func TestStorageReport(t *testing.T) {
+	s := getSetup(t)
+	r := RunStorage(s)
+	if r.Views == 0 || r.TotalViewBytes <= 0 || r.IndexBytes <= 0 || r.RawCorpusBytes <= 0 {
+		t.Errorf("storage report = %+v", r)
+	}
+	if r.MaxViewBytes < r.MeanViewBytes {
+		t.Error("max < mean")
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "Storage usage") {
+		t.Error("Print output malformed")
+	}
+}
+
+func TestWorkloadGeneration(t *testing.T) {
+	s := getSetup(t)
+	w := GenerateWorkload(s, 5, s.Scale.TC(), int64(s.Scale.NumDocs), s.Scale.Seed+1)
+	total := 0
+	for n := 2; n <= 5; n++ {
+		for _, q := range w.ByKeywords[n] {
+			if len(q.Keywords) != n {
+				t.Errorf("query %v has %d keywords, want %d", q, len(q.Keywords), n)
+			}
+			if size := s.WithViews.ContextSize(q.Context); size < s.Scale.TC() {
+				t.Errorf("query %v context size %d below threshold", q, size)
+			}
+			total++
+		}
+	}
+	if total == 0 {
+		t.Fatal("workload empty")
+	}
+}
+
+func TestExportTREC(t *testing.T) {
+	s := getSetup(t)
+	dir := t.TempDir()
+	if err := ExportTREC(s, dir); err != nil {
+		t.Fatal(err)
+	}
+	// Every artifact must parse back and be mutually consistent.
+	tf, err := os.Open(filepath.Join(dir, "topics.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+	topics, err := trec.ReadTopics(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topics) != len(s.Corpus.Topics) {
+		t.Fatalf("topics = %d, want %d", len(topics), len(s.Corpus.Topics))
+	}
+	qf, err := os.Open(filepath.Join(dir, "qrels.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qf.Close()
+	qrels, err := trec.ReadQrels(qf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, topic := range s.Corpus.Topics {
+		if len(qrels[topic.ID]) != len(topic.Relevant) {
+			t.Fatalf("topic %d qrels = %d, want %d", topic.ID, len(qrels[topic.ID]), len(topic.Relevant))
+		}
+	}
+	for _, name := range []string{"conventional.run", "context.run"} {
+		rf, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		entries, tag, err := trec.ReadRun(rf)
+		rf.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) == 0 || tag == "" {
+			t.Fatalf("%s: empty run", name)
+		}
+		// Ranks within each topic are 1-based consecutive.
+		rank := map[int]int{}
+		for _, e := range entries {
+			rank[e.Topic]++
+			if e.Rank != rank[e.Topic] {
+				t.Fatalf("%s: topic %d rank %d out of order", name, e.Topic, e.Rank)
+			}
+		}
+	}
+}
+
+// TestFig6PlanEquivalence is the system-level §4 correctness claim: the
+// ranking-quality experiment produces identical measurements whether the
+// context statistics come from materialized views or from the
+// straightforward plan, because the statistics themselves are identical.
+func TestFig6PlanEquivalence(t *testing.T) {
+	s := getSetup(t)
+	withViews, err := RunFig6(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noViews := &Setup{
+		Scale:     s.Scale,
+		Corpus:    s.Corpus,
+		Index:     s.Index,
+		Table:     s.Table,
+		Catalog:   s.Catalog,
+		WithViews: s.NoViews, // force the straightforward plan everywhere
+		NoViews:   s.NoViews,
+	}
+	direct, err := RunFig6(noViews)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withViews.Rows) != len(direct.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(withViews.Rows), len(direct.Rows))
+	}
+	for i := range withViews.Rows {
+		a, b := withViews.Rows[i], direct.Rows[i]
+		if a != b {
+			t.Fatalf("row %d differs between plans: %+v vs %+v", i, a, b)
+		}
+	}
+	if withViews.CtxSummary != direct.CtxSummary {
+		t.Errorf("summaries differ: %+v vs %+v", withViews.CtxSummary, direct.CtxSummary)
+	}
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"io"
+	"time"
+)
+
+// ScalingRow is one corpus size of the §6.2 scaling argument.
+type ScalingRow struct {
+	NumDocs       int
+	TC            int64
+	FrequentTerms int
+	Views         int
+	SelectTime    time.Duration
+}
+
+// ScalingResult reproduces the §6.2 scaling paragraph: "Given that the
+// threshold of the context size (T_C) is set to a fixed percentage of the
+// size of the document set, the number of views to materialize is stable,
+// and does not change much as the document set scales", while selection
+// cost grows roughly linearly with |D| (the mining passes scan the
+// documents; the KAG work depends only on the vocabulary).
+type ScalingResult struct {
+	Rows []ScalingRow
+}
+
+// RunScaling builds the system at a sweep of corpus sizes (same seed,
+// same vocabulary, same T_C fraction and T_V) and reports view counts and
+// selection times.
+func RunScaling(base Scale, sizes []int) (ScalingResult, error) {
+	var out ScalingResult
+	for _, n := range sizes {
+		s := base
+		s.NumDocs = n
+		s.NumTopics = 0 // benchmark topics are irrelevant here
+		setup, err := NewSetup(s)
+		if err != nil {
+			return out, err
+		}
+		out.Rows = append(out.Rows, ScalingRow{
+			NumDocs:       n,
+			TC:            s.TC(),
+			FrequentTerms: setup.Selection.Stats.FrequentTerms,
+			Views:         setup.Catalog.Len(),
+			SelectTime:    setup.SelectTime,
+		})
+	}
+	return out, nil
+}
+
+// Print renders the scaling table.
+func (r ScalingResult) Print(w io.Writer) {
+	line(w, "Scaling with |D| (T_C fixed at a percentage of |D|) — §6.2")
+	line(w, "%-10s %8s %16s %8s %14s", "docs", "T_C", "frequent terms", "views", "select time")
+	for _, row := range r.Rows {
+		line(w, "%-10d %8d %16d %8d %14s",
+			row.NumDocs, row.TC, row.FrequentTerms, row.Views,
+			row.SelectTime.Round(time.Millisecond))
+	}
+}

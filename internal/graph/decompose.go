@@ -1,0 +1,151 @@
+package graph
+
+import "sort"
+
+// SupportFunc returns the document support of a predicate-term
+// combination, or a negative value when the support is unknown (the
+// decomposition then conservatively assumes it exceeds the threshold and
+// replicates, which §5.2.1 shows is always correct).
+type SupportFunc func(names []string) int64
+
+// Decomposition is the output of the top-down selection phase.
+type Decomposition struct {
+	// Coverable lists term sets small enough for a single view each.
+	Coverable [][]string
+	// Cliques lists dense remainders (complete subgraphs still too large
+	// for one view); §5.3's hybrid hands them to the mining-based
+	// selection.
+	Cliques [][]string
+	// Separators counts balanced-separator computations performed.
+	Separators int
+	// SupportQueries counts SupportFunc invocations (the work the
+	// top-down approach saves versus exhaustive mining).
+	SupportQueries int
+}
+
+// Decompose runs the recursive §5.2.2 decomposition: split into connected
+// components; emit components coverable by one view (per the coverable
+// predicate, typically ViewSize ≤ T_V); emit oversized cliques for the
+// mining-based stage; otherwise find a balanced vertex separator and
+// recurse on G1 = S1 ∪ S0 (all edges kept) and G2 = S2 ∪ S0, where an
+// S0-internal edge is replicated into G2 only if some crossing clique
+// may have support ≥ tc (scheme 1) and dropped when every crossing
+// triangle provably has support < tc (scheme 2).
+func Decompose(g *KAG, coverable func(names []string) bool, support SupportFunc, tc int64) Decomposition {
+	var d Decomposition
+	d.decompose(g, coverable, support, tc)
+	sortStringSets(d.Coverable)
+	sortStringSets(d.Cliques)
+	return d
+}
+
+func (d *Decomposition) decompose(g *KAG, coverable func(names []string) bool, support SupportFunc, tc int64) {
+	if g.N() == 0 {
+		return
+	}
+	comps := g.ConnectedComponents()
+	if len(comps) > 1 {
+		for _, comp := range comps {
+			d.decompose(g.Induced(comp), coverable, support, tc)
+		}
+		return
+	}
+	names := g.Names(nil)
+	if coverable(names) {
+		d.Coverable = append(d.Coverable, names)
+		return
+	}
+	if g.IsClique() {
+		d.Cliques = append(d.Cliques, names)
+		return
+	}
+	d.Separators++
+	sep, ok := FindBalancedSeparator(g)
+	if !ok {
+		// Dense but not complete, and no decomposing separator: treat as
+		// a dense remainder for the mining stage.
+		d.Cliques = append(d.Cliques, names)
+		return
+	}
+	g1, g2 := d.split(g, sep, support, tc)
+	d.decompose(g1, coverable, support, tc)
+	d.decompose(g2, coverable, support, tc)
+}
+
+// split builds G1 and G2 per Definition 4's decomposition rules.
+func (d *Decomposition) split(g *KAG, sep Separator, support SupportFunc, tc int64) (*KAG, *KAG) {
+	v1 := append(append([]int(nil), sep.S1...), sep.S0...)
+	sort.Ints(v1)
+	// G1 keeps every edge among S1 ∪ S0, including all S0-internal edges.
+	g1 := g.Induced(v1)
+
+	// G2 holds S2 ∪ S0 with edges within S2, edges S0–S2, and S0-internal
+	// edges only when a crossing clique may be frequent.
+	v2 := append(append([]int(nil), sep.S2...), sep.S0...)
+	sort.Ints(v2)
+	g2 := NewKAG(g.Names(v2))
+	pos := make(map[int]int, len(v2))
+	for i, v := range v2 {
+		pos[v] = i
+	}
+	inS0 := make(map[int]bool, len(sep.S0))
+	for _, v := range sep.S0 {
+		inS0[v] = true
+	}
+	inS2 := make(map[int]bool, len(sep.S2))
+	for _, v := range sep.S2 {
+		inS2[v] = true
+	}
+	for i, u := range v2 {
+		for v, w := range g.adj[u] {
+			j, ok := pos[v]
+			if !ok || j <= i {
+				continue
+			}
+			if inS0[u] && inS0[v] && !d.crossingCliqueMayBeFrequent(g, u, v, inS2, support, tc) {
+				continue
+			}
+			g2.AddEdge(i, j, w)
+		}
+	}
+	return g1, g2
+}
+
+// crossingCliqueMayBeFrequent decides whether the S0-internal edge u–v
+// must be replicated into G2. A clique containing u, v and S2 vertices
+// exists only if u and v share a neighbor in S2; each such triangle
+// bounds the support of every larger crossing clique, so the edge may be
+// dropped exactly when every crossing triangle has support < tc. An
+// unknown support (negative return) forces replication — the always-safe
+// scheme 1.
+func (d *Decomposition) crossingCliqueMayBeFrequent(g *KAG, u, v int, inS2 map[int]bool, support SupportFunc, tc int64) bool {
+	for w := range g.adj[u] {
+		if !inS2[w] || !g.HasEdge(v, w) {
+			continue
+		}
+		if support == nil {
+			return true // no oracle: assume frequent (scheme 1)
+		}
+		d.SupportQueries++
+		s := support([]string{g.Name(u), g.Name(v), g.Name(w)})
+		if s < 0 || s >= tc {
+			return true
+		}
+	}
+	return false
+}
+
+func sortStringSets(sets [][]string) {
+	for _, s := range sets {
+		sort.Strings(s)
+	}
+	sort.Slice(sets, func(a, b int) bool {
+		x, y := sets[a], sets[b]
+		for i := 0; i < len(x) && i < len(y); i++ {
+			if x[i] != y[i] {
+				return x[i] < y[i]
+			}
+		}
+		return len(x) < len(y)
+	})
+}

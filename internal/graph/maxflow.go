@@ -1,0 +1,117 @@
+package graph
+
+// Dinic's max-flow over an explicit arc list. Used by the vertex-separator
+// search: vertices are split into in/out nodes with unit capacity, so a
+// minimum s–t cut corresponds to a minimum vertex separator.
+
+const inf int64 = 1 << 60
+
+type arc struct {
+	to  int
+	cap int64
+	rev int // index of the reverse arc in arcs[to]
+}
+
+type flowNet struct {
+	arcs  [][]arc
+	level []int
+	iter  []int
+}
+
+func newFlowNet(n int) *flowNet {
+	return &flowNet{
+		arcs:  make([][]arc, n),
+		level: make([]int, n),
+		iter:  make([]int, n),
+	}
+}
+
+// addArc inserts a directed arc u→v with the given capacity (plus the
+// zero-capacity reverse arc).
+func (f *flowNet) addArc(u, v int, c int64) {
+	f.arcs[u] = append(f.arcs[u], arc{to: v, cap: c, rev: len(f.arcs[v])})
+	f.arcs[v] = append(f.arcs[v], arc{to: u, cap: 0, rev: len(f.arcs[u]) - 1})
+}
+
+func (f *flowNet) bfs(s, t int) bool {
+	for i := range f.level {
+		f.level[i] = -1
+	}
+	queue := []int{s}
+	f.level[s] = 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, a := range f.arcs[v] {
+			if a.cap > 0 && f.level[a.to] < 0 {
+				f.level[a.to] = f.level[v] + 1
+				queue = append(queue, a.to)
+			}
+		}
+	}
+	return f.level[t] >= 0
+}
+
+func (f *flowNet) dfs(v, t int, want int64) int64 {
+	if v == t {
+		return want
+	}
+	for ; f.iter[v] < len(f.arcs[v]); f.iter[v]++ {
+		a := &f.arcs[v][f.iter[v]]
+		if a.cap <= 0 || f.level[a.to] != f.level[v]+1 {
+			continue
+		}
+		got := f.dfs(a.to, t, minInt64(want, a.cap))
+		if got > 0 {
+			a.cap -= got
+			f.arcs[a.to][a.rev].cap += got
+			return got
+		}
+	}
+	return 0
+}
+
+// maxflow runs Dinic from s to t and returns the flow value. The residual
+// network remains in f for min-cut extraction.
+func (f *flowNet) maxflow(s, t int) int64 {
+	var flow int64
+	for f.bfs(s, t) {
+		for i := range f.iter {
+			f.iter[i] = 0
+		}
+		for {
+			aug := f.dfs(s, t, inf)
+			if aug == 0 {
+				break
+			}
+			flow += aug
+		}
+	}
+	return flow
+}
+
+// residualReachable returns the set of nodes reachable from s in the
+// residual network — the source side of a minimum cut.
+func (f *flowNet) residualReachable(s int) []bool {
+	seen := make([]bool, len(f.arcs))
+	stack := []int{s}
+	seen[s] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, a := range f.arcs[v] {
+			if a.cap > 0 && !seen[a.to] {
+				seen[a.to] = true
+				stack = append(stack, a.to)
+			}
+		}
+	}
+	return seen
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,132 @@
+package index
+
+import (
+	"fmt"
+
+	"csrank/internal/postings"
+)
+
+// Builder accumulates documents and produces an immutable Index. Documents
+// receive dense ascending DocIDs in insertion order, so posting lists are
+// sorted by construction and never need a global sort.
+type Builder struct {
+	schema  Schema
+	segSize int
+	terms   map[string]map[string]*postings.Builder
+	lengths map[string][]int32
+	stored  map[string][]string
+	totals  map[string]int64
+	numDocs int
+}
+
+// NewBuilder returns a Builder for the given schema. segSize ≤ 0 selects
+// postings.DefaultSegmentSize. NewBuilder returns an error if the schema is
+// inconsistent.
+func NewBuilder(schema Schema, segSize int) (*Builder, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	if segSize <= 0 {
+		segSize = postings.DefaultSegmentSize
+	}
+	b := &Builder{
+		schema:  schema,
+		segSize: segSize,
+		terms:   make(map[string]map[string]*postings.Builder),
+		lengths: make(map[string][]int32),
+		stored:  make(map[string][]string),
+		totals:  make(map[string]int64),
+	}
+	for _, f := range schema.Fields {
+		b.terms[f.Name] = make(map[string]*postings.Builder)
+		b.lengths[f.Name] = nil
+		if f.Stored {
+			b.stored[f.Name] = nil
+		}
+	}
+	return b, nil
+}
+
+// Add indexes one document and returns its assigned DocID.
+func (b *Builder) Add(doc Document) DocID {
+	id := DocID(b.numDocs)
+	b.numDocs++
+	for _, f := range b.schema.Fields {
+		text := doc.Fields[f.Name]
+		counts, n := f.Analyzer.AnalyzeCounts(text)
+		b.lengths[f.Name] = append(b.lengths[f.Name], int32(n))
+		b.totals[f.Name] += int64(n)
+		dict := b.terms[f.Name]
+		for term, tf := range counts {
+			pb := dict[term]
+			if pb == nil {
+				pb = postings.NewBuilder(b.segSize)
+				dict[term] = pb
+			}
+			pb.Add(id, uint32(tf))
+		}
+		if f.Stored {
+			b.stored[f.Name] = append(b.stored[f.Name], text)
+		}
+	}
+	return id
+}
+
+// NumDocs returns the number of documents added so far.
+func (b *Builder) NumDocs() int { return b.numDocs }
+
+// Build finalizes the index. The Builder must not be used afterwards.
+func (b *Builder) Build() *Index {
+	ix := &Index{
+		schema:  b.schema,
+		fields:  make(map[string]*fieldIndex, len(b.terms)),
+		lengths: b.lengths,
+		stored:  b.stored,
+		numDocs: b.numDocs,
+		segSize: b.segSize,
+	}
+	for field, dict := range b.terms {
+		fi := &fieldIndex{
+			terms:    make(map[string]*postings.List, len(dict)),
+			totalLen: b.totals[field],
+			totalTF:  make(map[string]int64, len(dict)),
+		}
+		for term, pb := range dict {
+			l := pb.Build()
+			fi.terms[term] = l
+			fi.totalTF[term] = sumTF(l)
+		}
+		ix.fields[field] = fi
+	}
+	b.terms = nil
+	return ix
+}
+
+// sumTF totals a list's term frequencies (tc(w, D)).
+func sumTF(l *postings.List) int64 {
+	var tc int64
+	for _, p := range l.Postings() {
+		tc += int64(p.TF)
+	}
+	return tc
+}
+
+// BuildFrom indexes all docs under schema in one call, a convenience for
+// tests and examples.
+func BuildFrom(schema Schema, segSize int, docs []Document) (*Index, error) {
+	b, err := NewBuilder(schema, segSize)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range docs {
+		b.Add(d)
+	}
+	return b.Build(), nil
+}
+
+// String implements fmt.Stringer with a short diagnostic summary.
+func (ix *Index) String() string {
+	return fmt.Sprintf("Index{docs=%d, fields=%d, content_terms=%d, predicate_terms=%d}",
+		ix.numDocs, len(ix.fields),
+		ix.UniqueTerms(ix.schema.ContentField), ix.UniqueTerms(ix.schema.PredicateField))
+}

@@ -1,0 +1,226 @@
+// Package index implements a multi-field inverted index over a document
+// collection: the "standard text search system" substrate the paper builds
+// on (the role Lucene plays in the paper's experiments). Each field has its
+// own term dictionary and posting lists; per-document field lengths are kept
+// for ranking; the whole index serializes with encoding/gob.
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"csrank/internal/analysis"
+	"csrank/internal/postings"
+)
+
+// DocID identifies a document within an index. IDs are dense and assigned
+// in insertion order starting at 0, which keeps posting lists sorted by
+// construction.
+type DocID = uint32
+
+// FieldSpec declares one indexed field and the analyzer applied to it.
+type FieldSpec struct {
+	Name     string
+	Analyzer *analysis.Analyzer
+	// Stored retains the raw field text for retrieval-time display.
+	Stored bool
+}
+
+// Schema describes the indexed fields of a collection and which field holds
+// context predicates (the controlled vocabulary, e.g. MeSH annotations).
+type Schema struct {
+	Fields []FieldSpec
+	// PredicateField names the field whose terms may appear in context
+	// specifications. It must be one of Fields.
+	PredicateField string
+	// ContentField names the default field searched by keyword queries and
+	// used for document lengths in ranking. It must be one of Fields.
+	ContentField string
+}
+
+// Validate checks internal consistency of the schema.
+func (s *Schema) Validate() error {
+	names := make(map[string]bool, len(s.Fields))
+	for _, f := range s.Fields {
+		if f.Name == "" {
+			return fmt.Errorf("index: schema has unnamed field")
+		}
+		if names[f.Name] {
+			return fmt.Errorf("index: duplicate field %q", f.Name)
+		}
+		if f.Analyzer == nil {
+			return fmt.Errorf("index: field %q has no analyzer", f.Name)
+		}
+		names[f.Name] = true
+	}
+	if !names[s.PredicateField] {
+		return fmt.Errorf("index: predicate field %q is not declared", s.PredicateField)
+	}
+	if !names[s.ContentField] {
+		return fmt.Errorf("index: content field %q is not declared", s.ContentField)
+	}
+	return nil
+}
+
+// Document is the unit of indexing: raw text per field name. Fields absent
+// from the schema are ignored.
+type Document struct {
+	Fields map[string]string
+}
+
+// fieldIndex holds one field's dictionary and aggregate statistics.
+type fieldIndex struct {
+	terms    map[string]*postings.List
+	totalLen int64 // sum of per-document field lengths
+	// totalTF caches tc(w, D) per term — the whole-collection term count
+	// used by language models — so the query path never scans a full
+	// posting list for a global statistic.
+	totalTF map[string]int64
+}
+
+// Index is an immutable inverted index built by a Builder.
+type Index struct {
+	schema  Schema
+	fields  map[string]*fieldIndex
+	lengths map[string][]int32 // field -> per-doc token counts
+	stored  map[string][]string
+	numDocs int
+	segSize int
+}
+
+// Schema returns the schema the index was built with.
+func (ix *Index) Schema() Schema { return ix.schema }
+
+// NumDocs returns the collection cardinality |D|.
+func (ix *Index) NumDocs() int { return ix.numDocs }
+
+// SegmentSize returns the skip-segment size (M0) of the index's lists.
+func (ix *Index) SegmentSize() int { return ix.segSize }
+
+// Postings returns the inverted list for term in field, or nil if either is
+// unknown. The returned list is shared and must not be modified.
+func (ix *Index) Postings(field, term string) *postings.List {
+	fi := ix.fields[field]
+	if fi == nil {
+		return nil
+	}
+	return fi.terms[term]
+}
+
+// DF returns the document frequency df(term, D) in field.
+func (ix *Index) DF(field, term string) int64 {
+	if l := ix.Postings(field, term); l != nil {
+		return int64(l.Len())
+	}
+	return 0
+}
+
+// TotalTF returns the collection term count tc(term, D) in field: the
+// total number of occurrences across all documents. Precomputed at build
+// (and rebuilt at load), so it is O(1) at query time.
+func (ix *Index) TotalTF(field, term string) int64 {
+	if fi := ix.fields[field]; fi != nil {
+		return fi.totalTF[term]
+	}
+	return 0
+}
+
+// FieldLen returns the token count of doc's field (len(d) for that field).
+func (ix *Index) FieldLen(doc DocID, field string) int64 {
+	ls := ix.lengths[field]
+	if ls == nil || int(doc) >= len(ls) {
+		return 0
+	}
+	return int64(ls[doc])
+}
+
+// TotalFieldLen returns Σ_d len(d) over the whole collection for field
+// (len(D) in the paper).
+func (ix *Index) TotalFieldLen(field string) int64 {
+	if fi := ix.fields[field]; fi != nil {
+		return fi.totalLen
+	}
+	return 0
+}
+
+// UniqueTerms returns the dictionary size utc(D) of field.
+func (ix *Index) UniqueTerms(field string) int {
+	if fi := ix.fields[field]; fi != nil {
+		return len(fi.terms)
+	}
+	return 0
+}
+
+// Terms returns field's dictionary sorted lexicographically. It allocates;
+// intended for offline phases (view selection, corpus inspection), not the
+// query path.
+func (ix *Index) Terms(field string) []string {
+	fi := ix.fields[field]
+	if fi == nil {
+		return nil
+	}
+	out := make([]string, 0, len(fi.terms))
+	for t := range fi.terms {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TermsWithMinDF returns field terms whose document frequency is at least
+// minDF, sorted by descending DF then term. This is the "frequent keywords"
+// primitive used both by view selection (predicate terms with |L_m| ≥ T_C)
+// and by the view storage optimization (df columns only for |L_w| ≥ T_C).
+func (ix *Index) TermsWithMinDF(field string, minDF int64) []string {
+	fi := ix.fields[field]
+	if fi == nil {
+		return nil
+	}
+	out := make([]string, 0, 64)
+	for t, l := range fi.terms {
+		if int64(l.Len()) >= minDF {
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := fi.terms[out[i]].Len(), fi.terms[out[j]].Len()
+		if a != b {
+			return a > b
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// StoredField returns the stored raw text of field for doc ("" if the field
+// is not stored or the doc is out of range).
+func (ix *Index) StoredField(doc DocID, field string) string {
+	vs := ix.stored[field]
+	if vs == nil || int(doc) >= len(vs) {
+		return ""
+	}
+	return vs[doc]
+}
+
+// AnalyzerFor returns the analyzer declared for field, or nil.
+func (ix *Index) AnalyzerFor(field string) *analysis.Analyzer {
+	for _, f := range ix.schema.Fields {
+		if f.Name == field {
+			return f.Analyzer
+		}
+	}
+	return nil
+}
+
+// PostingsBytes estimates the on-disk footprint of the index's posting data
+// in bytes (8 bytes per posting plus 4 per skip entry plus dictionary
+// strings). Used by the storage-accounting experiment (§6.2).
+func (ix *Index) PostingsBytes() int64 {
+	var total int64
+	for _, fi := range ix.fields {
+		for t, l := range fi.terms {
+			total += int64(len(t)) + int64(l.Len())*8 + int64(l.Segments())*4
+		}
+	}
+	return total
+}

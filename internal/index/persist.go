@@ -1,0 +1,121 @@
+package index
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"csrank/internal/postings"
+)
+
+// persistent is the flat gob representation of an Index. Posting lists are
+// stored as plain posting slices; skip tables are rebuilt on load (they are
+// derived data and rebuild in a single pass).
+type persistent struct {
+	Schema  Schema
+	SegSize int
+	NumDocs int
+	Lengths map[string][]int32
+	Stored  map[string][]string
+	Fields  map[string]persistentField
+}
+
+type persistentField struct {
+	TotalLen int64
+	// Terms maps each term to its varint-delta-compressed posting list
+	// (postings.EncodePostings).
+	Terms map[string][]byte
+}
+
+// Encode serializes the index with encoding/gob.
+func (ix *Index) Encode(w io.Writer) error {
+	p := persistent{
+		Schema:  ix.schema,
+		SegSize: ix.segSize,
+		NumDocs: ix.numDocs,
+		Lengths: ix.lengths,
+		Stored:  ix.stored,
+		Fields:  make(map[string]persistentField, len(ix.fields)),
+	}
+	for name, fi := range ix.fields {
+		pf := persistentField{
+			TotalLen: fi.totalLen,
+			Terms:    make(map[string][]byte, len(fi.terms)),
+		}
+		for term, l := range fi.terms {
+			pf.Terms[term] = postings.EncodePostings(l.Postings())
+		}
+		p.Fields[name] = pf
+	}
+	return gob.NewEncoder(w).Encode(&p)
+}
+
+// Decode deserializes an index written by Encode.
+func Decode(r io.Reader) (*Index, error) {
+	var p persistent
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("index: decode: %w", err)
+	}
+	if err := p.Schema.Validate(); err != nil {
+		return nil, fmt.Errorf("index: persisted schema invalid: %w", err)
+	}
+	ix := &Index{
+		schema:  p.Schema,
+		segSize: p.SegSize,
+		numDocs: p.NumDocs,
+		lengths: p.Lengths,
+		stored:  p.Stored,
+		fields:  make(map[string]*fieldIndex, len(p.Fields)),
+	}
+	if ix.stored == nil {
+		ix.stored = make(map[string][]string)
+	}
+	for name, pf := range p.Fields {
+		fi := &fieldIndex{
+			terms:    make(map[string]*postings.List, len(pf.Terms)),
+			totalLen: pf.TotalLen,
+			totalTF:  make(map[string]int64, len(pf.Terms)),
+		}
+		for term, data := range pf.Terms {
+			ps, err := postings.DecodePostings(data)
+			if err != nil {
+				return nil, fmt.Errorf("index: term %q: %w", term, err)
+			}
+			l := postings.NewList(ps, p.SegSize)
+			fi.terms[term] = l
+			fi.totalTF[term] = sumTF(l)
+		}
+		ix.fields[name] = fi
+	}
+	return ix, nil
+}
+
+// SaveFile writes the index to path, creating or truncating it.
+func (ix *Index) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := ix.Encode(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads an index written by SaveFile.
+func LoadFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(bufio.NewReaderSize(f, 1<<20))
+}

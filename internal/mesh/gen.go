@@ -1,0 +1,151 @@
+package mesh
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenConfig controls synthetic ontology generation.
+type GenConfig struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// TargetTerms is the approximate total number of terms. The curated
+	// skeleton contributes its own terms; the generator grows synthetic
+	// subtrees under curated nodes until the target is reached. If the
+	// target is smaller than the skeleton, only the skeleton is produced.
+	TargetTerms int
+	// MaxDepth bounds the depth of synthetic subtrees (root = depth 0).
+	// Zero selects 4, comparable to the upper MeSH levels.
+	MaxDepth int
+	// TopicWordsPerTerm is the number of characteristic words generated
+	// for each synthetic term. Zero selects 8.
+	TopicWordsPerTerm int
+	// MultiParentProb is the probability that a synthetic term gets a
+	// second parent elsewhere in the hierarchy (MeSH concepts appear in
+	// several trees). Zero selects 0.05.
+	MultiParentProb float64
+}
+
+func (c *GenConfig) fill() {
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 4
+	}
+	if c.TopicWordsPerTerm == 0 {
+		c.TopicWordsPerTerm = 8
+	}
+	if c.MultiParentProb == 0 {
+		c.MultiParentProb = 0.05
+	}
+}
+
+// Generate builds an ontology from the curated DefaultSpec expanded with
+// synthetic subtrees per cfg, and registers ATM aliases for every topic
+// word. The result is deterministic for a given cfg.
+func Generate(cfg GenConfig) (*Ontology, error) {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	o := NewOntology()
+	wordGen := NewWordGen(rng)
+
+	var addSpec func(spec TermSpec, parent []TermID) (TermID, error)
+	addSpec = func(spec TermSpec, parent []TermID) (TermID, error) {
+		id, err := o.AddTerm(spec.Name, parent, spec.TopicWords)
+		if err != nil {
+			return 0, err
+		}
+		for _, child := range spec.Children {
+			if _, err := addSpec(child, []TermID{id}); err != nil {
+				return 0, err
+			}
+		}
+		return id, nil
+	}
+	for _, cat := range DefaultSpec() {
+		if _, err := addSpec(cat, nil); err != nil {
+			return nil, err
+		}
+	}
+
+	// Grow synthetic subtrees: repeatedly pick an attachment point below
+	// the roots (biased toward shallow nodes so the tree stays bushy) and
+	// add a child with generated name and vocabulary.
+	for o.Len() < cfg.TargetTerms {
+		parent := TermID(rng.Intn(o.Len()))
+		if o.Depth(parent) >= cfg.MaxDepth {
+			continue
+		}
+		name := wordGen.Next()
+		words := make([]string, cfg.TopicWordsPerTerm)
+		for i := range words {
+			words[i] = wordGen.Next()
+		}
+		parents := []TermID{parent}
+		if rng.Float64() < cfg.MultiParentProb {
+			second := TermID(rng.Intn(o.Len()))
+			if second != parent && o.Depth(second) < cfg.MaxDepth && !wouldCycle(o, second, parent) {
+				parents = append(parents, second)
+			}
+		}
+		if _, err := o.AddTerm(name, parents, words); err != nil {
+			return nil, err
+		}
+	}
+
+	o.RegisterTopicAliases()
+	if err := o.Validate(); err != nil {
+		return nil, fmt.Errorf("mesh: generated ontology invalid: %w", err)
+	}
+	return o, nil
+}
+
+// wouldCycle reports whether making candidate a parent of a *new* node with
+// existing parent other could create a cycle. New nodes have no children,
+// so a cycle is impossible; this guard exists for future callers that
+// re-parent existing nodes and documents the invariant.
+func wouldCycle(_ *Ontology, candidate, other TermID) bool {
+	return candidate == other
+}
+
+// WordGen produces pronounceable unique synthetic words (used for
+// synthetic term names, their topic vocabularies, and the corpus
+// background vocabulary), so generated corpora read like text rather than
+// identifier soup.
+type WordGen struct {
+	rng  *rand.Rand
+	seen map[string]bool
+}
+
+// NewWordGen returns a generator driven by rng. Words are unique within
+// one generator.
+func NewWordGen(rng *rand.Rand) *WordGen {
+	return &WordGen{rng: rng, seen: make(map[string]bool)}
+}
+
+var (
+	onsets  = []string{"b", "c", "d", "f", "g", "h", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "br", "cl", "cr", "dr", "gl", "gr", "pl", "pr", "st", "str", "tr", "th", "ph", "ch"}
+	vowels  = []string{"a", "e", "i", "o", "u", "ia", "io", "ea", "ou"}
+	codas   = []string{"", "", "", "n", "r", "s", "l", "x", "m", "st", "nd"}
+	suffixe = []string{"", "", "in", "ol", "ase", "ide", "oma", "itis", "gen", "ium"}
+)
+
+// Next returns a fresh unique word of 2–3 syllables with an optional
+// biomedical-flavored suffix.
+func (g *WordGen) Next() string {
+	for {
+		n := 2 + g.rng.Intn(2)
+		var w []byte
+		for i := 0; i < n; i++ {
+			w = append(w, onsets[g.rng.Intn(len(onsets))]...)
+			w = append(w, vowels[g.rng.Intn(len(vowels))]...)
+			if i == n-1 {
+				w = append(w, codas[g.rng.Intn(len(codas))]...)
+			}
+		}
+		w = append(w, suffixe[g.rng.Intn(len(suffixe))]...)
+		s := string(w)
+		if len(s) >= 4 && !g.seen[s] {
+			g.seen[s] = true
+			return s
+		}
+	}
+}

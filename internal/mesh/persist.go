@@ -1,0 +1,68 @@
+package mesh
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// persistent is the flat gob representation of an Ontology. The ATM table
+// is not stored: it is derived data (RegisterTopicAliases rebuilds it from
+// the terms' topic words on load).
+type persistent struct {
+	Terms []Term
+}
+
+// Encode serializes the ontology with encoding/gob.
+func (o *Ontology) Encode(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(&persistent{Terms: o.terms})
+}
+
+// Decode deserializes an ontology written by Encode and rebuilds the
+// name table and ATM aliases.
+func Decode(r io.Reader) (*Ontology, error) {
+	var p persistent
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("mesh: decode: %w", err)
+	}
+	o := NewOntology()
+	o.terms = p.Terms
+	for i := range o.terms {
+		o.byName[o.terms[i].Name] = TermID(i)
+	}
+	if err := o.Validate(); err != nil {
+		return nil, fmt.Errorf("mesh: persisted ontology invalid: %w", err)
+	}
+	o.RegisterTopicAliases()
+	return o, nil
+}
+
+// SaveFile writes the ontology to path.
+func (o *Ontology) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := o.Encode(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads an ontology written by SaveFile.
+func LoadFile(path string) (*Ontology, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(bufio.NewReader(f))
+}

@@ -1,0 +1,70 @@
+package mesh
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestOntologyPersistRoundTrip(t *testing.T) {
+	o, err := Generate(GenConfig{Seed: 4, TargetTerms: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := o.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != o.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), o.Len())
+	}
+	for i := 0; i < o.Len(); i++ {
+		a, b := o.Term(TermID(i)), got.Term(TermID(i))
+		if a.Name != b.Name || !reflect.DeepEqual(a.Parents, b.Parents) ||
+			!reflect.DeepEqual(a.TopicWords, b.TopicWords) {
+			t.Fatalf("term %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	// Derived structures rebuilt: names and ATM.
+	id, ok := got.ByName("neoplasms")
+	if !ok {
+		t.Fatal("name table not rebuilt")
+	}
+	if terms := got.MapKeywords([]string{"leukemia"}); len(terms) != 1 || terms[0] != id {
+		t.Errorf("ATM not rebuilt: %v", got.Names(terms))
+	}
+}
+
+func TestOntologyFileRoundTrip(t *testing.T) {
+	o, err := Generate(GenConfig{Seed: 2, TargetTerms: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/mesh.gob"
+	if err := o.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != o.Len() {
+		t.Errorf("Len = %d", got.Len())
+	}
+}
+
+func TestOntologyDecodeGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("not gob"))); err == nil {
+		t.Error("garbage decoded")
+	}
+}
+
+func TestOntologyLoadMissing(t *testing.T) {
+	if _, err := LoadFile(t.TempDir() + "/nope.gob"); err == nil {
+		t.Error("missing file loaded")
+	}
+}

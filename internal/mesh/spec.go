@@ -1,0 +1,165 @@
+package mesh
+
+// TermSpec declares one curated term of the ontology skeleton.
+type TermSpec struct {
+	Name       string
+	TopicWords []string
+	Children   []TermSpec
+}
+
+// DefaultSpec returns the curated biomedical skeleton used by the synthetic
+// PubMed corpus: top-level categories modeled on MeSH's trees and a set of
+// well-known child concepts with characteristic vocabulary. The skeleton
+// keeps examples readable (the paper's motivating query lives under
+// "diseases"/"anatomy") while the generator grows synthetic subtrees
+// beneath it for scale.
+func DefaultSpec() []TermSpec {
+	return []TermSpec{
+		{
+			Name:       "anatomy",
+			TopicWords: []string{"organ", "tissue", "membrane", "anatomical"},
+			Children: []TermSpec{
+				{Name: "digestive_system", TopicWords: []string{
+					"pancreas", "liver", "gastric", "intestine", "bowel",
+					"colon", "esophagus", "hepatic", "biliary", "duodenum",
+					"stomach", "gallbladder"}},
+				{Name: "cardiovascular_system", TopicWords: []string{
+					"heart", "cardiac", "artery", "vein", "aorta",
+					"myocardial", "vascular", "ventricle", "atrial",
+					"coronary"}},
+				{Name: "nervous_system", TopicWords: []string{
+					"brain", "neuron", "cortex", "spinal", "axon",
+					"synapse", "cerebral", "neural", "hippocampus",
+					"cerebellum"}},
+				{Name: "respiratory_system", TopicWords: []string{
+					"lung", "pulmonary", "bronchial", "alveolar", "trachea",
+					"airway", "pleural", "respiratory"}},
+				{Name: "hemic_system", TopicWords: []string{
+					"blood", "marrow", "lymphocyte", "erythrocyte",
+					"platelet", "hematopoietic", "plasma", "leukocyte"}},
+				{Name: "urogenital_system", TopicWords: []string{
+					"kidney", "renal", "bladder", "urinary", "nephron",
+					"prostate", "ureter"}},
+			},
+		},
+		{
+			Name:       "diseases",
+			TopicWords: []string{"disease", "syndrome", "disorder", "pathology"},
+			Children: []TermSpec{
+				{Name: "neoplasms", TopicWords: []string{
+					"leukemia", "lymphoma", "tumor", "carcinoma", "cancer",
+					"metastasis", "melanoma", "sarcoma", "malignant",
+					"oncogene", "adenoma", "glioma"}},
+				{Name: "cardiovascular_diseases", TopicWords: []string{
+					"hypertension", "infarction", "arrhythmia",
+					"atherosclerosis", "ischemia", "thrombosis", "stroke",
+					"angina"}},
+				{Name: "digestive_diseases", TopicWords: []string{
+					"pancreatitis", "hepatitis", "cirrhosis", "ulcer",
+					"colitis", "gastritis", "crohn", "dyspepsia"}},
+				{Name: "infections", TopicWords: []string{
+					"infection", "sepsis", "abscess", "bacteremia",
+					"parvovirus", "influenza", "tuberculosis", "pneumonia"}},
+				{Name: "immune_diseases", TopicWords: []string{
+					"autoimmune", "lupus", "arthritis", "allergy",
+					"immunodeficiency", "asthma", "psoriasis"}},
+				{Name: "metabolic_diseases", TopicWords: []string{
+					"diabetes", "obesity", "hyperglycemia", "insulin",
+					"metabolic", "thyroid", "gout"}},
+			},
+		},
+		{
+			Name:       "organisms",
+			TopicWords: []string{"organism", "species", "strain"},
+			Children: []TermSpec{
+				{Name: "humans", TopicWords: []string{
+					"human", "patient", "adult", "pediatric", "cohort",
+					"volunteer", "subject"}},
+				{Name: "animals", TopicWords: []string{
+					"mouse", "murine", "rat", "rabbit", "canine",
+					"primate", "zebrafish"}},
+				{Name: "bacteria", TopicWords: []string{
+					"bacterial", "coli", "staphylococcus", "streptococcus",
+					"microbial", "pathogen"}},
+				{Name: "viruses", TopicWords: []string{
+					"virus", "viral", "virion", "retrovirus", "adenovirus",
+					"herpesvirus", "capsid"}},
+			},
+		},
+		{
+			Name:       "chemicals_drugs",
+			TopicWords: []string{"compound", "agent", "molecule"},
+			Children: []TermSpec{
+				{Name: "enzymes", TopicWords: []string{
+					"enzyme", "kinase", "protease", "polymerase",
+					"phosphatase", "catalytic", "substrate"}},
+				{Name: "hormones", TopicWords: []string{
+					"hormone", "estrogen", "cortisol", "testosterone",
+					"glucagon", "endocrine"}},
+				{Name: "antineoplastic_agents", TopicWords: []string{
+					"chemotherapy", "cytotoxic", "cisplatin", "taxane",
+					"doxorubicin", "regimen"}},
+				{Name: "antibiotics", TopicWords: []string{
+					"antibiotic", "penicillin", "vancomycin", "resistance",
+					"antimicrobial", "macrolide"}},
+			},
+		},
+		{
+			Name:       "techniques_equipment",
+			TopicWords: []string{"method", "technique", "procedure"},
+			Children: []TermSpec{
+				{Name: "diagnosis", TopicWords: []string{
+					"diagnosis", "screening", "biopsy", "imaging",
+					"prognosis", "biomarker", "assay"}},
+				{Name: "surgery", TopicWords: []string{
+					"surgery", "transplant", "resection", "graft",
+					"laparoscopic", "anastomosis", "incision"}},
+				{Name: "therapeutics", TopicWords: []string{
+					"therapy", "treatment", "dose", "efficacy",
+					"placebo", "trial", "remission"}},
+				{Name: "genetic_techniques", TopicWords: []string{
+					"sequencing", "genome", "mutation", "allele",
+					"transcription", "expression", "genotype", "plasmid"}},
+			},
+		},
+		{
+			Name:       "psychiatry_psychology",
+			TopicWords: []string{"behavior", "cognitive", "mental"},
+			Children: []TermSpec{
+				{Name: "mental_disorders", TopicWords: []string{
+					"depression", "anxiety", "schizophrenia", "bipolar",
+					"psychosis", "dementia"}},
+				{Name: "behavioral_mechanisms", TopicWords: []string{
+					"memory", "learning", "attention", "perception",
+					"motivation", "stress"}},
+			},
+		},
+		{
+			Name:       "phenomena_processes",
+			TopicWords: []string{"process", "phenomenon", "mechanism"},
+			Children: []TermSpec{
+				{Name: "cell_physiology", TopicWords: []string{
+					"apoptosis", "proliferation", "differentiation",
+					"mitosis", "signaling", "receptor", "cytokine"}},
+				{Name: "immune_processes", TopicWords: []string{
+					"antibody", "antigen", "immunity", "inflammation",
+					"vaccination", "tolerance"}},
+				{Name: "metabolism", TopicWords: []string{
+					"glucose", "lipid", "glycolysis", "oxidation",
+					"mitochondrial", "cholesterol"}},
+			},
+		},
+		{
+			Name:       "health_care",
+			TopicWords: []string{"care", "clinical", "hospital"},
+			Children: []TermSpec{
+				{Name: "epidemiology", TopicWords: []string{
+					"incidence", "prevalence", "mortality", "risk",
+					"surveillance", "outbreak"}},
+				{Name: "health_services", TopicWords: []string{
+					"hospitalization", "admission", "outcome",
+					"complication", "discharge", "readmission", "failure"}},
+			},
+		},
+	}
+}

@@ -1,0 +1,122 @@
+package mining
+
+import "sort"
+
+// Apriori mines all frequent itemsets with the levelwise algorithm of
+// Agrawal & Srikant (VLDB 1994): L_1 from a counting pass, then repeated
+// candidate generation (join L_{k-1} with itself on a shared (k-2)-prefix,
+// prune candidates with an infrequent subset) and a counting scan per
+// level. Its cost is one full dataset scan per level — the property that
+// makes it infeasible at PubMed scale in §6.2.
+//
+// Transactions must be sorted ascending; the result is in canonical order.
+func Apriori(tx [][]Item, opts Options) []FrequentItemset {
+	if opts.MinSupport < 1 {
+		opts.MinSupport = 1
+	}
+	maxLen := opts.maxLen()
+
+	// Level 1.
+	counts := make(map[Item]int)
+	for _, t := range tx {
+		for _, it := range t {
+			counts[it]++
+		}
+	}
+	var result []FrequentItemset
+	var level [][]Item
+	for it, c := range counts {
+		if c >= opts.MinSupport {
+			result = append(result, FrequentItemset{Items: []Item{it}, Support: c})
+			level = append(level, []Item{it})
+		}
+	}
+	sort.Slice(level, func(a, b int) bool { return level[a][0] < level[b][0] })
+
+	for k := 2; k <= maxLen && len(level) > 1; k++ {
+		candidates := aprioriGen(level)
+		if len(candidates) == 0 {
+			break
+		}
+		// Counting scan: check each candidate against each transaction.
+		// Candidates are grouped by key for the subset test.
+		candCount := make(map[string]int, len(candidates))
+		for _, t := range tx {
+			if len(t) < k {
+				continue
+			}
+			for _, c := range candidates {
+				if isSubset(c, t) {
+					candCount[itemsKey(c)]++
+				}
+			}
+		}
+		level = level[:0]
+		for _, c := range candidates {
+			if s := candCount[itemsKey(c)]; s >= opts.MinSupport {
+				result = append(result, FrequentItemset{Items: c, Support: s})
+				level = append(level, c)
+			}
+		}
+	}
+	sortResult(result)
+	return result
+}
+
+// aprioriGen generates level-(k) candidates from sorted level-(k-1)
+// frequent itemsets: join pairs sharing the first k-2 items, then prune
+// candidates having any infrequent (k-1)-subset.
+func aprioriGen(level [][]Item) [][]Item {
+	frequent := make(map[string]bool, len(level))
+	for _, s := range level {
+		frequent[itemsKey(s)] = true
+	}
+	var out [][]Item
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level); j++ {
+			a, b := level[i], level[j]
+			k := len(a)
+			if !samePrefix(a, b, k-1) {
+				continue
+			}
+			if a[k-1] >= b[k-1] {
+				continue
+			}
+			cand := make([]Item, k+1)
+			copy(cand, a)
+			cand[k] = b[k-1]
+			if prunedByInfrequentSubset(cand, frequent) {
+				continue
+			}
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+func samePrefix(a, b []Item, n int) bool {
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// prunedByInfrequentSubset checks the Apriori property: every (k-1)-subset
+// of a frequent k-set must be frequent.
+func prunedByInfrequentSubset(cand []Item, frequent map[string]bool) bool {
+	sub := make([]Item, 0, len(cand)-1)
+	for drop := range cand {
+		sub = sub[:0]
+		for i, it := range cand {
+			if i != drop {
+				sub = append(sub, it)
+			}
+		}
+		if !frequent[itemsKey(sub)] {
+			return true
+		}
+	}
+	return false
+}

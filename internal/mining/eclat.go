@@ -1,0 +1,86 @@
+package mining
+
+import "sort"
+
+// Eclat mines all frequent itemsets with Zaki's vertical algorithm: each
+// item carries its tidset (sorted transaction IDs); depth-first extension
+// intersects tidsets, so support counting is a merge rather than a
+// dataset scan. Eclat's tidset intersections are the same primitive as
+// the inverted-list intersections of query evaluation, which makes it the
+// natural miner over an inverted index.
+func Eclat(tx [][]Item, opts Options) []FrequentItemset {
+	if opts.MinSupport < 1 {
+		opts.MinSupport = 1
+	}
+	tidsets := make(map[Item][]int32)
+	for tid, t := range tx {
+		for _, it := range t {
+			tidsets[it] = append(tidsets[it], int32(tid))
+		}
+	}
+	type entry struct {
+		item Item
+		tids []int32
+	}
+	var frequent []entry
+	for it, tids := range tidsets {
+		if len(tids) >= opts.MinSupport {
+			frequent = append(frequent, entry{it, tids})
+		}
+	}
+	sort.Slice(frequent, func(a, b int) bool { return frequent[a].item < frequent[b].item })
+
+	var result []FrequentItemset
+	maxLen := opts.maxLen()
+
+	var extend func(prefix []Item, classes []entry)
+	extend = func(prefix []Item, classes []entry) {
+		for i, e := range classes {
+			itemset := make([]Item, len(prefix)+1)
+			copy(itemset, prefix)
+			itemset[len(prefix)] = e.item
+			result = append(result, FrequentItemset{Items: itemset, Support: len(e.tids)})
+			if len(itemset) >= maxLen {
+				continue
+			}
+			var next []entry
+			for _, f := range classes[i+1:] {
+				tids := intersectTids(e.tids, f.tids)
+				if len(tids) >= opts.MinSupport {
+					next = append(next, entry{f.item, tids})
+				}
+			}
+			if len(next) > 0 {
+				extend(itemset, next)
+			}
+		}
+	}
+	extend(nil, frequent)
+	sortResult(result)
+	return result
+}
+
+func intersectTids(a, b []int32) []int32 {
+	out := make([]int32, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,160 @@
+package mining
+
+import "sort"
+
+// FPGrowth mines all frequent itemsets with Han et al.'s FP-growth: build
+// a frequency-ordered prefix tree (FP-tree) of the transactions, then
+// recursively mine conditional trees — no candidate generation and only
+// two dataset scans, at the price of the in-memory tree (the resource
+// that runs out at full PubMed scale in §6.2).
+func FPGrowth(tx [][]Item, opts Options) []FrequentItemset {
+	if opts.MinSupport < 1 {
+		opts.MinSupport = 1
+	}
+	counts := make(map[Item]int)
+	for _, t := range tx {
+		for _, it := range t {
+			counts[it]++
+		}
+	}
+	tree := newFPTree(counts, opts.MinSupport)
+	for _, t := range tx {
+		tree.insert(t, 1)
+	}
+	var result []FrequentItemset
+	tree.mine(nil, opts.MinSupport, opts.maxLen(), &result)
+	sortResult(result)
+	return result
+}
+
+type fpNode struct {
+	item     Item
+	count    int
+	parent   *fpNode
+	children map[Item]*fpNode
+	next     *fpNode // header-list chaining
+}
+
+type fpTree struct {
+	root   *fpNode
+	header map[Item]*fpNode // item -> first node in chain
+	// order maps each frequent item to its rank (0 = most frequent); the
+	// tree stores transaction items in rank order to maximize sharing.
+	order map[Item]int
+	// items lists frequent items by ascending rank.
+	items []Item
+	// support caches per-item total support within this (conditional)
+	// tree.
+	support map[Item]int
+}
+
+func newFPTree(counts map[Item]int, minSupport int) *fpTree {
+	t := &fpTree{
+		root:    &fpNode{children: make(map[Item]*fpNode)},
+		header:  make(map[Item]*fpNode),
+		order:   make(map[Item]int),
+		support: make(map[Item]int),
+	}
+	type ic struct {
+		item Item
+		c    int
+	}
+	var freq []ic
+	for it, c := range counts {
+		if c >= minSupport {
+			freq = append(freq, ic{it, c})
+		}
+	}
+	sort.Slice(freq, func(a, b int) bool {
+		if freq[a].c != freq[b].c {
+			return freq[a].c > freq[b].c
+		}
+		return freq[a].item < freq[b].item
+	})
+	for rank, f := range freq {
+		t.order[f.item] = rank
+		t.items = append(t.items, f.item)
+		t.support[f.item] = f.c
+	}
+	return t
+}
+
+// insert adds a transaction (any order) with the given count, keeping
+// only frequent items, in rank order.
+func (t *fpTree) insert(tx []Item, count int) {
+	kept := make([]Item, 0, len(tx))
+	for _, it := range tx {
+		if _, ok := t.order[it]; ok {
+			kept = append(kept, it)
+		}
+	}
+	sort.Slice(kept, func(a, b int) bool { return t.order[kept[a]] < t.order[kept[b]] })
+	node := t.root
+	for _, it := range kept {
+		child := node.children[it]
+		if child == nil {
+			child = &fpNode{item: it, parent: node, children: make(map[Item]*fpNode)}
+			child.next = t.header[it]
+			t.header[it] = child
+			node.children[it] = child
+		}
+		child.count += count
+		node = child
+	}
+}
+
+// mine emits all frequent itemsets extending suffix, smallest-rank-last,
+// by walking items from least to most frequent and building conditional
+// trees.
+func (t *fpTree) mine(suffix []Item, minSupport, maxLen int, out *[]FrequentItemset) {
+	if len(suffix) >= maxLen {
+		return
+	}
+	for i := len(t.items) - 1; i >= 0; i-- {
+		item := t.items[i]
+		sup := t.support[item]
+		itemset := make([]Item, 0, len(suffix)+1)
+		itemset = append(itemset, suffix...)
+		itemset = append(itemset, item)
+		sortItems(itemset)
+		*out = append(*out, FrequentItemset{Items: itemset, Support: sup})
+
+		if len(itemset) >= maxLen {
+			continue
+		}
+		// Conditional pattern base: prefix paths of every node of item.
+		condCounts := make(map[Item]int)
+		type path struct {
+			items []Item
+			count int
+		}
+		var paths []path
+		for n := t.header[item]; n != nil; n = n.next {
+			var p []Item
+			for a := n.parent; a != nil && a.parent != nil; a = a.parent {
+				p = append(p, a.item)
+			}
+			if len(p) > 0 {
+				paths = append(paths, path{items: p, count: n.count})
+				for _, it := range p {
+					condCounts[it] += n.count
+				}
+			}
+		}
+		if len(condCounts) == 0 {
+			continue
+		}
+		cond := newFPTree(condCounts, minSupport)
+		if len(cond.items) == 0 {
+			continue
+		}
+		for _, p := range paths {
+			cond.insert(p.items, p.count)
+		}
+		cond.mine(itemset, minSupport, maxLen, out)
+	}
+}
+
+func sortItems(items []Item) {
+	sort.Slice(items, func(a, b int) bool { return items[a] < items[b] })
+}

@@ -1,0 +1,37 @@
+package postings
+
+// This file implements the aggregation operators (γ in the paper's Figure 3
+// plan) that compute collection-specific statistics from a materialized
+// context. Each aggregation performs a full scan of its input, so its cost
+// is the context cardinality — the bottleneck the materialized-view
+// technique removes.
+
+// Count implements γ_count over an intersection result: the context
+// cardinality |D_P|.
+func Count(r *Intersection, st *Stats) int64 {
+	st.addAggregated(int64(r.Len()))
+	return int64(r.Len())
+}
+
+// SumOver implements γ_sum over an intersection result, summing
+// param(docID) for every matching document — e.g. document length, giving
+// the context length len(D_P).
+func SumOver(r *Intersection, param func(docID uint32) int64, st *Stats) int64 {
+	var sum int64
+	for _, id := range r.DocIDs {
+		sum += param(id)
+	}
+	st.addAggregated(int64(r.Len()))
+	return sum
+}
+
+// SumList sums param over every document of a single list (the degenerate
+// one-predicate context).
+func SumList(l *List, param func(docID uint32) int64, st *Stats) int64 {
+	var sum int64
+	for _, p := range l.postings {
+		sum += param(p.DocID)
+	}
+	st.addAggregated(int64(l.Len()))
+	return sum
+}

@@ -1,0 +1,87 @@
+package postings
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Compressed on-disk representation of posting lists: document IDs are
+// delta-encoded (sorted, strictly ascending, so gaps are ≥ 1) and both
+// gaps and term frequencies are written as unsigned varints — the
+// standard compression scheme of text search systems, here used by the
+// index's persistence layer. A typical synthetic-corpus list shrinks to
+// roughly a third of its raw 8-bytes-per-posting footprint.
+
+// EncodePostings serializes a sorted posting slice: a uvarint count,
+// then per posting the docid gap (first posting stores docid+1) and the
+// TF, both as uvarints.
+func EncodePostings(ps []Posting) []byte {
+	buf := make([]byte, 0, len(ps)*2+binary.MaxVarintLen64)
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf = append(buf, tmp[:n]...)
+	}
+	put(uint64(len(ps)))
+	prev := uint32(0)
+	for i, p := range ps {
+		if i == 0 {
+			put(uint64(p.DocID) + 1)
+		} else {
+			put(uint64(p.DocID - prev))
+		}
+		put(uint64(p.TF))
+		prev = p.DocID
+	}
+	return buf
+}
+
+// DecodePostings reverses EncodePostings. It validates structure (count,
+// strict docid ascent via positive gaps) and returns an error on
+// truncated or corrupt input rather than panicking.
+func DecodePostings(data []byte) ([]Posting, error) {
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("postings: corrupt count")
+	}
+	data = data[n:]
+	if count > uint64(len(data))+1 {
+		// Each posting needs ≥ 2 bytes except possibly degenerate TFs;
+		// this cheap bound rejects absurd counts before allocating.
+		if count > uint64(len(data))*2 {
+			return nil, fmt.Errorf("postings: count %d exceeds payload", count)
+		}
+	}
+	ps := make([]Posting, 0, count)
+	prev := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		gap, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("postings: truncated gap at %d", i)
+		}
+		data = data[n:]
+		if gap == 0 {
+			return nil, fmt.Errorf("postings: zero gap at %d", i)
+		}
+		var docID uint64
+		if i == 0 {
+			docID = gap - 1
+		} else {
+			docID = prev + gap
+		}
+		if docID > 1<<32-1 {
+			return nil, fmt.Errorf("postings: docid overflow at %d", i)
+		}
+		tf, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("postings: truncated tf at %d", i)
+		}
+		data = data[n:]
+		ps = append(ps, Posting{DocID: uint32(docID), TF: uint32(tf)})
+		prev = docID
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("postings: %d trailing bytes", len(data))
+	}
+	return ps, nil
+}

@@ -1,0 +1,99 @@
+package postings
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	cases := [][]Posting{
+		nil,
+		{{DocID: 0, TF: 1}},
+		{{DocID: 0, TF: 0}},
+		{{DocID: 5, TF: 2}, {DocID: 6, TF: 1}, {DocID: 1000000, TF: 255}},
+		{{DocID: 1<<32 - 1, TF: 1}},
+	}
+	for _, ps := range cases {
+		data := EncodePostings(ps)
+		got, err := DecodePostings(data)
+		if err != nil {
+			t.Fatalf("decode(%v): %v", ps, err)
+		}
+		if len(ps) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, ps) {
+			t.Errorf("round trip %v -> %v", ps, got)
+		}
+	}
+}
+
+func TestCodecCompresses(t *testing.T) {
+	// Dense lists (small gaps) should compress well below 8 B/posting.
+	rng := rand.New(rand.NewSource(1))
+	ps := randPostings(rng, 10000, 40000)
+	data := EncodePostings(ps)
+	raw := len(ps) * 8
+	if len(data) >= raw/2 {
+		t.Errorf("compressed %d bytes vs raw %d — expected < half", len(data), raw)
+	}
+}
+
+func TestCodecRejectsCorrupt(t *testing.T) {
+	ps := []Posting{{DocID: 3, TF: 1}, {DocID: 9, TF: 2}}
+	data := EncodePostings(ps)
+	// Truncations at every prefix must error, not panic.
+	for i := 0; i < len(data); i++ {
+		if _, err := DecodePostings(data[:i]); err == nil && i < len(data) {
+			// A prefix could accidentally parse as a shorter valid list
+			// only if it is self-consistent; the count byte prevents it
+			// here.
+			t.Errorf("truncated prefix of %d bytes decoded", i)
+		}
+	}
+	// Trailing garbage.
+	if _, err := DecodePostings(append(append([]byte(nil), data...), 0x7)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	// Zero gap (duplicate docid).
+	bad := EncodePostings(ps)
+	// Craft: count=1, gap=0.
+	if _, err := DecodePostings([]byte{1, 0}); err == nil {
+		t.Error("zero first-gap accepted")
+	}
+	_ = bad
+	// Absurd count.
+	if _, err := DecodePostings([]byte{0xFF, 0xFF, 0xFF, 0x7F}); err == nil {
+		t.Error("absurd count accepted")
+	}
+}
+
+// Property: encode/decode is the identity on random sorted postings.
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw % 500)
+		var ps []Posting
+		if n > 0 {
+			ps = randPostings(rng, n, 1<<20)
+		}
+		got, err := DecodePostings(EncodePostings(ps))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(ps) {
+			return false
+		}
+		for i := range ps {
+			if got[i] != ps[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

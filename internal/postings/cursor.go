@@ -1,0 +1,64 @@
+package postings
+
+// cursor walks a List during an intersection, advancing with skip pointers.
+// Advancing first consults the skip table to jump whole segments whose max
+// DocID is below the target — the optimization whose cost model the paper
+// analyzes — then scans linearly within the final segment.
+type cursor struct {
+	list *List
+	pos  int // index of the current posting; len(postings) means exhausted
+	st   *Stats
+}
+
+func newCursor(l *List, st *Stats) *cursor {
+	return &cursor{list: l, st: st}
+}
+
+func (c *cursor) exhausted() bool { return c.pos >= len(c.list.postings) }
+
+func (c *cursor) current() Posting { return c.list.postings[c.pos] }
+
+// seek advances the cursor to the first posting with DocID ≥ target and
+// reports whether such a posting exists. Segments whose skip entry (max
+// DocID) is below target are skipped wholesale; each skipped segment counts
+// one SegmentsSkipped and zero EntriesScanned, each examined posting counts
+// one EntriesScanned.
+func (c *cursor) seek(target uint32) bool {
+	c.st.addSeek()
+	ps := c.list.postings
+	if c.pos >= len(ps) {
+		return false
+	}
+	if ps[c.pos].DocID >= target {
+		return true
+	}
+	seg := c.pos / c.list.segSize
+	nseg := len(c.list.skips)
+	skipped := int64(0)
+	for seg < nseg && c.list.skips[seg] < target {
+		seg++
+		skipped++
+	}
+	if skipped > 0 {
+		c.st.addSkipped(skipped)
+		c.pos = seg * c.list.segSize
+		if c.pos >= len(ps) {
+			return false
+		}
+	}
+	// Linear scan within the remaining segment(s); in the worst case this
+	// touches M0 entries of the final overlapping segment.
+	scanned := int64(0)
+	for c.pos < len(ps) && ps[c.pos].DocID < target {
+		c.pos++
+		scanned++
+	}
+	c.st.addEntries(scanned)
+	return c.pos < len(ps)
+}
+
+// next advances the cursor by one posting, counting the consumed entry.
+func (c *cursor) next() {
+	c.pos++
+	c.st.addEntries(1)
+}

@@ -1,0 +1,194 @@
+package postings
+
+import "sort"
+
+// Intersection is the result of a k-way conjunctive intersection: the
+// matching document IDs plus, for every input list, the term frequencies
+// aligned with DocIDs. The aligned TFs let the ranking layer compute
+// tf(w, d) for each query keyword without any further index probes.
+type Intersection struct {
+	DocIDs []uint32
+	// TFs[i][j] is the TF recorded by input list i for document DocIDs[j].
+	TFs [][]uint32
+}
+
+// Len returns the number of matching documents (the join cardinality).
+func (r *Intersection) Len() int { return len(r.DocIDs) }
+
+// ToList converts the intersection result into a List with TF = 1, suitable
+// for feeding into further intersections (intermediate results of a
+// multi-way plan). Segment size follows DefaultSegmentSize.
+func (r *Intersection) ToList() *List {
+	return FromDocIDs(r.DocIDs, 0)
+}
+
+// Intersect computes the conjunction of all input lists using the
+// document-at-a-time algorithm with skip pointers: the shortest list drives,
+// and every candidate DocID is sought in the remaining lists ordered by
+// ascending length so mismatches are discovered as cheaply as possible.
+// Cost counters accumulate into st (which may be nil).
+//
+// The result's TFs are ordered like the *input* lists, not the internal
+// evaluation order.
+func Intersect(lists []*List, st *Stats) *Intersection {
+	res := &Intersection{TFs: make([][]uint32, len(lists))}
+	if len(lists) == 0 {
+		return res
+	}
+	for _, l := range lists {
+		if l == nil || l.Len() == 0 {
+			// A nil list stands for a term absent from the index: the
+			// conjunction is empty.
+			return res
+		}
+	}
+	if len(lists) > 1 {
+		st.addIntersection()
+	}
+
+	// Evaluation order: ascending by length, remembering original slots.
+	order := make([]int, len(lists))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return lists[order[a]].Len() < lists[order[b]].Len()
+	})
+
+	cursors := make([]*cursor, len(lists))
+	for _, idx := range order {
+		cursors[idx] = newCursor(lists[idx], st)
+	}
+
+	driver := cursors[order[0]]
+	est := driver.list.Len()
+	res.DocIDs = make([]uint32, 0, est/4+1)
+	for i := range res.TFs {
+		res.TFs[i] = make([]uint32, 0, est/4+1)
+	}
+
+	for !driver.exhausted() {
+		candidate := driver.current().DocID
+		matched := true
+		for _, idx := range order[1:] {
+			c := cursors[idx]
+			if !c.seek(candidate) {
+				// Some list is exhausted: no further matches anywhere.
+				return res
+			}
+			if got := c.current().DocID; got != candidate {
+				// Re-seek the driver to the larger DocID and restart.
+				if !driver.seek(got) {
+					return res
+				}
+				matched = false
+				break
+			}
+		}
+		if matched {
+			res.DocIDs = append(res.DocIDs, candidate)
+			for i, c := range cursors {
+				res.TFs[i] = append(res.TFs[i], c.current().TF)
+			}
+			driver.next()
+		}
+	}
+	return res
+}
+
+// Intersect2 is a convenience wrapper for the common pairwise case.
+func Intersect2(a, b *List, st *Stats) *Intersection {
+	return Intersect([]*List{a, b}, st)
+}
+
+// IntersectionSize returns only the cardinality |∩ lists|, the quantity
+// needed for df(w, D_P) and |D_P|. It runs the same skip-aware algorithm
+// but avoids materializing the result.
+func IntersectionSize(lists []*List, st *Stats) int64 {
+	if len(lists) == 0 {
+		return 0
+	}
+	if len(lists) == 1 {
+		if lists[0] == nil {
+			return 0
+		}
+		return int64(lists[0].Len())
+	}
+	// Materialization cost is dominated by scanning; reuse Intersect but
+	// drop the result. The allocation overhead is acceptable because the
+	// engine prefers view-based answers for large contexts anyway.
+	return int64(Intersect(lists, st).Len())
+}
+
+// MergeIntersect computes the pairwise intersection by a plain two-pointer
+// merge without skip pointers, touching every entry of both lists. It
+// exists as the baseline of the paper's cost comparison
+// (cost = |L_i| + |L_j|) and for differential testing of the skip-aware
+// path.
+func MergeIntersect(a, b *List, st *Stats) *Intersection {
+	st.addIntersection()
+	res := &Intersection{TFs: make([][]uint32, 2)}
+	i, j := 0, 0
+	ap, bp := a.postings, b.postings
+	for i < len(ap) && j < len(bp) {
+		switch {
+		case ap[i].DocID < bp[j].DocID:
+			i++
+			st.addEntries(1)
+		case ap[i].DocID > bp[j].DocID:
+			j++
+			st.addEntries(1)
+		default:
+			res.DocIDs = append(res.DocIDs, ap[i].DocID)
+			res.TFs[0] = append(res.TFs[0], ap[i].TF)
+			res.TFs[1] = append(res.TFs[1], bp[j].TF)
+			i++
+			j++
+			st.addEntries(2)
+		}
+	}
+	return res
+}
+
+// Union returns the DocIDs present in at least one input list, with TFs
+// summed across lists. It is not used by conjunctive query evaluation but
+// completes the substrate (disjunctive retrieval, tests).
+func Union(lists []*List, st *Stats) *List {
+	switch len(lists) {
+	case 0:
+		return NewList(nil, 0)
+	case 1:
+		return lists[0]
+	}
+	// k-way merge over sorted lists via repeated pairwise merge; list
+	// counts are small (query terms), so simplicity beats a heap.
+	acc := lists[0]
+	for _, l := range lists[1:] {
+		acc = mergeUnion(acc, l, st)
+	}
+	return acc
+}
+
+func mergeUnion(a, b *List, st *Stats) *List {
+	out := make([]Posting, 0, a.Len()+b.Len())
+	i, j := 0, 0
+	ap, bp := a.postings, b.postings
+	for i < len(ap) && j < len(bp) {
+		switch {
+		case ap[i].DocID < bp[j].DocID:
+			out = append(out, ap[i])
+			i++
+		case ap[i].DocID > bp[j].DocID:
+			out = append(out, bp[j])
+			j++
+		default:
+			out = append(out, Posting{DocID: ap[i].DocID, TF: ap[i].TF + bp[j].TF})
+			i++
+			j++
+		}
+	}
+	out = append(out, ap[i:]...)
+	out = append(out, bp[j:]...)
+	st.addEntries(int64(a.Len() + b.Len()))
+	return NewList(out, a.segSize)
+}

@@ -1,0 +1,179 @@
+// Package postings implements the inverted-list substrate of the system:
+// postings sorted by document ID, segmented lists with skip pointers, merge
+// intersection, and the aggregation operators (γ_count, γ_sum) that
+// context-sensitive ranking layers on top.
+//
+// The implementation mirrors the cost model of §3.2.1 of the paper: lists
+// are partitioned into segments of M0 entries; an intersection touches a
+// segment only when its docid range overlaps the other list's current
+// position, so cost(L_i ∩ L_j) = M0·(N_i^o + N_j^o) ≤ |L_i| + |L_j|.
+// Every operation reports its cost through a Stats accumulator so the
+// analytical claims of the paper (Proposition 3.1, Theorem 4.2) are
+// observable in tests and benchmarks.
+package postings
+
+import "sort"
+
+// DefaultSegmentSize is the default number of postings per skip segment
+// (M0 in the paper's cost model). 128 matches common practice in text
+// search systems (e.g. Lucene's skip interval).
+const DefaultSegmentSize = 128
+
+// Posting is one entry of an inverted list: a document ID and the term's
+// occurrence count in that document.
+type Posting struct {
+	DocID uint32
+	TF    uint32
+}
+
+// List is an immutable inverted list: postings sorted by ascending DocID,
+// partitioned into segments of segSize entries with a skip table recording
+// each segment's maximum DocID. Build lists with NewList or a Builder.
+type List struct {
+	postings []Posting
+	// skips[i] is the largest DocID in segment i, i.e. in
+	// postings[i*segSize : min((i+1)*segSize, len)].
+	skips   []uint32
+	segSize int
+}
+
+// NewList constructs a list from postings that must already be sorted by
+// strictly ascending DocID. segSize ≤ 0 selects DefaultSegmentSize.
+// NewList panics if the postings are not strictly ascending, because a
+// mis-sorted list corrupts every downstream intersection silently.
+func NewList(ps []Posting, segSize int) *List {
+	if segSize <= 0 {
+		segSize = DefaultSegmentSize
+	}
+	for i := 1; i < len(ps); i++ {
+		if ps[i].DocID <= ps[i-1].DocID {
+			panic("postings: NewList requires strictly ascending DocIDs")
+		}
+	}
+	l := &List{postings: ps, segSize: segSize}
+	l.buildSkips()
+	return l
+}
+
+// FromDocIDs builds a list with TF = 1 for every document, the shape of a
+// predicate-field list (e.g. a MeSH term's list, where a document either
+// carries the annotation or does not).
+func FromDocIDs(ids []uint32, segSize int) *List {
+	ps := make([]Posting, len(ids))
+	for i, id := range ids {
+		ps[i] = Posting{DocID: id, TF: 1}
+	}
+	return NewList(ps, segSize)
+}
+
+func (l *List) buildSkips() {
+	n := len(l.postings)
+	if n == 0 {
+		l.skips = nil
+		return
+	}
+	nseg := (n + l.segSize - 1) / l.segSize
+	l.skips = make([]uint32, nseg)
+	for s := 0; s < nseg; s++ {
+		end := (s+1)*l.segSize - 1
+		if end >= n {
+			end = n - 1
+		}
+		l.skips[s] = l.postings[end].DocID
+	}
+}
+
+// Len returns the number of postings in the list (|L| in the paper).
+func (l *List) Len() int { return len(l.postings) }
+
+// SegmentSize returns the list's segment size (M0).
+func (l *List) SegmentSize() int { return l.segSize }
+
+// Segments returns the number of skip segments.
+func (l *List) Segments() int { return len(l.skips) }
+
+// At returns the i-th posting.
+func (l *List) At(i int) Posting { return l.postings[i] }
+
+// Postings exposes the underlying slice. Callers must not modify it.
+func (l *List) Postings() []Posting { return l.postings }
+
+// DocIDs returns a newly allocated slice of the list's document IDs.
+func (l *List) DocIDs() []uint32 {
+	ids := make([]uint32, len(l.postings))
+	for i, p := range l.postings {
+		ids[i] = p.DocID
+	}
+	return ids
+}
+
+// MaxDocID returns the largest DocID in the list, or 0 for an empty list.
+func (l *List) MaxDocID() uint32 {
+	if len(l.postings) == 0 {
+		return 0
+	}
+	return l.postings[len(l.postings)-1].DocID
+}
+
+// Contains reports whether the list holds a posting for docID, using binary
+// search. It is a point lookup for callers outside the streaming
+// intersection path (e.g. tests and the wide-table oracle).
+func (l *List) Contains(docID uint32) bool {
+	i := sort.Search(len(l.postings), func(i int) bool {
+		return l.postings[i].DocID >= docID
+	})
+	return i < len(l.postings) && l.postings[i].DocID == docID
+}
+
+// TF returns the term frequency recorded for docID, or 0 if absent.
+func (l *List) TF(docID uint32) uint32 {
+	i := sort.Search(len(l.postings), func(i int) bool {
+		return l.postings[i].DocID >= docID
+	})
+	if i < len(l.postings) && l.postings[i].DocID == docID {
+		return l.postings[i].TF
+	}
+	return 0
+}
+
+// Builder accumulates postings during indexing. DocIDs must be appended in
+// ascending order; repeated appends for the same DocID accumulate TF, which
+// is what a token-at-a-time indexer produces.
+type Builder struct {
+	postings []Posting
+	segSize  int
+}
+
+// NewBuilder returns a Builder with the given segment size (≤ 0 selects
+// DefaultSegmentSize).
+func NewBuilder(segSize int) *Builder {
+	if segSize <= 0 {
+		segSize = DefaultSegmentSize
+	}
+	return &Builder{segSize: segSize}
+}
+
+// Add records tf occurrences of the term in docID. docID must be ≥ the last
+// added DocID.
+func (b *Builder) Add(docID uint32, tf uint32) {
+	n := len(b.postings)
+	if n > 0 && b.postings[n-1].DocID == docID {
+		b.postings[n-1].TF += tf
+		return
+	}
+	if n > 0 && b.postings[n-1].DocID > docID {
+		panic("postings: Builder.Add requires ascending DocIDs")
+	}
+	b.postings = append(b.postings, Posting{DocID: docID, TF: tf})
+}
+
+// Len returns the number of distinct documents added so far.
+func (b *Builder) Len() int { return len(b.postings) }
+
+// Build finalizes the list. The Builder must not be used afterwards.
+func (b *Builder) Build() *List {
+	l := &List{postings: b.postings, segSize: b.segSize}
+	l.buildSkips()
+	b.postings = nil
+	return l
+}

@@ -1,0 +1,75 @@
+package postings
+
+// Stats accumulates the cost counters of the paper's §3.2.1 cost model.
+// All list operations in this package take an optional *Stats (nil is
+// allowed) and add to it, so a query plan can report exactly how much
+// inverted-list work it performed. The counters are deliberately the terms
+// that appear in the paper's formulas:
+//
+//	cost(L_i ∩ L_j)   = M0 · (segments touched)      → EntriesScanned
+//	cost(γ(P))        = |∩ L_m|                      → AggregatedEntries
+type Stats struct {
+	// EntriesScanned counts postings examined during intersections. With
+	// skip pointers this is at most M0 · (N_i^o + N_j^o); without, it is
+	// |L_i| + |L_j|.
+	EntriesScanned int64
+	// SegmentsSkipped counts whole segments jumped over via skip pointers.
+	SegmentsSkipped int64
+	// Seeks counts skip-aware seek operations (one per advance target).
+	Seeks int64
+	// AggregatedEntries counts list entries consumed by γ aggregations.
+	AggregatedEntries int64
+	// Intersections counts pairwise intersection operations performed.
+	Intersections int64
+	// ViewGroupsScanned counts materialized-view groups examined when
+	// statistics are answered from views instead of lists; it is the cost
+	// term of Theorem 4.2 (O(ViewSize)).
+	ViewGroupsScanned int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.EntriesScanned += other.EntriesScanned
+	s.SegmentsSkipped += other.SegmentsSkipped
+	s.Seeks += other.Seeks
+	s.AggregatedEntries += other.AggregatedEntries
+	s.Intersections += other.Intersections
+	s.ViewGroupsScanned += other.ViewGroupsScanned
+}
+
+// ListWork returns the total inverted-list cost: entries scanned during
+// intersections plus entries consumed by aggregations. It is the quantity
+// bounded by O(Σ|L_m|) in Proposition 3.1.
+func (s *Stats) ListWork() int64 {
+	return s.EntriesScanned + s.AggregatedEntries
+}
+
+func (s *Stats) addEntries(n int64) {
+	if s != nil {
+		s.EntriesScanned += n
+	}
+}
+
+func (s *Stats) addSkipped(n int64) {
+	if s != nil {
+		s.SegmentsSkipped += n
+	}
+}
+
+func (s *Stats) addSeek() {
+	if s != nil {
+		s.Seeks++
+	}
+}
+
+func (s *Stats) addAggregated(n int64) {
+	if s != nil {
+		s.AggregatedEntries += n
+	}
+}
+
+func (s *Stats) addIntersection() {
+	if s != nil {
+		s.Intersections++
+	}
+}

@@ -1,0 +1,97 @@
+// Package query defines the context-sensitive query model of §2.1:
+// Q_c = Q_k | P, a conventional keyword query Q_k evaluated within a
+// search context specified by a conjunction of context predicates P over
+// the collection's predicate field.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Query is a context-sensitive query. An empty Context makes it a
+// conventional keyword query (the context is the whole collection).
+type Query struct {
+	// Keywords is the conjunctive keyword query Q_k = w1 ∧ … ∧ wn,
+	// evaluated against the content field. Raw (pre-analysis) terms.
+	Keywords []string
+	// Context is the context specification P = m1 ∧ … ∧ mc over the
+	// predicate field (e.g. MeSH terms).
+	Context []string
+}
+
+// Parse parses the textual form "w1 w2 | m1 m2". The part before '|' is
+// the keyword query; the part after is the context specification. Without
+// '|', the whole string is keywords. Keyword and predicate tokens are
+// whitespace-separated. Parse returns an error for an empty keyword part
+// or more than one '|'.
+func Parse(s string) (Query, error) {
+	parts := strings.Split(s, "|")
+	if len(parts) > 2 {
+		return Query{}, fmt.Errorf("query: more than one '|' in %q", s)
+	}
+	q := Query{Keywords: strings.Fields(parts[0])}
+	if len(parts) == 2 {
+		q.Context = strings.Fields(parts[1])
+	}
+	if len(q.Keywords) == 0 {
+		return Query{}, fmt.Errorf("query: no keywords in %q", s)
+	}
+	return q, nil
+}
+
+// MustParse is Parse for tests and examples with known-good literals; it
+// panics on error.
+func MustParse(s string) Query {
+	q, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// IsContextual reports whether the query carries a context specification.
+func (q Query) IsContextual() bool { return len(q.Context) > 0 }
+
+// String renders the query in the parseable textual form.
+func (q Query) String() string {
+	if !q.IsContextual() {
+		return strings.Join(q.Keywords, " ")
+	}
+	return strings.Join(q.Keywords, " ") + " | " + strings.Join(q.Context, " ")
+}
+
+// NormalizedContext returns the context predicates sorted and
+// deduplicated — the canonical form used for view matching, where
+// P ⊆ K is a set inclusion test.
+func (q Query) NormalizedContext() []string {
+	seen := make(map[string]bool, len(q.Context))
+	out := make([]string, 0, len(q.Context))
+	for _, m := range q.Context {
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate rejects structurally invalid queries.
+func (q Query) Validate() error {
+	if len(q.Keywords) == 0 {
+		return fmt.Errorf("query: no keywords")
+	}
+	for _, w := range q.Keywords {
+		if strings.TrimSpace(w) == "" {
+			return fmt.Errorf("query: blank keyword")
+		}
+	}
+	for _, m := range q.Context {
+		if strings.TrimSpace(m) == "" {
+			return fmt.Errorf("query: blank context predicate")
+		}
+	}
+	return nil
+}

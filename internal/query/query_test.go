@@ -1,0 +1,115 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseContextual(t *testing.T) {
+	q, err := Parse("pancreas leukemia | digestive_system neoplasms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(q.Keywords, []string{"pancreas", "leukemia"}) {
+		t.Errorf("Keywords = %v", q.Keywords)
+	}
+	if !reflect.DeepEqual(q.Context, []string{"digestive_system", "neoplasms"}) {
+		t.Errorf("Context = %v", q.Context)
+	}
+	if !q.IsContextual() {
+		t.Error("IsContextual = false")
+	}
+}
+
+func TestParseConventional(t *testing.T) {
+	q, err := Parse("pancreas leukemia")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.IsContextual() {
+		t.Error("IsContextual = true for plain keywords")
+	}
+	if len(q.Context) != 0 {
+		t.Errorf("Context = %v", q.Context)
+	}
+}
+
+func TestParseEmptyContextPart(t *testing.T) {
+	q, err := Parse("pancreas | ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.IsContextual() {
+		t.Error("empty context part should be non-contextual")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "   ", "| m1", "  | m1 m2", "a | b | c"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic")
+		}
+	}()
+	MustParse("|")
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, s := range []string{"a b | m1 m2", "a"} {
+		q := MustParse(s)
+		q2 := MustParse(q.String())
+		if !reflect.DeepEqual(q, q2) {
+			t.Errorf("round trip %q -> %q -> %+v", s, q.String(), q2)
+		}
+	}
+}
+
+func TestNormalizedContext(t *testing.T) {
+	q := Query{Keywords: []string{"w"}, Context: []string{"m2", "m1", "m2"}}
+	got := q.NormalizedContext()
+	if !reflect.DeepEqual(got, []string{"m1", "m2"}) {
+		t.Errorf("NormalizedContext = %v", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Query{Keywords: []string{"w"}}).Validate(); err != nil {
+		t.Error(err)
+	}
+	if err := (Query{}).Validate(); err == nil {
+		t.Error("empty query validated")
+	}
+	if err := (Query{Keywords: []string{" "}}).Validate(); err == nil {
+		t.Error("blank keyword validated")
+	}
+	if err := (Query{Keywords: []string{"w"}, Context: []string{""}}).Validate(); err == nil {
+		t.Error("blank predicate validated")
+	}
+}
+
+// Property: parsing the String() of any parsed query yields the same
+// normalized structure.
+func TestParseStringProperty(t *testing.T) {
+	f := func(s string) bool {
+		q, err := Parse(s)
+		if err != nil {
+			return true // unparseable inputs are out of scope
+		}
+		q2, err := Parse(q.String())
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(q, q2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,194 @@
+// Package rangeagg implements the §7 extension the paper sketches:
+// context specifications with a *range* variable — "with time variable,
+// users are able to specify the context as a set of documents published
+// after 1998. Existing work on range aggregation queries can be used for
+// such queries."
+//
+// A TimeView extends a materialized view with a year axis: each
+// membership group over K stores prefix sums of COUNT(*) and SUM(len(d))
+// along publication year, so |D_{P ∧ year∈[a,b]}| and
+// len(D_{P ∧ year∈[a,b]}) are answered in O(ViewSize) with two prefix
+// lookups per group — the 1-D instance of the prefix-sum cube technique
+// ([17] in the paper's references).
+//
+// Per-keyword df/tc columns are deliberately not year-resolved: they
+// would multiply storage by the year-axis length, which is exactly the
+// blow-up the paper's frequent-keyword threshold exists to avoid. A
+// production deployment computes keyword statistics for a time-sliced
+// context at query time from the list intersection, which remains
+// bounded because the sliced context is a subset of the unsliced one.
+package rangeagg
+
+import (
+	"fmt"
+	"sort"
+
+	"csrank/internal/postings"
+	"csrank/internal/widetable"
+)
+
+// TimeView is a materialized view over K with a year axis.
+type TimeView struct {
+	k       []string
+	pos     map[string]int
+	minYear int
+	maxYear int
+	groups  map[string]*series
+}
+
+// series holds one group's prefix sums: cumCount[i] counts documents of
+// the group with year ≤ minYear+i (likewise cumLen for lengths).
+type series struct {
+	cumCount []int64
+	cumLen   []int64
+}
+
+// Materialize builds the time view: years[d] is document d's publication
+// year; k is the keyword-column set. An error is returned for unknown
+// columns or a years slice not matching the table.
+func Materialize(t *widetable.Table, years []int, k []string) (*TimeView, error) {
+	if len(years) != t.NumDocs() {
+		return nil, fmt.Errorf("rangeagg: %d years for %d documents", len(years), t.NumDocs())
+	}
+	ks := append([]string(nil), k...)
+	sort.Strings(ks)
+	cols := make([]widetable.ColID, len(ks))
+	for i, name := range ks {
+		id, ok := t.ColumnID(name)
+		if !ok {
+			return nil, fmt.Errorf("rangeagg: unknown keyword column %q", name)
+		}
+		cols[i] = id
+	}
+	v := &TimeView{
+		k:      ks,
+		pos:    make(map[string]int, len(ks)),
+		groups: make(map[string]*series),
+	}
+	for i, name := range ks {
+		v.pos[name] = i
+	}
+	if t.NumDocs() == 0 {
+		return v, nil
+	}
+	v.minYear, v.maxYear = years[0], years[0]
+	for _, y := range years {
+		if y < v.minYear {
+			v.minYear = y
+		}
+		if y > v.maxYear {
+			v.maxYear = y
+		}
+	}
+	span := v.maxYear - v.minYear + 1
+
+	buf := make([]byte, (len(ks)+7)/8)
+	for d := 0; d < t.NumDocs(); d++ {
+		for i := range buf {
+			buf[i] = 0
+		}
+		for i, c := range cols {
+			if t.Has(d, c) {
+				buf[i/8] |= 1 << (i % 8)
+			}
+		}
+		key := string(buf)
+		s := v.groups[key]
+		if s == nil {
+			s = &series{cumCount: make([]int64, span), cumLen: make([]int64, span)}
+			v.groups[key] = s
+		}
+		yi := years[d] - v.minYear
+		s.cumCount[yi]++
+		s.cumLen[yi] += t.Len(d)
+	}
+	// Convert per-year tallies to prefix sums.
+	for _, s := range v.groups {
+		for i := 1; i < span; i++ {
+			s.cumCount[i] += s.cumCount[i-1]
+			s.cumLen[i] += s.cumLen[i-1]
+		}
+	}
+	return v, nil
+}
+
+// K returns the view's keyword columns, sorted.
+func (v *TimeView) K() []string { return v.k }
+
+// Size returns the number of non-empty groups.
+func (v *TimeView) Size() int { return len(v.groups) }
+
+// YearRange returns the materialized year span.
+func (v *TimeView) YearRange() (min, max int) { return v.minYear, v.maxYear }
+
+// Usable reports whether the view covers context p (p ⊆ K).
+func (v *TimeView) Usable(p []string) bool {
+	for _, m := range p {
+		if _, ok := v.pos[m]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Answer computes |D_{P ∧ year∈[from,to]}| and the corresponding
+// collection length. The range is inclusive; from > to yields zeros.
+// Cost — one pass over the non-empty groups with O(1) work each — is
+// recorded in st.ViewGroupsScanned.
+func (v *TimeView) Answer(p []string, from, to int, st *postings.Stats) (count, length int64, err error) {
+	need := make([]int, len(p))
+	for i, m := range p {
+		pos, ok := v.pos[m]
+		if !ok {
+			return 0, 0, fmt.Errorf("rangeagg: view %v not usable for context %v", v.k, p)
+		}
+		need[i] = pos
+	}
+	if from < v.minYear {
+		from = v.minYear
+	}
+	if to > v.maxYear {
+		to = v.maxYear
+	}
+	if from > to {
+		return 0, 0, nil
+	}
+	lo, hi := from-v.minYear, to-v.minYear
+	scanned := int64(0)
+	for key, s := range v.groups {
+		scanned++
+		if !covers(key, need) {
+			continue
+		}
+		count += s.cumCount[hi]
+		length += s.cumLen[hi]
+		if lo > 0 {
+			count -= s.cumCount[lo-1]
+			length -= s.cumLen[lo-1]
+		}
+	}
+	if st != nil {
+		st.ViewGroupsScanned += scanned
+	}
+	return count, length, nil
+}
+
+func covers(key string, need []int) bool {
+	for _, pos := range need {
+		if key[pos/8]&(1<<(pos%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Bytes estimates the view's storage: per group, the packed pattern plus
+// two int64 prefix arrays over the year span.
+func (v *TimeView) Bytes() int64 {
+	span := int64(v.maxYear - v.minYear + 1)
+	var b int64
+	for key := range v.groups {
+		b += int64(len(key)) + 2*8*span
+	}
+	return b
+}

@@ -1,0 +1,240 @@
+package rangeagg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"csrank/internal/analysis"
+	"csrank/internal/index"
+	"csrank/internal/postings"
+	"csrank/internal/widetable"
+)
+
+// buildFixture creates a random table plus per-document years and a
+// brute-force oracle.
+type fixture struct {
+	tbl   *widetable.Table
+	years []int
+	mesh  []string
+	// raw[d] = (predicates set, len, year)
+	rawMesh []map[string]bool
+	rawLen  []int64
+}
+
+func build(t *testing.T, seed int64, nDocs, nMesh int) *fixture {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	f := &fixture{}
+	for i := 0; i < nMesh; i++ {
+		f.mesh = append(f.mesh, fmt.Sprintf("m%02d", i))
+	}
+	docs := make([]index.Document, nDocs)
+	for d := 0; d < nDocs; d++ {
+		set := map[string]bool{}
+		var meshStr, content string
+		for _, m := range f.mesh {
+			if rng.Float64() < 0.3 {
+				set[m] = true
+				meshStr += m + " "
+			}
+		}
+		n := 1 + rng.Intn(9)
+		for i := 0; i < n; i++ {
+			content += "tok "
+		}
+		docs[d] = index.Document{Fields: map[string]string{"content": content, "mesh": meshStr}}
+		f.rawMesh = append(f.rawMesh, set)
+		f.rawLen = append(f.rawLen, int64(n))
+		f.years = append(f.years, 1980+rng.Intn(31))
+	}
+	schema := index.Schema{
+		Fields: []index.FieldSpec{
+			{Name: "content", Analyzer: analysis.Keyword()},
+			{Name: "mesh", Analyzer: analysis.Keyword()},
+		},
+		PredicateField: "mesh",
+		ContentField:   "content",
+	}
+	ix, err := index.BuildFrom(schema, 0, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.tbl = widetable.FromIndex(ix, nil)
+	return f
+}
+
+// oracle computes count and length by direct scan.
+func (f *fixture) oracle(p []string, from, to int) (count, length int64) {
+	for d := range f.rawMesh {
+		if f.years[d] < from || f.years[d] > to {
+			continue
+		}
+		ok := true
+		for _, m := range p {
+			if !f.rawMesh[d][m] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			count++
+			length += f.rawLen[d]
+		}
+	}
+	return count, length
+}
+
+func TestMaterializeErrors(t *testing.T) {
+	f := build(t, 1, 50, 4)
+	if _, err := Materialize(f.tbl, f.years[:10], f.mesh[:2]); err == nil {
+		t.Error("mismatched years accepted")
+	}
+	if _, err := Materialize(f.tbl, f.years, []string{"ghost"}); err == nil {
+		t.Error("unknown column accepted")
+	}
+}
+
+func TestAnswerMatchesOracle(t *testing.T) {
+	f := build(t, 7, 800, 8)
+	k := f.mesh[:4]
+	v, err := Materialize(f.tbl, f.years, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min, max := v.YearRange(); min < 1980 || max > 2010 {
+		t.Fatalf("year range %d..%d", min, max)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 60; trial++ {
+		var p []string
+		for _, m := range k {
+			if rng.Float64() < 0.4 {
+				p = append(p, m)
+			}
+		}
+		from := 1975 + rng.Intn(40)
+		to := from + rng.Intn(20)
+		var st postings.Stats
+		count, length, err := v.Answer(p, from, to, &st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantC, wantL := f.oracle(p, from, to)
+		if count != wantC || length != wantL {
+			t.Fatalf("Answer(%v,%d,%d) = {%d,%d}, oracle {%d,%d}",
+				p, from, to, count, length, wantC, wantL)
+		}
+		// An empty effective range short-circuits before scanning;
+		// otherwise the cost is exactly one pass over the groups.
+		if st.ViewGroupsScanned != int64(v.Size()) && st.ViewGroupsScanned != 0 {
+			t.Fatalf("scan cost %d, want 0 or %d", st.ViewGroupsScanned, v.Size())
+		}
+	}
+}
+
+func TestFullRangeEqualsUnsliced(t *testing.T) {
+	f := build(t, 5, 500, 6)
+	v, err := Materialize(f.tbl, f.years, f.mesh[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := []string{f.mesh[0]}
+	count, length, err := v.Answer(p, v.minYear, v.maxYear, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantC, _ := f.tbl.Count(p)
+	wantL, _ := f.tbl.SumLen(p)
+	if count != wantC || length != wantL {
+		t.Fatalf("full range {%d,%d}, table {%d,%d}", count, length, wantC, wantL)
+	}
+}
+
+func TestDegenerateRanges(t *testing.T) {
+	f := build(t, 3, 200, 4)
+	v, err := Materialize(f.tbl, f.years, f.mesh[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inverted range.
+	if c, l, _ := v.Answer(nil, 2000, 1990, nil); c != 0 || l != 0 {
+		t.Errorf("inverted range gave {%d,%d}", c, l)
+	}
+	// Range entirely outside the materialized span.
+	if c, _, _ := v.Answer(nil, 2050, 2060, nil); c != 0 {
+		t.Errorf("future range gave %d", c)
+	}
+	// Unusable context.
+	if _, _, err := v.Answer([]string{"ghost"}, 1990, 2000, nil); err == nil {
+		t.Error("unusable context accepted")
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	schema := index.Schema{
+		Fields: []index.FieldSpec{
+			{Name: "content", Analyzer: analysis.Keyword()},
+			{Name: "mesh", Analyzer: analysis.Keyword()},
+		},
+		PredicateField: "mesh",
+		ContentField:   "content",
+	}
+	ix, err := index.BuildFrom(schema, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Materialize(widetable.FromIndex(ix, nil), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Size() != 0 {
+		t.Errorf("Size = %d", v.Size())
+	}
+}
+
+func TestBytesPositive(t *testing.T) {
+	f := build(t, 11, 100, 4)
+	v, err := Materialize(f.tbl, f.years, f.mesh[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Bytes() <= 0 {
+		t.Error("Bytes should be positive")
+	}
+	if len(v.K()) != 2 || !v.Usable(f.mesh[:1]) || v.Usable([]string{"zzz"}) {
+		t.Error("accessors wrong")
+	}
+}
+
+// Property: range additivity — [a,m] + [m+1,b] = [a,b].
+func TestRangeAdditivityProperty(t *testing.T) {
+	f := build(t, 13, 600, 6)
+	v, err := Materialize(f.tbl, f.years, f.mesh[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := []string{f.mesh[1]}
+	check := func(aRaw, spanRaw, midRaw uint8) bool {
+		a := 1980 + int(aRaw%31)
+		b := a + int(spanRaw%20)
+		if b > 2010 {
+			b = 2010
+		}
+		if a > b {
+			a, b = b, a
+		}
+		m := a + int(midRaw)%(b-a+1)
+		c1, l1, err1 := v.Answer(p, a, m, nil)
+		c2, l2, err2 := v.Answer(p, m+1, b, nil)
+		cAll, lAll, err3 := v.Answer(p, a, b, nil)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return c1+c2 == cAll && l1+l2 == lAll
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,327 @@
+package ranking
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestQueryStats(t *testing.T) {
+	q := NewQueryStats([]string{"pancreas", "leukemia", "pancreas"})
+	if q.Len() != 3 {
+		t.Errorf("Len = %d", q.Len())
+	}
+	if q.Unique() != 2 {
+		t.Errorf("Unique = %d", q.Unique())
+	}
+	if q.TQ["pancreas"] != 2 || q.TQ["leukemia"] != 1 {
+		t.Errorf("TQ = %v", q.TQ)
+	}
+	d := q.DistinctTerms()
+	if len(d) != 2 || d[0] != "pancreas" || d[1] != "leukemia" {
+		t.Errorf("DistinctTerms = %v", d)
+	}
+}
+
+func TestAvgDocLen(t *testing.T) {
+	c := CollectionStats{N: 4, TotalLen: 100}
+	if !approx(c.AvgDocLen(), 25) {
+		t.Errorf("AvgDocLen = %f", c.AvgDocLen())
+	}
+	if (CollectionStats{}).AvgDocLen() != 0 {
+		t.Error("empty collection AvgDocLen should be 0")
+	}
+}
+
+// TestPivotedHandComputed checks Formula 3 against a hand-computed value.
+func TestPivotedHandComputed(t *testing.T) {
+	// One query term w with tq=1; tf(w,d)=2, len(d)=10; |D|=9, len(D)=90
+	// (avgdl=10, so the norm is exactly 1); df(w,D)=4.
+	//
+	// score = (1 + ln(1 + ln 2)) / ((1-0.2) + 0.2·10/10) · 1 · ln(10/4)
+	//       = (1 + ln(1.693147...)) · ln(2.5)
+	q := NewQueryStats([]string{"w"})
+	d := DocStats{TF: map[string]int64{"w": 2}, Len: 10}
+	c := CollectionStats{N: 9, TotalLen: 90, DF: map[string]int64{"w": 4}}
+	want := (1 + math.Log(1+math.Log(2))) * math.Log(10.0/4.0)
+	got := NewPivotedTFIDF().Score(q, d, c)
+	if !approx(got, want) {
+		t.Errorf("Score = %v, want %v", got, want)
+	}
+}
+
+func TestPivotedLengthNormalization(t *testing.T) {
+	// A longer document with the same tf must score lower (pivoted norm).
+	q := NewQueryStats([]string{"w"})
+	c := CollectionStats{N: 100, TotalLen: 1000, DF: map[string]int64{"w": 10}}
+	short := DocStats{TF: map[string]int64{"w": 3}, Len: 5}
+	long := DocStats{TF: map[string]int64{"w": 3}, Len: 50}
+	s := NewPivotedTFIDF()
+	if s.Score(q, short, c) <= s.Score(q, long, c) {
+		t.Error("longer document should score lower at equal tf")
+	}
+}
+
+func TestPivotedMissingTermContributesNothing(t *testing.T) {
+	q := NewQueryStats([]string{"w", "x"})
+	c := CollectionStats{N: 10, TotalLen: 100, DF: map[string]int64{"w": 2, "x": 2}}
+	d1 := DocStats{TF: map[string]int64{"w": 1}, Len: 10}
+	d2 := DocStats{TF: map[string]int64{"w": 1, "x": 0}, Len: 10}
+	s := NewPivotedTFIDF()
+	if !approx(s.Score(q, d1, c), s.Score(q, d2, c)) {
+		t.Error("explicit zero tf must equal absent tf")
+	}
+}
+
+func TestPivotedDegenerateInputs(t *testing.T) {
+	s := NewPivotedTFIDF()
+	q := NewQueryStats([]string{"w"})
+	d := DocStats{TF: map[string]int64{"w": 1}, Len: 10}
+	if got := s.Score(q, d, CollectionStats{}); got != 0 {
+		t.Errorf("empty collection score = %v", got)
+	}
+	// df = 0 is clamped, not infinite.
+	c := CollectionStats{N: 10, TotalLen: 100, DF: map[string]int64{}}
+	if got := s.Score(q, d, c); math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Errorf("df=0 score = %v", got)
+	}
+}
+
+// TestContextReversal reproduces the paper's §1.1 example: query
+// {pancreas, leukemia}; C1 matches only "pancreas", C2 matches only
+// "leukemia". Globally leukemia is more frequent than pancreas, so
+// conventional ranking puts C1 first; within the digestive-system context
+// the frequencies reverse, so context-sensitive ranking puts C2 first.
+// The scorer is the same f — only S_c changes (Formula 2).
+func TestContextReversal(t *testing.T) {
+	q := NewQueryStats([]string{"pancreas", "leukemia"})
+	c1 := DocStats{TF: map[string]int64{"pancreas": 1}, Len: 4}
+	c2 := DocStats{TF: map[string]int64{"leukemia": 1}, Len: 4}
+
+	global := CollectionStats{
+		N: 18_000_000, TotalLen: 72_000_000,
+		DF: map[string]int64{"pancreas": 40_000, "leukemia": 900_000},
+	}
+	context := CollectionStats{
+		N: 1_200_000, TotalLen: 4_800_000,
+		DF: map[string]int64{"pancreas": 220_000, "leukemia": 9_000},
+	}
+
+	for _, s := range []Scorer{NewPivotedTFIDF(), NewBM25()} {
+		convC1, convC2 := s.Score(q, c1, global), s.Score(q, c2, global)
+		ctxC1, ctxC2 := s.Score(q, c1, context), s.Score(q, c2, context)
+		if convC1 <= convC2 {
+			t.Errorf("%s conventional: C1 (%v) should outrank C2 (%v)", s.Name(), convC1, convC2)
+		}
+		if ctxC2 <= ctxC1 {
+			t.Errorf("%s context: C2 (%v) should outrank C1 (%v)", s.Name(), ctxC2, ctxC1)
+		}
+	}
+}
+
+func TestBM25Saturation(t *testing.T) {
+	q := NewQueryStats([]string{"w"})
+	c := CollectionStats{N: 1000, TotalLen: 10000, DF: map[string]int64{"w": 10}}
+	s := NewBM25()
+	prev := 0.0
+	var gains []float64
+	for tf := int64(1); tf <= 5; tf++ {
+		d := DocStats{TF: map[string]int64{"w": tf}, Len: 10}
+		sc := s.Score(q, d, c)
+		if sc <= prev {
+			t.Fatalf("score not increasing in tf: %v after %v", sc, prev)
+		}
+		gains = append(gains, sc-prev)
+		prev = sc
+	}
+	for i := 1; i < len(gains); i++ {
+		if gains[i] >= gains[i-1] {
+			t.Errorf("tf gains not diminishing: %v", gains)
+		}
+	}
+}
+
+func TestBM25NonNegativeIDF(t *testing.T) {
+	// df > N/2 must not produce a negative contribution.
+	q := NewQueryStats([]string{"w"})
+	d := DocStats{TF: map[string]int64{"w": 1}, Len: 10}
+	c := CollectionStats{N: 10, TotalLen: 100, DF: map[string]int64{"w": 9}}
+	if got := NewBM25().Score(q, d, c); got <= 0 {
+		t.Errorf("score = %v, want > 0", got)
+	}
+}
+
+func TestDirichletPrefersDiscriminativeTF(t *testing.T) {
+	// With equal lengths, the doc matching the rarer term scores higher.
+	q := NewQueryStats([]string{"rare", "common"})
+	c := CollectionStats{
+		N: 1000, TotalLen: 100000,
+		TC: map[string]int64{"rare": 50, "common": 5000},
+		DF: map[string]int64{"rare": 40, "common": 3000},
+	}
+	dRare := DocStats{TF: map[string]int64{"rare": 3, "common": 1}, Len: 100}
+	dCommon := DocStats{TF: map[string]int64{"rare": 1, "common": 3}, Len: 100}
+	s := NewDirichletLM()
+	if s.Score(q, dRare, c) <= s.Score(q, dCommon, c) {
+		t.Error("doc emphasizing the rare term should win")
+	}
+}
+
+func TestDirichletDegenerate(t *testing.T) {
+	s := NewDirichletLM()
+	q := NewQueryStats([]string{"w"})
+	d := DocStats{TF: map[string]int64{"w": 1}, Len: 10}
+	if got := s.Score(q, d, CollectionStats{}); got != 0 {
+		t.Errorf("empty collection = %v", got)
+	}
+	// Unseen term: finite score.
+	c := CollectionStats{N: 10, TotalLen: 100, TC: map[string]int64{}}
+	if got := s.Score(q, d, c); math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Errorf("unseen term score = %v", got)
+	}
+}
+
+func TestScorerNames(t *testing.T) {
+	if NewPivotedTFIDF().Name() != "pivoted-tfidf" {
+		t.Error("tfidf name")
+	}
+	if NewBM25().Name() != "bm25" {
+		t.Error("bm25 name")
+	}
+	if NewDirichletLM().Name() != "dirichlet-lm" {
+		t.Error("lm name")
+	}
+}
+
+// Property: pivoted TF-IDF is monotone in tf and antitone in df, and never
+// NaN/Inf on sane inputs.
+func TestPivotedMonotonicityProperty(t *testing.T) {
+	s := NewPivotedTFIDF()
+	q := NewQueryStats([]string{"w"})
+	f := func(tfRaw, dfRaw uint8, lenRaw uint16) bool {
+		tf := int64(tfRaw%50) + 1
+		df := int64(dfRaw%99) + 1
+		dl := int64(lenRaw%500) + 1
+		c := CollectionStats{N: 100, TotalLen: 5000, DF: map[string]int64{"w": df}}
+		d := DocStats{TF: map[string]int64{"w": tf}, Len: dl}
+		base := s.Score(q, d, c)
+		if math.IsNaN(base) || math.IsInf(base, 0) {
+			return false
+		}
+		dMore := DocStats{TF: map[string]int64{"w": tf + 1}, Len: dl}
+		if s.Score(q, dMore, c) <= base {
+			return false
+		}
+		cMoreDF := CollectionStats{N: 100, TotalLen: 5000, DF: map[string]int64{"w": df + 1}}
+		return s.Score(q, d, cMoreDF) < base || df >= 100
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: all three scorers are deterministic and finite over random
+// sane inputs.
+func TestScorersFiniteProperty(t *testing.T) {
+	scorers := []Scorer{NewPivotedTFIDF(), NewBM25(), NewDirichletLM()}
+	f := func(tfRaw, dfRaw, tcRaw uint8, nRaw uint16) bool {
+		n := int64(nRaw%1000) + 2
+		df := int64(dfRaw)%n + 1
+		tc := int64(tcRaw) + df
+		tf := int64(tfRaw%20) + 1
+		q := NewQueryStats([]string{"w"})
+		d := DocStats{TF: map[string]int64{"w": tf}, Len: 20}
+		c := CollectionStats{N: n, TotalLen: n * 20,
+			DF: map[string]int64{"w": df}, TC: map[string]int64{"w": tc}}
+		for _, s := range scorers {
+			v := s.Score(q, d, c)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+			if v != s.Score(q, d, c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCosineTFIDF(t *testing.T) {
+	s := NewCosineTFIDF()
+	if s.Name() != "cosine-tfidf" {
+		t.Error("name")
+	}
+	q := NewQueryStats([]string{"w"})
+	c := CollectionStats{N: 100, TotalLen: 1000, DF: map[string]int64{"w": 10}}
+	d1 := DocStats{TF: map[string]int64{"w": 4}, Len: 16}
+	d2 := DocStats{TF: map[string]int64{"w": 2}, Len: 16}
+	if s.Score(q, d1, c) <= s.Score(q, d2, c) {
+		t.Error("not monotone in tf")
+	}
+	// Longer doc, same tf: lower score.
+	d3 := DocStats{TF: map[string]int64{"w": 4}, Len: 64}
+	if s.Score(q, d1, c) <= s.Score(q, d3, c) {
+		t.Error("length normalization missing")
+	}
+	if got := s.Score(q, DocStats{}, c); got != 0 {
+		t.Errorf("empty doc = %v", got)
+	}
+	if got := s.Score(q, d1, CollectionStats{}); got != 0 {
+		t.Errorf("empty collection = %v", got)
+	}
+}
+
+func TestJelinekMercerLM(t *testing.T) {
+	s := NewJelinekMercerLM()
+	if s.Name() != "jelinek-mercer-lm" {
+		t.Error("name")
+	}
+	q := NewQueryStats([]string{"rare", "common"})
+	c := CollectionStats{
+		N: 1000, TotalLen: 100000,
+		TC: map[string]int64{"rare": 50, "common": 5000},
+	}
+	dRare := DocStats{TF: map[string]int64{"rare": 3, "common": 1}, Len: 100}
+	dCommon := DocStats{TF: map[string]int64{"rare": 1, "common": 3}, Len: 100}
+	if s.Score(q, dRare, c) <= s.Score(q, dCommon, c) {
+		t.Error("rare-term emphasis should win")
+	}
+	if got := s.Score(q, dRare, CollectionStats{}); got != 0 {
+		t.Errorf("empty collection = %v", got)
+	}
+	// Finite on unseen terms.
+	c2 := CollectionStats{N: 10, TotalLen: 100, TC: map[string]int64{}}
+	if v := s.Score(q, dRare, c2); math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Errorf("unseen term = %v", v)
+	}
+}
+
+func TestAllScorersContextReversal(t *testing.T) {
+	// The §1.1 reversal must hold under every model that uses df or tc.
+	q := NewQueryStats([]string{"pancreas", "leukemia"})
+	c1 := DocStats{TF: map[string]int64{"pancreas": 3, "leukemia": 1}, Len: 6}
+	c2 := DocStats{TF: map[string]int64{"leukemia": 3, "pancreas": 1}, Len: 6}
+	global := CollectionStats{
+		N: 1_000_000, TotalLen: 8_000_000,
+		DF: map[string]int64{"pancreas": 3_000, "leukemia": 120_000},
+		TC: map[string]int64{"pancreas": 5_000, "leukemia": 300_000},
+	}
+	context := CollectionStats{
+		N: 60_000, TotalLen: 480_000,
+		DF: map[string]int64{"pancreas": 25_000, "leukemia": 400},
+		TC: map[string]int64{"pancreas": 60_000, "leukemia": 700},
+	}
+	for _, s := range []Scorer{NewPivotedTFIDF(), NewBM25(), NewDirichletLM(), NewJelinekMercerLM(), NewCosineTFIDF()} {
+		if s.Score(q, c1, global) <= s.Score(q, c2, global) {
+			t.Errorf("%s: conventional should prefer C1", s.Name())
+		}
+		if s.Score(q, c2, context) <= s.Score(q, c1, context) {
+			t.Errorf("%s: context should prefer C2", s.Name())
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package trec
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the standard TREC interchange formats, so the
+// synthetic benchmark interoperates with the usual IR tooling
+// (trec_eval-style pipelines):
+//
+//   - qrels:  "topicID 0 docID relevance"
+//   - runs:   "topicID Q0 docID rank score runTag"
+//   - topics: a tab-separated variant carrying the context specification
+//     alongside the keywords ("id<TAB>question<TAB>kw1 kw2<TAB>m1 m2").
+
+// WriteQrels writes judgment sets in TREC qrels format, topics in
+// ascending ID order and documents ascending within a topic.
+func WriteQrels(w io.Writer, qrels map[int]Qrels) error {
+	bw := bufio.NewWriter(w)
+	ids := make([]int, 0, len(qrels))
+	for id := range qrels {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, topic := range ids {
+		docs := make([]int, 0, len(qrels[topic]))
+		for d, rel := range qrels[topic] {
+			if rel {
+				docs = append(docs, d)
+			}
+		}
+		sort.Ints(docs)
+		for _, d := range docs {
+			if _, err := fmt.Fprintf(bw, "%d 0 %d 1\n", topic, d); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadQrels parses TREC qrels. Lines with relevance 0 are kept as
+// explicit negatives (mapped to false); malformed lines are errors.
+func ReadQrels(r io.Reader) (map[int]Qrels, error) {
+	out := make(map[int]Qrels)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 4 {
+			return nil, fmt.Errorf("trec: qrels line %d: %d fields", lineNo, len(f))
+		}
+		topic, err := strconv.Atoi(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("trec: qrels line %d: topic: %w", lineNo, err)
+		}
+		doc, err := strconv.Atoi(f[2])
+		if err != nil {
+			return nil, fmt.Errorf("trec: qrels line %d: doc: %w", lineNo, err)
+		}
+		rel, err := strconv.Atoi(f[3])
+		if err != nil {
+			return nil, fmt.Errorf("trec: qrels line %d: relevance: %w", lineNo, err)
+		}
+		if out[topic] == nil {
+			out[topic] = Qrels{}
+		}
+		out[topic][doc] = rel > 0
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunEntry is one line of a TREC run: a ranked document for a topic.
+type RunEntry struct {
+	Topic int
+	DocID int
+	Rank  int // 1-based
+	Score float64
+}
+
+// WriteRun writes ranked results in TREC run format under the given run
+// tag. Entries are emitted in the order given; callers pass them already
+// ranked.
+func WriteRun(w io.Writer, tag string, entries []RunEntry) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range entries {
+		if _, err := fmt.Fprintf(bw, "%d Q0 %d %d %g %s\n", e.Topic, e.DocID, e.Rank, e.Score, tag); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRun parses a TREC run file, returning entries grouped by topic in
+// file order plus the run tag (from the first line).
+func ReadRun(r io.Reader) (entries []RunEntry, tag string, err error) {
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 6 {
+			return nil, "", fmt.Errorf("trec: run line %d: %d fields", lineNo, len(f))
+		}
+		topic, err := strconv.Atoi(f[0])
+		if err != nil {
+			return nil, "", fmt.Errorf("trec: run line %d: topic: %w", lineNo, err)
+		}
+		doc, err := strconv.Atoi(f[2])
+		if err != nil {
+			return nil, "", fmt.Errorf("trec: run line %d: doc: %w", lineNo, err)
+		}
+		rank, err := strconv.Atoi(f[3])
+		if err != nil {
+			return nil, "", fmt.Errorf("trec: run line %d: rank: %w", lineNo, err)
+		}
+		score, err := strconv.ParseFloat(f[4], 64)
+		if err != nil {
+			return nil, "", fmt.Errorf("trec: run line %d: score: %w", lineNo, err)
+		}
+		if tag == "" {
+			tag = f[5]
+		}
+		entries = append(entries, RunEntry{Topic: topic, DocID: doc, Rank: rank, Score: score})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, "", err
+	}
+	return entries, tag, nil
+}
+
+// RankedToEntries converts a ranked docID list into run entries for one
+// topic, assigning 1-based ranks.
+func RankedToEntries(topic int, ranked []int, scores []float64) []RunEntry {
+	out := make([]RunEntry, len(ranked))
+	for i, d := range ranked {
+		e := RunEntry{Topic: topic, DocID: d, Rank: i + 1}
+		if i < len(scores) {
+			e.Score = scores[i]
+		}
+		out[i] = e
+	}
+	return out
+}
+
+// TopicFile is one topic row of the tab-separated topic format.
+type TopicFile struct {
+	ID       int
+	Question string
+	Keywords []string
+	Context  []string
+}
+
+// WriteTopics writes topics in the tab-separated format.
+func WriteTopics(w io.Writer, topics []TopicFile) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range topics {
+		if strings.ContainsRune(t.Question, '\t') || strings.ContainsRune(t.Question, '\n') {
+			return fmt.Errorf("trec: topic %d question contains tab or newline", t.ID)
+		}
+		if _, err := fmt.Fprintf(bw, "%d\t%s\t%s\t%s\n",
+			t.ID, t.Question, strings.Join(t.Keywords, " "), strings.Join(t.Context, " ")); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTopics parses the tab-separated topic format.
+func ReadTopics(r io.Reader) ([]TopicFile, error) {
+	var out []TopicFile
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		parts := strings.Split(line, "\t")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("trec: topics line %d: %d fields", lineNo, len(parts))
+		}
+		id, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("trec: topics line %d: id: %w", lineNo, err)
+		}
+		out = append(out, TopicFile{
+			ID:       id,
+			Question: parts[1],
+			Keywords: strings.Fields(parts[2]),
+			Context:  strings.Fields(parts[3]),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,144 @@
+package trec
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestQrelsRoundTrip(t *testing.T) {
+	in := map[int]Qrels{
+		1: NewQrels([]int{10, 7}),
+		3: NewQrels([]int{42}),
+	}
+	var buf bytes.Buffer
+	if err := WriteQrels(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadQrels(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Errorf("round trip: %v vs %v", got, in)
+	}
+}
+
+func TestQrelsFormatStable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteQrels(&buf, map[int]Qrels{2: NewQrels([]int{9, 3})}); err != nil {
+		t.Fatal(err)
+	}
+	want := "2 0 3 1\n2 0 9 1\n"
+	if buf.String() != want {
+		t.Errorf("qrels output %q, want %q", buf.String(), want)
+	}
+}
+
+func TestReadQrelsNegativesAndComments(t *testing.T) {
+	in := "# comment\n1 0 5 1\n1 0 6 0\n\n"
+	got, err := ReadQrels(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got[1][5] || got[1][6] {
+		t.Errorf("qrels = %v", got)
+	}
+}
+
+func TestReadQrelsErrors(t *testing.T) {
+	for _, bad := range []string{"1 0 5", "x 0 5 1", "1 0 y 1", "1 0 5 z"} {
+		if _, err := ReadQrels(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestRunRoundTrip(t *testing.T) {
+	entries := []RunEntry{
+		{Topic: 1, DocID: 10, Rank: 1, Score: 3.25},
+		{Topic: 1, DocID: 4, Rank: 2, Score: 1.5},
+		{Topic: 2, DocID: 9, Rank: 1, Score: 0.125},
+	}
+	var buf bytes.Buffer
+	if err := WriteRun(&buf, "csrank-ctx", entries); err != nil {
+		t.Fatal(err)
+	}
+	got, tag, err := ReadRun(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag != "csrank-ctx" {
+		t.Errorf("tag = %q", tag)
+	}
+	if !reflect.DeepEqual(got, entries) {
+		t.Errorf("round trip: %v vs %v", got, entries)
+	}
+}
+
+func TestReadRunErrors(t *testing.T) {
+	for _, bad := range []string{"1 Q0 2 3 4", "x Q0 2 3 4.0 tag", "1 Q0 y 3 4.0 tag", "1 Q0 2 z 4.0 tag", "1 Q0 2 3 zz tag"} {
+		if _, _, err := ReadRun(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestRankedToEntries(t *testing.T) {
+	got := RankedToEntries(7, []int{5, 3}, []float64{2.5, 1.25})
+	want := []RunEntry{
+		{Topic: 7, DocID: 5, Rank: 1, Score: 2.5},
+		{Topic: 7, DocID: 3, Rank: 2, Score: 1.25},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("RankedToEntries = %v", got)
+	}
+	// Short score slice tolerated.
+	got = RankedToEntries(1, []int{5, 3}, []float64{2.5})
+	if got[1].Score != 0 {
+		t.Error("missing score should default to 0")
+	}
+}
+
+func TestTopicsRoundTrip(t *testing.T) {
+	in := []TopicFile{
+		{ID: 1, Question: "What is the role of X in Y?",
+			Keywords: []string{"x", "y"}, Context: []string{"humans", "neoplasms"}},
+		{ID: 2, Question: "Another question", Keywords: []string{"z"}, Context: nil},
+	}
+	var buf bytes.Buffer
+	if err := WriteTopics(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTopics(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != 1 || got[0].Question != in[0].Question {
+		t.Fatalf("round trip: %v", got)
+	}
+	if !reflect.DeepEqual(got[0].Keywords, in[0].Keywords) ||
+		!reflect.DeepEqual(got[0].Context, in[0].Context) {
+		t.Errorf("topic 1 fields: %v", got[0])
+	}
+	if len(got[1].Context) != 0 {
+		t.Errorf("empty context round trip: %v", got[1].Context)
+	}
+}
+
+func TestWriteTopicsRejectsTabs(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteTopics(&buf, []TopicFile{{ID: 1, Question: "bad\tquestion"}})
+	if err == nil {
+		t.Error("tab in question accepted")
+	}
+}
+
+func TestReadTopicsErrors(t *testing.T) {
+	for _, bad := range []string{"1\tq\tk", "x\tq\tk\tc"} {
+		if _, err := ReadTopics(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}

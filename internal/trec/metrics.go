@@ -1,0 +1,158 @@
+// Package trec implements the ranking-quality evaluation harness of §6.1:
+// TREC-style metrics over ranked result lists against gold-standard
+// relevance judgments (qrels), plus the paper's query-qualification
+// filters. Documents are identified by their collection index.
+package trec
+
+import "math"
+
+// MinResultSize and MinRelevant are the paper's qualification filters:
+// "we exclude those queries whose result sets are too small (less than
+// 20), or the corresponding relevant document sets in the gold standard
+// are too small (less than 5)".
+const (
+	MinResultSize = 20
+	MinRelevant   = 5
+)
+
+// Qualifies applies the paper's query-qualification filters.
+func Qualifies(resultSize, relevantCount int) bool {
+	return resultSize >= MinResultSize && relevantCount >= MinRelevant
+}
+
+// Qrels is a gold-standard relevance judgment set for one topic.
+type Qrels map[int]bool
+
+// NewQrels builds a judgment set from a list of relevant document indices.
+func NewQrels(relevant []int) Qrels {
+	q := make(Qrels, len(relevant))
+	for _, d := range relevant {
+		q[d] = true
+	}
+	return q
+}
+
+// PrecisionAtK returns the *count* of relevant documents among the top K
+// of ranked — the unit of the paper's Figures 6a/6b ("the y-axis denotes
+// the number of relevant results in top 20 results"). If ranked is shorter
+// than K, the shorter prefix is used.
+func PrecisionAtK(ranked []int, rel Qrels, k int) int {
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	n := 0
+	for _, d := range ranked[:k] {
+		if rel[d] {
+			n++
+		}
+	}
+	return n
+}
+
+// ReciprocalRank returns 1/position of the first relevant document
+// (1-based), or 0 if none appears — the measure of Figures 6c/6d.
+func ReciprocalRank(ranked []int, rel Qrels) float64 {
+	for i, d := range ranked {
+		if rel[d] {
+			return 1 / float64(i+1)
+		}
+	}
+	return 0
+}
+
+// AveragePrecision returns AP: the mean of precision@rank over the ranks
+// of relevant retrieved documents, normalized by the total number of
+// relevant documents.
+func AveragePrecision(ranked []int, rel Qrels) float64 {
+	if len(rel) == 0 {
+		return 0
+	}
+	hits, sum := 0, 0.0
+	for i, d := range ranked {
+		if rel[d] {
+			hits++
+			sum += float64(hits) / float64(i+1)
+		}
+	}
+	return sum / float64(len(rel))
+}
+
+// NDCGAtK returns the normalized discounted cumulative gain at K with
+// binary gains.
+func NDCGAtK(ranked []int, rel Qrels, k int) float64 {
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	dcg := 0.0
+	for i, d := range ranked[:k] {
+		if rel[d] {
+			dcg += 1 / math.Log2(float64(i)+2)
+		}
+	}
+	ideal := 0.0
+	n := len(rel)
+	if n > k {
+		n = k
+	}
+	for i := 0; i < n; i++ {
+		ideal += 1 / math.Log2(float64(i)+2)
+	}
+	if ideal == 0 {
+		return 0
+	}
+	return dcg / ideal
+}
+
+// TopicResult aggregates the per-query measurements reported in Figure 6
+// for one system.
+type TopicResult struct {
+	TopicID        int
+	PrecisionAt20  int
+	ReciprocalRank float64
+	AP             float64
+	NDCG20         float64
+	ResultSize     int
+}
+
+// Evaluate computes a TopicResult from a ranked list and qrels.
+func Evaluate(topicID int, ranked []int, rel Qrels) TopicResult {
+	return TopicResult{
+		TopicID:        topicID,
+		PrecisionAt20:  PrecisionAtK(ranked, rel, 20),
+		ReciprocalRank: ReciprocalRank(ranked, rel),
+		AP:             AveragePrecision(ranked, rel),
+		NDCG20:         NDCGAtK(ranked, rel, 20),
+		ResultSize:     len(ranked),
+	}
+}
+
+// Summary holds workload-level means (the statistics quoted in §6.1: mean
+// precision and mean reciprocal rank over the 30 queries).
+type Summary struct {
+	Queries       int
+	MeanPrecision float64
+	MRR           float64
+	MAP           float64
+	MeanNDCG20    float64
+}
+
+// Summarize averages a set of per-topic results.
+func Summarize(results []TopicResult) Summary {
+	var s Summary
+	if len(results) == 0 {
+		return s
+	}
+	for _, r := range results {
+		s.MeanPrecision += float64(r.PrecisionAt20)
+		s.MRR += r.ReciprocalRank
+		s.MAP += r.AP
+		s.MeanNDCG20 += r.NDCG20
+	}
+	n := float64(len(results))
+	s.Queries = len(results)
+	s.MeanPrecision /= n
+	s.MRR /= n
+	s.MAP /= n
+	s.MeanNDCG20 /= n
+	return s
+}

@@ -1,0 +1,151 @@
+package trec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestQualifies(t *testing.T) {
+	if !Qualifies(20, 5) {
+		t.Error("boundary should qualify")
+	}
+	if Qualifies(19, 5) || Qualifies(20, 4) {
+		t.Error("below-threshold should not qualify")
+	}
+}
+
+func TestNewQrels(t *testing.T) {
+	q := NewQrels([]int{3, 7, 3})
+	if len(q) != 2 || !q[3] || !q[7] || q[4] {
+		t.Errorf("qrels = %v", q)
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	rel := NewQrels([]int{1, 3, 5})
+	ranked := []int{1, 2, 3, 4, 5, 6}
+	if got := PrecisionAtK(ranked, rel, 3); got != 2 {
+		t.Errorf("P@3 = %d, want 2", got)
+	}
+	if got := PrecisionAtK(ranked, rel, 6); got != 3 {
+		t.Errorf("P@6 = %d, want 3", got)
+	}
+	if got := PrecisionAtK(ranked, rel, 100); got != 3 {
+		t.Errorf("P@100 = %d, want 3 (short list)", got)
+	}
+	if got := PrecisionAtK(nil, rel, 20); got != 0 {
+		t.Errorf("P over empty = %d", got)
+	}
+}
+
+func TestReciprocalRank(t *testing.T) {
+	rel := NewQrels([]int{5})
+	if got := ReciprocalRank([]int{5, 1, 2}, rel); !approx(got, 1) {
+		t.Errorf("RR = %v, want 1", got)
+	}
+	if got := ReciprocalRank([]int{1, 2, 5}, rel); !approx(got, 1.0/3) {
+		t.Errorf("RR = %v, want 1/3", got)
+	}
+	if got := ReciprocalRank([]int{1, 2}, rel); got != 0 {
+		t.Errorf("RR with no hit = %v", got)
+	}
+}
+
+func TestAveragePrecision(t *testing.T) {
+	rel := NewQrels([]int{1, 2})
+	// Ranked: rel at positions 1 and 3 -> AP = (1/1 + 2/3)/2.
+	got := AveragePrecision([]int{1, 9, 2}, rel)
+	want := (1.0 + 2.0/3.0) / 2
+	if !approx(got, want) {
+		t.Errorf("AP = %v, want %v", got, want)
+	}
+	if AveragePrecision([]int{1}, Qrels{}) != 0 {
+		t.Error("AP with empty qrels should be 0")
+	}
+}
+
+func TestNDCG(t *testing.T) {
+	rel := NewQrels([]int{1})
+	if got := NDCGAtK([]int{1, 2}, rel, 2); !approx(got, 1) {
+		t.Errorf("perfect NDCG = %v", got)
+	}
+	got := NDCGAtK([]int{2, 1}, rel, 2)
+	want := (1 / math.Log2(3)) / 1
+	if !approx(got, want) {
+		t.Errorf("NDCG = %v, want %v", got, want)
+	}
+	if NDCGAtK([]int{2}, Qrels{}, 5) != 0 {
+		t.Error("NDCG with empty qrels should be 0")
+	}
+}
+
+func TestEvaluateAndSummarize(t *testing.T) {
+	rel := NewQrels([]int{1, 2, 3, 4, 5})
+	r := Evaluate(7, []int{1, 9, 2, 8, 3}, rel)
+	if r.TopicID != 7 || r.PrecisionAt20 != 3 || !approx(r.ReciprocalRank, 1) {
+		t.Errorf("Evaluate = %+v", r)
+	}
+	if r.ResultSize != 5 {
+		t.Errorf("ResultSize = %d", r.ResultSize)
+	}
+	s := Summarize([]TopicResult{
+		{PrecisionAt20: 10, ReciprocalRank: 1},
+		{PrecisionAt20: 6, ReciprocalRank: 0.5},
+	})
+	if s.Queries != 2 || !approx(s.MeanPrecision, 8) || !approx(s.MRR, 0.75) {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if got := Summarize(nil); got.Queries != 0 {
+		t.Errorf("empty Summarize = %+v", got)
+	}
+}
+
+// Property: metrics are bounded — 0 ≤ RR, AP, NDCG ≤ 1 and
+// 0 ≤ P@K ≤ min(K, |rel|).
+func TestMetricBoundsProperty(t *testing.T) {
+	f := func(rankedRaw []uint8, relRaw []uint8, kRaw uint8) bool {
+		ranked := make([]int, len(rankedRaw))
+		for i, v := range rankedRaw {
+			ranked[i] = int(v)
+		}
+		var relList []int
+		for _, v := range relRaw {
+			relList = append(relList, int(v))
+		}
+		rel := NewQrels(relList)
+		k := int(kRaw%30) + 1
+		p := PrecisionAtK(ranked, rel, k)
+		if p < 0 || p > k || p > len(rel) {
+			return false
+		}
+		for _, v := range []float64{ReciprocalRank(ranked, rel), AveragePrecision(ranked, rel), NDCGAtK(ranked, rel, k)} {
+			if v < 0 || v > 1+1e-12 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a ranking with all relevant documents first maximizes every
+// metric relative to any other permutation prefix.
+func TestPerfectRankingProperty(t *testing.T) {
+	rel := NewQrels([]int{0, 1, 2})
+	perfect := []int{0, 1, 2, 3, 4}
+	worst := []int{3, 4, 0, 1, 2}
+	if AveragePrecision(perfect, rel) < AveragePrecision(worst, rel) {
+		t.Error("AP ordering violated")
+	}
+	if NDCGAtK(perfect, rel, 5) < NDCGAtK(worst, rel, 5) {
+		t.Error("NDCG ordering violated")
+	}
+	if !approx(AveragePrecision(perfect, rel), 1) {
+		t.Error("perfect AP != 1")
+	}
+}

@@ -1,0 +1,192 @@
+package views
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Catalog holds the materialized views selected for a collection, plus
+// the selection thresholds, and answers the query-time matching question:
+// which usable view (if any) should compute the statistics of context P?
+// Per §6.3, when several views are usable the one with minimal size wins,
+// since answering cost is proportional to ViewSize.
+type Catalog struct {
+	views []*View
+	// ContextThreshold is T_C: contexts at least this large are covered.
+	ContextThreshold int64
+	// ViewSizeLimit is T_V: the maximum non-empty tuple count per view.
+	ViewSizeLimit int
+}
+
+// NewCatalog builds a catalog from materialized views. Views are kept in
+// ascending size order so Match scans from the cheapest candidate.
+func NewCatalog(vs []*View, tc int64, tv int) *Catalog {
+	sorted := append([]*View(nil), vs...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Size() < sorted[j].Size() })
+	return &Catalog{views: sorted, ContextThreshold: tc, ViewSizeLimit: tv}
+}
+
+// Views returns the catalog's views in ascending size order.
+func (c *Catalog) Views() []*View { return c.views }
+
+// Len returns the number of views.
+func (c *Catalog) Len() int { return len(c.views) }
+
+// Match returns the smallest usable view for context p, or nil if no view
+// covers p (the engine then falls back to the straightforward
+// evaluation).
+func (c *Catalog) Match(p []string) *View {
+	for _, v := range c.views {
+		if v.Usable(p) {
+			return v
+		}
+	}
+	return nil
+}
+
+// MatchFirst returns the first view (in insertion order before sorting,
+// i.e. arbitrary) that is usable — the naive matching policy used by the
+// view-matching ablation. Production code should use Match.
+func (c *Catalog) MatchFirst(p []string) *View {
+	for i := len(c.views) - 1; i >= 0; i-- {
+		if c.views[i].Usable(p) {
+			return c.views[i]
+		}
+	}
+	return nil
+}
+
+// TotalBytes returns the summed storage estimate of all views (the §6.2
+// "total storage of the materialized views").
+func (c *Catalog) TotalBytes() int64 {
+	var b int64
+	for _, v := range c.views {
+		b += v.Bytes()
+	}
+	return b
+}
+
+// MaxBytes returns the largest single-view storage estimate.
+func (c *Catalog) MaxBytes() int64 {
+	var m int64
+	for _, v := range c.views {
+		if b := v.Bytes(); b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// MeanSize returns the average non-empty tuple count across views.
+func (c *Catalog) MeanSize() float64 {
+	if len(c.views) == 0 {
+		return 0
+	}
+	var s int64
+	for _, v := range c.views {
+		s += int64(v.Size())
+	}
+	return float64(s) / float64(len(c.views))
+}
+
+// persistence ----------------------------------------------------------
+
+type persistentGroup struct {
+	Key   string
+	Count int64
+	Len   int64
+	DF    map[string]int64
+	TC    map[string]int64
+}
+
+type persistentView struct {
+	K       []string
+	Tracked []string
+	Groups  []persistentGroup
+}
+
+type persistentCatalog struct {
+	ContextThreshold int64
+	ViewSizeLimit    int
+	Views            []persistentView
+}
+
+// Encode serializes the catalog with encoding/gob.
+func (c *Catalog) Encode(w io.Writer) error {
+	p := persistentCatalog{
+		ContextThreshold: c.ContextThreshold,
+		ViewSizeLimit:    c.ViewSizeLimit,
+		Views:            make([]persistentView, len(c.views)),
+	}
+	for i, v := range c.views {
+		pv := persistentView{K: v.k, Tracked: v.TrackedWords()}
+		for key, g := range v.groups {
+			pv.Groups = append(pv.Groups, persistentGroup{
+				Key: key, Count: g.Count, Len: g.Len, DF: g.DF, TC: g.TC,
+			})
+		}
+		// Deterministic output order.
+		sort.Slice(pv.Groups, func(a, b int) bool { return pv.Groups[a].Key < pv.Groups[b].Key })
+		p.Views[i] = pv
+	}
+	return gob.NewEncoder(w).Encode(&p)
+}
+
+// Decode deserializes a catalog written by Encode.
+func Decode(r io.Reader) (*Catalog, error) {
+	var p persistentCatalog
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("views: decode: %w", err)
+	}
+	vs := make([]*View, len(p.Views))
+	for i, pv := range p.Views {
+		v := newView(pv.K)
+		for _, w := range pv.Tracked {
+			v.tracked[w] = true
+		}
+		for _, g := range pv.Groups {
+			grp := &Group{Count: g.Count, Len: g.Len, DF: g.DF, TC: g.TC}
+			if grp.DF == nil {
+				grp.DF = make(map[string]int64)
+			}
+			if grp.TC == nil {
+				grp.TC = make(map[string]int64)
+			}
+			v.groups[g.Key] = grp
+		}
+		vs[i] = v
+	}
+	return NewCatalog(vs, p.ContextThreshold, p.ViewSizeLimit), nil
+}
+
+// SaveFile writes the catalog to path.
+func (c *Catalog) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := c.Encode(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a catalog written by SaveFile.
+func LoadFile(path string) (*Catalog, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(bufio.NewReaderSize(f, 1<<20))
+}

@@ -1,0 +1,95 @@
+package views
+
+// Incremental maintenance: materialized views are group-by aggregates
+// with distributive functions (COUNT, SUM), so appending or removing a
+// document touches exactly one group per view — no re-materialization.
+// This covers the operational gap the paper leaves open (PubMed grows by
+// thousands of citations a day while the MeSH vocabulary, and therefore
+// the selected K sets, stays stable).
+
+// DocUpdate describes one document for incremental view maintenance.
+type DocUpdate struct {
+	// Predicates are the document's predicate terms (after annotation
+	// closure), in any order.
+	Predicates []string
+	// Len is the document's content length len(d).
+	Len int64
+	// TF maps content words to their term frequency in the document;
+	// only words a view tracks contribute to that view.
+	TF map[string]int64
+}
+
+// Apply folds one appended document into the view: the document's bit
+// pattern over K is computed and that single group's aggregates are
+// incremented (the group is created if it was empty).
+func (v *View) Apply(u DocUpdate) {
+	key := v.patternOf(u.Predicates)
+	g := v.groups[key]
+	if g == nil {
+		g = &Group{DF: make(map[string]int64), TC: make(map[string]int64)}
+		v.groups[key] = g
+	}
+	g.Count++
+	g.Len += u.Len
+	for w, tf := range u.TF {
+		if tf > 0 && v.tracked[w] {
+			g.DF[w]++
+			g.TC[w] += tf
+		}
+	}
+}
+
+// Remove folds one deleted document out of the view. The caller must
+// pass the same DocUpdate the document was applied with; removing an
+// unknown document corrupts the aggregates silently (as with any
+// distributive-view maintenance), so ingestion pipelines must log
+// updates. A group whose count reaches zero is dropped, keeping
+// ViewSize equal to the number of non-empty tuples.
+func (v *View) Remove(u DocUpdate) {
+	key := v.patternOf(u.Predicates)
+	g := v.groups[key]
+	if g == nil {
+		return
+	}
+	g.Count--
+	g.Len -= u.Len
+	for w, tf := range u.TF {
+		if tf > 0 && v.tracked[w] {
+			g.DF[w]--
+			g.TC[w] -= tf
+			if g.DF[w] <= 0 {
+				delete(g.DF, w)
+				delete(g.TC, w)
+			}
+		}
+	}
+	if g.Count <= 0 {
+		delete(v.groups, key)
+	}
+}
+
+// patternOf packs the membership bit pattern of the given predicate
+// terms over K.
+func (v *View) patternOf(predicates []string) string {
+	buf := make([]byte, (len(v.k)+7)/8)
+	for _, p := range predicates {
+		if pos, ok := v.pos[p]; ok {
+			buf[pos/8] |= 1 << (pos % 8)
+		}
+	}
+	return string(buf)
+}
+
+// Apply folds one appended document into every view of the catalog.
+func (c *Catalog) Apply(u DocUpdate) {
+	for _, v := range c.views {
+		v.Apply(u)
+	}
+}
+
+// Remove folds one deleted document out of every view of the catalog.
+func (c *Catalog) Remove(u DocUpdate) {
+	for _, v := range c.views {
+		v.Remove(u)
+	}
+}

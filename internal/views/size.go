@@ -1,0 +1,72 @@
+package views
+
+import (
+	"math/rand"
+
+	"csrank/internal/widetable"
+)
+
+// EstimateSize implements the sampling-based ViewSize(·) estimator of
+// §4.3: sample documents, map each to its bit pattern over k, and scale
+// the number of distinct non-empty patterns. It never materializes the
+// view, so view-selection algorithms can probe many candidate K sets
+// cheaply.
+//
+// sample ≤ 0 or ≥ NumDocs degenerates to the exact count. The estimate is
+// the distinct-pattern count among sampled documents — a lower-bound
+// estimator, which is the safe direction for the selection constraint
+// ViewSize ≤ T_V only when combined with a margin; ExactSize is used by
+// tests and by final materialization to enforce the real bound.
+func EstimateSize(t *widetable.Table, k []string, sample int, rng *rand.Rand) int {
+	cols, ok := resolveCols(t, k)
+	if !ok {
+		return 0
+	}
+	n := t.NumDocs()
+	idx := make([]int, 0, n)
+	if sample <= 0 || sample >= n {
+		for d := 0; d < n; d++ {
+			idx = append(idx, d)
+		}
+	} else {
+		idx = rng.Perm(n)[:sample]
+	}
+	return distinctPatterns(t, cols, idx)
+}
+
+// ExactSize counts the exact number of non-empty groups of V_k without
+// materializing aggregates.
+func ExactSize(t *widetable.Table, k []string) int {
+	return EstimateSize(t, k, 0, nil)
+}
+
+func resolveCols(t *widetable.Table, k []string) ([]widetable.ColID, bool) {
+	cols := make([]widetable.ColID, len(k))
+	for i, name := range k {
+		id, ok := t.ColumnID(name)
+		if !ok {
+			return nil, false
+		}
+		cols[i] = id
+	}
+	return cols, true
+}
+
+func distinctPatterns(t *widetable.Table, cols []widetable.ColID, docs []int) int {
+	seen := make(map[string]bool)
+	buf := make([]byte, (len(cols)+7)/8)
+	for _, d := range docs {
+		for i := range buf {
+			buf[i] = 0
+		}
+		for i, c := range cols {
+			if t.Has(d, c) {
+				buf[i/8] |= 1 << (i % 8)
+			}
+		}
+		if !seen[string(buf)] {
+			seen[string(buf)] = true
+		}
+	}
+	return len(seen)
+}

@@ -1,0 +1,248 @@
+// Package views implements the materialized-view technique of §4: a view
+// V_K groups the wide sparse table by a set K of keyword columns and
+// stores, per non-empty group, the aggregated parameters that
+// collection-specific statistics need — COUNT(*) (context cardinality),
+// SUM(len(d)) (context length), and per-tracked-word document counts and
+// term counts (df/tc columns, kept only for frequent words per the §6.2
+// storage optimization).
+//
+// Answering S_c(D_P) from a usable view (P ⊆ K, Theorem 4.1) scans the
+// view's non-empty groups and sums those whose bit pattern covers P —
+// O(ViewSize) regardless of the context size (Theorem 4.2).
+package views
+
+import (
+	"fmt"
+	"sort"
+
+	"csrank/internal/postings"
+	"csrank/internal/widetable"
+)
+
+// Group is the aggregate of one GROUP BY partition: the documents sharing
+// one membership bit pattern over K.
+type Group struct {
+	// Count is COUNT(*) over the partition.
+	Count int64
+	// Len is SUM(len(d)) over the partition.
+	Len int64
+	// DF maps tracked word w to the number of partition documents
+	// containing w. Sparse: absent means 0.
+	DF map[string]int64
+	// TC maps tracked word w to SUM(tf(d, w)) over the partition.
+	TC map[string]int64
+}
+
+// View is a materialized view V_K.
+type View struct {
+	// k holds the keyword columns K, sorted.
+	k []string
+	// pos maps a keyword to its bit position within the pattern.
+	pos map[string]int
+	// groups maps the packed bit pattern (little-endian bytes, bit i =
+	// membership in k[i]) to the partition aggregate. Only non-empty
+	// partitions are present.
+	groups map[string]*Group
+	// tracked is the set of words with df/tc columns.
+	tracked map[string]bool
+}
+
+// ContextStats is the bundle of collection-specific statistics for one
+// context, as answered by a view or computed directly.
+type ContextStats struct {
+	// Count is |D_P|.
+	Count int64
+	// Len is len(D_P).
+	Len int64
+	// DF maps each requested word w to df(w, D_P).
+	DF map[string]int64
+	// TC maps each requested word w to tc(w, D_P).
+	TC map[string]int64
+}
+
+// Materialize builds V_K from the wide sparse table. K is deduplicated
+// and sorted; trackedWords selects the df/tc parameter columns (words
+// absent from the table's tf columns are ignored). Unknown keyword
+// columns are an error.
+func Materialize(t *widetable.Table, k []string, trackedWords []string) (*View, error) {
+	v := newView(k)
+	cols := make([]widetable.ColID, len(v.k))
+	for i, name := range v.k {
+		id, ok := t.ColumnID(name)
+		if !ok {
+			return nil, fmt.Errorf("views: unknown keyword column %q", name)
+		}
+		cols[i] = id
+	}
+	words := make([]string, 0, len(trackedWords))
+	for _, w := range trackedWords {
+		if t.Tracked(w) {
+			words = append(words, w)
+			v.tracked[w] = true
+		}
+	}
+
+	// Pass 1: group every document by its membership pattern, keeping the
+	// per-document group so the sparse tf columns can be folded in
+	// without probing every (document, word) pair.
+	docGroup := make([]*Group, t.NumDocs())
+	buf := make([]byte, (len(v.k)+7)/8)
+	for d := 0; d < t.NumDocs(); d++ {
+		for i := range buf {
+			buf[i] = 0
+		}
+		for i, c := range cols {
+			if t.Has(d, c) {
+				buf[i/8] |= 1 << (i % 8)
+			}
+		}
+		key := string(buf)
+		g := v.groups[key]
+		if g == nil {
+			g = &Group{DF: make(map[string]int64), TC: make(map[string]int64)}
+			v.groups[key] = g
+		}
+		g.Count++
+		g.Len += t.Len(d)
+		docGroup[d] = g
+	}
+	// Pass 2: per tracked word, walk its sparse column — cost is the
+	// word's document frequency, not the collection size.
+	for _, w := range words {
+		for docID, tf := range t.TFColumn(w) {
+			if tf > 0 {
+				g := docGroup[docID]
+				g.DF[w]++
+				g.TC[w] += tf
+			}
+		}
+	}
+	return v, nil
+}
+
+func newView(k []string) *View {
+	ks := append([]string(nil), k...)
+	sort.Strings(ks)
+	ks = dedupSorted(ks)
+	v := &View{
+		k:       ks,
+		pos:     make(map[string]int, len(ks)),
+		groups:  make(map[string]*Group),
+		tracked: make(map[string]bool),
+	}
+	for i, name := range ks {
+		v.pos[name] = i
+	}
+	return v
+}
+
+func dedupSorted(s []string) []string {
+	out := s[:0]
+	for i, x := range s {
+		if i == 0 || x != s[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// K returns the view's keyword columns, sorted. Callers must not modify
+// the returned slice.
+func (v *View) K() []string { return v.k }
+
+// Size returns ViewSize(V_K): the number of non-empty groups.
+func (v *View) Size() int { return len(v.groups) }
+
+// TracksWord reports whether the view stores df/tc columns for w.
+func (v *View) TracksWord(w string) bool { return v.tracked[w] }
+
+// TrackedWords returns the words with df/tc columns, sorted.
+func (v *View) TrackedWords() []string {
+	out := make([]string, 0, len(v.tracked))
+	for w := range v.tracked {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Usable implements Theorem 4.1's second condition: the view can answer
+// statistics for context P iff P ⊆ K. (The first condition — the view
+// carries the needed parameter column — is per-statistic: Count/Len are
+// always stored; df/tc require TracksWord.)
+func (v *View) Usable(p []string) bool {
+	for _, m := range p {
+		if _, ok := v.pos[m]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Answer computes the collection-specific statistics of context p from
+// the view: |D_P|, len(D_P), and df/tc for every requested word the view
+// tracks (untracked words are simply absent from the result maps — the
+// caller computes them at query time per §6.2). The scan cost — one pass
+// over the non-empty groups — is recorded in st.ViewGroupsScanned.
+// Answer returns an error if the view is not usable for p.
+func (v *View) Answer(p []string, words []string, st *postings.Stats) (ContextStats, error) {
+	need := make([]int, len(p))
+	for i, m := range p {
+		pos, ok := v.pos[m]
+		if !ok {
+			return ContextStats{}, fmt.Errorf("views: view %v not usable for context %v", v.k, p)
+		}
+		need[i] = pos
+	}
+	res := ContextStats{DF: make(map[string]int64), TC: make(map[string]int64)}
+	var reqTracked []string
+	for _, w := range words {
+		if v.tracked[w] {
+			reqTracked = append(reqTracked, w)
+		}
+	}
+	scanned := int64(0)
+	for key, g := range v.groups {
+		scanned++
+		if !patternCovers(key, need) {
+			continue
+		}
+		res.Count += g.Count
+		res.Len += g.Len
+		for _, w := range reqTracked {
+			if df := g.DF[w]; df > 0 {
+				res.DF[w] += df
+				res.TC[w] += g.TC[w]
+			}
+		}
+	}
+	if st != nil {
+		st.ViewGroupsScanned += scanned
+	}
+	return res, nil
+}
+
+func patternCovers(key string, need []int) bool {
+	for _, pos := range need {
+		if key[pos/8]&(1<<(pos%8)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Bytes estimates the view's storage footprint: per group, the packed
+// pattern plus two 8-byte aggregates plus 12 bytes per sparse df/tc
+// entry (a word reference and a packed count pair).
+func (v *View) Bytes() int64 {
+	var b int64
+	for key, g := range v.groups {
+		b += int64(len(key)) + 16 + int64(len(g.DF))*12
+	}
+	return b
+}
+
+// String implements fmt.Stringer.
+func (v *View) String() string {
+	return fmt.Sprintf("View{|K|=%d, size=%d}", len(v.k), v.Size())
+}

@@ -1,0 +1,225 @@
+// Package widetable implements the relational formalization of §4.1: the
+// document collection as a wide sparse table T whose keyword columns mark
+// predicate-term membership (one column per context-specifiable keyword)
+// and whose parameter columns carry the per-document values that
+// collection-specific statistics aggregate (len(d), tf(d, w) for tracked
+// content words).
+//
+// The table evaluates aggregation queries directly — SELECT Agg(param)
+// FROM T WHERE m_j1 = 1 AND … — by scanning all rows. That O(|D|) scan is
+// exactly what materialized views avoid; the table therefore serves both
+// as the materialization source and as the semantic oracle the views
+// package is differential-tested against.
+package widetable
+
+import (
+	"fmt"
+	"sort"
+
+	"csrank/internal/index"
+)
+
+// ColID identifies a keyword column.
+type ColID int32
+
+// Table is the wide sparse table T.
+type Table struct {
+	numDocs int
+	cols    []string
+	colID   map[string]ColID
+	// rows[d] lists the keyword columns set to 1 for document d, sorted.
+	rows [][]ColID
+	// lens[d] is the parameter column len(d).
+	lens []int64
+	// tf holds the tf(d, w) parameter columns for tracked words:
+	// tf[w][d] (sparse per word).
+	tf map[string]map[uint32]int64
+}
+
+// FromIndex builds the table from an index: keyword columns are the
+// predicate-field terms, len(d) comes from the content field, and tf
+// parameter columns are created for trackedWords (the content keywords
+// whose df/tc statistics views will answer).
+func FromIndex(ix *index.Index, trackedWords []string) *Table {
+	schema := ix.Schema()
+	keywords := ix.Terms(schema.PredicateField)
+	t := &Table{
+		numDocs: ix.NumDocs(),
+		cols:    keywords,
+		colID:   make(map[string]ColID, len(keywords)),
+		rows:    make([][]ColID, ix.NumDocs()),
+		lens:    make([]int64, ix.NumDocs()),
+		tf:      make(map[string]map[uint32]int64, len(trackedWords)),
+	}
+	for i, k := range keywords {
+		t.colID[k] = ColID(i)
+	}
+	for d := 0; d < ix.NumDocs(); d++ {
+		t.lens[d] = ix.FieldLen(uint32(d), schema.ContentField)
+	}
+	// Invert predicate postings into per-row column sets. Iterating terms
+	// in sorted order appends ascending ColIDs per row.
+	for i, k := range keywords {
+		l := ix.Postings(schema.PredicateField, k)
+		for _, p := range l.Postings() {
+			t.rows[p.DocID] = append(t.rows[p.DocID], ColID(i))
+		}
+	}
+	for _, w := range trackedWords {
+		l := ix.Postings(schema.ContentField, w)
+		if l == nil {
+			continue
+		}
+		m := make(map[uint32]int64, l.Len())
+		for _, p := range l.Postings() {
+			m[p.DocID] = int64(p.TF)
+		}
+		t.tf[w] = m
+	}
+	return t
+}
+
+// NumDocs returns the number of rows.
+func (t *Table) NumDocs() int { return t.numDocs }
+
+// Keywords returns the keyword column names in column order.
+func (t *Table) Keywords() []string { return t.cols }
+
+// ColumnID resolves a keyword column name.
+func (t *Table) ColumnID(name string) (ColID, bool) {
+	id, ok := t.colID[name]
+	return id, ok
+}
+
+// TrackedWords returns the words with tf parameter columns, sorted.
+func (t *Table) TrackedWords() []string {
+	out := make([]string, 0, len(t.tf))
+	for w := range t.tf {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Row returns the keyword columns set for document d (sorted ascending).
+// The returned slice is shared and must not be modified.
+func (t *Table) Row(d int) []ColID { return t.rows[d] }
+
+// Has reports whether row d has keyword column c set.
+func (t *Table) Has(d int, c ColID) bool {
+	row := t.rows[d]
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= c })
+	return i < len(row) && row[i] == c
+}
+
+// Len returns the len(d) parameter of row d.
+func (t *Table) Len(d int) int64 { return t.lens[d] }
+
+// TF returns the tf(d, w) parameter, or 0 if w is untracked or absent.
+func (t *Table) TF(w string, d int) int64 { return t.tf[w][uint32(d)] }
+
+// Tracked reports whether w has a tf parameter column.
+func (t *Table) Tracked(w string) bool {
+	_, ok := t.tf[w]
+	return ok
+}
+
+// TFColumn returns w's sparse tf parameter column (docID → tf), or nil if
+// untracked. The returned map is shared and must not be modified; it lets
+// view materialization iterate only the documents containing w instead of
+// probing every document.
+func (t *Table) TFColumn(w string) map[uint32]int64 { return t.tf[w] }
+
+// resolve maps predicate names to column IDs, failing on unknown columns.
+func (t *Table) resolve(pred []string) ([]ColID, error) {
+	ids := make([]ColID, len(pred))
+	for i, p := range pred {
+		id, ok := t.colID[p]
+		if !ok {
+			return nil, fmt.Errorf("widetable: unknown keyword column %q", p)
+		}
+		ids[i] = id
+	}
+	return ids, nil
+}
+
+func (t *Table) matches(d int, ids []ColID) bool {
+	for _, id := range ids {
+		if !t.Has(d, id) {
+			return false
+		}
+	}
+	return true
+}
+
+// Count evaluates SELECT COUNT(*) FROM T WHERE pred=1…: the context
+// cardinality |D_P|.
+func (t *Table) Count(pred []string) (int64, error) {
+	ids, err := t.resolve(pred)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for d := 0; d < t.numDocs; d++ {
+		if t.matches(d, ids) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// SumLen evaluates SELECT SUM(len(d)) FROM T WHERE pred=1…: the context
+// length len(D_P).
+func (t *Table) SumLen(pred []string) (int64, error) {
+	ids, err := t.resolve(pred)
+	if err != nil {
+		return 0, err
+	}
+	var sum int64
+	for d := 0; d < t.numDocs; d++ {
+		if t.matches(d, ids) {
+			sum += t.lens[d]
+		}
+	}
+	return sum, nil
+}
+
+// DF evaluates SELECT COUNT(*) FROM T WHERE pred=1… AND tf(d,w) > 0:
+// the document count df(w, D_P). The word must be tracked.
+func (t *Table) DF(w string, pred []string) (int64, error) {
+	ids, err := t.resolve(pred)
+	if err != nil {
+		return 0, err
+	}
+	col, ok := t.tf[w]
+	if !ok {
+		return 0, fmt.Errorf("widetable: word %q has no tf column", w)
+	}
+	var n int64
+	for d := range col {
+		if t.matches(int(d), ids) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// TC evaluates SELECT SUM(tf(d,w)) FROM T WHERE pred=1…: the term count
+// tc(w, D_P). The word must be tracked.
+func (t *Table) TC(w string, pred []string) (int64, error) {
+	ids, err := t.resolve(pred)
+	if err != nil {
+		return 0, err
+	}
+	col, ok := t.tf[w]
+	if !ok {
+		return 0, fmt.Errorf("widetable: word %q has no tf column", w)
+	}
+	var sum int64
+	for d, tf := range col {
+		if t.matches(int(d), ids) {
+			sum += tf
+		}
+	}
+	return sum, nil
+}
