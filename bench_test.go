@@ -12,6 +12,7 @@ package csrank
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -20,6 +21,7 @@ import (
 	"csrank/internal/mining"
 	"csrank/internal/postings"
 	"csrank/internal/query"
+	"csrank/internal/ranking"
 	"csrank/internal/selection"
 	"csrank/internal/views"
 )
@@ -329,8 +331,8 @@ func BenchmarkAblationDFColumns(b *testing.B) {
 		b.Fatal(err)
 	}
 	q := qs[0]
-	engFull := core.New(s.Index, views.NewCatalog([]*views.View{full}, s.Scale.TC(), s.Scale.TV), core.Options{})
-	engBare := core.New(s.Index, views.NewCatalog([]*views.View{bare}, s.Scale.TC(), s.Scale.TV), core.Options{})
+	engFull := core.New(s.Index, views.NewCatalog([]*views.View{full}, s.Scale.TC(), s.Scale.TV), core.Options{Parallelism: 1})
+	engBare := core.New(s.Index, views.NewCatalog([]*views.View{bare}, s.Scale.TC(), s.Scale.TV), core.Options{Parallelism: 1})
 	b.Run("tracked-df-columns", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, _, err := engFull.SearchContextSensitive(q, 20); err != nil {
@@ -388,8 +390,8 @@ func BenchmarkAblationStatsCache(b *testing.B) {
 		b.Skip("no large contexts")
 	}
 	q := qs[0]
-	plain := core.New(s.Index, s.Catalog, core.Options{})
-	cached := core.New(s.Index, s.Catalog, core.Options{CacheContexts: 64})
+	plain := core.New(s.Index, s.Catalog, core.Options{Parallelism: 1})
+	cached := core.New(s.Index, s.Catalog, core.Options{Parallelism: 1, CacheContexts: 64})
 	b.Run("uncached", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, _, err := plain.SearchContextSensitive(q, 20); err != nil {
@@ -429,6 +431,95 @@ func BenchmarkConcurrentThroughput(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkParallelSearch measures intra-query parallelism over the
+// Figure 7 large-context workload: the same queries at increasing
+// Options.Parallelism, for the straightforward plan (dominated by the
+// per-keyword statistics intersections the worker pool fans out) and the
+// view plan. Speedup requires GOMAXPROCS > 1; on a single-CPU host every
+// worker count collapses onto one core and only the coordination
+// overhead is visible.
+func BenchmarkParallelSearch(b *testing.B) {
+	s := getBenchSetup(b)
+	large, _ := getWorkloads(b)
+	var qs []query.Query
+	for n := 2; n <= 5; n++ {
+		qs = append(qs, large.ByKeywords[n]...)
+	}
+	if len(qs) == 0 {
+		b.Skip("no workload")
+	}
+	counts := []int{1, 2, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 2 && g != 4 {
+		counts = append(counts, g)
+	}
+	for _, p := range counts {
+		straight := core.New(s.Index, nil, core.Options{Parallelism: p})
+		viewed := core.New(s.Index, s.Catalog, core.Options{Parallelism: p})
+		b.Run(fmt.Sprintf("straightforward/workers=%d", p), func(b *testing.B) {
+			runQueryBench(b, qs, straight, straight.SearchStraightforward)
+		})
+		b.Run(fmt.Sprintf("views/workers=%d", p), func(b *testing.B) {
+			runQueryBench(b, qs, viewed, viewed.SearchContextSensitive)
+		})
+	}
+}
+
+// BenchmarkScoreHotPath isolates the per-document scoring loop: the
+// legacy path writes a map[string]int64 per document and the scorer reads
+// it back by key; the term-indexed path fills a reused []int64 and the
+// scorer walks parallel slices. Same formula, same floating-point order,
+// zero map operations and zero allocations on the indexed path.
+func BenchmarkScoreHotPath(b *testing.B) {
+	const nDocs = 4096
+	terms := []string{"pancreas", "leukemia", "transplant", "outcome"}
+	qs := ranking.NewQueryStats(terms)
+	cs := ranking.CollectionStats{
+		N:        100000,
+		TotalLen: 12000000,
+		DF:       map[string]int64{"pancreas": 900, "leukemia": 1400, "transplant": 300, "outcome": 5200},
+		TC:       map[string]int64{"pancreas": 2100, "leukemia": 3300, "transplant": 410, "outcome": 9800},
+	}
+	rng := rand.New(rand.NewSource(17))
+	tfs := make([][]int64, nDocs)
+	lens := make([]int64, nDocs)
+	for i := range tfs {
+		row := make([]int64, len(terms))
+		for j := range row {
+			row[j] = int64(rng.Intn(6)) // 0 is common: conjunctive TFs vary
+		}
+		tfs[i] = row
+		lens[i] = int64(40 + rng.Intn(400))
+	}
+	scorer := ranking.NewPivotedTFIDF()
+	var sink float64
+
+	b.Run("map", func(b *testing.B) {
+		b.ReportAllocs()
+		tf := make(map[string]int64, len(terms))
+		for i := 0; i < b.N; i++ {
+			d := i % nDocs
+			for j, w := range terms {
+				tf[w] = tfs[d][j]
+			}
+			ds := ranking.DocStats{TF: tf, Len: lens[d]}
+			sink += scorer.Score(qs, ds, cs)
+		}
+	})
+	b.Run("indexed", func(b *testing.B) {
+		b.ReportAllocs()
+		ics := cs
+		ics.IndexTerms(terms)
+		tf := make([]int64, len(terms))
+		for i := 0; i < b.N; i++ {
+			d := i % nDocs
+			copy(tf, tfs[d])
+			ds := ranking.DocStats{TFs: tf, Len: lens[d]}
+			sink += scorer.ScoreIndexed(qs, ds, ics)
+		}
+	})
+	_ = sink
 }
 
 // BenchmarkCodec measures the compressed-persistence codec.

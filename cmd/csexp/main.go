@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"csrank/internal/experiments"
@@ -20,17 +22,24 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "all | fig6 | fig7 | fig8 | viewsel | storage | scorers | scaling")
-		docs   = flag.Int("docs", 20000, "corpus size")
-		terms  = flag.Int("terms", 300, "MeSH vocabulary size")
-		topics = flag.Int("topics", 30, "benchmark topics")
-		tcFrac = flag.Float64("tc", 0.01, "T_C fraction")
-		tv     = flag.Int("tv", 256, "T_V view-size limit (paper: 4096 at 18M docs; scaled down with the corpus)")
-		seed   = flag.Int64("seed", 1, "generation seed")
-		perN   = flag.Int("queries", 50, "queries per keyword count for Figures 7–8")
-		export = flag.String("export", "", "also write TREC topics/qrels/run files into this directory")
+		exp        = flag.String("exp", "all", "all | fig6 | fig7 | fig8 | viewsel | storage | scorers | scaling")
+		docs       = flag.Int("docs", 20000, "corpus size")
+		terms      = flag.Int("terms", 300, "MeSH vocabulary size")
+		topics     = flag.Int("topics", 30, "benchmark topics")
+		tcFrac     = flag.Float64("tc", 0.01, "T_C fraction")
+		tv         = flag.Int("tv", 256, "T_V view-size limit (paper: 4096 at 18M docs; scaled down with the corpus)")
+		seed       = flag.Int64("seed", 1, "generation seed")
+		perN       = flag.Int("queries", 50, "queries per keyword count for Figures 7–8")
+		export     = flag.String("export", "", "also write TREC topics/qrels/run files into this directory")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "csexp:", err)
+		os.Exit(1)
+	}
 	scale := experiments.Scale{
 		NumDocs:       *docs,
 		OntologyTerms: *terms,
@@ -39,10 +48,49 @@ func main() {
 		TV:            *tv,
 		Seed:          *seed,
 	}
-	if err := run(scale, *exp, *perN, *export); err != nil {
+	err = run(scale, *exp, *perN, *export)
+	stopProfiles()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "csexp:", err)
 		os.Exit(1)
 	}
+}
+
+// startProfiles begins CPU profiling and arranges a heap snapshot; the
+// returned function stops the CPU profile and writes the memory profile.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	stop = func() {}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return stop, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return stop, err
+		}
+		stop = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if memPath != "" {
+		cpuStop := stop
+		stop = func() {
+			cpuStop()
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // get up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}
+	return stop, nil
 }
 
 func run(scale experiments.Scale, exp string, perN int, export string) error {

@@ -21,6 +21,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -38,32 +40,76 @@ func main() {
 		k           = flag.Int("k", 10, "number of results")
 		mode        = flag.String("mode", "context", "context | conventional | straightforward | compare")
 		scorer      = flag.String("scorer", "pivoted-tfidf", "pivoted-tfidf | bm25 | dirichlet-lm")
+		parallel    = flag.Int("parallel", 0, "intra-query parallelism (0 = GOMAXPROCS, 1 = sequential)")
 		interactive = flag.Bool("i", false, "interactive mode: read queries from stdin (prefix a line with '?' for plan explanation only)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+		memprofile  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
-	if *interactive {
-		if err := runInteractive(*data, *k, *mode, *scorer, os.Stdin, os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "cssearch:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if *q == "" {
-		flag.Usage()
-		os.Exit(2)
-	}
-	if err := run(*data, *q, *k, *mode, *scorer); err != nil {
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "cssearch:", err)
 		os.Exit(1)
 	}
+	if *interactive {
+		err = runInteractive(*data, *k, *mode, *scorer, *parallel, os.Stdin, os.Stdout)
+	} else if *q == "" {
+		stopProfiles()
+		flag.Usage()
+		os.Exit(2)
+	} else {
+		err = run(*data, *q, *k, *mode, *scorer, *parallel)
+	}
+	stopProfiles()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cssearch:", err)
+		os.Exit(1)
+	}
+}
+
+// startProfiles begins CPU profiling and arranges a heap snapshot; the
+// returned function stops the CPU profile and writes the memory profile.
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	stop = func() {}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return stop, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return stop, err
+		}
+		stop = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if memPath != "" {
+		cpuStop := stop
+		stop = func() {
+			cpuStop()
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // get up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}
+	}
+	return stop, nil
 }
 
 // runInteractive reads one query per line and evaluates it; lines
 // starting with '?' print the plan explanation instead; "exit" or EOF
 // ends the session. Per-query errors are reported and the loop
 // continues.
-func runInteractive(data string, k int, mode, scorerName string, in io.Reader, out io.Writer) error {
-	eng, ix, err := openEngine(data, scorerName)
+func runInteractive(data string, k int, mode, scorerName string, parallel int, in io.Reader, out io.Writer) error {
+	eng, ix, err := openEngine(data, scorerName, parallel)
 	if err != nil {
 		return err
 	}
@@ -101,8 +147,8 @@ func runInteractive(data string, k int, mode, scorerName string, in io.Reader, o
 	}
 }
 
-func run(data, qstr string, k int, mode, scorerName string) error {
-	eng, ix, err := openEngine(data, scorerName)
+func run(data, qstr string, k int, mode, scorerName string, parallel int) error {
+	eng, ix, err := openEngine(data, scorerName, parallel)
 	if err != nil {
 		return err
 	}
@@ -111,7 +157,7 @@ func run(data, qstr string, k int, mode, scorerName string) error {
 
 // openEngine loads the persisted index and (optionally) views and wires
 // the requested scorer.
-func openEngine(data, scorerName string) (*core.Engine, *index.Index, error) {
+func openEngine(data, scorerName string, parallel int) (*core.Engine, *index.Index, error) {
 	var sc ranking.Scorer
 	switch scorerName {
 	case "pivoted-tfidf":
@@ -132,7 +178,7 @@ func openEngine(data, scorerName string) (*core.Engine, *index.Index, error) {
 		fmt.Fprintln(os.Stderr, "note: no views loaded; contextual queries use the straightforward plan")
 		cat = nil
 	}
-	return core.New(ix, cat, core.Options{Scorer: sc}), ix, nil
+	return core.New(ix, cat, core.Options{Scorer: sc, Parallelism: parallel}), ix, nil
 }
 
 // searchAndPrint evaluates one query string in the given mode and prints

@@ -109,6 +109,11 @@ type BuildOptions struct {
 	// undercuts the straightforward plan's cost bound, instead of always
 	// preferring views.
 	CostBasedPlanning bool
+	// Parallelism bounds intra-query parallelism (result-set evaluation
+	// overlapping statistics, per-keyword statistics fan-out, partitioned
+	// scoring). 0 uses GOMAXPROCS; 1 runs fully sequentially. Rankings
+	// are bit-identical at every setting.
+	Parallelism int
 }
 
 // Builder accumulates documents for an Engine.
@@ -171,6 +176,7 @@ func (b *Builder) Build(opts BuildOptions) (*Engine, error) {
 			Scorer:        scorer,
 			CacheContexts: opts.CacheContexts,
 			CostBased:     opts.CostBasedPlanning,
+			Parallelism:   opts.Parallelism,
 		}),
 		selectTime: selTime,
 	}, nil
@@ -335,7 +341,14 @@ func (e *Engine) Save(dir string) error {
 // Open loads an engine saved by Save. A missing views.gob yields an
 // engine without view acceleration.
 func Open(dir string, scorer Scorer) (*Engine, error) {
-	sc, err := scorer.build()
+	return OpenWithOptions(dir, BuildOptions{Scorer: scorer})
+}
+
+// OpenWithOptions loads an engine saved by Save, honoring the runtime
+// options (Scorer, CacheContexts, CostBasedPlanning, Parallelism); the
+// build-time options are fixed by the persisted index and views.
+func OpenWithOptions(dir string, opts BuildOptions) (*Engine, error) {
+	sc, err := opts.Scorer.build()
 	if err != nil {
 		return nil, err
 	}
@@ -347,5 +360,10 @@ func Open(dir string, scorer Scorer) (*Engine, error) {
 	if err != nil {
 		cat = nil // view-less engine
 	}
-	return &Engine{engine: core.New(ix, cat, core.Options{Scorer: sc})}, nil
+	return &Engine{engine: core.New(ix, cat, core.Options{
+		Scorer:        sc,
+		CacheContexts: opts.CacheContexts,
+		CostBased:     opts.CostBasedPlanning,
+		Parallelism:   opts.Parallelism,
+	})}, nil
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"hash/fnv"
+	"runtime"
 	"strings"
 	"sync"
 )
@@ -11,15 +13,29 @@ import (
 // P and the query keywords, so |D_P| and len(D_P) are reusable verbatim
 // while per-keyword df/tc accumulate lazily as new keywords appear.
 //
-// The cache is a bounded map with FIFO eviction: contexts are few (the
-// predicate vocabulary is controlled) and recency hardly matters at this
-// population, so simplicity wins over LRU bookkeeping. Safe for
-// concurrent use.
+// The cache is sharded: the context key is hashed (FNV-1a) onto a
+// power-of-two number of shards, each with its own mutex, so concurrent
+// queries in different contexts never contend on one lock. Within a
+// shard, entries live in a bounded map with FIFO eviction backed by a
+// fixed-capacity ring buffer: contexts are few (the predicate vocabulary
+// is controlled) and recency hardly matters at this population, so
+// simplicity wins over LRU bookkeeping; the ring never grows, so no
+// evicted key pins its backing array. Safe for concurrent use.
 type statsCache struct {
+	shards []cacheShard
+	mask   uint32
+}
+
+type cacheShard struct {
 	mu      sync.Mutex
 	max     int
 	entries map[string]*cacheEntry
-	order   []string // insertion order for FIFO eviction
+	// ring holds the insertion order for FIFO eviction: a fixed-capacity
+	// circular buffer of max slots. head is the oldest entry, count the
+	// population.
+	ring  []string
+	head  int
+	count int
 }
 
 type cacheEntry struct {
@@ -32,31 +48,68 @@ type dfTC struct {
 	df, tc int64
 }
 
+// cacheShardCount picks the shard count: a power of two near the
+// parallelism available, but never more shards than the cache holds
+// entries (each shard needs capacity for at least one entry).
+func cacheShardCount(max int) int {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) && n < 16 {
+		n <<= 1
+	}
+	for n > max {
+		n >>= 1
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 func newStatsCache(max int) *statsCache {
 	if max <= 0 {
 		return nil
 	}
-	return &statsCache{max: max, entries: make(map[string]*cacheEntry, max)}
+	n := cacheShardCount(max)
+	c := &statsCache{shards: make([]cacheShard, n), mask: uint32(n - 1)}
+	perShard := (max + n - 1) / n
+	for i := range c.shards {
+		c.shards[i].max = perShard
+		c.shards[i].entries = make(map[string]*cacheEntry, perShard)
+		c.shards[i].ring = make([]string, perShard)
+	}
+	return c
 }
 
 func cacheKey(context []string) string { return strings.Join(context, "\x00") }
 
-// lookup returns the cached entry for the context, if any. The returned
-// snapshot copies the per-word map so callers never race with concurrent
-// extend calls.
-func (c *statsCache) lookup(context []string) (n, totalLen int64, words map[string]dfTC, ok bool) {
+func (c *statsCache) shard(key string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()&c.mask]
+}
+
+// lookup returns the cached entry for the context, if any. Only the
+// statistics of the requested keywords are copied out — not the whole
+// accumulated word map — so a hit costs O(len(need)) regardless of how
+// many keywords earlier queries cached for the context. The returned map
+// is a private copy, so callers never race with concurrent store calls.
+func (c *statsCache) lookup(context, need []string) (n, totalLen int64, words map[string]dfTC, ok bool) {
 	if c == nil {
 		return 0, 0, nil, false
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e := c.entries[cacheKey(context)]
+	key := cacheKey(context)
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entries[key]
 	if e == nil {
 		return 0, 0, nil, false
 	}
-	snapshot := make(map[string]dfTC, len(e.words))
-	for w, v := range e.words {
-		snapshot[w] = v
+	snapshot := make(map[string]dfTC, len(need))
+	for _, w := range need {
+		if v, hit := e.words[w]; hit {
+			snapshot[w] = v
+		}
 	}
 	return e.n, e.totalLen, snapshot, true
 }
@@ -66,20 +119,24 @@ func (c *statsCache) store(context []string, n, totalLen int64, words map[string
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	key := cacheKey(context)
-	e := c.entries[key]
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entries[key]
 	if e == nil {
-		if len(c.entries) >= c.max {
-			// FIFO eviction.
-			oldest := c.order[0]
-			c.order = c.order[1:]
-			delete(c.entries, oldest)
+		if s.count >= s.max {
+			// FIFO eviction: drop the oldest, freeing its ring slot.
+			oldest := s.ring[s.head]
+			s.ring[s.head] = ""
+			s.head = (s.head + 1) % len(s.ring)
+			s.count--
+			delete(s.entries, oldest)
 		}
 		e = &cacheEntry{n: n, totalLen: totalLen, words: make(map[string]dfTC)}
-		c.entries[key] = e
-		c.order = append(c.order, key)
+		s.entries[key] = e
+		s.ring[(s.head+s.count)%len(s.ring)] = key
+		s.count++
 	}
 	for w, v := range words {
 		e.words[w] = v
@@ -91,7 +148,12 @@ func (c *statsCache) len() int {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		total += len(s.entries)
+		s.mu.Unlock()
+	}
+	return total
 }

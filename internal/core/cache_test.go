@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -68,19 +69,79 @@ func TestStatsCacheExtendsWithNewKeywords(t *testing.T) {
 	}
 }
 
+// singleShardCache builds a cache with exactly one shard so FIFO order
+// is observable regardless of GOMAXPROCS.
+func singleShardCache(max int) *statsCache {
+	c := &statsCache{shards: make([]cacheShard, 1)}
+	c.shards[0] = cacheShard{
+		max:     max,
+		entries: make(map[string]*cacheEntry, max),
+		ring:    make([]string, max),
+	}
+	return c
+}
+
 func TestStatsCacheEviction(t *testing.T) {
-	c := newStatsCache(2)
+	c := singleShardCache(2)
 	c.store([]string{"a"}, 1, 10, nil)
 	c.store([]string{"b"}, 2, 20, nil)
 	c.store([]string{"c"}, 3, 30, nil)
 	if c.len() != 2 {
 		t.Fatalf("len = %d, want 2", c.len())
 	}
-	if _, _, _, ok := c.lookup([]string{"a"}); ok {
+	if _, _, _, ok := c.lookup([]string{"a"}, nil); ok {
 		t.Error("oldest entry not evicted")
 	}
-	if n, _, _, ok := c.lookup([]string{"c"}); !ok || n != 3 {
+	if n, _, _, ok := c.lookup([]string{"c"}, nil); !ok || n != 3 {
 		t.Error("newest entry missing")
+	}
+	// The ring wraps: keep inserting well past capacity and verify the
+	// bound holds and the freshest entry always survives.
+	for i := 0; i < 20; i++ {
+		key := []string{string(rune('d' + i))}
+		c.store(key, int64(i), 1, nil)
+		if c.len() > 2 {
+			t.Fatalf("cache grew past max: %d", c.len())
+		}
+		if _, _, _, ok := c.lookup(key, nil); !ok {
+			t.Fatalf("entry %d missing right after store", i)
+		}
+	}
+}
+
+// TestStatsCacheShardedBound checks the sharded cache's global capacity:
+// however keys hash, the population stays within the configured maximum
+// (rounded up by at most one entry per shard) and fresh stores hit.
+func TestStatsCacheShardedBound(t *testing.T) {
+	const max = 8
+	c := newStatsCache(max)
+	for i := 0; i < 100; i++ {
+		key := []string{fmt.Sprintf("ctx%d", i)}
+		c.store(key, int64(i), 1, nil)
+		if _, _, _, ok := c.lookup(key, nil); !ok {
+			t.Fatalf("entry %d missing right after store", i)
+		}
+	}
+	if c.len() > max+len(c.shards) {
+		t.Fatalf("len = %d exceeds global bound for max %d over %d shards",
+			c.len(), max, len(c.shards))
+	}
+}
+
+// TestStatsCacheSelectiveLookup checks that lookup copies out only the
+// requested keywords, not the whole accumulated word map.
+func TestStatsCacheSelectiveLookup(t *testing.T) {
+	c := newStatsCache(4)
+	ctx := []string{"m"}
+	c.store(ctx, 5, 50, map[string]dfTC{
+		"w1": {1, 10}, "w2": {2, 20}, "w3": {3, 30},
+	})
+	_, _, words, ok := c.lookup(ctx, []string{"w2", "absent"})
+	if !ok {
+		t.Fatal("miss")
+	}
+	if len(words) != 1 || words["w2"] != (dfTC{2, 20}) {
+		t.Fatalf("words = %v, want only w2", words)
 	}
 }
 
@@ -91,7 +152,7 @@ func TestStatsCacheDisabled(t *testing.T) {
 	var c *statsCache
 	// nil cache is a no-op everywhere.
 	c.store([]string{"a"}, 1, 1, nil)
-	if _, _, _, ok := c.lookup([]string{"a"}); ok {
+	if _, _, _, ok := c.lookup([]string{"a"}, nil); ok {
 		t.Error("nil cache returned a hit")
 	}
 	if c.len() != 0 {

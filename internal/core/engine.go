@@ -60,6 +60,14 @@ type Options struct {
 	// the covered-context regime it targets but can lose to the
 	// straightforward plan on incidentally covered tiny contexts.
 	CostBased bool
+	// Parallelism bounds intra-query parallelism: the result-set
+	// intersection overlaps the statistics computation, per-keyword df/tc
+	// intersections fan out over a worker pool, and scoring partitions
+	// the result set into concurrently scored chunks. 0 uses GOMAXPROCS;
+	// 1 keeps today's fully sequential execution (the setting all §6
+	// reproduction experiments run with). Rankings are bit-identical at
+	// every setting.
+	Parallelism int
 }
 
 // Result is one ranked hit.
@@ -110,6 +118,7 @@ type Engine struct {
 
 	costBased bool
 	cache     *statsCache // nil when disabled
+	workers   int         // resolved Options.Parallelism (≥ 1)
 }
 
 // New creates an engine. catalog may be nil (no view acceleration).
@@ -131,6 +140,7 @@ func New(ix *index.Index, catalog *views.Catalog, opts Options) *Engine {
 		globalLen:    ix.TotalFieldLen(schema.ContentField),
 		costBased:    opts.CostBased,
 		cache:        newStatsCache(opts.CacheContexts),
+		workers:      resolveWorkers(opts.Parallelism),
 	}
 }
 
@@ -207,23 +217,6 @@ func evaluateResultSet(kw, ctx []*postings.List, st *postings.Stats) *postings.I
 	return postings.Intersect(all, st)
 }
 
-// score ranks the unranked result under the given collection statistics
-// and returns the top k (all results if k ≤ 0), ordered by descending
-// score then ascending DocID.
-func (e *Engine) score(a analyzed, res *postings.Intersection, cs ranking.CollectionStats, k int) []Result {
-	qs := ranking.NewQueryStats(a.kwStream)
-	top := newTopK(k)
-	tf := make(map[string]int64, len(a.kwTerms))
-	for i, docID := range res.DocIDs {
-		for j, w := range a.kwTerms {
-			tf[w] = int64(res.TFs[j][i])
-		}
-		ds := ranking.DocStats{TF: tf, Len: e.ix.FieldLen(docID, e.contentField)}
-		top.push(Result{DocID: docID, Score: e.scorer.Score(qs, ds, cs)})
-	}
-	return top.results()
-}
-
 // Search evaluates q with the engine's best strategy: conventional for
 // context-free queries, view-based for contextual queries when a usable
 // view exists, straightforward otherwise.
@@ -292,6 +285,22 @@ func (e *Engine) searchContextual(q query.Query, k int, useViews bool) ([]Result
 	}
 	kw, ctx := e.lists(a)
 
+	// Phase overlap: the unranked result-set intersection and the context
+	// statistics computation are data-independent, so with parallelism
+	// enabled the intersection runs on its own goroutine (with a private
+	// cost counter, merged below) while this goroutine computes
+	// statistics.
+	var res *postings.Intersection
+	var resStats postings.Stats
+	var resDone chan struct{}
+	if e.workers > 1 {
+		resDone = make(chan struct{})
+		go func() {
+			res = evaluateResultSet(kw, ctx, &resStats)
+			close(resDone)
+		}()
+	}
+
 	var cs ranking.CollectionStats
 	cached := false
 	if e.cache != nil {
@@ -305,6 +314,9 @@ func (e *Engine) searchContextual(q query.Query, k int, useViews bool) ([]Result
 				st.ViewSize = v.Size()
 				cs, st.FallbackKeywords, err = e.statsFromView(v, a, kw, ctx, &st.Stats)
 				if err != nil {
+					if resDone != nil {
+						<-resDone
+					}
 					return nil, st, err
 				}
 			}
@@ -316,7 +328,12 @@ func (e *Engine) searchContextual(q query.Query, k int, useViews bool) ([]Result
 	}
 	st.ContextSize = cs.N
 
-	res := evaluateResultSet(kw, ctx, &st.Stats)
+	if resDone != nil {
+		<-resDone
+		st.Stats.Add(resStats)
+	} else {
+		res = evaluateResultSet(kw, ctx, &st.Stats)
+	}
 	st.ResultSize = res.Len()
 	out := e.score(a, res, cs, k)
 	st.Elapsed = time.Since(start)

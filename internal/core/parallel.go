@@ -1,0 +1,185 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"csrank/internal/postings"
+	"csrank/internal/ranking"
+)
+
+// Intra-query parallel execution. One query exposes three independent
+// sources of parallelism, all bounded by Options.Parallelism:
+//
+//   - phase overlap: the unranked result-set intersection and the context
+//     statistics computation share no data, so searchContextual runs them
+//     concurrently (one goroutine each);
+//   - statistics fan-out: each keyword's df/tc intersection is
+//     independent, so keywordStatsBatch spreads them over a worker pool;
+//   - partitioned scoring: the scoring loop splits res.DocIDs into
+//     contiguous chunks, scores each into a private top-k heap and merges.
+//
+// Every parallel path produces bit-identical output to the sequential
+// one: per-document scores are pure functions of per-document statistics,
+// df/tc values are exact regardless of computation order, cost counters
+// accumulate into goroutine-private postings.Stats and merge with Add
+// (commutative sums), and top-k selection under the strict total order
+// worseThan does not depend on arrival order.
+
+// resolveWorkers maps Options.Parallelism to a worker count: 0 means
+// GOMAXPROCS, anything below 1 is clamped to sequential.
+func resolveWorkers(p int) int {
+	if p == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if p < 1 {
+		return 1
+	}
+	return p
+}
+
+// minScoreChunk is the smallest per-chunk document count worth a
+// goroutine; below it the spawn overhead dwarfs the scoring work.
+const minScoreChunk = 256
+
+// scoreChunks picks how many contiguous partitions to score n documents
+// in, given w available workers.
+func scoreChunks(n, w int) int {
+	if w <= 1 || n < 2*minScoreChunk {
+		return 1
+	}
+	chunks := (n + minScoreChunk - 1) / minScoreChunk
+	if chunks > w {
+		chunks = w
+	}
+	return chunks
+}
+
+// keywordStatsBatch computes df(w, D_P) and tc(w, D_P) for the keywords
+// at positions idxs (indices into kw and a.kwTerms), fanning the
+// independent intersections out over the engine's worker pool when it
+// pays. Results are emitted in idxs order on the calling goroutine; list
+// cost from all workers accumulates into st.
+func (e *Engine) keywordStatsBatch(idxs []int, kw, ctx []*postings.List, st *postings.Stats, emit func(i int, df, tc int64)) {
+	w := e.workers
+	if w > len(idxs) {
+		w = len(idxs)
+	}
+	if w <= 1 {
+		for _, i := range idxs {
+			df, tc := e.keywordContextStats(kw[i], ctx, st)
+			emit(i, df, tc)
+		}
+		return
+	}
+	dfs := make([]int64, len(idxs))
+	tcs := make([]int64, len(idxs))
+	stats := make([]postings.Stats, w)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 1; g < w; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			e.keywordStatsWorker(&next, idxs, kw, ctx, &stats[g], dfs, tcs)
+		}(g)
+	}
+	// The calling goroutine is worker 0.
+	e.keywordStatsWorker(&next, idxs, kw, ctx, &stats[0], dfs, tcs)
+	wg.Wait()
+	if st != nil {
+		for g := range stats {
+			st.Add(stats[g])
+		}
+	}
+	for j, i := range idxs {
+		emit(i, dfs[j], tcs[j])
+	}
+}
+
+// keywordStatsWorker drains the shared work queue: each claimed slot j
+// is one keyword intersection, written to dfs[j]/tcs[j] without locks.
+func (e *Engine) keywordStatsWorker(next *atomic.Int64, idxs []int, kw, ctx []*postings.List, st *postings.Stats, dfs, tcs []int64) {
+	for {
+		j := int(next.Add(1)) - 1
+		if j >= len(idxs) {
+			return
+		}
+		dfs[j], tcs[j] = e.keywordContextStats(kw[idxs[j]], ctx, st)
+	}
+}
+
+// score ranks the unranked result under the given collection statistics
+// and returns the top k (all results if k ≤ 0), ordered by descending
+// score then ascending DocID. When the scorer supports the term-indexed
+// fast path the per-document loop performs zero map operations and zero
+// allocations; when the engine allows parallelism and the result is
+// large enough, contiguous partitions are scored concurrently.
+func (e *Engine) score(a analyzed, res *postings.Intersection, cs ranking.CollectionStats, k int) []Result {
+	qs := ranking.NewQueryStats(a.kwStream)
+	indexed, _ := e.scorer.(ranking.IndexedScorer)
+	if indexed != nil {
+		// a.kwTerms is the distinct keywords in first-occurrence order —
+		// the same order qs.DistinctTerms() iterates — so the slice loop
+		// sums in the map loop's exact floating-point order.
+		cs.IndexTerms(a.kwTerms)
+	}
+	n := res.Len()
+	chunks := scoreChunks(n, e.workers)
+	if chunks <= 1 {
+		top := newTopK(k)
+		e.scoreRange(qs, a.kwTerms, res, cs, indexed, 0, n, top)
+		return top.results()
+	}
+	tops := make([]*topK, chunks)
+	var wg sync.WaitGroup
+	for c := 0; c < chunks; c++ {
+		lo := c * n / chunks
+		hi := (c + 1) * n / chunks
+		tops[c] = newTopK(k)
+		if c == chunks-1 {
+			// The calling goroutine scores the last chunk itself.
+			e.scoreRange(qs, a.kwTerms, res, cs, indexed, lo, hi, tops[c])
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int, top *topK) {
+			defer wg.Done()
+			e.scoreRange(qs, a.kwTerms, res, cs, indexed, lo, hi, top)
+		}(lo, hi, tops[c])
+	}
+	wg.Wait()
+	final := tops[0]
+	for _, t := range tops[1:] {
+		final.merge(t)
+	}
+	return final.results()
+}
+
+// scoreRange scores documents [lo, hi) of res into top. One TF buffer
+// (slice or map, depending on the scorer's capabilities) is reused for
+// the whole range.
+func (e *Engine) scoreRange(qs ranking.QueryStats, terms []string, res *postings.Intersection, cs ranking.CollectionStats, indexed ranking.IndexedScorer, lo, hi int, top *topK) {
+	if indexed != nil {
+		tf := make([]int64, len(terms))
+		for i := lo; i < hi; i++ {
+			docID := res.DocIDs[i]
+			for j := range terms {
+				tf[j] = int64(res.TFs[j][i])
+			}
+			ds := ranking.DocStats{TFs: tf, Len: e.ix.FieldLen(docID, e.contentField)}
+			top.push(Result{DocID: docID, Score: indexed.ScoreIndexed(qs, ds, cs)})
+		}
+		return
+	}
+	tf := make(map[string]int64, len(terms))
+	for i := lo; i < hi; i++ {
+		docID := res.DocIDs[i]
+		for j, w := range terms {
+			tf[w] = int64(res.TFs[j][i])
+		}
+		ds := ranking.DocStats{TF: tf, Len: e.ix.FieldLen(docID, e.contentField)}
+		top.push(Result{DocID: docID, Score: e.scorer.Score(qs, ds, cs)})
+	}
+}

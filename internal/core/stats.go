@@ -22,12 +22,16 @@ func (e *Engine) statsStraightforward(a analyzed, kw, ctx []*postings.List, st *
 	cs.TotalLen = postings.SumOver(ctxInter, func(d uint32) int64 {
 		return e.ix.FieldLen(d, e.contentField)
 	}, st)
-	// L_wi ∩ L_m1 ∩ L_m2 per keyword.
-	for i, w := range a.kwTerms {
-		df, tc := e.keywordContextStats(kw[i], ctx, st)
-		cs.DF[w] = df
-		cs.TC[w] = tc
+	// L_wi ∩ L_m1 ∩ L_m2 per keyword — each intersection is independent,
+	// so keywordStatsBatch fans them out when parallelism is enabled.
+	idxs := make([]int, len(a.kwTerms))
+	for i := range idxs {
+		idxs[i] = i
 	}
+	e.keywordStatsBatch(idxs, kw, ctx, st, func(i int, df, tc int64) {
+		cs.DF[a.kwTerms[i]] = df
+		cs.TC[a.kwTerms[i]] = tc
+	})
 	return cs
 }
 
@@ -67,17 +71,17 @@ func (e *Engine) statsFromView(v *views.View, a analyzed, kw, ctx []*postings.Li
 		DF:       ans.DF,
 		TC:       ans.TC,
 	}
-	fallback := 0
+	var fallback []int
 	for i, w := range a.kwTerms {
-		if v.TracksWord(w) {
-			continue
+		if !v.TracksWord(w) {
+			fallback = append(fallback, i)
 		}
-		fallback++
-		df, tc := e.keywordContextStats(kw[i], ctx, st)
-		cs.DF[w] = df
-		cs.TC[w] = tc
 	}
-	return cs, fallback, nil
+	e.keywordStatsBatch(fallback, kw, ctx, st, func(i int, df, tc int64) {
+		cs.DF[a.kwTerms[i]] = df
+		cs.TC[a.kwTerms[i]] = tc
+	})
+	return cs, len(fallback), nil
 }
 
 // viewWorthwhile applies the cost-based plan choice: with CostBased off,
@@ -100,10 +104,11 @@ func (e *Engine) viewWorthwhile(v *views.View, a analyzed, ctx []*postings.List)
 }
 
 // statsFromCache assembles collection statistics from the statistics
-// cache, computing and back-filling any keywords the cached entry lacks.
-// ok is false on a cache miss.
+// cache, computing and back-filling any keywords the cached entry lacks:
+// view-tracked keywords are answered in one view scan, the rest by
+// (possibly fanned-out) intersections. ok is false on a cache miss.
 func (e *Engine) statsFromCache(a analyzed, kw, ctx []*postings.List, useViews bool, st *ExecStats) (ranking.CollectionStats, bool) {
-	n, totalLen, words, ok := e.cache.lookup(a.context)
+	n, totalLen, words, ok := e.cache.lookup(a.context, a.kwTerms)
 	if !ok {
 		return ranking.CollectionStats{}, false
 	}
@@ -114,25 +119,28 @@ func (e *Engine) statsFromCache(a analyzed, kw, ctx []*postings.List, useViews b
 		DF:       make(map[string]int64, len(a.kwTerms)),
 		TC:       make(map[string]int64, len(a.kwTerms)),
 	}
-	var filled map[string]dfTC
 	var view *views.View
 	if useViews && e.catalog != nil {
 		view = e.catalog.Match(a.context)
 	}
+	var missTracked []string // view-tracked keywords, one Answer scan
+	var missTrackedIdx []int // their positions, for the error fallback
+	var missIntersect []int  // the rest, by intersection
 	for i, w := range a.kwTerms {
 		if v, hit := words[w]; hit {
 			cs.DF[w] = v.df
 			cs.TC[w] = v.tc
 			continue
 		}
-		var df, tc int64
 		if view != nil && view.TracksWord(w) {
-			if ans, err := view.Answer(a.context, []string{w}, &st.Stats); err == nil {
-				df, tc = ans.DF[w], ans.TC[w]
-			}
+			missTracked = append(missTracked, w)
+			missTrackedIdx = append(missTrackedIdx, i)
 		} else {
-			df, tc = e.keywordContextStats(kw[i], ctx, &st.Stats)
+			missIntersect = append(missIntersect, i)
 		}
+	}
+	var filled map[string]dfTC
+	record := func(w string, df, tc int64) {
 		cs.DF[w] = df
 		cs.TC[w] = tc
 		if filled == nil {
@@ -140,6 +148,19 @@ func (e *Engine) statsFromCache(a analyzed, kw, ctx []*postings.List, useViews b
 		}
 		filled[w] = dfTC{df: df, tc: tc}
 	}
+	if len(missTracked) > 0 {
+		if ans, err := view.Answer(a.context, missTracked, &st.Stats); err == nil {
+			for _, w := range missTracked {
+				record(w, ans.DF[w], ans.TC[w])
+			}
+		} else {
+			// Unusable view (e.g. concurrent catalog change): intersect.
+			missIntersect = append(missIntersect, missTrackedIdx...)
+		}
+	}
+	e.keywordStatsBatch(missIntersect, kw, ctx, &st.Stats, func(i int, df, tc int64) {
+		record(a.kwTerms[i], df, tc)
+	})
 	if filled != nil {
 		e.cache.store(a.context, n, totalLen, filled)
 	}

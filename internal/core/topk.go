@@ -31,6 +31,20 @@ func (t *topK) push(r Result) {
 	}
 }
 
+// merge absorbs everything other has collected. Both heaps keep the k
+// best under the strict total order worseThan, and the k best of a
+// multiset do not depend on arrival order, so merging per-partition
+// heaps yields exactly the heap a sequential pass would have built.
+func (t *topK) merge(other *topK) {
+	if t.k <= 0 {
+		t.all = append(t.all, other.all...)
+		return
+	}
+	for _, r := range other.heap {
+		t.push(r)
+	}
+}
+
 // results returns the collected hits by descending score (ties broken by
 // ascending DocID for deterministic output).
 func (t *topK) results() []Result {

@@ -39,7 +39,7 @@ func RunScorerComparison(s *Setup) (ScorerComparison, error) {
 	}
 	var out ScorerComparison
 	for _, sc := range scorers {
-		eng := core.New(s.Index, s.Catalog, core.Options{Scorer: sc})
+		eng := core.New(s.Index, s.Catalog, core.Options{Scorer: sc, Parallelism: 1})
 		var conv, ctx []trec.TopicResult
 		wins := 0
 		for _, topic := range s.Corpus.Topics {

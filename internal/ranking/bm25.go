@@ -45,3 +45,27 @@ func (m *BM25) Score(q QueryStats, d DocStats, c CollectionStats) float64 {
 	}
 	return score
 }
+
+// ScoreIndexed implements IndexedScorer: the same formula over the
+// term-indexed slices, map-free and allocation-free.
+func (m *BM25) ScoreIndexed(q QueryStats, d DocStats, c CollectionStats) float64 {
+	avgdl := c.AvgDocLen()
+	if avgdl <= 0 {
+		return 0
+	}
+	var score float64
+	for i := range c.Terms {
+		tf := float64(d.TFs[i])
+		if tf <= 0 {
+			continue
+		}
+		df := float64(c.DFs[i])
+		if df < 1 {
+			df = 1
+		}
+		idf := math.Log(1 + (float64(c.N)-df+0.5)/(df+0.5))
+		denom := tf + m.K1*(1-m.B+m.B*float64(d.Len)/avgdl)
+		score += idf * (tf * (m.K1 + 1) / denom) * float64(q.TQs[i])
+	}
+	return score
+}

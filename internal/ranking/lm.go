@@ -51,3 +51,27 @@ func (m *DirichletLM) Score(q QueryStats, d DocStats, c CollectionStats) float64
 	}
 	return score
 }
+
+// ScoreIndexed implements IndexedScorer: the same smoothed likelihood
+// over the term-indexed slices, map-free and allocation-free.
+func (m *DirichletLM) ScoreIndexed(q QueryStats, d DocStats, c CollectionStats) float64 {
+	if c.TotalLen <= 0 {
+		return 0
+	}
+	var score float64
+	for i := range c.Terms {
+		tf := float64(d.TFs[i])
+		tc := float64(c.TCs[i])
+		if tc <= 0 {
+			tc = 0.5
+		}
+		pwc := tc / float64(c.TotalLen)
+		num := tf + m.Mu*pwc
+		den := float64(d.Len) + m.Mu
+		if num <= 0 || den <= 0 {
+			continue
+		}
+		score += float64(q.TQs[i]) * math.Log(num/den/pwc)
+	}
+	return score
+}

@@ -43,6 +43,28 @@ func (c *CosineTFIDF) Score(q QueryStats, d DocStats, cs CollectionStats) float6
 	return score
 }
 
+// ScoreIndexed implements IndexedScorer over the term-indexed slices.
+func (c *CosineTFIDF) ScoreIndexed(q QueryStats, d DocStats, cs CollectionStats) float64 {
+	if d.Len <= 0 || cs.N <= 0 {
+		return 0
+	}
+	norm := math.Sqrt(float64(d.Len))
+	var score float64
+	for i := range cs.Terms {
+		tf := float64(d.TFs[i])
+		if tf <= 0 {
+			continue
+		}
+		df := float64(cs.DFs[i])
+		if df < 1 {
+			df = 1
+		}
+		idf := math.Log(float64(cs.N)/df) + 1
+		score += (1 + math.Log(tf)) * idf * float64(q.TQs[i]) / norm
+	}
+	return score
+}
+
 // JelinekMercerLM is the query-likelihood language model with linear
 // interpolation smoothing: p(w|d) = (1-λ)·tf/len + λ·p(w|C).
 type JelinekMercerLM struct {
@@ -77,6 +99,28 @@ func (m *JelinekMercerLM) Score(q QueryStats, d DocStats, c CollectionStats) flo
 		pwc := tc / float64(c.TotalLen)
 		pwd := (1-m.Lambda)*tf/float64(d.Len) + m.Lambda*pwc
 		score += float64(tq) * math.Log(pwd/(m.Lambda*pwc))
+	}
+	return score
+}
+
+// ScoreIndexed implements IndexedScorer over the term-indexed slices.
+func (m *JelinekMercerLM) ScoreIndexed(q QueryStats, d DocStats, c CollectionStats) float64 {
+	if c.TotalLen <= 0 || d.Len <= 0 {
+		return 0
+	}
+	var score float64
+	for i := range c.Terms {
+		tf := float64(d.TFs[i])
+		if tf <= 0 {
+			continue
+		}
+		tc := float64(c.TCs[i])
+		if tc <= 0 {
+			tc = 0.5
+		}
+		pwc := tc / float64(c.TotalLen)
+		pwd := (1-m.Lambda)*tf/float64(d.Len) + m.Lambda*pwc
+		score += float64(q.TQs[i]) * math.Log(pwd/(m.Lambda*pwc))
 	}
 	return score
 }

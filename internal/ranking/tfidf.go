@@ -54,3 +54,31 @@ func (p *PivotedTFIDF) Score(q QueryStats, d DocStats, c CollectionStats) float6
 	}
 	return score
 }
+
+// ScoreIndexed implements IndexedScorer: the Formula 3 loop over the
+// term-indexed slices, map-free and allocation-free.
+func (p *PivotedTFIDF) ScoreIndexed(q QueryStats, d DocStats, c CollectionStats) float64 {
+	avgdl := c.AvgDocLen()
+	if avgdl <= 0 {
+		return 0
+	}
+	norm := (1 - p.S) + p.S*float64(d.Len)/avgdl
+	if norm <= 0 {
+		return 0
+	}
+	var score float64
+	for i := range c.Terms {
+		tf := d.TFs[i]
+		if tf <= 0 {
+			continue
+		}
+		df := c.DFs[i]
+		if df < 1 {
+			df = 1
+		}
+		tfPart := (1 + math.Log(1+math.Log(float64(tf)))) / norm
+		idf := math.Log((float64(c.N) + 1) / float64(df))
+		score += tfPart * float64(q.TQs[i]) * idf
+	}
+	return score
+}
