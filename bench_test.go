@@ -522,6 +522,106 @@ func BenchmarkScoreHotPath(b *testing.B) {
 	_ = sink
 }
 
+// stridedList builds a list of n docIDs start, start+stride, … — at
+// stride ≤ 16 each 2^16 range holds ≥ 4096 entries, so the adaptive
+// layer stores it as bitset chunks.
+func stridedList(start, stride uint32, n int) *postings.List {
+	ids := make([]uint32, n)
+	for i := range ids {
+		ids[i] = start + uint32(i)*stride
+	}
+	return postings.FromDocIDs(ids, postings.DefaultSegmentSize)
+}
+
+// BenchmarkIntersect measures the adaptive-container intersection
+// kernels on the list shapes that dominate context evaluation: count-only
+// conjunctions of dense predicate lists (word-AND + popcount), a sparse
+// keyword list against a dense context (galloping probes), the
+// materializing path, and the k-way union.
+func BenchmarkIntersect(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	denseA := stridedList(0, 3, 500000)  // 1/3 of docs up to 1.5M
+	denseB := stridedList(0, 4, 375000)  // 1/4
+	denseC := stridedList(0, 5, 300000)  // 1/5
+	sparse := randomList(rng, 2000, 1500000, postings.DefaultSegmentSize)
+	var sink int64
+
+	b.Run("count/dense-dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink += postings.IntersectionSize([]*postings.List{denseA, denseB}, nil)
+		}
+	})
+	b.Run("count/sparse-dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink += postings.IntersectionSize([]*postings.List{sparse, denseA}, nil)
+		}
+	})
+	b.Run("count/three-way-dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink += postings.IntersectionSize([]*postings.List{denseA, denseB, denseC}, nil)
+		}
+	})
+	b.Run("materialize/dense-dense", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r := postings.Intersect([]*postings.List{denseA, denseB}, nil)
+			sink += int64(r.Len())
+		}
+	})
+	b.Run("union/k-way", func(b *testing.B) {
+		b.ReportAllocs()
+		rng := rand.New(rand.NewSource(13))
+		lists := make([]*postings.List, 12)
+		for i := range lists {
+			lists[i] = randomList(rng, 20000, 1500000, postings.DefaultSegmentSize)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sink += int64(postings.Union(lists, nil).Len())
+		}
+	})
+	_ = sink
+}
+
+// BenchmarkContextStats measures the §3.2.1 statistics computations on a
+// large context: γ_count/γ_sum over two dense predicate lists (CountSum)
+// and a keyword's df/tc against that context (CountTFSum) — the two
+// aggregations statsStraightforward runs per query.
+func BenchmarkContextStats(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	ctx := []*postings.List{stridedList(0, 3, 500000), stridedList(0, 4, 375000)}
+	kw := randomList(rng, 3000, 1500000, postings.DefaultSegmentSize)
+	param := func(d uint32) int64 { return int64(d%300) + 40 }
+	var sink int64
+
+	b.Run("count-sum", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c, s := postings.CountSum(ctx, param, nil)
+			sink += c + s
+		}
+	})
+	b.Run("keyword-df-tc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			df, tc := postings.CountTFSum(kw, ctx, nil)
+			sink += df + tc
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c, s := postings.CountSum(ctx, param, nil)
+			df, tc := postings.CountTFSum(kw, ctx, nil)
+			sink += c + s + df + tc
+		}
+	})
+	_ = sink
+}
+
 // BenchmarkCodec measures the compressed-persistence codec.
 func BenchmarkCodec(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))

@@ -62,6 +62,12 @@ func run(out string, docs, terms, topics int, tcFrac float64, tv int, seed int64
 		return err
 	}
 	fmt.Printf("indexed: %s in %s\n", ix, time.Since(t0).Round(time.Millisecond))
+	for _, field := range []string{ix.Schema().PredicateField, ix.Schema().ContentField} {
+		cs := ix.ContainerStats(field)
+		fmt.Printf("  %s lists: %d (%d postings) chunks: %d sparse / %d dense, tf arrays: %d, %.2f bytes/posting\n",
+			field, cs.Lists, cs.Postings, cs.SparseChunks, cs.DenseChunks, cs.TFLists,
+			float64(cs.Bytes)/float64(max64(cs.Postings, 1)))
+	}
 
 	tc := int64(tcFrac * float64(docs))
 	t0 = time.Now()
@@ -94,4 +100,11 @@ func run(out string, docs, terms, topics int, tcFrac float64, tv int, seed int64
 		filepath.Join(out, "index.gob"), filepath.Join(out, "views.gob"),
 		float64(m.Catalog.TotalBytes())/(1<<20))
 	return nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }

@@ -44,8 +44,16 @@ func main() {
 		interactive = flag.Bool("i", false, "interactive mode: read queries from stdin (prefix a line with '?' for plan explanation only)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memprofile  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		liststats   = flag.Bool("liststats", false, "print the index's posting-list container breakdown and exit")
 	)
 	flag.Parse()
+	if *liststats {
+		if err := printListStats(*data, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "cssearch:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cssearch:", err)
@@ -145,6 +153,34 @@ func runInteractive(data string, k int, mode, scorerName string, parallel int, i
 			}
 		}
 	}
+}
+
+// printListStats reports, per field, how the index's posting lists are
+// laid out in the adaptive container layer — the storage side of the
+// bitmap/array hybrid (index format version 2).
+func printListStats(data string, out io.Writer) error {
+	ix, err := index.LoadFile(filepath.Join(data, "index.gob"))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "index: %s (format v%d)\n", ix, index.FormatVersion)
+	for _, f := range ix.Schema().Fields {
+		cs := ix.ContainerStats(f.Name)
+		if cs.Lists == 0 {
+			continue
+		}
+		fmt.Fprintf(out, "  %-10s %7d lists %9d postings  %7d sparse / %d dense chunks  %5d tf arrays  %6.2f bytes/posting\n",
+			f.Name, cs.Lists, cs.Postings, cs.SparseChunks, cs.DenseChunks, cs.TFLists,
+			float64(cs.Bytes)/float64maxOne(cs.Postings))
+	}
+	return nil
+}
+
+func float64maxOne(n int64) float64 {
+	if n < 1 {
+		return 1
+	}
+	return float64(n)
 }
 
 func run(data, qstr string, k int, mode, scorerName string, parallel int) error {

@@ -16,10 +16,11 @@ func (e *Engine) statsStraightforward(a analyzed, kw, ctx []*postings.List, st *
 		DF: make(map[string]int64, len(a.kwTerms)),
 		TC: make(map[string]int64, len(a.kwTerms)),
 	}
-	// L_m1 ∩ L_m2 with aggregations.
-	ctxInter := postings.Intersect(ctx, st)
-	cs.N = postings.Count(ctxInter, st)
-	cs.TotalLen = postings.SumOver(ctxInter, func(d uint32) int64 {
+	// L_m1 ∩ L_m2 with aggregations, fused: the count-only conjunction
+	// kernel computes γ_count and γ_sum (|D_P| and len(D_P)) in one pass —
+	// a word-AND + popcount over dense predicate containers — without
+	// materializing the context.
+	cs.N, cs.TotalLen = postings.CountSum(ctx, func(d uint32) int64 {
 		return e.ix.FieldLen(d, e.contentField)
 	}, st)
 	// L_wi ∩ L_m1 ∩ L_m2 per keyword — each intersection is independent,
@@ -41,18 +42,10 @@ func (e *Engine) statsStraightforward(a analyzed, kw, ctx []*postings.List, st *
 // when w is rare — the argument §6.2 makes for not storing df columns of
 // infrequent keywords.
 func (e *Engine) keywordContextStats(l *postings.List, ctx []*postings.List, st *postings.Stats) (df, tc int64) {
-	if l == nil {
-		return 0, 0
-	}
-	all := make([]*postings.List, 0, len(ctx)+1)
-	all = append(all, l)
-	all = append(all, ctx...)
-	inter := postings.Intersect(all, st)
-	df = postings.Count(inter, st)
-	for _, f := range inter.TFs[0] {
-		tc += int64(f)
-	}
-	return df, tc
+	// CountTFSum runs the same cursor-driven conjunction Intersect would,
+	// but folds df and tc in as it goes instead of materializing the
+	// DocID/TF slices.
+	return postings.CountTFSum(l, ctx, st)
 }
 
 // statsFromView answers S_c(D_P) from a materialized view: |D_P|,

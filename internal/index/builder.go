@@ -94,21 +94,12 @@ func (b *Builder) Build() *Index {
 		for term, pb := range dict {
 			l := pb.Build()
 			fi.terms[term] = l
-			fi.totalTF[term] = sumTF(l)
+			fi.totalTF[term] = l.SumTF()
 		}
 		ix.fields[field] = fi
 	}
 	b.terms = nil
 	return ix
-}
-
-// sumTF totals a list's term frequencies (tc(w, D)).
-func sumTF(l *postings.List) int64 {
-	var tc int64
-	for _, p := range l.Postings() {
-		tc += int64(p.TF)
-	}
-	return tc
 }
 
 // BuildFrom indexes all docs under schema in one call, a convenience for

@@ -212,15 +212,48 @@ func (ix *Index) AnalyzerFor(field string) *analysis.Analyzer {
 	return nil
 }
 
-// PostingsBytes estimates the on-disk footprint of the index's posting data
-// in bytes (8 bytes per posting plus 4 per skip entry plus dictionary
-// strings). Used by the storage-accounting experiment (§6.2).
+// PostingsBytes estimates the resident footprint of the index's posting
+// data in bytes: the adaptive containers' payload (2 bytes per sparse key,
+// 8 KiB per dense bitset chunk, 4 bytes per explicit TF) plus dictionary
+// strings. Used by the storage-accounting experiment (§6.2).
 func (ix *Index) PostingsBytes() int64 {
 	var total int64
 	for _, fi := range ix.fields {
 		for t, l := range fi.terms {
-			total += int64(len(t)) + int64(l.Len())*8 + int64(l.Segments())*4
+			total += int64(len(t)) + l.Bytes()
 		}
 	}
 	return total
+}
+
+// ContainerStats summarizes how a field's posting lists are stored in the
+// adaptive container layer.
+type ContainerStats struct {
+	Lists        int
+	Postings     int64
+	SparseChunks int
+	DenseChunks  int
+	TFLists      int // lists carrying an explicit TF array
+	Bytes        int64
+}
+
+// ContainerStats reports the container breakdown of one field's lists.
+func (ix *Index) ContainerStats(field string) ContainerStats {
+	var cs ContainerStats
+	fi := ix.fields[field]
+	if fi == nil {
+		return cs
+	}
+	cs.Lists = len(fi.terms)
+	for _, l := range fi.terms {
+		cs.Postings += int64(l.Len())
+		s, d := l.Containers()
+		cs.SparseChunks += s
+		cs.DenseChunks += d
+		if l.HasTFs() {
+			cs.TFLists++
+		}
+		cs.Bytes += l.Bytes()
+	}
+	return cs
 }

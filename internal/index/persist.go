@@ -10,10 +10,20 @@ import (
 	"csrank/internal/postings"
 )
 
+// FormatVersion is the index persistence format written by Encode.
+// Version 2 stores each posting list in the container-aware layout
+// (postings.EncodeList): predicate-shaped lists carry no per-posting TF
+// bytes, and lists rebuild straight into adaptive array/bitset containers
+// on load. Streams written before the version tag existed decode with
+// Version 0 (gob's zero value for a missing field) and take the legacy
+// postings.DecodePostings path, so old index files keep loading.
+const FormatVersion = 2
+
 // persistent is the flat gob representation of an Index. Posting lists are
-// stored as plain posting slices; skip tables are rebuilt on load (they are
-// derived data and rebuild in a single pass).
+// stored as compressed byte slices; container and skip structure are
+// derived data and rebuild in a single pass on load.
 type persistent struct {
+	Version int
 	Schema  Schema
 	SegSize int
 	NumDocs int
@@ -24,14 +34,16 @@ type persistent struct {
 
 type persistentField struct {
 	TotalLen int64
-	// Terms maps each term to its varint-delta-compressed posting list
-	// (postings.EncodePostings).
+	// Terms maps each term to its varint-delta-compressed posting list:
+	// postings.EncodeList for Version 2, postings.EncodePostings for the
+	// untagged legacy layout.
 	Terms map[string][]byte
 }
 
-// Encode serializes the index with encoding/gob.
+// Encode serializes the index with encoding/gob using FormatVersion.
 func (ix *Index) Encode(w io.Writer) error {
 	p := persistent{
+		Version: FormatVersion,
 		Schema:  ix.schema,
 		SegSize: ix.segSize,
 		NumDocs: ix.numDocs,
@@ -45,18 +57,38 @@ func (ix *Index) Encode(w io.Writer) error {
 			Terms:    make(map[string][]byte, len(fi.terms)),
 		}
 		for term, l := range fi.terms {
-			pf.Terms[term] = postings.EncodePostings(l.Postings())
+			pf.Terms[term] = postings.EncodeList(l)
 		}
 		p.Fields[name] = pf
 	}
 	return gob.NewEncoder(w).Encode(&p)
 }
 
-// Decode deserializes an index written by Encode.
+// decodeTermList rebuilds one term's list according to the stream version.
+func decodeTermList(version int, data []byte, segSize int) (*postings.List, error) {
+	switch version {
+	case FormatVersion:
+		return postings.DecodeList(data, segSize)
+	case 0:
+		ps, err := postings.DecodePostings(data)
+		if err != nil {
+			return nil, err
+		}
+		return postings.NewList(ps, segSize), nil
+	default:
+		return nil, fmt.Errorf("unsupported index format version %d (this build reads 0 and %d)", version, FormatVersion)
+	}
+}
+
+// Decode deserializes an index written by Encode, accepting both the
+// current FormatVersion and untagged legacy streams.
 func Decode(r io.Reader) (*Index, error) {
 	var p persistent
 	if err := gob.NewDecoder(r).Decode(&p); err != nil {
 		return nil, fmt.Errorf("index: decode: %w", err)
+	}
+	if p.Version != 0 && p.Version != FormatVersion {
+		return nil, fmt.Errorf("index: unsupported format version %d (this build reads 0 and %d)", p.Version, FormatVersion)
 	}
 	if err := p.Schema.Validate(); err != nil {
 		return nil, fmt.Errorf("index: persisted schema invalid: %w", err)
@@ -79,13 +111,12 @@ func Decode(r io.Reader) (*Index, error) {
 			totalTF:  make(map[string]int64, len(pf.Terms)),
 		}
 		for term, data := range pf.Terms {
-			ps, err := postings.DecodePostings(data)
+			l, err := decodeTermList(p.Version, data, p.SegSize)
 			if err != nil {
 				return nil, fmt.Errorf("index: term %q: %w", term, err)
 			}
-			l := postings.NewList(ps, p.SegSize)
 			fi.terms[term] = l
-			fi.totalTF[term] = sumTF(l)
+			fi.totalTF[term] = l.SumTF()
 		}
 		ix.fields[name] = fi
 	}

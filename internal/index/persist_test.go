@@ -1,0 +1,139 @@
+package index
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"strings"
+	"testing"
+
+	"csrank/internal/postings"
+)
+
+// legacyEncode writes ix the way builds before the format-version tag
+// did: persistent with the zero Version and per-term
+// postings.EncodePostings payloads.
+func legacyEncode(t *testing.T, ix *Index) []byte {
+	t.Helper()
+	p := persistent{
+		Schema:  ix.schema,
+		SegSize: ix.segSize,
+		NumDocs: ix.numDocs,
+		Lengths: ix.lengths,
+		Stored:  ix.stored,
+		Fields:  make(map[string]persistentField, len(ix.fields)),
+	}
+	for name, fi := range ix.fields {
+		pf := persistentField{
+			TotalLen: fi.totalLen,
+			Terms:    make(map[string][]byte, len(fi.terms)),
+		}
+		for term, l := range fi.terms {
+			pf.Terms[term] = postings.EncodePostings(l.Postings())
+		}
+		p.Fields[name] = pf
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&p); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestPersistLegacyFormat checks that untagged (version 0) streams still
+// load: every term's postings, TFs, and derived totals must match the
+// source index.
+func TestPersistLegacyFormat(t *testing.T) {
+	ix := buildTestIndex(t)
+	got, err := Decode(bytes.NewReader(legacyEncode(t, ix)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"content", "mesh"} {
+		for _, term := range ix.Terms(field) {
+			want := ix.Postings(field, term).Postings()
+			have := got.Postings(field, term).Postings()
+			if len(want) != len(have) {
+				t.Fatalf("%s/%s: %d postings, want %d", field, term, len(have), len(want))
+			}
+			for i := range want {
+				if want[i] != have[i] {
+					t.Fatalf("%s/%s: posting %d = %v, want %v", field, term, i, have[i], want[i])
+				}
+			}
+			if got.TotalTF(field, term) != ix.TotalTF(field, term) {
+				t.Errorf("%s/%s: TotalTF mismatch", field, term)
+			}
+		}
+	}
+	if got.TotalFieldLen("content") != ix.TotalFieldLen("content") {
+		t.Error("total length mismatch from legacy stream")
+	}
+}
+
+// TestPersistDenseListRoundTrip round-trips an index whose predicate
+// list is big enough to build a bitset container, checking that the
+// container layout survives persistence.
+func TestPersistDenseListRoundTrip(t *testing.T) {
+	n := postings.DenseThreshold + 500
+	docs := make([]Document, n)
+	for i := range docs {
+		mesh := "common"
+		if i%3 == 0 {
+			mesh += " rare" + fmt.Sprint(i%7)
+		}
+		docs[i] = doc("t", strings.Repeat("word ", i%4+1), mesh)
+	}
+	ix, err := BuildFrom(testSchema(), 0, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := ix.Postings("mesh", "common")
+	if _, dense := l.Containers(); dense == 0 {
+		t.Fatalf("common list (%d postings) built no dense container", l.Len())
+	}
+
+	var buf bytes.Buffer
+	if err := ix.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gl := got.Postings("mesh", "common")
+	if gl.Len() != l.Len() {
+		t.Fatalf("round trip Len = %d, want %d", gl.Len(), l.Len())
+	}
+	sp, dn := l.Containers()
+	gsp, gdn := gl.Containers()
+	if sp != gsp || dn != gdn {
+		t.Fatalf("containers (%d,%d) → (%d,%d) after round trip", sp, dn, gsp, gdn)
+	}
+	if gl.HasTFs() {
+		t.Error("predicate list grew a TF array over the round trip")
+	}
+	cs := got.ContainerStats("mesh")
+	if cs.DenseChunks == 0 || cs.Lists == 0 {
+		t.Errorf("ContainerStats after round trip = %+v", cs)
+	}
+	r := postings.Intersect2(gl, got.Postings("mesh", "rare0"), nil)
+	w := postings.Intersect2(l, ix.Postings("mesh", "rare0"), nil)
+	if r.Len() != w.Len() {
+		t.Errorf("dense∩sparse after round trip = %d docs, want %d", r.Len(), w.Len())
+	}
+}
+
+// TestDecodeRejectsUnknownVersion checks that a stream from a future
+// format fails loudly instead of being misread.
+func TestDecodeRejectsUnknownVersion(t *testing.T) {
+	ix := buildTestIndex(t)
+	p := persistent{Version: FormatVersion + 1, Schema: ix.schema, SegSize: ix.segSize}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(&buf); err == nil {
+		t.Error("expected error for unknown format version")
+	}
+}

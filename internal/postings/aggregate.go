@@ -1,10 +1,11 @@
 package postings
 
 // This file implements the aggregation operators (γ in the paper's Figure 3
-// plan) that compute collection-specific statistics from a materialized
-// context. Each aggregation performs a full scan of its input, so its cost
-// is the context cardinality — the bottleneck the materialized-view
-// technique removes.
+// plan) that compute collection-specific statistics from a context. The
+// slice-scanning forms (Count, SumOver) work over a materialized
+// intersection; the fused kernels (CountSum, CountTFSum) push the
+// aggregation into the conjunction itself so the context is never
+// materialized — the count-only path of the adaptive-container layer.
 
 // Count implements γ_count over an intersection result: the context
 // cardinality |D_P|.
@@ -29,9 +30,75 @@ func SumOver(r *Intersection, param func(docID uint32) int64, st *Stats) int64 {
 // one-predicate context).
 func SumList(l *List, param func(docID uint32) int64, st *Stats) int64 {
 	var sum int64
-	for _, p := range l.postings {
-		sum += param(p.DocID)
-	}
+	l.ForEach(func(id, _ uint32) {
+		sum += param(id)
+	})
 	st.addAggregated(int64(l.Len()))
 	return sum
+}
+
+// CountSum fuses the context phase of the straightforward plan: γ_count
+// and γ_sum over ∩ lists in one pass of the count-only conjunction kernel,
+// returning |D_P| and Σ param(d) without materializing the intersection.
+// The Stats charges mirror the materializing pipeline it replaces: one
+// Intersections tick for a real conjunction and 2·count AggregatedEntries
+// for the two aggregations.
+func CountSum(lists []*List, param func(docID uint32) int64, st *Stats) (count, sum int64) {
+	if len(lists) == 0 {
+		return 0, 0
+	}
+	for _, l := range lists {
+		if l == nil || l.Len() == 0 {
+			return 0, 0
+		}
+	}
+	if len(lists) == 1 {
+		l := lists[0]
+		l.ForEach(func(d, _ uint32) {
+			sum += param(d)
+		})
+		count = int64(l.Len())
+		st.addEntries(count)
+		st.addAggregated(2 * count)
+		return count, sum
+	}
+	st.addIntersection()
+	count = visitConjunction(lists, st, func(d uint32) {
+		sum += param(d)
+	})
+	st.addAggregated(2 * count)
+	return count, sum
+}
+
+// CountTFSum computes df(w, D_P) and tc(w, D_P): the cardinality of
+// l ∩ (∩ ctx) and the sum of l's term frequencies over it, without
+// materializing DocID or TF slices. It runs the same cursor-driven
+// document-at-a-time conjunction as Intersect (so the seek/skip/entry
+// charges are identical), reading l's TF at each match.
+func CountTFSum(l *List, ctx []*List, st *Stats) (df, tc int64) {
+	if l == nil || l.Len() == 0 {
+		return 0, 0
+	}
+	for _, c := range ctx {
+		if c == nil || c.Len() == 0 {
+			return 0, 0
+		}
+	}
+	if len(ctx) == 0 {
+		// Degenerate empty context: every document of l matches.
+		df = int64(l.Len())
+		st.addEntries(df)
+		st.addAggregated(df)
+		return df, l.SumTF()
+	}
+	st.addIntersection()
+	lists := make([]*List, 0, len(ctx)+1)
+	lists = append(lists, l)
+	lists = append(lists, ctx...)
+	conjoin(lists, st, func(_ uint32, cursors []*cursor) {
+		df++
+		tc += int64(cursors[0].tf())
+	})
+	st.addAggregated(df)
+	return df, tc
 }

@@ -36,6 +36,101 @@ func EncodePostings(ps []Posting) []byte {
 	return buf
 }
 
+// EncodeList serializes a List in the container-aware layout used by index
+// format version 2: a flags byte (bit 0: explicit TFs present), a uvarint
+// count, the docid gaps (first docid stored +1), and — only when the list
+// carries explicit term frequencies — the TF array as uvarints. Predicate
+// lists (TF = 1 implicit) therefore pay nothing per posting for TFs,
+// unlike EncodePostings which interleaves a TF byte for every entry.
+func EncodeList(l *List) []byte {
+	buf := make([]byte, 0, l.Len()*2+binary.MaxVarintLen64+1)
+	var flags byte
+	if l.HasTFs() {
+		flags |= 1
+	}
+	buf = append(buf, flags)
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf = append(buf, tmp[:n]...)
+	}
+	put(uint64(l.Len()))
+	prev := uint32(0)
+	first := true
+	l.ForEach(func(d, _ uint32) {
+		if first {
+			put(uint64(d) + 1)
+			first = false
+		} else {
+			put(uint64(d - prev))
+		}
+		prev = d
+	})
+	for _, tf := range l.tfs {
+		put(uint64(tf))
+	}
+	return buf
+}
+
+// DecodeList reverses EncodeList, building the adaptive-container list
+// directly (no intermediate []Posting). It validates structure and returns
+// an error on truncated or corrupt input rather than panicking.
+func DecodeList(data []byte, segSize int) (*List, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("postings: empty list encoding")
+	}
+	flags := data[0]
+	if flags&^byte(1) != 0 {
+		return nil, fmt.Errorf("postings: unknown list flags %#x", flags)
+	}
+	data = data[1:]
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("postings: corrupt count")
+	}
+	data = data[n:]
+	if count > uint64(len(data))*2 {
+		return nil, fmt.Errorf("postings: count %d exceeds payload", count)
+	}
+	ids := make([]uint32, 0, count)
+	prev := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		gap, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("postings: truncated gap at %d", i)
+		}
+		data = data[n:]
+		if gap == 0 {
+			return nil, fmt.Errorf("postings: zero gap at %d", i)
+		}
+		docID := prev + gap
+		if i == 0 {
+			docID = gap - 1
+		}
+		if docID > 1<<32-1 {
+			return nil, fmt.Errorf("postings: docid overflow at %d", i)
+		}
+		ids = append(ids, uint32(docID))
+		prev = docID
+	}
+	var tfs []uint32
+	if flags&1 != 0 {
+		tfs = make([]uint32, 0, count)
+		for i := uint64(0); i < count; i++ {
+			tf, n := binary.Uvarint(data)
+			if n <= 0 {
+				return nil, fmt.Errorf("postings: truncated tf at %d", i)
+			}
+			data = data[n:]
+			tfs = append(tfs, uint32(tf))
+		}
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("postings: %d trailing bytes", len(data))
+	}
+	return newListRaw(ids, tfs, segSize, DenseThreshold), nil
+}
+
 // DecodePostings reverses EncodePostings. It validates structure (count,
 // strict docid ascent via positive gaps) and returns an error on
 // truncated or corrupt input rather than panicking.

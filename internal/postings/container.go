@@ -1,0 +1,295 @@
+package postings
+
+import "math/bits"
+
+// Adaptive containers: every list is partitioned into fixed ranges of 2^16
+// document IDs, and each populated range (a "chunk") is stored either as a
+// sorted array of 16-bit keys (sparse) or as a 1024-word bitset (dense),
+// chosen by cardinality at build time. The layout is roaring-style but
+// purpose-built for this system's two list shapes: keyword lists carry one
+// parallel TF array in global element order, predicate lists drop TFs
+// entirely (TF = 1 is implicit). Dense chunks make count-only
+// intersections — the γ_count work that dominates the paper's cost model —
+// a word-AND plus popcount instead of a merge.
+const (
+	chunkBits  = 16
+	chunkSpan  = 1 << chunkBits // docIDs covered by one chunk
+	chunkWords = chunkSpan / 64 // bitset words of a dense chunk
+	// DenseThreshold is the chunk cardinality at which the sorted-array
+	// representation gives way to the bitset. 4096 keys × 2 B equals the
+	// bitset's 8 KiB, so a dense chunk is never larger than the array it
+	// replaces.
+	DenseThreshold = 4096
+)
+
+// chunk holds the documents of one 2^16-wide docID range in exactly one of
+// the two representations.
+type chunk struct {
+	base uint32 // first docID of the range (low 16 bits zero)
+	n    int32
+	keys []uint16 // sparse: sorted low-16-bit keys; nil when dense
+	bits []uint64 // dense: chunkWords-word bitset; nil when sparse
+}
+
+func (c *chunk) dense() bool { return c.bits != nil }
+
+// has reports whether the dense chunk contains the low-16-bit key lo.
+func (c *chunk) has(lo uint32) bool {
+	return c.bits[lo>>6]&(1<<(lo&63)) != 0
+}
+
+// firstFrom returns the position of the first set bit ≥ from in the dense
+// chunk, or -1 when none remains.
+func (c *chunk) firstFrom(from int) int {
+	w := from >> 6
+	if w >= chunkWords {
+		return -1
+	}
+	x := c.bits[w] & (^uint64(0) << uint(from&63))
+	for x == 0 {
+		w++
+		if w == chunkWords {
+			return -1
+		}
+		x = c.bits[w]
+	}
+	return w<<6 + bits.TrailingZeros64(x)
+}
+
+// popRange counts the set bits of the dense chunk in [from, to).
+func (c *chunk) popRange(from, to int) int {
+	if from >= to {
+		return 0
+	}
+	fw, tw := from>>6, to>>6
+	fm := ^uint64(0) << uint(from&63)
+	if fw == tw {
+		return bits.OnesCount64(c.bits[fw] & fm & ((1 << uint(to&63)) - 1))
+	}
+	n := bits.OnesCount64(c.bits[fw] & fm)
+	for w := fw + 1; w < tw; w++ {
+		n += bits.OnesCount64(c.bits[w])
+	}
+	if tw < chunkWords {
+		n += bits.OnesCount64(c.bits[tw] & ((1 << uint(to&63)) - 1))
+	}
+	return n
+}
+
+// segments returns the chunk's size in skip segments of the M0 cost model,
+// rounded up; used to account chunk skips in SegmentsSkipped terms.
+func (c *chunk) segments(segSize int) int64 {
+	return int64((int(c.n) + segSize - 1) / segSize)
+}
+
+// buildChunks partitions strictly ascending ids into chunks, choosing the
+// representation of each by cardinality against threshold.
+func buildChunks(ids []uint32, threshold int) (chunks []chunk, offsets []int) {
+	offsets = append(offsets, 0)
+	for i := 0; i < len(ids); {
+		base := ids[i] &^ (chunkSpan - 1)
+		j := i + 1
+		for j < len(ids) && ids[j]&^uint32(chunkSpan-1) == base {
+			j++
+		}
+		c := chunk{base: base, n: int32(j - i)}
+		if j-i >= threshold {
+			c.bits = make([]uint64, chunkWords)
+			for _, id := range ids[i:j] {
+				lo := id & (chunkSpan - 1)
+				c.bits[lo>>6] |= 1 << (lo & 63)
+			}
+		} else {
+			c.keys = make([]uint16, j-i)
+			for t, id := range ids[i:j] {
+				c.keys[t] = uint16(id)
+			}
+		}
+		chunks = append(chunks, c)
+		offsets = append(offsets, j)
+		i = j
+	}
+	return chunks, offsets
+}
+
+// gallopSearch16 returns the smallest index ≥ from with keys[i] ≥ target,
+// or len(keys). It probes exponentially from the current position before
+// binary-searching the bracketed range, so seeking d elements ahead costs
+// O(log d) — the galloping scheme for skewed intersections.
+func gallopSearch16(keys []uint16, from int, target uint16) int {
+	if from >= len(keys) || keys[from] >= target {
+		return from
+	}
+	bound := 1
+	for from+bound < len(keys) && keys[from+bound] < target {
+		bound <<= 1
+	}
+	lo := from + bound>>1 + 1
+	hi := from + bound
+	if hi > len(keys) {
+		hi = len(keys)
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if keys[mid] < target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// visitConjunction is the count-only k-way conjunction kernel over chunked
+// lists: it never materializes DocID or TF slices. All lists must be
+// non-nil and non-empty and len(lists) ≥ 2. When visit is non-nil it is
+// called once per matching docID in ascending order. Returns the number of
+// matches.
+//
+// The kernel synchronizes the lists chunk range by chunk range. When every
+// list's chunk for a common range is dense, the range is resolved by
+// word-AND + popcount; otherwise the smallest chunk drives and the others
+// are probed (O(1) bit tests into bitsets, galloping forward seeks into
+// arrays). Cost accounting: skipped chunks charge SegmentsSkipped in
+// M0-model segments; bitset work charges EntriesScanned in
+// entry-equivalents (one 64-doc word ≈ one entry probe) and is also
+// tallied separately in Stats.BitmapWords.
+func visitConjunction(lists []*List, st *Stats, visit func(docID uint32)) int64 {
+	k := len(lists)
+	cis := make([]int, k) // per-list chunk index
+	aps := make([]int, k) // per-list in-chunk array pointer, reset per range
+	var count int64
+align:
+	for {
+		// Establish the largest current chunk base; any exhausted list ends
+		// the conjunction.
+		var base uint32
+		for i, l := range lists {
+			if cis[i] == len(l.chunks) {
+				return count
+			}
+			if b := l.chunks[cis[i]].base; b > base {
+				base = b
+			}
+		}
+		// Advance every list to that base, charging skipped chunks.
+		for i, l := range lists {
+			for cis[i] < len(l.chunks) && l.chunks[cis[i]].base < base {
+				st.addSkipped(l.chunks[cis[i]].segments(l.segSize))
+				cis[i]++
+			}
+			if cis[i] == len(l.chunks) {
+				return count
+			}
+			if l.chunks[cis[i]].base > base {
+				continue align // overshot: realign on the larger base
+			}
+		}
+		// All lists hold a chunk for [base, base+chunkSpan).
+		allDense := true
+		minIdx := 0
+		for i, l := range lists {
+			ch := &l.chunks[cis[i]]
+			if !ch.dense() {
+				allDense = false
+			}
+			if ch.n < lists[minIdx].chunks[cis[minIdx]].n {
+				minIdx = i
+			}
+		}
+		if allDense {
+			count += andChunks(lists, cis, base, visit)
+			st.addBitmapWords(int64(k) * chunkWords)
+			st.addEntries(int64(k) * chunkWords)
+		} else {
+			count += probeChunks(lists, cis, aps, minIdx, base, st, visit)
+		}
+		for i := range cis {
+			cis[i]++
+		}
+	}
+}
+
+// andChunks resolves one all-dense chunk range by word-AND; with visit nil
+// matches are only popcounted.
+func andChunks(lists []*List, cis []int, base uint32, visit func(uint32)) int64 {
+	var count int64
+	for w := 0; w < chunkWords; w++ {
+		x := lists[0].chunks[cis[0]].bits[w]
+		for i := 1; i < len(lists) && x != 0; i++ {
+			x &= lists[i].chunks[cis[i]].bits[w]
+		}
+		if x == 0 {
+			continue
+		}
+		if visit == nil {
+			count += int64(bits.OnesCount64(x))
+			continue
+		}
+		for x != 0 {
+			visit(base | uint32(w<<6|bits.TrailingZeros64(x)))
+			x &= x - 1
+			count++
+		}
+	}
+	return count
+}
+
+// probeChunks resolves one mixed chunk range: the smallest chunk (minIdx)
+// drives, and every driver element is probed in the other chunks.
+func probeChunks(lists []*List, cis, aps []int, minIdx int, base uint32, st *Stats, visit func(uint32)) int64 {
+	for i := range aps {
+		aps[i] = 0
+	}
+	var count int64
+	probe := func(lo uint16) bool {
+		for i, l := range lists {
+			if i == minIdx {
+				continue
+			}
+			ch := &l.chunks[cis[i]]
+			if ch.dense() {
+				st.addBitmapWords(1)
+				st.addEntries(1)
+				if !ch.has(uint32(lo)) {
+					return false
+				}
+				continue
+			}
+			p := gallopSearch16(ch.keys, aps[i], lo)
+			st.addEntries(int64(p - aps[i]))
+			aps[i] = p
+			if p == len(ch.keys) || ch.keys[p] != lo {
+				return false
+			}
+		}
+		return true
+	}
+	drv := &lists[minIdx].chunks[cis[minIdx]]
+	st.addEntries(int64(drv.n))
+	if drv.dense() {
+		for w := 0; w < chunkWords; w++ {
+			x := drv.bits[w]
+			for x != 0 {
+				lo := uint16(w<<6 | bits.TrailingZeros64(x))
+				x &= x - 1
+				if probe(lo) {
+					count++
+					if visit != nil {
+						visit(base | uint32(lo))
+					}
+				}
+			}
+		}
+		return count
+	}
+	for _, lo := range drv.keys {
+		if probe(lo) {
+			count++
+			if visit != nil {
+				visit(base | uint32(lo))
+			}
+		}
+	}
+	return count
+}

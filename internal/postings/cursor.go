@@ -1,64 +1,184 @@
 package postings
 
-// cursor walks a List during an intersection, advancing with skip pointers.
-// Advancing first consults the skip table to jump whole segments whose max
-// DocID is below the target — the optimization whose cost model the paper
-// analyzes — then scans linearly within the final segment.
+// cursor walks a List during an intersection. Physically it advances
+// through the adaptive containers — galloping within array chunks, jumping
+// straight to the target word within bitset chunks — but its cost
+// reporting reproduces the §3.2.1 skip-pointer model exactly: a seek
+// charges one Seek, SegmentsSkipped for every M0-segment wholly below the
+// target, and EntriesScanned for the entries of the landing segment that
+// precede it. Because the global element position is tracked at all times
+// (dense chunks maintain an incremental rank), the reported numbers are
+// identical to what the former segment-skip implementation produced.
 type cursor struct {
-	list *List
-	pos  int // index of the current posting; len(postings) means exhausted
-	st   *Stats
+	l  *List
+	st *Stats
+	// ci is the current chunk; len(chunks) means exhausted. Within the
+	// chunk the position is ki (array) or bit+rank (bitset); gpos is the
+	// global element index and cur the current docID.
+	ci   int
+	ki   int
+	bit  int
+	rank int
+	gpos int
+	cur  uint32
 }
 
 func newCursor(l *List, st *Stats) *cursor {
-	return &cursor{list: l, st: st}
+	c := &cursor{l: l, st: st}
+	c.enterChunk(0)
+	return c
 }
 
-func (c *cursor) exhausted() bool { return c.pos >= len(c.list.postings) }
-
-func (c *cursor) current() Posting { return c.list.postings[c.pos] }
-
-// seek advances the cursor to the first posting with DocID ≥ target and
-// reports whether such a posting exists. Segments whose skip entry (max
-// DocID) is below target are skipped wholesale; each skipped segment counts
-// one SegmentsSkipped and zero EntriesScanned, each examined posting counts
-// one EntriesScanned.
-func (c *cursor) seek(target uint32) bool {
-	c.st.addSeek()
-	ps := c.list.postings
-	if c.pos >= len(ps) {
-		return false
+// enterChunk positions the cursor on the first element of chunk ci, or
+// marks it exhausted when no chunk remains. Chunks are never empty.
+func (c *cursor) enterChunk(ci int) {
+	c.ci = ci
+	if ci >= len(c.l.chunks) {
+		c.gpos = c.l.n
+		return
 	}
-	if ps[c.pos].DocID >= target {
-		return true
+	ch := &c.l.chunks[ci]
+	c.gpos = c.l.offsets[ci]
+	if ch.dense() {
+		c.bit = ch.firstFrom(0)
+		c.rank = 0
+		c.cur = ch.base | uint32(c.bit)
+		return
 	}
-	seg := c.pos / c.list.segSize
-	nseg := len(c.list.skips)
-	skipped := int64(0)
-	for seg < nseg && c.list.skips[seg] < target {
-		seg++
-		skipped++
-	}
-	if skipped > 0 {
-		c.st.addSkipped(skipped)
-		c.pos = seg * c.list.segSize
-		if c.pos >= len(ps) {
-			return false
-		}
-	}
-	// Linear scan within the remaining segment(s); in the worst case this
-	// touches M0 entries of the final overlapping segment.
-	scanned := int64(0)
-	for c.pos < len(ps) && ps[c.pos].DocID < target {
-		c.pos++
-		scanned++
-	}
-	c.st.addEntries(scanned)
-	return c.pos < len(ps)
+	c.ki = 0
+	c.cur = ch.base | uint32(ch.keys[0])
 }
+
+func (c *cursor) exhausted() bool { return c.gpos >= c.l.n }
+
+func (c *cursor) docID() uint32 { return c.cur }
+
+func (c *cursor) tf() uint32 { return c.l.tfAt(c.gpos) }
 
 // next advances the cursor by one posting, counting the consumed entry.
 func (c *cursor) next() {
-	c.pos++
 	c.st.addEntries(1)
+	ch := &c.l.chunks[c.ci]
+	c.gpos++
+	if ch.dense() {
+		if nb := ch.firstFrom(c.bit + 1); nb >= 0 {
+			c.bit = nb
+			c.rank++
+			c.cur = ch.base | uint32(nb)
+			return
+		}
+	} else if c.ki+1 < len(ch.keys) {
+		c.ki++
+		c.cur = ch.base | uint32(ch.keys[c.ki])
+		return
+	}
+	c.enterChunk(c.ci + 1)
+}
+
+// seek advances the cursor to the first posting with DocID ≥ target and
+// reports whether such a posting exists. The physical move is a chunk jump
+// plus a gallop (array) or word probe (bitset); the charge is the M0
+// model's, computed from the before/after global positions.
+func (c *cursor) seek(target uint32) bool {
+	c.st.addSeek()
+	if c.gpos >= c.l.n {
+		return false
+	}
+	if c.cur >= target {
+		return true
+	}
+	old := c.gpos
+	c.advanceTo(target)
+	c.chargeSeek(old, c.gpos)
+	return c.gpos < c.l.n
+}
+
+// advanceTo moves the cursor to the first element ≥ target (target > cur).
+func (c *cursor) advanceTo(target uint32) {
+	tb := target &^ uint32(chunkSpan-1)
+	ci := c.ci
+	if c.l.chunks[ci].base != tb {
+		// The target lies beyond this chunk's range. The walk is linear
+		// because a cursor only moves forward: across a whole traversal it
+		// visits each chunk at most once.
+		for ci++; ci < len(c.l.chunks) && c.l.chunks[ci].base < tb; ci++ {
+		}
+		if ci == len(c.l.chunks) || c.l.chunks[ci].base > tb {
+			// No chunk covers target's range: the first element of the next
+			// populated range (if any) is the answer.
+			c.enterChunk(ci)
+			return
+		}
+		// Fresh chunk covering target's range: search it from the start.
+		ch := &c.l.chunks[ci]
+		lo := target & (chunkSpan - 1)
+		if ch.dense() {
+			nb := ch.firstFrom(int(lo))
+			if nb < 0 {
+				c.enterChunk(ci + 1)
+				return
+			}
+			c.ci = ci
+			c.bit = nb
+			c.rank = ch.popRange(0, nb)
+			c.gpos = c.l.offsets[ci] + c.rank
+			c.cur = ch.base | uint32(nb)
+			return
+		}
+		ki := gallopSearch16(ch.keys, 0, uint16(lo))
+		if ki == len(ch.keys) {
+			c.enterChunk(ci + 1)
+			return
+		}
+		c.ci = ci
+		c.ki = ki
+		c.gpos = c.l.offsets[ci] + ki
+		c.cur = ch.base | uint32(ch.keys[ki])
+		return
+	}
+	// Same chunk: advance within it.
+	ch := &c.l.chunks[ci]
+	lo := target & (chunkSpan - 1)
+	if ch.dense() {
+		nb := ch.firstFrom(int(lo))
+		if nb < 0 {
+			c.enterChunk(ci + 1)
+			return
+		}
+		c.rank += ch.popRange(c.bit, nb)
+		c.bit = nb
+		c.gpos = c.l.offsets[ci] + c.rank
+		c.cur = ch.base | uint32(nb)
+		return
+	}
+	ki := gallopSearch16(ch.keys, c.ki, uint16(lo))
+	if ki == len(ch.keys) {
+		c.enterChunk(ci + 1)
+		return
+	}
+	c.ki = ki
+	c.gpos = c.l.offsets[ci] + ki
+	c.cur = ch.base | uint32(ch.keys[ki])
+}
+
+// chargeSeek reports the M0 cost model's charge for a seek that moved the
+// global position from old to pos: every segment wholly below the landing
+// point is skipped, and the landing segment is scanned up to the landing
+// entry — exactly the charge of a skip-table walk.
+func (c *cursor) chargeSeek(old, pos int) {
+	m := c.l.segSize
+	sOld := old / m
+	sMin := pos / m
+	if pos >= c.l.n {
+		// Past the end: every remaining segment was skipped.
+		sMin = (c.l.n + m - 1) / m
+	}
+	if sMin > sOld {
+		c.st.addSkipped(int64(sMin - sOld))
+		if start := sMin * m; pos > start {
+			c.st.addEntries(int64(pos - start))
+		}
+		return
+	}
+	c.st.addEntries(int64(pos - old))
 }

@@ -1,6 +1,9 @@
 package postings
 
-import "sort"
+import (
+	"math/bits"
+	"sort"
+)
 
 // Intersection is the result of a k-way conjunctive intersection: the
 // matching document IDs plus, for every input list, the term frequencies
@@ -22,11 +25,57 @@ func (r *Intersection) ToList() *List {
 	return FromDocIDs(r.DocIDs, 0)
 }
 
+// conjoin runs the document-at-a-time k-way conjunction with the shortest
+// list driving and the rest sought in ascending length order, and calls
+// onMatch for every matching docID with all cursors positioned on it. It
+// is the shared engine of Intersect and the count-style kernels that need
+// TFs (CountTFSum).
+func conjoin(lists []*List, st *Stats, onMatch func(docID uint32, cursors []*cursor)) {
+	// Evaluation order: ascending by length, remembering original slots.
+	order := make([]int, len(lists))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return lists[order[a]].Len() < lists[order[b]].Len()
+	})
+
+	cursors := make([]*cursor, len(lists))
+	for _, idx := range order {
+		cursors[idx] = newCursor(lists[idx], st)
+	}
+
+	driver := cursors[order[0]]
+	for !driver.exhausted() {
+		candidate := driver.docID()
+		matched := true
+		for _, idx := range order[1:] {
+			c := cursors[idx]
+			if !c.seek(candidate) {
+				// Some list is exhausted: no further matches anywhere.
+				return
+			}
+			if got := c.docID(); got != candidate {
+				// Re-seek the driver to the larger DocID and restart.
+				if !driver.seek(got) {
+					return
+				}
+				matched = false
+				break
+			}
+		}
+		if matched {
+			onMatch(candidate, cursors)
+			driver.next()
+		}
+	}
+}
+
 // Intersect computes the conjunction of all input lists using the
-// document-at-a-time algorithm with skip pointers: the shortest list drives,
-// and every candidate DocID is sought in the remaining lists ordered by
-// ascending length so mismatches are discovered as cheaply as possible.
-// Cost counters accumulate into st (which may be nil).
+// document-at-a-time algorithm: the shortest list drives, and every
+// candidate DocID is sought in the remaining lists ordered by ascending
+// length so mismatches are discovered as cheaply as possible. Cost
+// counters accumulate into st (which may be nil).
 //
 // The result's TFs are ordered like the *input* lists, not the internal
 // evaluation order.
@@ -45,54 +94,48 @@ func Intersect(lists []*List, st *Stats) *Intersection {
 	if len(lists) > 1 {
 		st.addIntersection()
 	}
-
-	// Evaluation order: ascending by length, remembering original slots.
-	order := make([]int, len(lists))
-	for i := range order {
-		order[i] = i
+	est := lists[0].Len()
+	for _, l := range lists[1:] {
+		if l.Len() < est {
+			est = l.Len()
+		}
 	}
-	sort.Slice(order, func(a, b int) bool {
-		return lists[order[a]].Len() < lists[order[b]].Len()
-	})
-
-	cursors := make([]*cursor, len(lists))
-	for _, idx := range order {
-		cursors[idx] = newCursor(lists[idx], st)
+	allTFLess := true
+	for _, l := range lists {
+		if l.tfs != nil {
+			allTFLess = false
+			break
+		}
 	}
-
-	driver := cursors[order[0]]
-	est := driver.list.Len()
+	if allTFLess && len(lists) > 1 {
+		// Every list is predicate-shaped (implicit TF = 1): the count-only
+		// conjunction kernel can materialize too — dense ranges go through
+		// word-AND + popcount instead of cursor stepping. The TF columns
+		// are a single shared all-ones slice; Intersection consumers treat
+		// TFs as read-only.
+		res.DocIDs = make([]uint32, 0, est/4+1)
+		visitConjunction(lists, st, func(d uint32) {
+			res.DocIDs = append(res.DocIDs, d)
+		})
+		ones := make([]uint32, len(res.DocIDs))
+		for i := range ones {
+			ones[i] = 1
+		}
+		for i := range res.TFs {
+			res.TFs[i] = ones
+		}
+		return res
+	}
 	res.DocIDs = make([]uint32, 0, est/4+1)
 	for i := range res.TFs {
 		res.TFs[i] = make([]uint32, 0, est/4+1)
 	}
-
-	for !driver.exhausted() {
-		candidate := driver.current().DocID
-		matched := true
-		for _, idx := range order[1:] {
-			c := cursors[idx]
-			if !c.seek(candidate) {
-				// Some list is exhausted: no further matches anywhere.
-				return res
-			}
-			if got := c.current().DocID; got != candidate {
-				// Re-seek the driver to the larger DocID and restart.
-				if !driver.seek(got) {
-					return res
-				}
-				matched = false
-				break
-			}
+	conjoin(lists, st, func(d uint32, cursors []*cursor) {
+		res.DocIDs = append(res.DocIDs, d)
+		for i, c := range cursors {
+			res.TFs[i] = append(res.TFs[i], c.tf())
 		}
-		if matched {
-			res.DocIDs = append(res.DocIDs, candidate)
-			for i, c := range cursors {
-				res.TFs[i] = append(res.TFs[i], c.current().TF)
-			}
-			driver.next()
-		}
-	}
+	})
 	return res
 }
 
@@ -102,8 +145,9 @@ func Intersect2(a, b *List, st *Stats) *Intersection {
 }
 
 // IntersectionSize returns only the cardinality |∩ lists|, the quantity
-// needed for df(w, D_P) and |D_P|. It runs the same skip-aware algorithm
-// but avoids materializing the result.
+// needed for df(w, D_P) and |D_P|. It runs the count-only conjunction
+// kernel over the adaptive containers — a word-AND + popcount when every
+// list is dense over a docID range — and never materializes the result.
 func IntersectionSize(lists []*List, st *Stats) int64 {
 	if len(lists) == 0 {
 		return 0
@@ -114,81 +158,143 @@ func IntersectionSize(lists []*List, st *Stats) int64 {
 		}
 		return int64(lists[0].Len())
 	}
-	// Materialization cost is dominated by scanning; reuse Intersect but
-	// drop the result. The allocation overhead is acceptable because the
-	// engine prefers view-based answers for large contexts anyway.
-	return int64(Intersect(lists, st).Len())
+	for _, l := range lists {
+		if l == nil || l.Len() == 0 {
+			return 0
+		}
+	}
+	st.addIntersection()
+	return visitConjunction(lists, st, nil)
 }
 
 // MergeIntersect computes the pairwise intersection by a plain two-pointer
-// merge without skip pointers, touching every entry of both lists. It
+// merge without container skipping, touching every entry of both lists. It
 // exists as the baseline of the paper's cost comparison
 // (cost = |L_i| + |L_j|) and for differential testing of the skip-aware
 // path.
 func MergeIntersect(a, b *List, st *Stats) *Intersection {
 	st.addIntersection()
 	res := &Intersection{TFs: make([][]uint32, 2)}
-	i, j := 0, 0
-	ap, bp := a.postings, b.postings
-	for i < len(ap) && j < len(bp) {
+	ca, cb := newCursor(a, st), newCursor(b, st)
+	for !ca.exhausted() && !cb.exhausted() {
+		da, db := ca.docID(), cb.docID()
 		switch {
-		case ap[i].DocID < bp[j].DocID:
-			i++
-			st.addEntries(1)
-		case ap[i].DocID > bp[j].DocID:
-			j++
-			st.addEntries(1)
+		case da < db:
+			ca.next()
+		case da > db:
+			cb.next()
 		default:
-			res.DocIDs = append(res.DocIDs, ap[i].DocID)
-			res.TFs[0] = append(res.TFs[0], ap[i].TF)
-			res.TFs[1] = append(res.TFs[1], bp[j].TF)
-			i++
-			j++
-			st.addEntries(2)
+			res.DocIDs = append(res.DocIDs, da)
+			res.TFs[0] = append(res.TFs[0], ca.tf())
+			res.TFs[1] = append(res.TFs[1], cb.tf())
+			ca.next()
+			cb.next()
 		}
 	}
 	return res
 }
 
 // Union returns the DocIDs present in at least one input list, with TFs
-// summed across lists. It is not used by conjunctive query evaluation but
-// completes the substrate (disjunctive retrieval, tests).
+// summed across lists, as a single k-way merge instead of the pairwise
+// fold's O(k · total). The merge is container-aligned: lists partition
+// docID space into the same 2^16 ranges, so each active range is
+// processed once — dense chunks OR their words into a presence bitset,
+// sparse chunks set individual bits, TFs accumulate in a range-local
+// array, and one TrailingZeros sweep emits the range in sorted order.
+// Cost is O(total + activeRanges · 1024), comparison-free. Union is not
+// used by conjunctive query evaluation but completes the substrate
+// (disjunctive retrieval, ancestor-closure construction, tests).
 func Union(lists []*List, st *Stats) *List {
 	switch len(lists) {
 	case 0:
 		return NewList(nil, 0)
+	}
+	var live []*List
+	segSize, total := 0, 0
+	for _, l := range lists {
+		if l == nil || l.Len() == 0 {
+			continue
+		}
+		if segSize == 0 {
+			segSize = l.segSize
+		}
+		total += l.Len()
+		live = append(live, l)
+	}
+	switch len(live) {
+	case 0:
+		return NewList(nil, segSize)
 	case 1:
-		return lists[0]
+		return live[0]
 	}
-	// k-way merge over sorted lists via repeated pairwise merge; list
-	// counts are small (query terms), so simplicity beats a heap.
-	acc := lists[0]
-	for _, l := range lists[1:] {
-		acc = mergeUnion(acc, l, st)
-	}
-	return acc
-}
-
-func mergeUnion(a, b *List, st *Stats) *List {
-	out := make([]Posting, 0, a.Len()+b.Len())
-	i, j := 0, 0
-	ap, bp := a.postings, b.postings
-	for i < len(ap) && j < len(bp) {
-		switch {
-		case ap[i].DocID < bp[j].DocID:
-			out = append(out, ap[i])
-			i++
-		case ap[i].DocID > bp[j].DocID:
-			out = append(out, bp[j])
-			j++
-		default:
-			out = append(out, Posting{DocID: ap[i].DocID, TF: ap[i].TF + bp[j].TF})
-			i++
-			j++
+	ids := make([]uint32, 0, total)
+	tfs := make([]uint32, 0, total)
+	acc := make([]uint32, chunkSpan)
+	var pres [chunkWords]uint64
+	cis := make([]int, len(live))
+	for {
+		// The lowest pending chunk base decides the next active range.
+		base, none := uint32(0), true
+		for i, l := range live {
+			if cis[i] < len(l.chunks) {
+				if b := l.chunks[cis[i]].base; none || b < base {
+					base, none = b, false
+				}
+			}
+		}
+		if none {
+			break
+		}
+		for i, l := range live {
+			if cis[i] >= len(l.chunks) || l.chunks[cis[i]].base != base {
+				continue
+			}
+			c := &l.chunks[cis[i]]
+			gstart := l.offsets[cis[i]]
+			if c.dense() {
+				r := 0
+				for w, word := range c.bits {
+					pres[w] |= word
+					for word != 0 {
+						lo := w<<6 + bits.TrailingZeros64(word)
+						if l.tfs == nil {
+							acc[lo]++
+						} else {
+							acc[lo] += l.tfs[gstart+r]
+						}
+						r++
+						word &= word - 1
+					}
+				}
+			} else {
+				for j, key := range c.keys {
+					lo := int(key)
+					pres[lo>>6] |= 1 << uint(lo&63)
+					if l.tfs == nil {
+						acc[lo]++
+					} else {
+						acc[lo] += l.tfs[gstart+j]
+					}
+				}
+			}
+			cis[i]++
+		}
+		for w := range pres {
+			word := pres[w]
+			if word == 0 {
+				continue
+			}
+			pres[w] = 0
+			for word != 0 {
+				lo := w<<6 + bits.TrailingZeros64(word)
+				ids = append(ids, base+uint32(lo))
+				tfs = append(tfs, acc[lo])
+				acc[lo] = 0
+				word &= word - 1
+			}
 		}
 	}
-	out = append(out, ap[i:]...)
-	out = append(out, bp[j:]...)
-	st.addEntries(int64(a.Len() + b.Len()))
-	return NewList(out, a.segSize)
+	// Every input entry is consumed exactly once.
+	st.addEntries(int64(total))
+	return newListRaw(ids, tfs, segSize, DenseThreshold)
 }

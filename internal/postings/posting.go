@@ -1,18 +1,27 @@
 // Package postings implements the inverted-list substrate of the system:
-// postings sorted by document ID, segmented lists with skip pointers, merge
-// intersection, and the aggregation operators (γ_count, γ_sum) that
-// context-sensitive ranking layers on top.
+// postings sorted by document ID, adaptive array/bitset containers, merge
+// and galloping intersection, and the aggregation operators (γ_count,
+// γ_sum) that context-sensitive ranking layers on top.
 //
-// The implementation mirrors the cost model of §3.2.1 of the paper: lists
-// are partitioned into segments of M0 entries; an intersection touches a
-// segment only when its docid range overlaps the other list's current
-// position, so cost(L_i ∩ L_j) = M0·(N_i^o + N_j^o) ≤ |L_i| + |L_j|.
-// Every operation reports its cost through a Stats accumulator so the
-// analytical claims of the paper (Proposition 3.1, Theorem 4.2) are
-// observable in tests and benchmarks.
+// Lists are stored in adaptive containers (see container.go): each 2^16
+// range of docIDs is a sorted uint16 array when sparse and a bitset when
+// dense, with TFs in a parallel array that predicate-shaped lists (TF = 1
+// everywhere) drop entirely.
+//
+// The cost accounting still follows §3.2.1 of the paper: lists are
+// *accounted* in segments of M0 entries, an intersection touches a segment
+// only when its docid range overlaps the other list's current position,
+// so cost(L_i ∩ L_j) = M0·(N_i^o + N_j^o) ≤ |L_i| + |L_j|. Every operation
+// reports its cost through a Stats accumulator so the analytical claims of
+// the paper (Proposition 3.1, Theorem 4.2) are observable in tests and
+// benchmarks; bitset work is reported in entry-equivalents plus a separate
+// BitmapWords tally.
 package postings
 
-import "sort"
+import (
+	"math/bits"
+	"sort"
+)
 
 // DefaultSegmentSize is the default number of postings per skip segment
 // (M0 in the paper's cost model). 128 matches common practice in text
@@ -26,15 +35,42 @@ type Posting struct {
 	TF    uint32
 }
 
-// List is an immutable inverted list: postings sorted by ascending DocID,
-// partitioned into segments of segSize entries with a skip table recording
-// each segment's maximum DocID. Build lists with NewList or a Builder.
+// List is an immutable inverted list: docIDs strictly ascending, stored in
+// adaptive chunk containers, with term frequencies in a parallel array in
+// element order. A nil TF array means TF = 1 for every document — the
+// shape of a predicate-field list. Build lists with NewList, FromDocIDs or
+// a Builder.
 type List struct {
-	postings []Posting
-	// skips[i] is the largest DocID in segment i, i.e. in
-	// postings[i*segSize : min((i+1)*segSize, len)].
-	skips   []uint32
+	chunks []chunk
+	// offsets[i] is the global element index of chunk i's first document;
+	// offsets[len(chunks)] == n.
+	offsets []int
+	tfs     []uint32 // nil ⇒ TF = 1 everywhere
+	n       int
 	segSize int
+}
+
+// newListRaw builds a list from strictly ascending ids (not validated) and
+// an optional parallel TF slice; an all-ones TF slice is dropped.
+func newListRaw(ids []uint32, tfs []uint32, segSize, threshold int) *List {
+	if segSize <= 0 {
+		segSize = DefaultSegmentSize
+	}
+	if tfs != nil && allOnes(tfs) {
+		tfs = nil
+	}
+	l := &List{tfs: tfs, n: len(ids), segSize: segSize}
+	l.chunks, l.offsets = buildChunks(ids, threshold)
+	return l
+}
+
+func allOnes(tfs []uint32) bool {
+	for _, tf := range tfs {
+		if tf != 1 {
+			return false
+		}
+	}
+	return true
 }
 
 // NewList constructs a list from postings that must already be sorted by
@@ -42,106 +78,250 @@ type List struct {
 // NewList panics if the postings are not strictly ascending, because a
 // mis-sorted list corrupts every downstream intersection silently.
 func NewList(ps []Posting, segSize int) *List {
-	if segSize <= 0 {
-		segSize = DefaultSegmentSize
-	}
-	for i := 1; i < len(ps); i++ {
-		if ps[i].DocID <= ps[i-1].DocID {
+	ids := make([]uint32, len(ps))
+	tfs := make([]uint32, len(ps))
+	for i, p := range ps {
+		if i > 0 && p.DocID <= ps[i-1].DocID {
 			panic("postings: NewList requires strictly ascending DocIDs")
 		}
+		ids[i] = p.DocID
+		tfs[i] = p.TF
 	}
-	l := &List{postings: ps, segSize: segSize}
-	l.buildSkips()
-	return l
+	return newListRaw(ids, tfs, segSize, DenseThreshold)
 }
 
 // FromDocIDs builds a list with TF = 1 for every document, the shape of a
 // predicate-field list (e.g. a MeSH term's list, where a document either
-// carries the annotation or does not).
+// carries the annotation or does not). No per-posting TF storage is
+// materialized.
 func FromDocIDs(ids []uint32, segSize int) *List {
-	ps := make([]Posting, len(ids))
-	for i, id := range ids {
-		ps[i] = Posting{DocID: id, TF: 1}
-	}
-	return NewList(ps, segSize)
-}
-
-func (l *List) buildSkips() {
-	n := len(l.postings)
-	if n == 0 {
-		l.skips = nil
-		return
-	}
-	nseg := (n + l.segSize - 1) / l.segSize
-	l.skips = make([]uint32, nseg)
-	for s := 0; s < nseg; s++ {
-		end := (s+1)*l.segSize - 1
-		if end >= n {
-			end = n - 1
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			panic("postings: FromDocIDs requires strictly ascending DocIDs")
 		}
-		l.skips[s] = l.postings[end].DocID
 	}
+	return newListRaw(ids, nil, segSize, DenseThreshold)
 }
 
 // Len returns the number of postings in the list (|L| in the paper).
-func (l *List) Len() int { return len(l.postings) }
+func (l *List) Len() int { return l.n }
 
 // SegmentSize returns the list's segment size (M0).
 func (l *List) SegmentSize() int { return l.segSize }
 
-// Segments returns the number of skip segments.
-func (l *List) Segments() int { return len(l.skips) }
+// Segments returns the number of skip segments of the M0 cost model,
+// ceil(|L| / M0). The physical representation is chunked, but costs are
+// accounted — and reported by Stats — in these model segments.
+func (l *List) Segments() int {
+	if l.n == 0 {
+		return 0
+	}
+	return (l.n + l.segSize - 1) / l.segSize
+}
 
-// At returns the i-th posting.
-func (l *List) At(i int) Posting { return l.postings[i] }
+// HasTFs reports whether the list stores explicit term frequencies; lists
+// without them (predicate lists) have TF = 1 for every document.
+func (l *List) HasTFs() bool { return l.tfs != nil }
 
-// Postings exposes the underlying slice. Callers must not modify it.
-func (l *List) Postings() []Posting { return l.postings }
+// tfAt returns the TF of the element at global index g.
+func (l *List) tfAt(g int) uint32 {
+	if l.tfs == nil {
+		return 1
+	}
+	return l.tfs[g]
+}
+
+// chunkAt returns the index of the chunk containing global element index g.
+func (l *List) chunkAt(g int) int {
+	return sort.Search(len(l.chunks), func(c int) bool { return l.offsets[c+1] > g })
+}
+
+// At returns the i-th posting. It is a positional lookup for offline
+// consumers (tests, inspection); dense chunks answer it by a bit-select
+// walk.
+func (l *List) At(i int) Posting {
+	ci := l.chunkAt(i)
+	ch := &l.chunks[ci]
+	rank := i - l.offsets[ci]
+	if !ch.dense() {
+		return Posting{DocID: ch.base | uint32(ch.keys[rank]), TF: l.tfAt(i)}
+	}
+	for w := 0; w < chunkWords; w++ {
+		x := ch.bits[w]
+		c := bits.OnesCount64(x)
+		if rank >= c {
+			rank -= c
+			continue
+		}
+		for ; rank > 0; rank-- {
+			x &= x - 1
+		}
+		return Posting{DocID: ch.base | uint32(w<<6|bits.TrailingZeros64(x)), TF: l.tfAt(i)}
+	}
+	panic("postings: At index out of range")
+}
+
+// ForEach calls fn for every posting in ascending DocID order. It is the
+// streaming accessor: no slice is materialized.
+func (l *List) ForEach(fn func(docID, tf uint32)) {
+	g := 0
+	for ci := range l.chunks {
+		ch := &l.chunks[ci]
+		if ch.dense() {
+			for w := 0; w < chunkWords; w++ {
+				x := ch.bits[w]
+				for x != 0 {
+					fn(ch.base|uint32(w<<6|bits.TrailingZeros64(x)), l.tfAt(g))
+					x &= x - 1
+					g++
+				}
+			}
+			continue
+		}
+		for _, key := range ch.keys {
+			fn(ch.base|uint32(key), l.tfAt(g))
+			g++
+		}
+	}
+}
+
+// Postings materializes the list as a posting slice. It allocates; offline
+// consumers only (persistence, table building, tests) — the query path
+// streams via cursors and ForEach.
+func (l *List) Postings() []Posting {
+	ps := make([]Posting, 0, l.n)
+	l.ForEach(func(d, tf uint32) {
+		ps = append(ps, Posting{DocID: d, TF: tf})
+	})
+	return ps
+}
 
 // DocIDs returns a newly allocated slice of the list's document IDs.
 func (l *List) DocIDs() []uint32 {
-	ids := make([]uint32, len(l.postings))
-	for i, p := range l.postings {
-		ids[i] = p.DocID
-	}
+	ids := make([]uint32, 0, l.n)
+	l.ForEach(func(d, _ uint32) {
+		ids = append(ids, d)
+	})
 	return ids
+}
+
+// SumTF returns Σ tf over the list — tc(w, D) for a whole collection.
+func (l *List) SumTF() int64 {
+	if l.tfs == nil {
+		return int64(l.n)
+	}
+	var sum int64
+	for _, tf := range l.tfs {
+		sum += int64(tf)
+	}
+	return sum
 }
 
 // MaxDocID returns the largest DocID in the list, or 0 for an empty list.
 func (l *List) MaxDocID() uint32 {
-	if len(l.postings) == 0 {
+	if l.n == 0 {
 		return 0
 	}
-	return l.postings[len(l.postings)-1].DocID
+	ch := &l.chunks[len(l.chunks)-1]
+	if !ch.dense() {
+		return ch.base | uint32(ch.keys[len(ch.keys)-1])
+	}
+	for w := chunkWords - 1; ; w-- {
+		if x := ch.bits[w]; x != 0 {
+			return ch.base | uint32(w<<6+63-bits.LeadingZeros64(x))
+		}
+	}
 }
 
-// Contains reports whether the list holds a posting for docID, using binary
-// search. It is a point lookup for callers outside the streaming
-// intersection path (e.g. tests and the wide-table oracle).
+// findChunk returns the index of the chunk whose range covers docID, or -1.
+func (l *List) findChunk(docID uint32) int {
+	base := docID &^ uint32(chunkSpan-1)
+	ci := sort.Search(len(l.chunks), func(c int) bool { return l.chunks[c].base >= base })
+	if ci == len(l.chunks) || l.chunks[ci].base != base {
+		return -1
+	}
+	return ci
+}
+
+// Contains reports whether the list holds a posting for docID. The lookup
+// narrows to the single container covering docID's range first — an O(1)
+// bit test for dense chunks, a binary search within one array otherwise.
 func (l *List) Contains(docID uint32) bool {
-	i := sort.Search(len(l.postings), func(i int) bool {
-		return l.postings[i].DocID >= docID
-	})
-	return i < len(l.postings) && l.postings[i].DocID == docID
+	ci := l.findChunk(docID)
+	if ci < 0 {
+		return false
+	}
+	ch := &l.chunks[ci]
+	lo := docID & (chunkSpan - 1)
+	if ch.dense() {
+		return ch.has(lo)
+	}
+	k := uint16(lo)
+	i := sort.Search(len(ch.keys), func(i int) bool { return ch.keys[i] >= k })
+	return i < len(ch.keys) && ch.keys[i] == k
 }
 
 // TF returns the term frequency recorded for docID, or 0 if absent.
 func (l *List) TF(docID uint32) uint32 {
-	i := sort.Search(len(l.postings), func(i int) bool {
-		return l.postings[i].DocID >= docID
-	})
-	if i < len(l.postings) && l.postings[i].DocID == docID {
-		return l.postings[i].TF
+	ci := l.findChunk(docID)
+	if ci < 0 {
+		return 0
 	}
-	return 0
+	ch := &l.chunks[ci]
+	lo := docID & (chunkSpan - 1)
+	if ch.dense() {
+		if !ch.has(lo) {
+			return 0
+		}
+		if l.tfs == nil {
+			return 1
+		}
+		return l.tfs[l.offsets[ci]+ch.popRange(0, int(lo))]
+	}
+	k := uint16(lo)
+	i := sort.Search(len(ch.keys), func(i int) bool { return ch.keys[i] >= k })
+	if i == len(ch.keys) || ch.keys[i] != k {
+		return 0
+	}
+	return l.tfAt(l.offsets[ci] + i)
+}
+
+// Bytes returns the in-memory payload footprint of the list: container
+// storage (2 B per sparse key, 8 KiB per dense chunk) plus the TF array.
+// Dense predicate chunks undercut the seed's 8 B/posting whenever a chunk
+// holds more than DenseThreshold documents.
+func (l *List) Bytes() int64 {
+	var total int64
+	for i := range l.chunks {
+		if l.chunks[i].dense() {
+			total += chunkWords * 8
+		} else {
+			total += int64(len(l.chunks[i].keys)) * 2
+		}
+	}
+	return total + int64(len(l.tfs))*4
+}
+
+// Containers reports how many of the list's chunks use each
+// representation.
+func (l *List) Containers() (sparse, dense int) {
+	for i := range l.chunks {
+		if l.chunks[i].dense() {
+			dense++
+		} else {
+			sparse++
+		}
+	}
+	return sparse, dense
 }
 
 // Builder accumulates postings during indexing. DocIDs must be appended in
 // ascending order; repeated appends for the same DocID accumulate TF, which
 // is what a token-at-a-time indexer produces.
 type Builder struct {
-	postings []Posting
-	segSize  int
+	ids     []uint32
+	tfs     []uint32
+	segSize int
 }
 
 // NewBuilder returns a Builder with the given segment size (≤ 0 selects
@@ -156,24 +336,24 @@ func NewBuilder(segSize int) *Builder {
 // Add records tf occurrences of the term in docID. docID must be ≥ the last
 // added DocID.
 func (b *Builder) Add(docID uint32, tf uint32) {
-	n := len(b.postings)
-	if n > 0 && b.postings[n-1].DocID == docID {
-		b.postings[n-1].TF += tf
+	n := len(b.ids)
+	if n > 0 && b.ids[n-1] == docID {
+		b.tfs[n-1] += tf
 		return
 	}
-	if n > 0 && b.postings[n-1].DocID > docID {
+	if n > 0 && b.ids[n-1] > docID {
 		panic("postings: Builder.Add requires ascending DocIDs")
 	}
-	b.postings = append(b.postings, Posting{DocID: docID, TF: tf})
+	b.ids = append(b.ids, docID)
+	b.tfs = append(b.tfs, tf)
 }
 
 // Len returns the number of distinct documents added so far.
-func (b *Builder) Len() int { return len(b.postings) }
+func (b *Builder) Len() int { return len(b.ids) }
 
 // Build finalizes the list. The Builder must not be used afterwards.
 func (b *Builder) Build() *List {
-	l := &List{postings: b.postings, segSize: b.segSize}
-	l.buildSkips()
-	b.postings = nil
+	l := newListRaw(b.ids, b.tfs, b.segSize, DenseThreshold)
+	b.ids, b.tfs = nil, nil
 	return l
 }

@@ -25,6 +25,12 @@ type Stats struct {
 	// statistics are answered from views instead of lists; it is the cost
 	// term of Theorem 4.2 (O(ViewSize)).
 	ViewGroupsScanned int64
+	// BitmapWords counts 64-document bitset words touched by the
+	// count-only conjunction kernels. Bitset work also charges
+	// EntriesScanned in entry-equivalents (one word ≈ one entry probe), so
+	// ListWork stays comparable across container representations; this
+	// counter isolates how much of it was popcount work.
+	BitmapWords int64
 }
 
 // Add accumulates other into s.
@@ -35,6 +41,7 @@ func (s *Stats) Add(other Stats) {
 	s.AggregatedEntries += other.AggregatedEntries
 	s.Intersections += other.Intersections
 	s.ViewGroupsScanned += other.ViewGroupsScanned
+	s.BitmapWords += other.BitmapWords
 }
 
 // ListWork returns the total inverted-list cost: entries scanned during
@@ -71,5 +78,11 @@ func (s *Stats) addAggregated(n int64) {
 func (s *Stats) addIntersection() {
 	if s != nil {
 		s.Intersections++
+	}
+}
+
+func (s *Stats) addBitmapWords(n int64) {
+	if s != nil {
+		s.BitmapWords += n
 	}
 }

@@ -84,14 +84,9 @@ func Materialize(t *widetable.Table, years []int, k []string) (*TimeView, error)
 
 	buf := make([]byte, (len(ks)+7)/8)
 	for d := 0; d < t.NumDocs(); d++ {
-		for i := range buf {
-			buf[i] = 0
-		}
-		for i, c := range cols {
-			if t.Has(d, c) {
-				buf[i/8] |= 1 << (i % 8)
-			}
-		}
+		// cols is ascending (sorted names map to ascending ColIDs), so one
+		// merge walk per row replaces per-column binary searches.
+		t.FillPattern(d, cols, buf)
 		key := string(buf)
 		s := v.groups[key]
 		if s == nil {

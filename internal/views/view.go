@@ -88,14 +88,9 @@ func Materialize(t *widetable.Table, k []string, trackedWords []string) (*View, 
 	docGroup := make([]*Group, t.NumDocs())
 	buf := make([]byte, (len(v.k)+7)/8)
 	for d := 0; d < t.NumDocs(); d++ {
-		for i := range buf {
-			buf[i] = 0
-		}
-		for i, c := range cols {
-			if t.Has(d, c) {
-				buf[i/8] |= 1 << (i % 8)
-			}
-		}
+		// cols is ascending (ColIDs are assigned in sorted-name order and
+		// v.k is sorted), so one merge walk replaces per-column probes.
+		t.FillPattern(d, cols, buf)
 		key := string(buf)
 		g := v.groups[key]
 		if g == nil {

@@ -60,10 +60,10 @@ func FromIndex(ix *index.Index, trackedWords []string) *Table {
 	// Invert predicate postings into per-row column sets. Iterating terms
 	// in sorted order appends ascending ColIDs per row.
 	for i, k := range keywords {
-		l := ix.Postings(schema.PredicateField, k)
-		for _, p := range l.Postings() {
-			t.rows[p.DocID] = append(t.rows[p.DocID], ColID(i))
-		}
+		id := ColID(i)
+		ix.Postings(schema.PredicateField, k).ForEach(func(docID, _ uint32) {
+			t.rows[docID] = append(t.rows[docID], id)
+		})
 	}
 	for _, w := range trackedWords {
 		l := ix.Postings(schema.ContentField, w)
@@ -71,9 +71,9 @@ func FromIndex(ix *index.Index, trackedWords []string) *Table {
 			continue
 		}
 		m := make(map[uint32]int64, l.Len())
-		for _, p := range l.Postings() {
-			m[p.DocID] = int64(p.TF)
-		}
+		l.ForEach(func(docID, tf uint32) {
+			m[docID] = int64(tf)
+		})
 		t.tf[w] = m
 	}
 	return t
@@ -110,6 +110,32 @@ func (t *Table) Has(d int, c ColID) bool {
 	row := t.rows[d]
 	i := sort.Search(len(row), func(i int) bool { return row[i] >= c })
 	return i < len(row) && row[i] == c
+}
+
+// FillPattern zeroes buf and sets bit i for every column cols[i] present
+// in row d, walking the row and the column list in one merge pass instead
+// of one binary search per (row, column) pair. cols must be ascending —
+// the order produced by resolving sorted keyword names — and buf must hold
+// at least ceil(len(cols)/8) bytes. It is the materialization scan
+// primitive of the views and rangeagg packages.
+func (t *Table) FillPattern(d int, cols []ColID, buf []byte) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	row := t.rows[d]
+	i, j := 0, 0
+	for i < len(row) && j < len(cols) {
+		switch {
+		case row[i] < cols[j]:
+			i++
+		case row[i] > cols[j]:
+			j++
+		default:
+			buf[j/8] |= 1 << (j % 8)
+			i++
+			j++
+		}
+	}
 }
 
 // Len returns the len(d) parameter of row d.
