@@ -23,6 +23,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"csrank/internal/core"
 	"csrank/internal/index"
@@ -38,15 +39,16 @@ func main() {
 		selects = flag.String("select", "", "space-separated context terms to inspect")
 		q       = flag.String("q", "", "keyword query to run inside the selected context")
 		k       = flag.Int("k", 10, "number of results for -q")
+		timeout = flag.Duration("timeout", 0, "per-query deadline for -q; on expiry partial results are returned flagged degraded (0 = unbounded)")
 	)
 	flag.Parse()
-	if err := run(*data, *path, *selects, *q, *k); err != nil {
+	if err := run(*data, *path, *selects, *q, *k, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "csnav:", err)
 		os.Exit(1)
 	}
 }
 
-func run(data, path, selects, qstr string, k int) error {
+func run(data, path, selects, qstr string, k int, timeout time.Duration) error {
 	onto, err := mesh.LoadFile(filepath.Join(data, "mesh.gob"))
 	if err != nil {
 		return fmt.Errorf("load ontology (did csbuild write mesh.gob?): %w", err)
@@ -68,7 +70,7 @@ func run(data, path, selects, qstr string, k int) error {
 			return fmt.Errorf("unknown term %q (navigate with -path to find terms)", t)
 		}
 	}
-	e := core.New(ix, cat, core.Options{})
+	e := core.New(ix, cat, core.Options{Deadline: timeout})
 	size := e.ContextSize(terms)
 	fmt.Printf("context %v: %d of %d citations\n", terms, size, ix.NumDocs())
 	if qstr == "" {
@@ -80,6 +82,9 @@ func run(data, path, selects, qstr string, k int) error {
 		return err
 	}
 	fmt.Printf("query %q  [plan=%s, results=%d]\n", pq, st.Plan, st.ResultSize)
+	if st.Degraded {
+		fmt.Printf("  !! degraded: %s\n", st.DegradedReason)
+	}
 	for i, r := range res {
 		fmt.Printf("  %2d. (%.4f) %s\n", i+1, r.Score, ix.StoredField(r.DocID, "title"))
 	}

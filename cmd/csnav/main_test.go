@@ -41,36 +41,36 @@ func buildData(t *testing.T) string {
 
 func TestNavigation(t *testing.T) {
 	dir := buildData(t)
-	if err := run(dir, "", "", "", 5); err != nil {
+	if err := run(dir, "", "", "", 5, 0); err != nil {
 		t.Errorf("root listing: %v", err)
 	}
-	if err := run(dir, "diseases", "", "", 5); err != nil {
+	if err := run(dir, "diseases", "", "", 5, 0); err != nil {
 		t.Errorf("path listing: %v", err)
 	}
-	if err := run(dir, "diseases/neoplasms", "", "", 5); err != nil {
+	if err := run(dir, "diseases/neoplasms", "", "", 5, 0); err != nil {
 		t.Errorf("deep path listing: %v", err)
 	}
 }
 
 func TestSelectAndQuery(t *testing.T) {
 	dir := buildData(t)
-	if err := run(dir, "", "anatomy", "", 5); err != nil {
+	if err := run(dir, "", "anatomy", "", 5, 0); err != nil {
 		t.Errorf("select only: %v", err)
 	}
-	if err := run(dir, "", "anatomy", "organ disease", 5); err != nil {
+	if err := run(dir, "", "anatomy", "organ disease", 5, 0); err != nil {
 		t.Errorf("select + query: %v", err)
 	}
 }
 
 func TestNavErrors(t *testing.T) {
 	dir := buildData(t)
-	if err := run(dir, "no_such_term", "", "", 5); err == nil {
+	if err := run(dir, "no_such_term", "", "", 5, 0); err == nil {
 		t.Error("unknown path accepted")
 	}
-	if err := run(dir, "", "no_such_term", "", 5); err == nil {
+	if err := run(dir, "", "no_such_term", "", 5, 0); err == nil {
 		t.Error("unknown selection accepted")
 	}
-	if err := run(t.TempDir(), "", "", "", 5); err == nil {
+	if err := run(t.TempDir(), "", "", "", 5, 0); err == nil {
 		t.Error("missing data dir accepted")
 	}
 }

@@ -41,6 +41,7 @@ func main() {
 		mode        = flag.String("mode", "context", "context | conventional | straightforward | compare")
 		scorer      = flag.String("scorer", "pivoted-tfidf", "pivoted-tfidf | bm25 | dirichlet-lm")
 		parallel    = flag.Int("parallel", 0, "intra-query parallelism (0 = GOMAXPROCS, 1 = sequential)")
+		timeout     = flag.Duration("timeout", 0, "per-query deadline (e.g. 50ms); on expiry partial results are returned flagged degraded (0 = unbounded)")
 		interactive = flag.Bool("i", false, "interactive mode: read queries from stdin (prefix a line with '?' for plan explanation only)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memprofile  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -60,13 +61,13 @@ func main() {
 		os.Exit(1)
 	}
 	if *interactive {
-		err = runInteractive(*data, *k, *mode, *scorer, *parallel, os.Stdin, os.Stdout)
+		err = runInteractive(*data, *k, *mode, *scorer, *parallel, *timeout, os.Stdin, os.Stdout)
 	} else if *q == "" {
 		stopProfiles()
 		flag.Usage()
 		os.Exit(2)
 	} else {
-		err = run(*data, *q, *k, *mode, *scorer, *parallel)
+		err = run(*data, *q, *k, *mode, *scorer, *parallel, *timeout)
 	}
 	stopProfiles()
 	if err != nil {
@@ -116,8 +117,8 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 // starting with '?' print the plan explanation instead; "exit" or EOF
 // ends the session. Per-query errors are reported and the loop
 // continues.
-func runInteractive(data string, k int, mode, scorerName string, parallel int, in io.Reader, out io.Writer) error {
-	eng, ix, err := openEngine(data, scorerName, parallel)
+func runInteractive(data string, k int, mode, scorerName string, parallel int, timeout time.Duration, in io.Reader, out io.Writer) error {
+	eng, ix, err := openEngine(data, scorerName, parallel, timeout)
 	if err != nil {
 		return err
 	}
@@ -183,8 +184,8 @@ func float64maxOne(n int64) float64 {
 	return float64(n)
 }
 
-func run(data, qstr string, k int, mode, scorerName string, parallel int) error {
-	eng, ix, err := openEngine(data, scorerName, parallel)
+func run(data, qstr string, k int, mode, scorerName string, parallel int, timeout time.Duration) error {
+	eng, ix, err := openEngine(data, scorerName, parallel, timeout)
 	if err != nil {
 		return err
 	}
@@ -193,7 +194,7 @@ func run(data, qstr string, k int, mode, scorerName string, parallel int) error 
 
 // openEngine loads the persisted index and (optionally) views and wires
 // the requested scorer.
-func openEngine(data, scorerName string, parallel int) (*core.Engine, *index.Index, error) {
+func openEngine(data, scorerName string, parallel int, timeout time.Duration) (*core.Engine, *index.Index, error) {
 	var sc ranking.Scorer
 	switch scorerName {
 	case "pivoted-tfidf":
@@ -214,7 +215,7 @@ func openEngine(data, scorerName string, parallel int) (*core.Engine, *index.Ind
 		fmt.Fprintln(os.Stderr, "note: no views loaded; contextual queries use the straightforward plan")
 		cat = nil
 	}
-	return core.New(ix, cat, core.Options{Scorer: sc, Parallelism: parallel}), ix, nil
+	return core.New(ix, cat, core.Options{Scorer: sc, Parallelism: parallel, Deadline: timeout}), ix, nil
 }
 
 // searchAndPrint evaluates one query string in the given mode and prints
@@ -232,6 +233,13 @@ func searchAndPrint(e *core.Engine, ix *index.Index, qstr string, k int, mode st
 		fmt.Fprintf(out, "%s  [plan=%s view=%v results=%d |D_P|=%d %s]\n",
 			label, st.Plan, st.UsedView, st.ResultSize, st.ContextSize,
 			st.Elapsed.Round(time.Microsecond))
+		if st.Degraded {
+			fmt.Fprintf(out, "  !! degraded: %s\n", st.DegradedReason)
+			fmt.Fprintf(out, "     phases: analyze=%s stats=%s resultset=%s score=%s  cost: entries=%d seeks=%d aggregated=%d viewgroups=%d\n",
+				st.Phases.Analyze.Round(time.Microsecond), st.Phases.Stats.Round(time.Microsecond),
+				st.Phases.ResultSet.Round(time.Microsecond), st.Phases.Score.Round(time.Microsecond),
+				st.EntriesScanned, st.Seeks, st.AggregatedEntries, st.ViewGroupsScanned)
+		}
 		for i, r := range res {
 			fmt.Fprintf(out, "  %2d. (%.4f) #%d %s\n", i+1, r.Score, r.DocID, ix.StoredField(r.DocID, "title"))
 		}

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"csrank/internal/corpus"
 	"csrank/internal/selection"
@@ -39,13 +40,31 @@ func buildData(t *testing.T) string {
 	return dir
 }
 
+// TestExpiredTimeoutPrintsDegraded: with -timeout already expired the
+// search prints a flagged degraded result (with the phase-timing explain
+// line) instead of failing.
+func TestExpiredTimeoutPrintsDegraded(t *testing.T) {
+	dir := buildData(t)
+	eng, ix, err := openEngine(dir, "pivoted-tfidf", 0, time.Nanosecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := searchAndPrint(eng, ix, "disease organ | anatomy", 5, "context", &out); err != nil {
+		t.Fatalf("expired timeout should degrade, not error: %v", err)
+	}
+	if !strings.Contains(out.String(), "degraded") || !strings.Contains(out.String(), "phases:") {
+		t.Fatalf("output missing degraded explain line:\n%s", out.String())
+	}
+}
+
 func TestRunAllModes(t *testing.T) {
 	dir := buildData(t)
 	// "disease" and "organ" are curated topic words, "anatomy" a curated
 	// category always present in the generated ontology.
 	q := "disease organ | anatomy"
 	for _, mode := range []string{"context", "conventional", "straightforward", "compare"} {
-		if err := run(dir, q, 5, mode, "pivoted-tfidf", 0); err != nil {
+		if err := run(dir, q, 5, mode, "pivoted-tfidf", 0, 0); err != nil {
 			t.Errorf("mode %s: %v", mode, err)
 		}
 	}
@@ -54,7 +73,7 @@ func TestRunAllModes(t *testing.T) {
 func TestRunScorers(t *testing.T) {
 	dir := buildData(t)
 	for _, sc := range []string{"pivoted-tfidf", "bm25", "dirichlet-lm"} {
-		if err := run(dir, "disease | anatomy", 3, "context", sc, 2); err != nil {
+		if err := run(dir, "disease | anatomy", 3, "context", sc, 2, 0); err != nil {
 			t.Errorf("scorer %s: %v", sc, err)
 		}
 	}
@@ -62,16 +81,16 @@ func TestRunScorers(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	dir := buildData(t)
-	if err := run(dir, "disease", 3, "context", "nope", 0); err == nil {
+	if err := run(dir, "disease", 3, "context", "nope", 0, 0); err == nil {
 		t.Error("unknown scorer accepted")
 	}
-	if err := run(dir, "disease", 3, "bogus", "bm25", 0); err == nil {
+	if err := run(dir, "disease", 3, "bogus", "bm25", 0, 0); err == nil {
 		t.Error("unknown mode accepted")
 	}
-	if err := run(dir, "a | b | c", 3, "context", "bm25", 0); err == nil {
+	if err := run(dir, "a | b | c", 3, "context", "bm25", 0, 0); err == nil {
 		t.Error("unparseable query accepted")
 	}
-	if err := run(t.TempDir(), "disease", 3, "context", "bm25", 0); err == nil {
+	if err := run(t.TempDir(), "disease", 3, "context", "bm25", 0, 0); err == nil {
 		t.Error("missing data dir accepted")
 	}
 }
@@ -80,7 +99,7 @@ func TestRunInteractive(t *testing.T) {
 	dir := buildData(t)
 	in := strings.NewReader("disease | anatomy\n? disease | anatomy\nbogus | | query\n\nexit\n")
 	var out bytes.Buffer
-	if err := runInteractive(dir, 3, "context", "pivoted-tfidf", 0, in, &out); err != nil {
+	if err := runInteractive(dir, 3, "context", "pivoted-tfidf", 0, 0, in, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -94,11 +113,11 @@ func TestRunInteractive(t *testing.T) {
 		t.Errorf("missing error report for bad query: %q", s)
 	}
 	// EOF without "exit" also terminates cleanly.
-	if err := runInteractive(dir, 3, "context", "pivoted-tfidf", 0, strings.NewReader("disease\n"), &out); err != nil {
+	if err := runInteractive(dir, 3, "context", "pivoted-tfidf", 0, 0, strings.NewReader("disease\n"), &out); err != nil {
 		t.Fatal(err)
 	}
 	// Bad scorer surfaces immediately.
-	if err := runInteractive(dir, 3, "context", "nope", 0, strings.NewReader(""), &out); err == nil {
+	if err := runInteractive(dir, 3, "context", "nope", 0, 0, strings.NewReader(""), &out); err == nil {
 		t.Error("unknown scorer accepted")
 	}
 }

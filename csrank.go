@@ -28,6 +28,7 @@
 package csrank
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"strings"
@@ -114,6 +115,14 @@ type BuildOptions struct {
 	// scoring). 0 uses GOMAXPROCS; 1 runs fully sequentially. Rankings
 	// are bit-identical at every setting.
 	Parallelism int
+	// Timeout bounds each query's wall-clock execution. When it expires
+	// the engine returns what it has — partial or empty results flagged
+	// Stats.Degraded — instead of an error. Zero means unbounded.
+	Timeout time.Duration
+	// StatsBudget bounds the context-statistics phase of contextual
+	// queries; past it the engine ranks with approximate statistics and
+	// flags the result Degraded. Zero means unbounded.
+	StatsBudget time.Duration
 }
 
 // Builder accumulates documents for an Engine.
@@ -177,6 +186,8 @@ func (b *Builder) Build(opts BuildOptions) (*Engine, error) {
 			CacheContexts: opts.CacheContexts,
 			CostBased:     opts.CostBasedPlanning,
 			Parallelism:   opts.Parallelism,
+			Deadline:      opts.Timeout,
+			StatsBudget:   opts.StatsBudget,
 		}),
 		selectTime: selTime,
 	}, nil
@@ -219,6 +230,12 @@ type Stats struct {
 	// CacheHit reports that context statistics came from the statistics
 	// cache (only with BuildOptions.CacheContexts > 0).
 	CacheHit bool
+	// Degraded reports that a timeout or statistics budget expired and
+	// the hits are partial and/or ranked under approximate statistics.
+	Degraded bool
+	// DegradedReason explains what was traded away (empty when Degraded
+	// is false).
+	DegradedReason string
 	// Elapsed is the wall-clock execution time.
 	Elapsed time.Duration
 }
@@ -233,11 +250,19 @@ type Engine struct {
 // ranking, returning the top k hits. Queries without '|' are conventional
 // keyword queries.
 func (e *Engine) Search(q string, k int) ([]Hit, Stats, error) {
+	return e.SearchCtx(context.Background(), q, k)
+}
+
+// SearchCtx is Search under a caller-supplied context: cancelling ctx
+// aborts the query promptly with ctx's error, and a ctx deadline (like
+// BuildOptions.Timeout) degrades to flagged partial results instead of
+// failing. A panic anywhere in the query path fails only that query.
+func (e *Engine) SearchCtx(ctx context.Context, q string, k int) ([]Hit, Stats, error) {
 	pq, err := query.Parse(q)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	res, st, err := e.engine.Search(pq, k)
+	res, st, err := e.engine.SearchCtx(ctx, pq, k)
 	return e.convert(res), convertStats(st), err
 }
 
@@ -278,12 +303,14 @@ func (e *Engine) convert(rs []core.Result) []Hit {
 
 func convertStats(st core.ExecStats) Stats {
 	return Stats{
-		Plan:        string(st.Plan),
-		UsedView:    st.UsedView,
-		ResultSize:  st.ResultSize,
-		ContextSize: st.ContextSize,
-		CacheHit:    st.CacheHit,
-		Elapsed:     st.Elapsed,
+		Plan:           string(st.Plan),
+		UsedView:       st.UsedView,
+		ResultSize:     st.ResultSize,
+		ContextSize:    st.ContextSize,
+		CacheHit:       st.CacheHit,
+		Degraded:       st.Degraded,
+		DegradedReason: st.DegradedReason,
+		Elapsed:        st.Elapsed,
 	}
 }
 
@@ -365,5 +392,7 @@ func OpenWithOptions(dir string, opts BuildOptions) (*Engine, error) {
 		CacheContexts: opts.CacheContexts,
 		CostBased:     opts.CostBasedPlanning,
 		Parallelism:   opts.Parallelism,
+		Deadline:      opts.Timeout,
+		StatsBudget:   opts.StatsBudget,
 	})}, nil
 }

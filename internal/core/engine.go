@@ -16,12 +16,23 @@
 //
 // All three share one ranking function f(S_q, S_d, S_c) — only the
 // statistics source differs, exactly as Formula 2 prescribes.
+//
+// Failure semantics: every Search variant has a *Ctx form threading a
+// context.Context through the whole query path — the parallel workers,
+// the statistics cache, and cooperative checkpoints inside the postings
+// kernels. An expired deadline degrades gracefully (flagged partial or
+// empty results, never an error); an explicit cancellation fails the
+// query with ctx's error; a panic anywhere in the query path — worker
+// goroutine or not — is recovered, converted to an error carrying the
+// captured stack, and fails only that query. With no deadline, rankings
+// are bit-identical to fully sequential execution at every parallelism.
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
-
 	"time"
 
 	"csrank/internal/analysis"
@@ -68,12 +79,40 @@ type Options struct {
 	// reproduction experiments run with). Rankings are bit-identical at
 	// every setting.
 	Parallelism int
+	// Deadline bounds each query's wall-clock execution (layered onto
+	// whatever deadline the caller's context already carries). When it
+	// expires the engine degrades gracefully instead of failing: partial
+	// top-k results (or an empty result when nothing was evaluated yet)
+	// are returned flagged Degraded. Zero means no per-query deadline.
+	Deadline time.Duration
+	// StatsBudget bounds the context-statistics phase of contextual
+	// queries. When it expires before the exact S_c(D_P) computation
+	// finishes, the engine falls back to approximate statistics — a
+	// usable view's O(ViewSize) answer when one exists, whole-collection
+	// statistics otherwise — and flags the result Degraded, per the
+	// paper's hybrid bounded-worst-case philosophy. Zero means no budget.
+	StatsBudget time.Duration
 }
 
 // Result is one ranked hit.
 type Result struct {
 	DocID uint32
 	Score float64
+}
+
+// PhaseTimings breaks one execution's wall clock into its phases. With
+// intra-query parallelism the result-set phase overlaps the statistics
+// phase (ResultSet then measures the wait after statistics completed),
+// so the parts need not sum to Elapsed.
+type PhaseTimings struct {
+	// Analyze is query analysis (tokenization, normalization).
+	Analyze time.Duration
+	// Stats is the context-statistics phase (cache, views, aggregation).
+	Stats time.Duration
+	// ResultSet is the unranked result-set intersection.
+	ResultSet time.Duration
+	// Score is ranking and top-k selection.
+	Score time.Duration
 }
 
 // ExecStats reports what one query execution did and cost.
@@ -87,7 +126,8 @@ type ExecStats struct {
 	// ViewSize is the group count of the used view (0 if none).
 	ViewSize int
 	// FallbackKeywords counts query keywords whose df/tc had to be
-	// computed by intersection because no view tracks them.
+	// computed by intersection because no view tracks them (or, in
+	// degraded mode, estimated because the budget was gone).
 	FallbackKeywords int
 	// ResultSize is the unranked result cardinality.
 	ResultSize int
@@ -97,8 +137,29 @@ type ExecStats struct {
 	// CacheHit reports that the context statistics came from the
 	// statistics cache (possibly extended with per-keyword fills).
 	CacheHit bool
+	// Degraded reports that a deadline or statistics budget expired and
+	// the results are partial and/or ranked under approximate
+	// statistics. Degraded executions return a nil error: boundedness is
+	// the contract, and the flag (plus DegradedReason) tells the caller
+	// what was traded away.
+	Degraded bool
+	// DegradedReason explains each degradation, "; "-joined in the order
+	// the phases hit their limits. Empty when Degraded is false.
+	DegradedReason string
+	// Phases is the per-phase wall-clock breakdown.
+	Phases PhaseTimings
 	// Elapsed is wall-clock execution time.
 	Elapsed time.Duration
+}
+
+// degrade flags the execution as degraded, accumulating reasons.
+func (st *ExecStats) degrade(reason string) {
+	st.Degraded = true
+	if st.DegradedReason == "" {
+		st.DegradedReason = reason
+	} else {
+		st.DegradedReason += "; " + reason
+	}
 }
 
 // Engine evaluates context-sensitive queries over an index, optionally
@@ -116,9 +177,11 @@ type Engine struct {
 	globalN   int64
 	globalLen int64
 
-	costBased bool
-	cache     *statsCache // nil when disabled
-	workers   int         // resolved Options.Parallelism (≥ 1)
+	costBased   bool
+	cache       *statsCache // nil when disabled
+	workers     int         // resolved Options.Parallelism (≥ 1)
+	deadline    time.Duration
+	statsBudget time.Duration
 }
 
 // New creates an engine. catalog may be nil (no view acceleration).
@@ -141,6 +204,8 @@ func New(ix *index.Index, catalog *views.Catalog, opts Options) *Engine {
 		costBased:    opts.CostBased,
 		cache:        newStatsCache(opts.CacheContexts),
 		workers:      resolveWorkers(opts.Parallelism),
+		deadline:     opts.Deadline,
+		statsBudget:  opts.StatsBudget,
 	}
 }
 
@@ -195,42 +260,131 @@ func (e *Engine) analyze(q query.Query) (analyzed, error) {
 
 // lists fetches the posting lists for the analyzed query. A nil list
 // means the term is absent and the conjunctive result is empty.
-func (e *Engine) lists(a analyzed) (kw, ctx []*postings.List) {
+func (e *Engine) lists(a analyzed) (kw, preds []*postings.List) {
 	kw = make([]*postings.List, len(a.kwTerms))
 	for i, w := range a.kwTerms {
 		kw[i] = e.ix.Postings(e.contentField, w)
 	}
-	ctx = make([]*postings.List, len(a.context))
+	preds = make([]*postings.List, len(a.context))
 	for i, m := range a.context {
-		ctx[i] = e.ix.Postings(e.predField, m)
+		preds[i] = e.ix.Postings(e.predField, m)
 	}
-	return kw, ctx
+	return kw, preds
 }
 
 // evaluateResultSet computes the unranked result
 // σ_P(D) ∩ σ_w1(D) ∩ … ∩ σ_wn(D) with the keyword lists first so the
-// returned TFs align with a.kwTerms.
-func evaluateResultSet(kw, ctx []*postings.List, st *postings.Stats) *postings.Intersection {
-	all := make([]*postings.List, 0, len(kw)+len(ctx))
+// returned TFs align with a.kwTerms. On cancellation the partial prefix
+// is returned together with ctx's error.
+func evaluateResultSet(ctx context.Context, kw, preds []*postings.List, st *postings.Stats) (*postings.Intersection, error) {
+	all := make([]*postings.List, 0, len(kw)+len(preds))
 	all = append(all, kw...)
-	all = append(all, ctx...)
-	return postings.Intersect(all, st)
+	all = append(all, preds...)
+	return postings.IntersectCtx(ctx, all, st)
+}
+
+// applyDeadline derives the execution context for one query, layering
+// the engine's per-query Deadline (when configured) onto the caller's
+// context. The returned cancel must always be called.
+func (e *Engine) applyDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if e.deadline > 0 {
+		return context.WithTimeout(ctx, e.deadline)
+	}
+	return ctx, func() {}
+}
+
+// shortCircuit handles a context that is already dead before any list
+// work happened: an expired deadline degrades to an empty flagged result
+// (the boundedness contract), an explicit cancellation fails the query.
+func shortCircuit(ctx context.Context, st *ExecStats) (stop bool, res []Result, err error) {
+	cerr := ctx.Err()
+	if cerr == nil {
+		return false, nil, nil
+	}
+	if errors.Is(cerr, context.DeadlineExceeded) {
+		st.degrade("deadline expired before evaluation: empty result")
+		return true, []Result{}, nil
+	}
+	return true, nil, cerr
+}
+
+// degradeOnDeadline absorbs a deadline expiry into the degradation flag
+// and reports whether it did; cancellations and panics pass through.
+func degradeOnDeadline(err error, st *ExecStats, reason string) bool {
+	if errors.Is(err, context.DeadlineExceeded) {
+		st.degrade(reason)
+		return true
+	}
+	return false
 }
 
 // Search evaluates q with the engine's best strategy: conventional for
 // context-free queries, view-based for contextual queries when a usable
 // view exists, straightforward otherwise.
 func (e *Engine) Search(q query.Query, k int) ([]Result, ExecStats, error) {
+	return e.SearchCtx(context.Background(), q, k)
+}
+
+// SearchCtx is Search with cooperative cancellation and deadline-bounded
+// degradation (see the package comment for the failure semantics).
+func (e *Engine) SearchCtx(ctx context.Context, q query.Query, k int) ([]Result, ExecStats, error) {
 	if !q.IsContextual() {
-		return e.SearchConventional(q, k)
+		return e.SearchConventionalCtx(ctx, q, k)
 	}
-	return e.SearchContextSensitive(q, k)
+	return e.SearchContextSensitiveCtx(ctx, q, k)
 }
 
 // SearchConventional evaluates the baseline Q_t = Q_k ∪ P: identical
 // unranked result set, whole-collection statistics (context terms are
 // boolean filters that "do not contribute to ranking scores").
 func (e *Engine) SearchConventional(q query.Query, k int) ([]Result, ExecStats, error) {
+	return e.SearchConventionalCtx(context.Background(), q, k)
+}
+
+// SearchConventionalCtx is SearchConventional with cancellation and
+// deadline-bounded degradation.
+func (e *Engine) SearchConventionalCtx(ctx context.Context, q query.Query, k int) (res []Result, st ExecStats, err error) {
+	ctx, cancel := e.applyDeadline(ctx)
+	defer cancel()
+	defer recoverToError(&err, "conventional search")
+	return e.searchConventional(ctx, q, k)
+}
+
+// SearchContextSensitive evaluates Q_c = Q_k | P with context statistics,
+// answering them from the smallest usable materialized view when the
+// catalog has one and falling back to the straightforward plan otherwise.
+func (e *Engine) SearchContextSensitive(q query.Query, k int) ([]Result, ExecStats, error) {
+	return e.SearchContextSensitiveCtx(context.Background(), q, k)
+}
+
+// SearchContextSensitiveCtx is SearchContextSensitive with cancellation
+// and deadline-bounded degradation.
+func (e *Engine) SearchContextSensitiveCtx(ctx context.Context, q query.Query, k int) (res []Result, st ExecStats, err error) {
+	ctx, cancel := e.applyDeadline(ctx)
+	defer cancel()
+	defer recoverToError(&err, "context-sensitive search")
+	return e.searchContextual(ctx, q, k, true)
+}
+
+// SearchStraightforward evaluates Q_c with the §3.1 plan unconditionally,
+// never consulting views — the paper's "without materialized views"
+// series.
+func (e *Engine) SearchStraightforward(q query.Query, k int) ([]Result, ExecStats, error) {
+	return e.SearchStraightforwardCtx(context.Background(), q, k)
+}
+
+// SearchStraightforwardCtx is SearchStraightforward with cancellation
+// and deadline-bounded degradation.
+func (e *Engine) SearchStraightforwardCtx(ctx context.Context, q query.Query, k int) (res []Result, st ExecStats, err error) {
+	ctx, cancel := e.applyDeadline(ctx)
+	defer cancel()
+	defer recoverToError(&err, "straightforward search")
+	return e.searchContextual(ctx, q, k, false)
+}
+
+// searchConventional is the conventional plan under an already-derived
+// execution context.
+func (e *Engine) searchConventional(ctx context.Context, q query.Query, k int) ([]Result, ExecStats, error) {
 	start := time.Now()
 	var st ExecStats
 	st.Plan = PlanConventional
@@ -238,10 +392,22 @@ func (e *Engine) SearchConventional(q query.Query, k int) ([]Result, ExecStats, 
 	if err != nil {
 		return nil, st, err
 	}
-	kw, ctx := e.lists(a)
-	res := evaluateResultSet(kw, ctx, &st.Stats)
+	st.Phases.Analyze = time.Since(start)
+	if stop, out, herr := shortCircuit(ctx, &st); stop {
+		st.Elapsed = time.Since(start)
+		return out, st, herr
+	}
+	kw, preds := e.lists(a)
+	tRes := time.Now()
+	res, rerr := evaluateResultSet(ctx, kw, preds, &st.Stats)
+	st.Phases.ResultSet = time.Since(tRes)
+	if rerr != nil && !degradeOnDeadline(rerr, &st, "deadline exceeded during result-set intersection: partial results") {
+		st.Elapsed = time.Since(start)
+		return nil, st, rerr
+	}
 	st.ResultSize = res.Len()
 
+	tStats := time.Now()
 	cs := ranking.CollectionStats{
 		N:        e.globalN,
 		TotalLen: e.globalLen,
@@ -252,26 +418,22 @@ func (e *Engine) SearchConventional(q query.Query, k int) ([]Result, ExecStats, 
 		cs.DF[w] = e.ix.DF(e.contentField, w)
 		cs.TC[w] = e.ix.TotalTF(e.contentField, w)
 	}
-	out := e.score(a, res, cs, k)
+	st.Phases.Stats = time.Since(tStats)
+
+	tScore := time.Now()
+	out, serr := e.score(ctx, a, res, cs, k)
+	st.Phases.Score = time.Since(tScore)
+	if serr != nil && !degradeOnDeadline(serr, &st, "deadline exceeded during scoring: partial top-k") {
+		st.Elapsed = time.Since(start)
+		return nil, st, serr
+	}
 	st.Elapsed = time.Since(start)
 	return out, st, nil
 }
 
-// SearchContextSensitive evaluates Q_c = Q_k | P with context statistics,
-// answering them from the smallest usable materialized view when the
-// catalog has one and falling back to the straightforward plan otherwise.
-func (e *Engine) SearchContextSensitive(q query.Query, k int) ([]Result, ExecStats, error) {
-	return e.searchContextual(q, k, true)
-}
-
-// SearchStraightforward evaluates Q_c with the §3.1 plan unconditionally,
-// never consulting views — the paper's "without materialized views"
-// series.
-func (e *Engine) SearchStraightforward(q query.Query, k int) ([]Result, ExecStats, error) {
-	return e.searchContextual(q, k, false)
-}
-
-func (e *Engine) searchContextual(q query.Query, k int, useViews bool) ([]Result, ExecStats, error) {
+// searchContextual is the context-sensitive plan under an
+// already-derived execution context.
+func (e *Engine) searchContextual(ctx context.Context, q query.Query, k int, useViews bool) ([]Result, ExecStats, error) {
 	start := time.Now()
 	var st ExecStats
 	st.Plan = PlanStraightforward
@@ -281,61 +443,104 @@ func (e *Engine) searchContextual(q query.Query, k int, useViews bool) ([]Result
 	}
 	if len(a.context) == 0 {
 		// No effective context: identical to conventional evaluation.
-		return e.SearchConventional(q, k)
+		return e.searchConventional(ctx, q, k)
 	}
-	kw, ctx := e.lists(a)
+	st.Phases.Analyze = time.Since(start)
+	if stop, out, herr := shortCircuit(ctx, &st); stop {
+		st.Elapsed = time.Since(start)
+		return out, st, herr
+	}
+	kw, preds := e.lists(a)
 
 	// Phase overlap: the unranked result-set intersection and the context
 	// statistics computation are data-independent, so with parallelism
-	// enabled the intersection runs on its own goroutine (with a private
-	// cost counter, merged below) while this goroutine computes
-	// statistics.
-	var res *postings.Intersection
-	var resStats postings.Stats
-	var resDone chan struct{}
+	// enabled the intersection runs on its own panic-guarded goroutine
+	// (with a private cost counter, merged below) while this goroutine
+	// computes statistics. The channel is buffered so the worker never
+	// blocks and an early error return leaks nothing.
+	type resOut struct {
+		res *postings.Intersection
+		st  postings.Stats
+		err error
+	}
+	var resCh chan resOut
 	if e.workers > 1 {
-		resDone = make(chan struct{})
+		resCh = make(chan resOut, 1)
 		go func() {
-			res = evaluateResultSet(kw, ctx, &resStats)
-			close(resDone)
+			var out resOut
+			defer func() {
+				if r := recover(); r != nil {
+					out.err = panicError("result-set worker", r)
+				}
+				resCh <- out
+			}()
+			out.res, out.err = evaluateResultSet(ctx, kw, preds, &out.st)
 		}()
 	}
 
-	var cs ranking.CollectionStats
-	cached := false
-	if e.cache != nil {
-		cs, cached = e.statsFromCache(a, kw, ctx, useViews, &st)
+	// Statistics phase, optionally under its own budget.
+	tStats := time.Now()
+	statsCtx, statsCancel := ctx, context.CancelFunc(nil)
+	if e.statsBudget > 0 {
+		statsCtx, statsCancel = context.WithTimeout(ctx, e.statsBudget)
 	}
-	if !cached {
-		if useViews && e.catalog != nil {
-			if v := e.catalog.Match(a.context); v != nil && e.viewWorthwhile(v, a, ctx) {
-				st.Plan = PlanView
-				st.UsedView = true
-				st.ViewSize = v.Size()
-				cs, st.FallbackKeywords, err = e.statsFromView(v, a, kw, ctx, &st.Stats)
-				if err != nil {
-					if resDone != nil {
-						<-resDone
-					}
-					return nil, st, err
-				}
+	cs, cerr := e.contextStats(statsCtx, a, kw, preds, useViews, &st)
+	if statsCancel != nil {
+		statsCancel()
+	}
+	st.Phases.Stats = time.Since(tStats)
+	if cerr != nil {
+		switch {
+		case ctx.Err() == nil && errors.Is(cerr, context.DeadlineExceeded):
+			// Only the stats budget expired; the query itself is alive.
+			// Fall back to approximate statistics — bounded work, flagged
+			// result — per the hybrid philosophy.
+			cs = e.approximateStats(a, useViews, &st)
+			st.degrade("stats budget exceeded: approximate statistics")
+		case errors.Is(cerr, context.DeadlineExceeded):
+			// The whole-query deadline died during statistics: nothing
+			// trustworthy to rank with. Degrade to an empty result.
+			st.degrade("deadline exceeded during statistics: empty result")
+			if resCh != nil {
+				out := <-resCh
+				st.Stats.Add(out.st)
 			}
+			st.Elapsed = time.Since(start)
+			return []Result{}, st, nil
+		default:
+			// Explicit cancellation, a worker panic, or an unusable view.
+			st.Elapsed = time.Since(start)
+			return nil, st, cerr
 		}
-		if !st.UsedView {
-			cs = e.statsStraightforward(a, kw, ctx, &st.Stats)
-		}
-		e.cacheStore(a, cs)
 	}
 	st.ContextSize = cs.N
 
-	if resDone != nil {
-		<-resDone
-		st.Stats.Add(resStats)
+	tRes := time.Now()
+	var res *postings.Intersection
+	var rerr error
+	if resCh != nil {
+		out := <-resCh
+		res, rerr = out.res, out.err
+		st.Stats.Add(out.st)
 	} else {
-		res = evaluateResultSet(kw, ctx, &st.Stats)
+		res, rerr = evaluateResultSet(ctx, kw, preds, &st.Stats)
+	}
+	st.Phases.ResultSet = time.Since(tRes)
+	if rerr != nil {
+		if res == nil || !degradeOnDeadline(rerr, &st, "deadline exceeded during result-set intersection: partial results") {
+			st.Elapsed = time.Since(start)
+			return nil, st, rerr
+		}
 	}
 	st.ResultSize = res.Len()
-	out := e.score(a, res, cs, k)
+
+	tScore := time.Now()
+	out, serr := e.score(ctx, a, res, cs, k)
+	st.Phases.Score = time.Since(tScore)
+	if serr != nil && !degradeOnDeadline(serr, &st, "deadline exceeded during scoring: partial top-k") {
+		st.Elapsed = time.Since(start)
+		return nil, st, serr
+	}
 	st.Elapsed = time.Since(start)
 	return out, st, nil
 }

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Panic isolation. A panic anywhere in the query path — a scoring worker,
+// the statistics fan-out, the overlapped result-set goroutine, or the
+// sequential path itself — must fail only the query that triggered it,
+// never the process and never a sibling query. Worker goroutines recover
+// at their boundary and report through their error slot; the public
+// Search*Ctx entry points carry a final recover so even sequential
+// execution converts a panic into an error.
+
+// panicError converts a recovered panic value into a query error carrying
+// the captured stack, so the crash site is diagnosable from the error
+// alone.
+func panicError(what string, r interface{}) error {
+	return fmt.Errorf("core: panic in %s: %v\n%s", what, r, debug.Stack())
+}
+
+// recoverToError is the deferred form of panicError for functions with a
+// named error result: `defer recoverToError(&err, "scoring worker")`.
+func recoverToError(err *error, what string) {
+	if r := recover(); r != nil {
+		*err = panicError(what, r)
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -26,6 +28,14 @@ import (
 // accumulate into goroutine-private postings.Stats and merge with Add
 // (commutative sums), and top-k selection under the strict total order
 // worseThan does not depend on arrival order.
+//
+// Every worker is panic-isolated: a recover at the goroutine boundary
+// converts the panic into an error (with the captured stack) in the
+// worker's private error slot, a shared failure flag stops siblings from
+// claiming further work, and the query — only that query — fails.
+// Cancellation is cooperative: workers poll ctx between work items (the
+// postings kernels poll inside items, scoring polls every scoreCheckMask+1
+// documents).
 
 // resolveWorkers maps Options.Parallelism to a worker count: 0 means
 // GOMAXPROCS, anything below 1 is clamped to sequential.
@@ -43,6 +53,10 @@ func resolveWorkers(p int) int {
 // goroutine; below it the spawn overhead dwarfs the scoring work.
 const minScoreChunk = 256
 
+// scoreCheckMask throttles ctx polling in the scoring loop: one Err()
+// call per mask+1 documents keeps the hot loop branch-cheap.
+const scoreCheckMask = 1023
+
 // scoreChunks picks how many contiguous partitions to score n documents
 // in, given w available workers.
 func scoreChunks(n, w int) int {
@@ -56,58 +70,96 @@ func scoreChunks(n, w int) int {
 	return chunks
 }
 
+// testHookKeywordStats, when non-nil, runs before each keyword-stats work
+// item with the keyword's position; tests use it to inject worker panics.
+// Set it only while no queries are in flight.
+var testHookKeywordStats func(i int)
+
 // keywordStatsBatch computes df(w, D_P) and tc(w, D_P) for the keywords
 // at positions idxs (indices into kw and a.kwTerms), fanning the
 // independent intersections out over the engine's worker pool when it
 // pays. Results are emitted in idxs order on the calling goroutine; list
-// cost from all workers accumulates into st.
-func (e *Engine) keywordStatsBatch(idxs []int, kw, ctx []*postings.List, st *postings.Stats, emit func(i int, df, tc int64)) {
+// cost from all workers accumulates into st. On error (cancellation,
+// deadline, worker panic) nothing is emitted and the first error in
+// worker order is returned.
+func (e *Engine) keywordStatsBatch(ctx context.Context, idxs []int, kw, preds []*postings.List, st *postings.Stats, emit func(i int, df, tc int64)) error {
 	w := e.workers
 	if w > len(idxs) {
 		w = len(idxs)
 	}
 	if w <= 1 {
 		for _, i := range idxs {
-			df, tc := e.keywordContextStats(kw[i], ctx, st)
+			if hook := testHookKeywordStats; hook != nil {
+				hook(i)
+			}
+			df, tc, err := e.keywordContextStats(ctx, kw[i], preds, st)
+			if err != nil {
+				return err
+			}
 			emit(i, df, tc)
 		}
-		return
+		return nil
 	}
 	dfs := make([]int64, len(idxs))
 	tcs := make([]int64, len(idxs))
 	stats := make([]postings.Stats, w)
+	errs := make([]error, w)
 	var next atomic.Int64
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for g := 1; g < w; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			e.keywordStatsWorker(&next, idxs, kw, ctx, &stats[g], dfs, tcs)
+			errs[g] = e.keywordStatsWorker(ctx, &next, &failed, idxs, kw, preds, &stats[g], dfs, tcs)
 		}(g)
 	}
 	// The calling goroutine is worker 0.
-	e.keywordStatsWorker(&next, idxs, kw, ctx, &stats[0], dfs, tcs)
+	errs[0] = e.keywordStatsWorker(ctx, &next, &failed, idxs, kw, preds, &stats[0], dfs, tcs)
 	wg.Wait()
 	if st != nil {
 		for g := range stats {
 			st.Add(stats[g])
 		}
 	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
 	for j, i := range idxs {
 		emit(i, dfs[j], tcs[j])
 	}
+	return nil
 }
 
 // keywordStatsWorker drains the shared work queue: each claimed slot j
 // is one keyword intersection, written to dfs[j]/tcs[j] without locks.
-func (e *Engine) keywordStatsWorker(next *atomic.Int64, idxs []int, kw, ctx []*postings.List, st *postings.Stats, dfs, tcs []int64) {
-	for {
+// A recovered panic or an error trips the shared failure flag so sibling
+// workers stop claiming slots promptly.
+func (e *Engine) keywordStatsWorker(ctx context.Context, next *atomic.Int64, failed *atomic.Bool, idxs []int, kw, preds []*postings.List, st *postings.Stats, dfs, tcs []int64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			failed.Store(true)
+			err = panicError("keyword-statistics worker", r)
+		}
+	}()
+	for !failed.Load() {
 		j := int(next.Add(1)) - 1
 		if j >= len(idxs) {
-			return
+			return nil
 		}
-		dfs[j], tcs[j] = e.keywordContextStats(kw[idxs[j]], ctx, st)
+		if hook := testHookKeywordStats; hook != nil {
+			hook(idxs[j])
+		}
+		var cerr error
+		dfs[j], tcs[j], cerr = e.keywordContextStats(ctx, kw[idxs[j]], preds, st)
+		if cerr != nil {
+			failed.Store(true)
+			return cerr
+		}
 	}
+	return nil
 }
 
 // score ranks the unranked result under the given collection statistics
@@ -115,8 +167,11 @@ func (e *Engine) keywordStatsWorker(next *atomic.Int64, idxs []int, kw, ctx []*p
 // score then ascending DocID. When the scorer supports the term-indexed
 // fast path the per-document loop performs zero map operations and zero
 // allocations; when the engine allows parallelism and the result is
-// large enough, contiguous partitions are scored concurrently.
-func (e *Engine) score(a analyzed, res *postings.Intersection, cs ranking.CollectionStats, k int) []Result {
+// large enough, contiguous partitions are scored concurrently. On
+// deadline expiry the merged heaps form a valid partial top-k (over the
+// documents scored before the cutoff), returned with the deadline error;
+// a cancellation or worker panic returns nil results with the error.
+func (e *Engine) score(ctx context.Context, a analyzed, res *postings.Intersection, cs ranking.CollectionStats, k int) ([]Result, error) {
 	qs := ranking.NewQueryStats(a.kwStream)
 	indexed, _ := e.scorer.(ranking.IndexedScorer)
 	if indexed != nil {
@@ -129,10 +184,14 @@ func (e *Engine) score(a analyzed, res *postings.Intersection, cs ranking.Collec
 	chunks := scoreChunks(n, e.workers)
 	if chunks <= 1 {
 		top := newTopK(k)
-		e.scoreRange(qs, a.kwTerms, res, cs, indexed, 0, n, top)
-		return top.results()
+		err := e.scoreRange(ctx, qs, a.kwTerms, res, cs, indexed, 0, n, top)
+		if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return nil, err
+		}
+		return top.results(), err
 	}
 	tops := make([]*topK, chunks)
+	errs := make([]error, chunks)
 	var wg sync.WaitGroup
 	for c := 0; c < chunks; c++ {
 		lo := c * n / chunks
@@ -140,30 +199,58 @@ func (e *Engine) score(a analyzed, res *postings.Intersection, cs ranking.Collec
 		tops[c] = newTopK(k)
 		if c == chunks-1 {
 			// The calling goroutine scores the last chunk itself.
-			e.scoreRange(qs, a.kwTerms, res, cs, indexed, lo, hi, tops[c])
+			errs[c] = e.guardedScoreRange(ctx, qs, a.kwTerms, res, cs, indexed, lo, hi, tops[c])
 			continue
 		}
 		wg.Add(1)
-		go func(lo, hi int, top *topK) {
+		go func(c, lo, hi int) {
 			defer wg.Done()
-			e.scoreRange(qs, a.kwTerms, res, cs, indexed, lo, hi, top)
-		}(lo, hi, tops[c])
+			errs[c] = e.guardedScoreRange(ctx, qs, a.kwTerms, res, cs, indexed, lo, hi, tops[c])
+		}(c, lo, hi)
 	}
 	wg.Wait()
+	// A deadline expiry in any chunk still yields a valid partial top-k
+	// from the documents all chunks managed to score; a cancellation or
+	// panic fails the query.
+	var deadlineErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			deadlineErr = err
+			continue
+		}
+		return nil, err
+	}
 	final := tops[0]
 	for _, t := range tops[1:] {
 		final.merge(t)
 	}
-	return final.results()
+	return final.results(), deadlineErr
+}
+
+// guardedScoreRange is scoreRange behind a panic guard, for use as a
+// scoring worker body.
+func (e *Engine) guardedScoreRange(ctx context.Context, qs ranking.QueryStats, terms []string, res *postings.Intersection, cs ranking.CollectionStats, indexed ranking.IndexedScorer, lo, hi int, top *topK) (err error) {
+	defer recoverToError(&err, "scoring worker")
+	return e.scoreRange(ctx, qs, terms, res, cs, indexed, lo, hi, top)
 }
 
 // scoreRange scores documents [lo, hi) of res into top. One TF buffer
 // (slice or map, depending on the scorer's capabilities) is reused for
-// the whole range.
-func (e *Engine) scoreRange(qs ranking.QueryStats, terms []string, res *postings.Intersection, cs ranking.CollectionStats, indexed ranking.IndexedScorer, lo, hi int, top *topK) {
+// the whole range. ctx is polled every scoreCheckMask+1 documents; on
+// expiry the heap keeps what was scored so far and ctx's error is
+// returned.
+func (e *Engine) scoreRange(ctx context.Context, qs ranking.QueryStats, terms []string, res *postings.Intersection, cs ranking.CollectionStats, indexed ranking.IndexedScorer, lo, hi int, top *topK) error {
 	if indexed != nil {
 		tf := make([]int64, len(terms))
 		for i := lo; i < hi; i++ {
+			if i&scoreCheckMask == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			docID := res.DocIDs[i]
 			for j := range terms {
 				tf[j] = int64(res.TFs[j][i])
@@ -171,10 +258,15 @@ func (e *Engine) scoreRange(qs ranking.QueryStats, terms []string, res *postings
 			ds := ranking.DocStats{TFs: tf, Len: e.ix.FieldLen(docID, e.contentField)}
 			top.push(Result{DocID: docID, Score: indexed.ScoreIndexed(qs, ds, cs)})
 		}
-		return
+		return nil
 	}
 	tf := make(map[string]int64, len(terms))
 	for i := lo; i < hi; i++ {
+		if i&scoreCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		docID := res.DocIDs[i]
 		for j, w := range terms {
 			tf[w] = int64(res.TFs[j][i])
@@ -182,4 +274,5 @@ func (e *Engine) scoreRange(qs ranking.QueryStats, terms []string, res *postings
 		ds := ranking.DocStats{TF: tf, Len: e.ix.FieldLen(docID, e.contentField)}
 		top.push(Result{DocID: docID, Score: e.scorer.Score(qs, ds, cs)})
 	}
+	return nil
 }

@@ -1,17 +1,129 @@
 package core
 
 import (
+	"context"
+	"errors"
+
 	"csrank/internal/postings"
 	"csrank/internal/ranking"
 	"csrank/internal/views"
 )
+
+// contextStats computes S_c(D_P): from the statistics cache when one is
+// configured, else from the smallest usable materialized view (with
+// per-keyword intersection fallback), else with the straightforward
+// Figure 3 plan. Freshly computed exact statistics are cached; a caller
+// that later substitutes approximate statistics never reaches the store,
+// so the cache only ever holds exact values.
+func (e *Engine) contextStats(ctx context.Context, a analyzed, kw, preds []*postings.List, useViews bool, st *ExecStats) (ranking.CollectionStats, error) {
+	if e.cache != nil {
+		cs, cached, err := e.statsFromCache(ctx, a, kw, preds, useViews, st)
+		if err != nil {
+			return ranking.CollectionStats{}, err
+		}
+		if cached {
+			return cs, nil
+		}
+	}
+	var cs ranking.CollectionStats
+	var err error
+	if useViews && e.catalog != nil {
+		if v := e.catalog.Match(a.context); v != nil && e.viewWorthwhile(v, a, preds) {
+			st.Plan = PlanView
+			st.UsedView = true
+			st.ViewSize = v.Size()
+			cs, st.FallbackKeywords, err = e.statsFromView(ctx, v, a, kw, preds, &st.Stats)
+			if err != nil {
+				return ranking.CollectionStats{}, err
+			}
+		}
+	}
+	if !st.UsedView {
+		cs, err = e.statsStraightforward(ctx, a, kw, preds, &st.Stats)
+		if err != nil {
+			return ranking.CollectionStats{}, err
+		}
+	}
+	e.cacheStore(a, cs)
+	return cs, nil
+}
+
+// approximateStats assembles degraded-mode context statistics after the
+// statistics budget expired before the exact S_c(D_P) computation
+// finished. A usable view still answers in O(ViewSize) with no
+// inverted-list work, so tracked keywords stay exact and only untracked
+// ones are estimated — the whole-collection df/tc scaled to the context
+// cardinality, clamped so a globally present keyword never reaches the
+// scorer with a zero denominator. Without a usable view, the
+// whole-collection statistics stand in unscaled: exactly the conventional
+// baseline's ranking, which keeps every score finite and well-defined.
+// The result is approximate by construction and is never cached.
+func (e *Engine) approximateStats(a analyzed, useViews bool, st *ExecStats) ranking.CollectionStats {
+	cs := ranking.CollectionStats{
+		DF: make(map[string]int64, len(a.kwTerms)),
+		TC: make(map[string]int64, len(a.kwTerms)),
+	}
+	if useViews && e.catalog != nil {
+		if v := e.catalog.Match(a.context); v != nil {
+			if ans, err := v.Answer(a.context, a.kwTerms, &st.Stats); err == nil {
+				st.Plan = PlanView
+				st.UsedView = true
+				st.ViewSize = v.Size()
+				ratio := float64(ans.Count) / float64(e.globalN)
+				fallback := 0
+				for _, w := range a.kwTerms {
+					if v.TracksWord(w) {
+						cs.DF[w] = ans.DF[w]
+						cs.TC[w] = ans.TC[w]
+						continue
+					}
+					fallback++
+					cs.DF[w] = scaleEstimate(e.ix.DF(e.contentField, w), ratio, ans.Count)
+					cs.TC[w] = scaleEstimate(e.ix.TotalTF(e.contentField, w), ratio, 0)
+				}
+				st.FallbackKeywords = fallback
+				cs.N, cs.TotalLen = ans.Count, ans.Len
+				return cs
+			}
+		}
+	}
+	// No usable view: whole-collection statistics, the conventional
+	// baseline's ranking inputs.
+	st.Plan = PlanStraightforward
+	st.UsedView = false
+	st.ViewSize = 0
+	st.FallbackKeywords = len(a.kwTerms)
+	cs.N, cs.TotalLen = e.globalN, e.globalLen
+	for _, w := range a.kwTerms {
+		cs.DF[w] = e.ix.DF(e.contentField, w)
+		cs.TC[w] = e.ix.TotalTF(e.contentField, w)
+	}
+	return cs
+}
+
+// scaleEstimate scales a whole-collection count down to a context of
+// ratio = |D_P| / N, clamping into [1, max] (when max > 0) so scorers
+// never divide by zero for a keyword that exists globally.
+func scaleEstimate(global int64, ratio float64, max int64) int64 {
+	if global == 0 {
+		return 0
+	}
+	est := int64(float64(global)*ratio + 0.5)
+	if est < 1 {
+		est = 1
+	}
+	if max > 0 && est > max {
+		est = max
+	}
+	return est
+}
 
 // statsStraightforward computes S_c(D_P) with the Figure 3 plan: the
 // context is materialized by intersecting the predicate lists; γ_count
 // and γ_sum aggregations over it yield |D_P| and len(D_P); each keyword's
 // df(w, D_P) and tc(w, D_P) come from intersecting L_w with the context
 // lists. Its cost is bounded by O(Σ |L_m|) (Proposition 3.1).
-func (e *Engine) statsStraightforward(a analyzed, kw, ctx []*postings.List, st *postings.Stats) ranking.CollectionStats {
+func (e *Engine) statsStraightforward(ctx context.Context, a analyzed, kw, preds []*postings.List, st *postings.Stats) (ranking.CollectionStats, error) {
 	cs := ranking.CollectionStats{
 		DF: make(map[string]int64, len(a.kwTerms)),
 		TC: make(map[string]int64, len(a.kwTerms)),
@@ -20,20 +132,24 @@ func (e *Engine) statsStraightforward(a analyzed, kw, ctx []*postings.List, st *
 	// kernel computes γ_count and γ_sum (|D_P| and len(D_P)) in one pass —
 	// a word-AND + popcount over dense predicate containers — without
 	// materializing the context.
-	cs.N, cs.TotalLen = postings.CountSum(ctx, func(d uint32) int64 {
+	var err error
+	cs.N, cs.TotalLen, err = postings.CountSumCtx(ctx, preds, func(d uint32) int64 {
 		return e.ix.FieldLen(d, e.contentField)
 	}, st)
+	if err != nil {
+		return cs, err
+	}
 	// L_wi ∩ L_m1 ∩ L_m2 per keyword — each intersection is independent,
 	// so keywordStatsBatch fans them out when parallelism is enabled.
 	idxs := make([]int, len(a.kwTerms))
 	for i := range idxs {
 		idxs[i] = i
 	}
-	e.keywordStatsBatch(idxs, kw, ctx, st, func(i int, df, tc int64) {
+	err = e.keywordStatsBatch(ctx, idxs, kw, preds, st, func(i int, df, tc int64) {
 		cs.DF[a.kwTerms[i]] = df
 		cs.TC[a.kwTerms[i]] = tc
 	})
-	return cs
+	return cs, err
 }
 
 // keywordContextStats computes df(w, D_P) and tc(w, D_P) by intersecting
@@ -41,11 +157,11 @@ func (e *Engine) statsStraightforward(a analyzed, kw, ctx []*postings.List, st *
 // the most selective list (Intersect orders by length), so this is cheap
 // when w is rare — the argument §6.2 makes for not storing df columns of
 // infrequent keywords.
-func (e *Engine) keywordContextStats(l *postings.List, ctx []*postings.List, st *postings.Stats) (df, tc int64) {
+func (e *Engine) keywordContextStats(ctx context.Context, l *postings.List, preds []*postings.List, st *postings.Stats) (df, tc int64, err error) {
 	// CountTFSum runs the same cursor-driven conjunction Intersect would,
 	// but folds df and tc in as it goes instead of materializing the
 	// DocID/TF slices.
-	return postings.CountTFSum(l, ctx, st)
+	return postings.CountTFSumCtx(ctx, l, preds, st)
 }
 
 // statsFromView answers S_c(D_P) from a materialized view: |D_P|,
@@ -53,8 +169,8 @@ func (e *Engine) keywordContextStats(l *postings.List, ctx []*postings.List, st 
 // the view's groups; untracked keywords (df < T_C) fall back to
 // query-time intersections. Returns the statistics and the number of
 // fallback keywords.
-func (e *Engine) statsFromView(v *views.View, a analyzed, kw, ctx []*postings.List, st *postings.Stats) (ranking.CollectionStats, int, error) {
-	ans, err := v.Answer(a.context, a.kwTerms, st)
+func (e *Engine) statsFromView(ctx context.Context, v *views.View, a analyzed, kw, preds []*postings.List, st *postings.Stats) (ranking.CollectionStats, int, error) {
+	ans, err := v.AnswerCtx(ctx, a.context, a.kwTerms, st)
 	if err != nil {
 		return ranking.CollectionStats{}, 0, err
 	}
@@ -70,10 +186,12 @@ func (e *Engine) statsFromView(v *views.View, a analyzed, kw, ctx []*postings.Li
 			fallback = append(fallback, i)
 		}
 	}
-	e.keywordStatsBatch(fallback, kw, ctx, st, func(i int, df, tc int64) {
+	if err := e.keywordStatsBatch(ctx, fallback, kw, preds, st, func(i int, df, tc int64) {
 		cs.DF[a.kwTerms[i]] = df
 		cs.TC[a.kwTerms[i]] = tc
-	})
+	}); err != nil {
+		return ranking.CollectionStats{}, len(fallback), err
+	}
 	return cs, len(fallback), nil
 }
 
@@ -82,12 +200,12 @@ func (e *Engine) statsFromView(v *views.View, a analyzed, kw, ctx []*postings.Li
 // cost must undercut the straightforward plan's Proposition 3.1 bound of
 // (n+1)·Σ|L_m| — one context materialization plus one keyword-list
 // intersection pass per keyword.
-func (e *Engine) viewWorthwhile(v *views.View, a analyzed, ctx []*postings.List) bool {
+func (e *Engine) viewWorthwhile(v *views.View, a analyzed, preds []*postings.List) bool {
 	if !e.costBased {
 		return true
 	}
 	var straightBound int64
-	for _, l := range ctx {
+	for _, l := range preds {
 		if l != nil {
 			straightBound += int64(l.Len())
 		}
@@ -99,11 +217,11 @@ func (e *Engine) viewWorthwhile(v *views.View, a analyzed, ctx []*postings.List)
 // statsFromCache assembles collection statistics from the statistics
 // cache, computing and back-filling any keywords the cached entry lacks:
 // view-tracked keywords are answered in one view scan, the rest by
-// (possibly fanned-out) intersections. ok is false on a cache miss.
-func (e *Engine) statsFromCache(a analyzed, kw, ctx []*postings.List, useViews bool, st *ExecStats) (ranking.CollectionStats, bool) {
+// (possibly fanned-out) intersections. cached is false on a cache miss.
+func (e *Engine) statsFromCache(ctx context.Context, a analyzed, kw, preds []*postings.List, useViews bool, st *ExecStats) (ranking.CollectionStats, bool, error) {
 	n, totalLen, words, ok := e.cache.lookup(a.context, a.kwTerms)
 	if !ok {
-		return ranking.CollectionStats{}, false
+		return ranking.CollectionStats{}, false, nil
 	}
 	st.CacheHit = true
 	cs := ranking.CollectionStats{
@@ -142,22 +260,28 @@ func (e *Engine) statsFromCache(a analyzed, kw, ctx []*postings.List, useViews b
 		filled[w] = dfTC{df: df, tc: tc}
 	}
 	if len(missTracked) > 0 {
-		if ans, err := view.Answer(a.context, missTracked, &st.Stats); err == nil {
+		ans, err := view.AnswerCtx(ctx, a.context, missTracked, &st.Stats)
+		switch {
+		case err == nil:
 			for _, w := range missTracked {
 				record(w, ans.DF[w], ans.TC[w])
 			}
-		} else {
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			return ranking.CollectionStats{}, false, err
+		default:
 			// Unusable view (e.g. concurrent catalog change): intersect.
 			missIntersect = append(missIntersect, missTrackedIdx...)
 		}
 	}
-	e.keywordStatsBatch(missIntersect, kw, ctx, &st.Stats, func(i int, df, tc int64) {
+	if err := e.keywordStatsBatch(ctx, missIntersect, kw, preds, &st.Stats, func(i int, df, tc int64) {
 		record(a.kwTerms[i], df, tc)
-	})
+	}); err != nil {
+		return ranking.CollectionStats{}, false, err
+	}
 	if filled != nil {
 		e.cache.store(a.context, n, totalLen, filled)
 	}
-	return cs, true
+	return cs, true, nil
 }
 
 // cacheStore records freshly computed statistics for future queries in

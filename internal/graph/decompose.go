@@ -105,7 +105,9 @@ func (d *Decomposition) split(g *KAG, sep Separator, support SupportFunc, tc int
 			if inS0[u] && inS0[v] && !d.crossingCliqueMayBeFrequent(g, u, v, inS2, support, tc) {
 				continue
 			}
-			g2.AddEdge(i, j, w)
+			// j > i (checked above) yields each pair once: AddEdge cannot
+			// fail.
+			_ = g2.AddEdge(i, j, w)
 		}
 	}
 	return g1, g2

@@ -81,20 +81,34 @@ func TestKAGBasics(t *testing.T) {
 	}
 }
 
-func TestKAGPanics(t *testing.T) {
+func TestAddEdgeErrors(t *testing.T) {
 	g := pathGraph(3)
-	for _, f := range []func(){
-		func() { g.AddEdge(1, 1, 5) },
-		func() { g.AddEdge(0, 1, 5) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Error("expected panic")
-				}
-			}()
-			f()
-		}()
+	if err := g.AddEdge(1, 1, 5); err == nil {
+		t.Error("self-loop: expected error")
+	}
+	// Re-inserting an existing edge with the same weight is an idempotent
+	// no-op: no error, no edge-count change.
+	before := g.Edges()
+	if err := g.AddEdge(0, 1, 10); err != nil {
+		t.Errorf("idempotent re-insert: unexpected error %v", err)
+	}
+	if g.Edges() != before {
+		t.Errorf("idempotent re-insert changed edge count: %d -> %d", before, g.Edges())
+	}
+	// A conflicting weight for an existing edge is a builder bug and must
+	// be reported, not silently overwrite.
+	if err := g.AddEdge(0, 1, 5); err == nil {
+		t.Error("conflicting duplicate: expected error")
+	}
+	if g.Weight(0, 1) != 10 {
+		t.Errorf("conflicting duplicate mutated weight: %d", g.Weight(0, 1))
+	}
+	// The graph stays fully usable after rejected inserts.
+	if err := g.AddEdge(0, 2, 7); err != nil {
+		t.Errorf("valid insert after errors: %v", err)
+	}
+	if !g.HasEdge(0, 2) || g.Weight(0, 2) != 7 {
+		t.Error("valid insert after errors not applied")
 	}
 }
 

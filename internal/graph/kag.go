@@ -42,7 +42,9 @@ func Build(names []string, cooc func(i, j int) int64, tc int64) *KAG {
 	for i := 0; i < len(names); i++ {
 		for j := i + 1; j < len(names); j++ {
 			if w := cooc(i, j); w >= tc {
-				g.AddEdge(i, j, w)
+				// Each unordered pair {i, j}, i < j, is visited once, so
+				// AddEdge cannot fail.
+				_ = g.AddEdge(i, j, w)
 			}
 		}
 	}
@@ -71,18 +73,27 @@ func (g *KAG) Names(idx []int) []string {
 	return out
 }
 
-// AddEdge inserts an undirected edge. Self-loops and duplicate inserts are
-// rejected with a panic — both indicate a builder bug.
-func (g *KAG) AddEdge(u, v int, w int64) {
+// AddEdge inserts an undirected edge. Malformed inserts are rejected with
+// an error instead of crashing the caller: a self-loop is never valid in
+// a co-occurrence graph, and a duplicate insert with a conflicting weight
+// means two builders disagree about the same co-occurrence count. A
+// duplicate insert with the same weight is an idempotent no-op, so
+// mining pipelines that rediscover an edge (e.g. from both endpoints)
+// need no dedup bookkeeping of their own.
+func (g *KAG) AddEdge(u, v int, w int64) error {
 	if u == v {
-		panic("graph: self-loop")
+		return fmt.Errorf("graph: self-loop at vertex %d (%s)", u, g.names[u])
 	}
-	if _, dup := g.adj[u][v]; dup {
-		panic(fmt.Sprintf("graph: duplicate edge %d-%d", u, v))
+	if old, dup := g.adj[u][v]; dup {
+		if old == w {
+			return nil
+		}
+		return fmt.Errorf("graph: conflicting duplicate edge %d-%d: weight %d vs existing %d", u, v, w, old)
 	}
 	g.adj[u][v] = w
 	g.adj[v][u] = w
 	g.nEdges++
+	return nil
 }
 
 // HasEdge reports whether u and v are adjacent.
@@ -155,7 +166,9 @@ func (g *KAG) Induced(vertices []int) *KAG {
 	for i, v := range vertices {
 		for u, w := range g.adj[v] {
 			if j, ok := pos[u]; ok && j > i {
-				sub.AddEdge(i, j, w)
+				// j > i filters each adjacency to one direction, so every
+				// pair arrives exactly once and AddEdge cannot fail.
+				_ = sub.AddEdge(i, j, w)
 			}
 		}
 	}

@@ -1,11 +1,16 @@
 package postings
 
+import "context"
+
 // This file implements the aggregation operators (γ in the paper's Figure 3
 // plan) that compute collection-specific statistics from a context. The
 // slice-scanning forms (Count, SumOver) work over a materialized
 // intersection; the fused kernels (CountSum, CountTFSum) push the
 // aggregation into the conjunction itself so the context is never
 // materialized — the count-only path of the adaptive-container layer.
+// Both fused kernels have *Ctx variants with cooperative cancellation;
+// all accumulators are 64-bit, so TF totals cannot overflow even when
+// every posting carries the maximum uint32 term frequency.
 
 // Count implements γ_count over an intersection result: the context
 // cardinality |D_P|.
@@ -44,12 +49,20 @@ func SumList(l *List, param func(docID uint32) int64, st *Stats) int64 {
 // Intersections tick for a real conjunction and 2·count AggregatedEntries
 // for the two aggregations.
 func CountSum(lists []*List, param func(docID uint32) int64, st *Stats) (count, sum int64) {
+	count, sum, _ = CountSumCtx(context.Background(), lists, param, st)
+	return count, sum
+}
+
+// CountSumCtx is CountSum with cooperative cancellation at chunk-range
+// granularity. On cancellation the partial aggregates are returned with
+// ctx's error; callers must not treat them as exact.
+func CountSumCtx(ctx context.Context, lists []*List, param func(docID uint32) int64, st *Stats) (count, sum int64, err error) {
 	if len(lists) == 0 {
-		return 0, 0
+		return 0, 0, nil
 	}
 	for _, l := range lists {
 		if l == nil || l.Len() == 0 {
-			return 0, 0
+			return 0, 0, nil
 		}
 	}
 	if len(lists) == 1 {
@@ -60,45 +73,57 @@ func CountSum(lists []*List, param func(docID uint32) int64, st *Stats) (count, 
 		count = int64(l.Len())
 		st.addEntries(count)
 		st.addAggregated(2 * count)
-		return count, sum
+		return count, sum, nil
 	}
 	st.addIntersection()
-	count = visitConjunction(lists, st, func(d uint32) {
+	cc := newCanceler(ctx)
+	count = visitConjunction(lists, st, cc, func(d uint32) {
 		sum += param(d)
 	})
 	st.addAggregated(2 * count)
-	return count, sum
+	return count, sum, cc.cause()
 }
 
 // CountTFSum computes df(w, D_P) and tc(w, D_P): the cardinality of
-// l ∩ (∩ ctx) and the sum of l's term frequencies over it, without
+// l ∩ (∩ preds) and the sum of l's term frequencies over it, without
 // materializing DocID or TF slices. It runs the same cursor-driven
 // document-at-a-time conjunction as Intersect (so the seek/skip/entry
-// charges are identical), reading l's TF at each match.
-func CountTFSum(l *List, ctx []*List, st *Stats) (df, tc int64) {
+// charges are identical), reading l's TF at each match. df and tc
+// accumulate in int64, so even pathological TF totals (every posting at
+// MaxUint32) cannot overflow.
+func CountTFSum(l *List, preds []*List, st *Stats) (df, tc int64) {
+	df, tc, _ = CountTFSumCtx(context.Background(), l, preds, st)
+	return df, tc
+}
+
+// CountTFSumCtx is CountTFSum with cooperative cancellation every
+// checkStride conjunction steps. On cancellation the partial aggregates
+// are returned with ctx's error; callers must not treat them as exact.
+func CountTFSumCtx(ctx context.Context, l *List, preds []*List, st *Stats) (df, tc int64, err error) {
 	if l == nil || l.Len() == 0 {
-		return 0, 0
+		return 0, 0, nil
 	}
-	for _, c := range ctx {
+	for _, c := range preds {
 		if c == nil || c.Len() == 0 {
-			return 0, 0
+			return 0, 0, nil
 		}
 	}
-	if len(ctx) == 0 {
+	if len(preds) == 0 {
 		// Degenerate empty context: every document of l matches.
 		df = int64(l.Len())
 		st.addEntries(df)
 		st.addAggregated(df)
-		return df, l.SumTF()
+		return df, l.SumTF(), nil
 	}
 	st.addIntersection()
-	lists := make([]*List, 0, len(ctx)+1)
+	cc := newCanceler(ctx)
+	lists := make([]*List, 0, len(preds)+1)
 	lists = append(lists, l)
-	lists = append(lists, ctx...)
-	conjoin(lists, st, func(_ uint32, cursors []*cursor) {
+	lists = append(lists, preds...)
+	conjoin(lists, st, cc, func(_ uint32, cursors []*cursor) {
 		df++
 		tc += int64(cursors[0].tf())
 	})
 	st.addAggregated(df)
-	return df, tc
+	return df, tc, cc.cause()
 }

@@ -1,0 +1,72 @@
+package postings
+
+import "context"
+
+// Cooperative cancellation for the long-running kernels. Every kernel has
+// a *Ctx variant that polls a context at coarse checkpoints — once per
+// 2^16-docID chunk range in the chunk-synchronized kernels, once per
+// checkStride fine-grained steps in the cursor-driven conjunction — so a
+// cancelled query stops burning CPU mid-intersection while the hot inner
+// loops stay branch-cheap. The context-free entry points pass a nil
+// canceler, which compiles to a single nil check per checkpoint, keeping
+// the uncancellable path's work (and its bit-identical results) intact.
+
+// checkStride is the number of fine-grained kernel steps (driver
+// advances, match emissions) between context polls in loops that are not
+// naturally chunk-structured. 1024 postings of work amortize the poll to
+// noise while still bounding the post-cancellation overrun.
+const checkStride = 1024
+
+// canceler wraps a context for checkpoint polling. A nil canceler never
+// cancels; newCanceler returns nil for contexts that can never be
+// cancelled (e.g. context.Background()), so those pay nothing.
+type canceler struct {
+	ctx context.Context
+	n   int
+	err error
+}
+
+func newCanceler(ctx context.Context) *canceler {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	return &canceler{ctx: ctx}
+}
+
+// halted polls the context once and reports whether the kernel should
+// stop. A cancellation, once observed, is sticky.
+func (c *canceler) halted() bool {
+	if c == nil {
+		return false
+	}
+	if c.err != nil {
+		return true
+	}
+	c.err = c.ctx.Err()
+	return c.err != nil
+}
+
+// strideHalted is halted with the poll rate-limited to every checkStride
+// calls, for per-posting loops.
+func (c *canceler) strideHalted() bool {
+	if c == nil {
+		return false
+	}
+	if c.err != nil {
+		return true
+	}
+	if c.n++; c.n < checkStride {
+		return false
+	}
+	c.n = 0
+	c.err = c.ctx.Err()
+	return c.err != nil
+}
+
+// cause returns the sticky cancellation error (nil while running).
+func (c *canceler) cause() error {
+	if c == nil {
+		return nil
+	}
+	return c.err
+}

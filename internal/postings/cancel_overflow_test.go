@@ -1,0 +1,145 @@
+package postings
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestBuilderAddSaturates: accumulating TFs past the uint32 ceiling must
+// saturate at MaxUint32, not wrap to a small count.
+func TestBuilderAddSaturates(t *testing.T) {
+	b := NewBuilder(0)
+	b.Add(7, math.MaxUint32)
+	b.Add(7, 5)
+	l := b.Build()
+	if got := l.TF(7); got != math.MaxUint32 {
+		t.Fatalf("TF(7) = %d, want saturated MaxUint32", got)
+	}
+}
+
+// TestUnionTFSaturates: summing per-document TFs across lists widens to
+// 64-bit and saturates on emission; previously two MaxUint32 postings
+// wrapped to a tiny count.
+func TestUnionTFSaturates(t *testing.T) {
+	a := NewList([]Posting{{DocID: 1, TF: math.MaxUint32}, {DocID: 2, TF: 3}}, 0)
+	b := NewList([]Posting{{DocID: 1, TF: math.MaxUint32}, {DocID: 3, TF: 4}}, 0)
+	u := Union([]*List{a, b}, nil)
+	if got := u.TF(1); got != math.MaxUint32 {
+		t.Fatalf("union TF(1) = %d, want saturated MaxUint32 (wrap would give %d)",
+			got, uint32(2*uint64(math.MaxUint32)&math.MaxUint32))
+	}
+	if u.TF(2) != 3 || u.TF(3) != 4 {
+		t.Fatalf("union disturbed unshared TFs: %d, %d", u.TF(2), u.TF(3))
+	}
+}
+
+// TestCountTFSumPastUint32: tc accumulates in int64, so a context whose
+// TF total exceeds MaxUint32 must be reported exactly.
+func TestCountTFSumPastUint32(t *testing.T) {
+	const n = 5
+	ps := make([]Posting, n)
+	ids := make([]uint32, n)
+	for i := range ps {
+		ps[i] = Posting{DocID: uint32(i + 1), TF: math.MaxUint32}
+		ids[i] = uint32(i + 1)
+	}
+	l := NewList(ps, 0)
+	pred := FromDocIDs(ids, 0)
+	df, tc := CountTFSum(l, []*List{pred}, nil)
+	want := int64(n) * int64(math.MaxUint32)
+	if df != n || tc != want {
+		t.Fatalf("df, tc = %d, %d; want %d, %d", df, tc, n, want)
+	}
+	// The degenerate no-predicate path sums via SumTF — same widening.
+	if _, tc0 := CountTFSum(l, nil, nil); tc0 != want {
+		t.Fatalf("no-predicate tc = %d, want %d", tc0, want)
+	}
+}
+
+// denseTestLists builds k overlapping lists big enough that every kernel
+// crosses multiple chunk ranges and stride checkpoints.
+func denseTestLists(k, n int) []*List {
+	lists := make([]*List, k)
+	for i := 0; i < k; i++ {
+		var ids []uint32
+		for d := 0; d < n; d++ {
+			if d%(i+1) == 0 {
+				ids = append(ids, uint32(d*3)) // spread across chunk ranges
+			}
+		}
+		lists[i] = FromDocIDs(ids, 0)
+	}
+	return lists
+}
+
+// TestKernelsBackgroundCtxParity: every *Ctx kernel under
+// context.Background must be error-free and agree exactly with its plain
+// wrapper — the zero-overhead no-deadline guarantee at the kernel level.
+func TestKernelsBackgroundCtxParity(t *testing.T) {
+	lists := denseTestLists(3, 50000)
+	bg := context.Background()
+
+	plain := Intersect(lists, nil)
+	ctxRes, err := IntersectCtx(bg, lists, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.DocIDs) != len(ctxRes.DocIDs) {
+		t.Fatalf("IntersectCtx cardinality %d vs %d", len(ctxRes.DocIDs), len(plain.DocIDs))
+	}
+	for i := range plain.DocIDs {
+		if plain.DocIDs[i] != ctxRes.DocIDs[i] {
+			t.Fatalf("IntersectCtx DocIDs diverge at %d", i)
+		}
+	}
+
+	if n, nc := IntersectionSize(lists, nil), int64(0); true {
+		var err error
+		nc, err = IntersectionSizeCtx(bg, lists, nil)
+		if err != nil || nc != n {
+			t.Fatalf("IntersectionSizeCtx = %d, %v; want %d", nc, err, n)
+		}
+	}
+
+	param := func(d uint32) int64 { return int64(d % 17) }
+	c1, s1 := CountSum(lists, param, nil)
+	c2, s2, err := CountSumCtx(bg, lists, param, nil)
+	if err != nil || c1 != c2 || s1 != s2 {
+		t.Fatalf("CountSumCtx = (%d, %d, %v); want (%d, %d)", c2, s2, err, c1, s1)
+	}
+
+	u1 := Union(lists, nil)
+	u2, err := UnionCtx(bg, lists, nil)
+	if err != nil || u1.Len() != u2.Len() {
+		t.Fatalf("UnionCtx len %d, %v; want %d", u2.Len(), err, u1.Len())
+	}
+}
+
+// TestKernelsCancelledCtx: a pre-cancelled ctx stops every kernel early
+// with context.Canceled and a partial (possibly empty) result.
+func TestKernelsCancelledCtx(t *testing.T) {
+	lists := denseTestLists(3, 50000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	full := IntersectionSize(lists, nil)
+	if res, err := IntersectCtx(ctx, lists, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("IntersectCtx err = %v", err)
+	} else if int64(res.Len()) >= full && full > 0 {
+		t.Fatalf("IntersectCtx did not stop early: %d of %d", res.Len(), full)
+	}
+	if n, err := IntersectionSizeCtx(ctx, lists, nil); !errors.Is(err, context.Canceled) || (n >= full && full > 0) {
+		t.Fatalf("IntersectionSizeCtx = %d, %v", n, err)
+	}
+	if _, _, err := CountSumCtx(ctx, lists, func(uint32) int64 { return 1 }, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CountSumCtx err = %v", err)
+	}
+	if _, _, err := CountTFSumCtx(ctx, lists[0], lists[1:], nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CountTFSumCtx err = %v", err)
+	}
+	if _, err := UnionCtx(ctx, lists, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("UnionCtx err = %v", err)
+	}
+}

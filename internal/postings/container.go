@@ -144,7 +144,9 @@ func gallopSearch16(keys []uint16, from int, target uint16) int {
 // lists: it never materializes DocID or TF slices. All lists must be
 // non-nil and non-empty and len(lists) ≥ 2. When visit is non-nil it is
 // called once per matching docID in ascending order. Returns the number of
-// matches.
+// matches. A non-nil canceler is polled once per chunk range — 2^16
+// docIDs of work per poll keeps the kernel branch-cheap — and stops the
+// conjunction early when it fires (the caller reports the cause).
 //
 // The kernel synchronizes the lists chunk range by chunk range. When every
 // list's chunk for a common range is dense, the range is resolved by
@@ -154,13 +156,16 @@ func gallopSearch16(keys []uint16, from int, target uint16) int {
 // M0-model segments; bitset work charges EntriesScanned in
 // entry-equivalents (one 64-doc word ≈ one entry probe) and is also
 // tallied separately in Stats.BitmapWords.
-func visitConjunction(lists []*List, st *Stats, visit func(docID uint32)) int64 {
+func visitConjunction(lists []*List, st *Stats, cc *canceler, visit func(docID uint32)) int64 {
 	k := len(lists)
 	cis := make([]int, k) // per-list chunk index
 	aps := make([]int, k) // per-list in-chunk array pointer, reset per range
 	var count int64
 align:
 	for {
+		if cc.halted() {
+			return count
+		}
 		// Establish the largest current chunk base; any exhausted list ends
 		// the conjunction.
 		var base uint32

@@ -1,6 +1,8 @@
 package postings
 
 import (
+	"context"
+	"math"
 	"math/bits"
 	"sort"
 )
@@ -29,8 +31,10 @@ func (r *Intersection) ToList() *List {
 // list driving and the rest sought in ascending length order, and calls
 // onMatch for every matching docID with all cursors positioned on it. It
 // is the shared engine of Intersect and the count-style kernels that need
-// TFs (CountTFSum).
-func conjoin(lists []*List, st *Stats, onMatch func(docID uint32, cursors []*cursor)) {
+// TFs (CountTFSum). A non-nil canceler is polled every checkStride driver
+// steps; on cancellation the conjunction stops early (the caller reports
+// the cause).
+func conjoin(lists []*List, st *Stats, cc *canceler, onMatch func(docID uint32, cursors []*cursor)) {
 	// Evaluation order: ascending by length, remembering original slots.
 	order := make([]int, len(lists))
 	for i := range order {
@@ -47,6 +51,9 @@ func conjoin(lists []*List, st *Stats, onMatch func(docID uint32, cursors []*cur
 
 	driver := cursors[order[0]]
 	for !driver.exhausted() {
+		if cc.strideHalted() {
+			return
+		}
 		candidate := driver.docID()
 		matched := true
 		for _, idx := range order[1:] {
@@ -80,15 +87,26 @@ func conjoin(lists []*List, st *Stats, onMatch func(docID uint32, cursors []*cur
 // The result's TFs are ordered like the *input* lists, not the internal
 // evaluation order.
 func Intersect(lists []*List, st *Stats) *Intersection {
+	res, _ := IntersectCtx(context.Background(), lists, st)
+	return res
+}
+
+// IntersectCtx is Intersect with cooperative cancellation: the
+// conjunction polls ctx at chunk-range (dense kernel) or checkStride
+// (cursor kernel) granularity. On cancellation it returns the matches
+// accumulated so far — a valid prefix of the full result, usable for
+// degraded partial answers — together with ctx's error.
+func IntersectCtx(ctx context.Context, lists []*List, st *Stats) (*Intersection, error) {
+	cc := newCanceler(ctx)
 	res := &Intersection{TFs: make([][]uint32, len(lists))}
 	if len(lists) == 0 {
-		return res
+		return res, nil
 	}
 	for _, l := range lists {
 		if l == nil || l.Len() == 0 {
 			// A nil list stands for a term absent from the index: the
 			// conjunction is empty.
-			return res
+			return res, nil
 		}
 	}
 	if len(lists) > 1 {
@@ -114,7 +132,7 @@ func Intersect(lists []*List, st *Stats) *Intersection {
 		// are a single shared all-ones slice; Intersection consumers treat
 		// TFs as read-only.
 		res.DocIDs = make([]uint32, 0, est/4+1)
-		visitConjunction(lists, st, func(d uint32) {
+		visitConjunction(lists, st, cc, func(d uint32) {
 			res.DocIDs = append(res.DocIDs, d)
 		})
 		ones := make([]uint32, len(res.DocIDs))
@@ -124,19 +142,19 @@ func Intersect(lists []*List, st *Stats) *Intersection {
 		for i := range res.TFs {
 			res.TFs[i] = ones
 		}
-		return res
+		return res, cc.cause()
 	}
 	res.DocIDs = make([]uint32, 0, est/4+1)
 	for i := range res.TFs {
 		res.TFs[i] = make([]uint32, 0, est/4+1)
 	}
-	conjoin(lists, st, func(d uint32, cursors []*cursor) {
+	conjoin(lists, st, cc, func(d uint32, cursors []*cursor) {
 		res.DocIDs = append(res.DocIDs, d)
 		for i, c := range cursors {
 			res.TFs[i] = append(res.TFs[i], c.tf())
 		}
 	})
-	return res
+	return res, cc.cause()
 }
 
 // Intersect2 is a convenience wrapper for the common pairwise case.
@@ -149,22 +167,32 @@ func Intersect2(a, b *List, st *Stats) *Intersection {
 // kernel over the adaptive containers — a word-AND + popcount when every
 // list is dense over a docID range — and never materializes the result.
 func IntersectionSize(lists []*List, st *Stats) int64 {
+	n, _ := IntersectionSizeCtx(context.Background(), lists, st)
+	return n
+}
+
+// IntersectionSizeCtx is IntersectionSize with cooperative cancellation
+// at chunk-range granularity. On cancellation it returns the partial
+// count together with ctx's error.
+func IntersectionSizeCtx(ctx context.Context, lists []*List, st *Stats) (int64, error) {
 	if len(lists) == 0 {
-		return 0
+		return 0, nil
 	}
 	if len(lists) == 1 {
 		if lists[0] == nil {
-			return 0
+			return 0, nil
 		}
-		return int64(lists[0].Len())
+		return int64(lists[0].Len()), nil
 	}
 	for _, l := range lists {
 		if l == nil || l.Len() == 0 {
-			return 0
+			return 0, nil
 		}
 	}
 	st.addIntersection()
-	return visitConjunction(lists, st, nil)
+	cc := newCanceler(ctx)
+	n := visitConjunction(lists, st, cc, nil)
+	return n, cc.cause()
 }
 
 // MergeIntersect computes the pairwise intersection by a plain two-pointer
@@ -204,10 +232,23 @@ func MergeIntersect(a, b *List, st *Stats) *Intersection {
 // Cost is O(total + activeRanges · 1024), comparison-free. Union is not
 // used by conjunctive query evaluation but completes the substrate
 // (disjunctive retrieval, ancestor-closure construction, tests).
+//
+// TFs accumulate in 64-bit per-range slots and saturate at the posting
+// format's uint32 ceiling on emission, so summing many large-TF lists
+// can never wrap around to a small count.
 func Union(lists []*List, st *Stats) *List {
+	l, _ := UnionCtx(context.Background(), lists, st)
+	return l
+}
+
+// UnionCtx is Union with cooperative cancellation at chunk-range
+// granularity. On cancellation it returns the merged prefix built so far
+// together with ctx's error; callers that need the complete union must
+// treat a non-nil error as failure.
+func UnionCtx(ctx context.Context, lists []*List, st *Stats) (*List, error) {
 	switch len(lists) {
 	case 0:
-		return NewList(nil, 0)
+		return NewList(nil, 0), nil
 	}
 	var live []*List
 	segSize, total := 0, 0
@@ -223,16 +264,25 @@ func Union(lists []*List, st *Stats) *List {
 	}
 	switch len(live) {
 	case 0:
-		return NewList(nil, segSize)
+		return NewList(nil, segSize), nil
 	case 1:
-		return live[0]
+		return live[0], nil
 	}
+	cc := newCanceler(ctx)
 	ids := make([]uint32, 0, total)
 	tfs := make([]uint32, 0, total)
-	acc := make([]uint32, chunkSpan)
+	// Range-local TF accumulators are 64-bit: k input lists can each
+	// contribute up to MaxUint32 per document, which overflows a uint32
+	// slot silently. The widened sum saturates at MaxUint32 on emission
+	// (the posting format's TF width).
+	acc := make([]uint64, chunkSpan)
 	var pres [chunkWords]uint64
 	cis := make([]int, len(live))
+	consumed := 0
 	for {
+		if cc.halted() {
+			break
+		}
 		// The lowest pending chunk base decides the next active range.
 		base, none := uint32(0), true
 		for i, l := range live {
@@ -260,7 +310,7 @@ func Union(lists []*List, st *Stats) *List {
 						if l.tfs == nil {
 							acc[lo]++
 						} else {
-							acc[lo] += l.tfs[gstart+r]
+							acc[lo] += uint64(l.tfs[gstart+r])
 						}
 						r++
 						word &= word - 1
@@ -273,10 +323,11 @@ func Union(lists []*List, st *Stats) *List {
 					if l.tfs == nil {
 						acc[lo]++
 					} else {
-						acc[lo] += l.tfs[gstart+j]
+						acc[lo] += uint64(l.tfs[gstart+j])
 					}
 				}
 			}
+			consumed += int(c.n)
 			cis[i]++
 		}
 		for w := range pres {
@@ -288,13 +339,18 @@ func Union(lists []*List, st *Stats) *List {
 			for word != 0 {
 				lo := w<<6 + bits.TrailingZeros64(word)
 				ids = append(ids, base+uint32(lo))
-				tfs = append(tfs, acc[lo])
+				tf := acc[lo]
+				if tf > math.MaxUint32 {
+					tf = math.MaxUint32 // saturate at the TF column width
+				}
+				tfs = append(tfs, uint32(tf))
 				acc[lo] = 0
 				word &= word - 1
 			}
 		}
 	}
-	// Every input entry is consumed exactly once.
-	st.addEntries(int64(total))
-	return newListRaw(ids, tfs, segSize, DenseThreshold)
+	// Every input entry is consumed exactly once (all of them unless the
+	// merge was cancelled mid-way).
+	st.addEntries(int64(consumed))
+	return newListRaw(ids, tfs, segSize, DenseThreshold), cc.cause()
 }

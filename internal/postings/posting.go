@@ -19,6 +19,7 @@
 package postings
 
 import (
+	"math"
 	"math/bits"
 	"sort"
 )
@@ -334,11 +335,16 @@ func NewBuilder(segSize int) *Builder {
 }
 
 // Add records tf occurrences of the term in docID. docID must be ≥ the last
-// added DocID.
+// added DocID. Accumulated TFs saturate at MaxUint32 instead of wrapping,
+// so a pathological document cannot turn a huge term count into a tiny one.
 func (b *Builder) Add(docID uint32, tf uint32) {
 	n := len(b.ids)
 	if n > 0 && b.ids[n-1] == docID {
-		b.tfs[n-1] += tf
+		if s := uint64(b.tfs[n-1]) + uint64(tf); s > math.MaxUint32 {
+			b.tfs[n-1] = math.MaxUint32
+		} else {
+			b.tfs[n-1] = uint32(s)
+		}
 		return
 	}
 	if n > 0 && b.ids[n-1] > docID {

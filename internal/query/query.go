@@ -24,8 +24,10 @@ type Query struct {
 // Parse parses the textual form "w1 w2 | m1 m2". The part before '|' is
 // the keyword query; the part after is the context specification. Without
 // '|', the whole string is keywords. Keyword and predicate tokens are
-// whitespace-separated. Parse returns an error for an empty keyword part
-// or more than one '|'.
+// whitespace-separated. Parse returns an error for an empty keyword part,
+// more than one '|', or a '|' followed by no context predicates — a
+// trailing '|' announces a context, and silently evaluating the query as
+// non-contextual would rank with the wrong statistics.
 func Parse(s string) (Query, error) {
 	parts := strings.Split(s, "|")
 	if len(parts) > 2 {
@@ -34,6 +36,9 @@ func Parse(s string) (Query, error) {
 	q := Query{Keywords: strings.Fields(parts[0])}
 	if len(parts) == 2 {
 		q.Context = strings.Fields(parts[1])
+		if len(q.Context) == 0 {
+			return Query{}, fmt.Errorf("query: empty context after '|' in %q", s)
+		}
 	}
 	if len(q.Keywords) == 0 {
 		return Query{}, fmt.Errorf("query: no keywords in %q", s)

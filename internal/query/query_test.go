@@ -2,6 +2,7 @@ package query
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -36,12 +37,13 @@ func TestParseConventional(t *testing.T) {
 }
 
 func TestParseEmptyContextPart(t *testing.T) {
-	q, err := Parse("pancreas | ")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if q.IsContextual() {
-		t.Error("empty context part should be non-contextual")
+	// A '|' announces a context; an empty one must be rejected, not
+	// silently evaluated as a non-contextual query (which would rank with
+	// whole-collection statistics the user did not ask for).
+	for _, s := range []string{"pancreas |", "pancreas | ", "pancreas |\t"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want empty-context error", s)
+		}
 	}
 }
 
@@ -112,4 +114,35 @@ func TestParseStringProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Error(err)
 	}
+}
+
+// FuzzParseRoundTrip checks three invariants over arbitrary input: an
+// accepted query always has keywords, a '|' in the input never yields a
+// silently non-contextual query, and Parse∘String is the identity on
+// parsed queries.
+func FuzzParseRoundTrip(f *testing.F) {
+	for _, seed := range []string{
+		"a b | m1 m2", "a", "pancreas |", "| x", "a||b", " a  b |  c ", "a\t|\nb",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		q, err := Parse(s)
+		if err != nil {
+			return // rejected inputs are out of scope
+		}
+		if len(q.Keywords) == 0 {
+			t.Fatalf("Parse(%q) accepted a query with no keywords", s)
+		}
+		if strings.Contains(s, "|") && !q.IsContextual() {
+			t.Fatalf("Parse(%q) silently dropped the context", s)
+		}
+		q2, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q) failed: %v", q.String(), s, err)
+		}
+		if !reflect.DeepEqual(q, q2) {
+			t.Fatalf("round trip %q -> %q -> %+v", s, q.String(), q2)
+		}
+	})
 }

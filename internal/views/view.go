@@ -12,6 +12,7 @@
 package views
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -46,6 +47,10 @@ type View struct {
 	// tracked is the set of words with df/tc columns.
 	tracked map[string]bool
 }
+
+// answerCheckStride is how many groups an Answer scan processes between
+// cancellation polls.
+const answerCheckStride = 512
 
 // ContextStats is the bundle of collection-specific statistics for one
 // context, as answered by a view or computed directly.
@@ -181,6 +186,15 @@ func (v *View) Usable(p []string) bool {
 // over the non-empty groups — is recorded in st.ViewGroupsScanned.
 // Answer returns an error if the view is not usable for p.
 func (v *View) Answer(p []string, words []string, st *postings.Stats) (ContextStats, error) {
+	return v.AnswerCtx(context.Background(), p, words, st)
+}
+
+// AnswerCtx is Answer with cooperative cancellation: the group scan polls
+// ctx every answerCheckStride groups, so even a scan of a large view
+// stops promptly under a deadline. On cancellation the partial aggregates
+// are discarded and ctx's error is returned (a partially summed Count
+// would be silently wrong, unlike a prefix of an intersection).
+func (v *View) AnswerCtx(ctx context.Context, p []string, words []string, st *postings.Stats) (ContextStats, error) {
 	need := make([]int, len(p))
 	for i, m := range p {
 		pos, ok := v.pos[m]
@@ -197,8 +211,17 @@ func (v *View) Answer(p []string, words []string, st *postings.Stats) (ContextSt
 		}
 	}
 	scanned := int64(0)
+	done := ctx.Done()
 	for key, g := range v.groups {
 		scanned++
+		if done != nil && scanned%answerCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				if st != nil {
+					st.ViewGroupsScanned += scanned
+				}
+				return ContextStats{}, err
+			}
+		}
 		if !patternCovers(key, need) {
 			continue
 		}
