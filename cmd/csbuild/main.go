@@ -29,15 +29,16 @@ func main() {
 		seed    = flag.Int64("seed", 1, "generation seed")
 		segSize = flag.Int("segsize", 0, "posting-list skip-segment size M0 (0 = default 128)")
 		dump    = flag.Bool("dump", false, "also write the raw citations as citations.jsonl")
+		legacy  = flag.Bool("legacy-snapshots", false, "write index.gob and views.gob as raw gob streams (pre-frame format) instead of checksummed snapshots")
 	)
 	flag.Parse()
-	if err := run(*out, *docs, *terms, *topics, *tcFrac, *tv, *seed, *segSize, *dump); err != nil {
+	if err := run(*out, *docs, *terms, *topics, *tcFrac, *tv, *seed, *segSize, *dump, *legacy); err != nil {
 		fmt.Fprintln(os.Stderr, "csbuild:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, docs, terms, topics int, tcFrac float64, tv int, seed int64, segSize int, dump bool) error {
+func run(out string, docs, terms, topics int, tcFrac float64, tv int, seed int64, segSize int, dump, legacy bool) error {
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
@@ -80,10 +81,14 @@ func run(out string, docs, terms, topics int, tcFrac float64, tv int, seed int64
 	fmt.Printf("  frequent terms=%d separators=%d clique remainders=%d\n",
 		m.Result.Stats.FrequentTerms, m.Result.Stats.Separators, m.Result.Stats.CliqueRemainders)
 
-	if err := ix.SaveFile(filepath.Join(out, "index.gob")); err != nil {
+	saveIndex, saveViews := ix.SaveFile, m.Catalog.SaveFile
+	if legacy {
+		saveIndex, saveViews = ix.SaveFileLegacy, m.Catalog.SaveFileLegacy
+	}
+	if err := saveIndex(filepath.Join(out, "index.gob")); err != nil {
 		return err
 	}
-	if err := m.Catalog.SaveFile(filepath.Join(out, "views.gob")); err != nil {
+	if err := saveViews(filepath.Join(out, "views.gob")); err != nil {
 		return err
 	}
 	if err := c.Onto.SaveFile(filepath.Join(out, "mesh.gob")); err != nil {
@@ -96,9 +101,13 @@ func run(out string, docs, terms, topics int, tcFrac float64, tv int, seed int64
 		}
 		fmt.Printf("dumped raw citations to %s\n", path)
 	}
-	fmt.Printf("wrote %s and %s (views: %.2f MB)\n",
+	format := "checksummed snapshots"
+	if legacy {
+		format = "legacy raw gob"
+	}
+	fmt.Printf("wrote %s and %s as %s (views: %.2f MB)\n",
 		filepath.Join(out, "index.gob"), filepath.Join(out, "views.gob"),
-		float64(m.Catalog.TotalBytes())/(1<<20))
+		format, float64(m.Catalog.TotalBytes())/(1<<20))
 	return nil
 }
 

@@ -7,12 +7,13 @@ import (
 
 	"csrank/internal/index"
 	"csrank/internal/mesh"
+	"csrank/internal/snapshot"
 	"csrank/internal/views"
 )
 
 func TestRunProducesLoadableArtifacts(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, 2000, 100, 0, 0.02, 128, 1, 0, true); err != nil {
+	if err := run(dir, 2000, 100, 0, 0.02, 128, 1, 0, true, false); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"index.gob", "views.gob", "mesh.gob", "citations.jsonl"} {
@@ -44,11 +45,35 @@ func TestRunProducesLoadableArtifacts(t *testing.T) {
 }
 
 func TestRunRejectsBadConfig(t *testing.T) {
-	if err := run(t.TempDir(), 0, 100, 0, 0.02, 128, 1, 0, false); err == nil {
+	if err := run(t.TempDir(), 0, 100, 0, 0.02, 128, 1, 0, false, false); err == nil {
 		t.Error("zero docs accepted")
 	}
 	// Unwritable output directory.
-	if err := run("/proc/definitely/not/writable", 100, 50, 0, 0.02, 128, 1, 0, false); err == nil {
+	if err := run("/proc/definitely/not/writable", 100, 50, 0, 0.02, 128, 1, 0, false, false); err == nil {
 		t.Error("unwritable dir accepted")
+	}
+}
+
+// TestRunLegacySnapshots: the -legacy-snapshots opt-out writes raw gob
+// streams (no snapshot magic) that LoadFile still reads via sniffing.
+func TestRunLegacySnapshots(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 1000, 80, 0, 0.02, 128, 1, 0, false, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"index.gob", "views.gob"} {
+		raw, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snapshot.IsFramed(raw) {
+			t.Errorf("%s carries the snapshot frame despite -legacy-snapshots", name)
+		}
+	}
+	if _, err := index.LoadFile(filepath.Join(dir, "index.gob")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := views.LoadFile(filepath.Join(dir, "views.gob")); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -31,6 +31,7 @@ import (
 	"csrank/internal/query"
 	"csrank/internal/ranking"
 	"csrank/internal/views"
+	"csrank/internal/wal"
 )
 
 func main() {
@@ -46,10 +47,19 @@ func main() {
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memprofile  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 		liststats   = flag.Bool("liststats", false, "print the index's posting-list container breakdown and exit")
+		walDir      = flag.String("wal", "", "recover the view catalog from this WAL directory (snapshot + log replay) instead of views.gob")
+		verify      = flag.Bool("verify", false, "audit the view catalog against the index (zero drift expected) and exit")
 	)
 	flag.Parse()
 	if *liststats {
 		if err := printListStats(*data, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "cssearch:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *verify {
+		if err := verifyViews(*data, *walDir, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "cssearch:", err)
 			os.Exit(1)
 		}
@@ -61,13 +71,13 @@ func main() {
 		os.Exit(1)
 	}
 	if *interactive {
-		err = runInteractive(*data, *k, *mode, *scorer, *parallel, *timeout, os.Stdin, os.Stdout)
+		err = runInteractive(*data, *walDir, *k, *mode, *scorer, *parallel, *timeout, os.Stdin, os.Stdout)
 	} else if *q == "" {
 		stopProfiles()
 		flag.Usage()
 		os.Exit(2)
 	} else {
-		err = run(*data, *q, *k, *mode, *scorer, *parallel, *timeout)
+		err = run(*data, *walDir, *q, *k, *mode, *scorer, *parallel, *timeout)
 	}
 	stopProfiles()
 	if err != nil {
@@ -117,8 +127,8 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 // starting with '?' print the plan explanation instead; "exit" or EOF
 // ends the session. Per-query errors are reported and the loop
 // continues.
-func runInteractive(data string, k int, mode, scorerName string, parallel int, timeout time.Duration, in io.Reader, out io.Writer) error {
-	eng, ix, err := openEngine(data, scorerName, parallel, timeout)
+func runInteractive(data, walDir string, k int, mode, scorerName string, parallel int, timeout time.Duration, in io.Reader, out io.Writer) error {
+	eng, ix, err := openEngine(data, walDir, scorerName, parallel, timeout)
 	if err != nil {
 		return err
 	}
@@ -184,8 +194,8 @@ func float64maxOne(n int64) float64 {
 	return float64(n)
 }
 
-func run(data, qstr string, k int, mode, scorerName string, parallel int, timeout time.Duration) error {
-	eng, ix, err := openEngine(data, scorerName, parallel, timeout)
+func run(data, walDir, qstr string, k int, mode, scorerName string, parallel int, timeout time.Duration) error {
+	eng, ix, err := openEngine(data, walDir, scorerName, parallel, timeout)
 	if err != nil {
 		return err
 	}
@@ -194,7 +204,7 @@ func run(data, qstr string, k int, mode, scorerName string, parallel int, timeou
 
 // openEngine loads the persisted index and (optionally) views and wires
 // the requested scorer.
-func openEngine(data, scorerName string, parallel int, timeout time.Duration) (*core.Engine, *index.Index, error) {
+func openEngine(data, walDir, scorerName string, parallel int, timeout time.Duration) (*core.Engine, *index.Index, error) {
 	var sc ranking.Scorer
 	switch scorerName {
 	case "pivoted-tfidf":
@@ -210,12 +220,67 @@ func openEngine(data, scorerName string, parallel int, timeout time.Duration) (*
 	if err != nil {
 		return nil, nil, err
 	}
-	cat, err := views.LoadFile(filepath.Join(data, "views.gob"))
+	cat, err := loadCatalog(data, walDir)
 	if err != nil {
+		if walDir != "" {
+			return nil, nil, err
+		}
 		fmt.Fprintln(os.Stderr, "note: no views loaded; contextual queries use the straightforward plan")
 		cat = nil
 	}
 	return core.New(ix, cat, core.Options{Scorer: sc, Parallelism: parallel, Deadline: timeout}), ix, nil
+}
+
+// loadCatalog returns the view catalog: recovered from the WAL directory
+// (newest valid snapshot plus log-tail replay) when walDir is set,
+// otherwise read from views.gob. A WAL recovery prints a one-line
+// summary so operators see what the crash left behind.
+func loadCatalog(data, walDir string) (*views.Catalog, error) {
+	if walDir == "" {
+		return views.LoadFile(filepath.Join(data, "views.gob"))
+	}
+	m, rec, err := wal.Open(walDir, wal.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("wal recovery: %w", err)
+	}
+	defer m.Close()
+	fmt.Fprintf(os.Stderr, "recovered views from %s: generation %d, %d batches replayed",
+		walDir, rec.Generation, rec.BatchesReplayed)
+	if rec.TornTail {
+		fmt.Fprintf(os.Stderr, ", torn tail truncated (%d bytes)", rec.TruncatedBytes)
+	}
+	if len(rec.CorruptSnapshots) > 0 {
+		fmt.Fprintf(os.Stderr, ", corrupt snapshots skipped: %v", rec.CorruptSnapshots)
+	}
+	fmt.Fprintln(os.Stderr)
+	return m.Catalog(), nil
+}
+
+// verifyViews audits the view catalog against the index (the source of
+// truth): every sampled group's aggregates are recomputed and compared.
+// Exit status is the contract — zero findings means the catalog can be
+// trusted for ranking, any drift makes the run fail.
+func verifyViews(data, walDir string, out io.Writer) error {
+	ix, err := index.LoadFile(filepath.Join(data, "index.gob"))
+	if err != nil {
+		return err
+	}
+	cat, err := loadCatalog(data, walDir)
+	if err != nil {
+		return err
+	}
+	drift, err := cat.Verify(ix, views.VerifyOptions{})
+	if err != nil {
+		return err
+	}
+	if len(drift) == 0 {
+		fmt.Fprintf(out, "ok: %d views agree with the index (fingerprint %s)\n", cat.Len(), cat.Fingerprint())
+		return nil
+	}
+	for _, d := range drift {
+		fmt.Fprintln(out, " ", d)
+	}
+	return fmt.Errorf("%d drift finding(s) — re-materialize the views or restore a snapshot", len(drift))
 }
 
 // searchAndPrint evaluates one query string in the given mode and prints

@@ -9,6 +9,8 @@ import (
 
 	"csrank/internal/corpus"
 	"csrank/internal/selection"
+	"csrank/internal/views"
+	"csrank/internal/wal"
 )
 
 // buildData creates a small persisted instance for the search tool.
@@ -45,7 +47,7 @@ func buildData(t *testing.T) string {
 // line) instead of failing.
 func TestExpiredTimeoutPrintsDegraded(t *testing.T) {
 	dir := buildData(t)
-	eng, ix, err := openEngine(dir, "pivoted-tfidf", 0, time.Nanosecond)
+	eng, ix, err := openEngine(dir, "", "pivoted-tfidf", 0, time.Nanosecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +66,7 @@ func TestRunAllModes(t *testing.T) {
 	// category always present in the generated ontology.
 	q := "disease organ | anatomy"
 	for _, mode := range []string{"context", "conventional", "straightforward", "compare"} {
-		if err := run(dir, q, 5, mode, "pivoted-tfidf", 0, 0); err != nil {
+		if err := run(dir, "", q, 5, mode, "pivoted-tfidf", 0, 0); err != nil {
 			t.Errorf("mode %s: %v", mode, err)
 		}
 	}
@@ -73,7 +75,7 @@ func TestRunAllModes(t *testing.T) {
 func TestRunScorers(t *testing.T) {
 	dir := buildData(t)
 	for _, sc := range []string{"pivoted-tfidf", "bm25", "dirichlet-lm"} {
-		if err := run(dir, "disease | anatomy", 3, "context", sc, 2, 0); err != nil {
+		if err := run(dir, "", "disease | anatomy", 3, "context", sc, 2, 0); err != nil {
 			t.Errorf("scorer %s: %v", sc, err)
 		}
 	}
@@ -81,17 +83,66 @@ func TestRunScorers(t *testing.T) {
 
 func TestRunErrors(t *testing.T) {
 	dir := buildData(t)
-	if err := run(dir, "disease", 3, "context", "nope", 0, 0); err == nil {
+	if err := run(dir, "", "disease", 3, "context", "nope", 0, 0); err == nil {
 		t.Error("unknown scorer accepted")
 	}
-	if err := run(dir, "disease", 3, "bogus", "bm25", 0, 0); err == nil {
+	if err := run(dir, "", "disease", 3, "bogus", "bm25", 0, 0); err == nil {
 		t.Error("unknown mode accepted")
 	}
-	if err := run(dir, "a | b | c", 3, "context", "bm25", 0, 0); err == nil {
+	if err := run(dir, "", "a | b | c", 3, "context", "bm25", 0, 0); err == nil {
 		t.Error("unparseable query accepted")
 	}
-	if err := run(t.TempDir(), "disease", 3, "context", "bm25", 0, 0); err == nil {
+	if err := run(t.TempDir(), "", "disease", 3, "context", "bm25", 0, 0); err == nil {
 		t.Error("missing data dir accepted")
+	}
+}
+
+// TestVerifyAndWALRecovery covers the durability flags end to end: a
+// fresh build audits clean; a WAL directory seeded with one extra
+// logged update recovers into the engine bit-identically, and the
+// audit flags exactly that divergence from the index.
+func TestVerifyAndWALRecovery(t *testing.T) {
+	dir := buildData(t)
+	var out bytes.Buffer
+	if err := verifyViews(dir, "", &out); err != nil {
+		t.Fatalf("fresh build should verify clean: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ok:") {
+		t.Fatalf("missing ok line: %q", out.String())
+	}
+
+	// Seed a WAL directory from the persisted catalog and log an update
+	// the index does not contain.
+	cat, err := views.LoadFile(filepath.Join(dir, "views.gob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	walDir := filepath.Join(dir, "wal")
+	m, err := wal.Create(walDir, cat, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := views.DocUpdate{Predicates: []string{"anatomy"}, Len: 42}
+	if err := m.Apply(wal.Batch{{Op: wal.OpApply, Doc: u}}); err != nil {
+		t.Fatal(err)
+	}
+	fp := m.Catalog().Fingerprint()
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	eng, _, err := openEngine(dir, walDir, "bm25", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Catalog().Fingerprint(); got != fp {
+		t.Fatalf("recovered catalog fingerprint %s, logged state %s", got, fp)
+	}
+
+	// The logged document was never indexed, so the audit must fail.
+	out.Reset()
+	if err := verifyViews(dir, walDir, &out); err == nil {
+		t.Fatalf("drifted catalog verified clean:\n%s", out.String())
 	}
 }
 
@@ -99,7 +150,7 @@ func TestRunInteractive(t *testing.T) {
 	dir := buildData(t)
 	in := strings.NewReader("disease | anatomy\n? disease | anatomy\nbogus | | query\n\nexit\n")
 	var out bytes.Buffer
-	if err := runInteractive(dir, 3, "context", "pivoted-tfidf", 0, 0, in, &out); err != nil {
+	if err := runInteractive(dir, "", 3, "context", "pivoted-tfidf", 0, 0, in, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
@@ -113,11 +164,11 @@ func TestRunInteractive(t *testing.T) {
 		t.Errorf("missing error report for bad query: %q", s)
 	}
 	// EOF without "exit" also terminates cleanly.
-	if err := runInteractive(dir, 3, "context", "pivoted-tfidf", 0, 0, strings.NewReader("disease\n"), &out); err != nil {
+	if err := runInteractive(dir, "", 3, "context", "pivoted-tfidf", 0, 0, strings.NewReader("disease\n"), &out); err != nil {
 		t.Fatal(err)
 	}
 	// Bad scorer surfaces immediately.
-	if err := runInteractive(dir, 3, "context", "nope", 0, 0, strings.NewReader(""), &out); err == nil {
+	if err := runInteractive(dir, "", 3, "context", "nope", 0, 0, strings.NewReader(""), &out); err == nil {
 		t.Error("unknown scorer accepted")
 	}
 }

@@ -143,6 +143,26 @@ func (c *statsCache) store(context []string, n, totalLen int64, words map[string
 	}
 }
 
+// purge drops every cached context. Called when the catalog (or the
+// underlying collection) changes: cached statistics describe the state
+// they were computed against, and serving them across a swap would rank
+// queries with a mixture of old and new collection statistics.
+func (c *statsCache) purge() {
+	if c == nil {
+		return
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.entries = make(map[string]*cacheEntry, s.max)
+		for j := range s.ring {
+			s.ring[j] = ""
+		}
+		s.head, s.count = 0, 0
+		s.mu.Unlock()
+	}
+}
+
 // len reports the number of cached contexts (for tests).
 func (c *statsCache) len() int {
 	if c == nil {

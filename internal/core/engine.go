@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"csrank/internal/analysis"
@@ -163,10 +164,15 @@ func (st *ExecStats) degrade(reason string) {
 }
 
 // Engine evaluates context-sensitive queries over an index, optionally
-// accelerated by a view catalog. It is safe for concurrent use.
+// accelerated by a view catalog. It is safe for concurrent use,
+// including SwapCatalog racing with in-flight queries.
 type Engine struct {
-	ix      *index.Index
-	catalog *views.Catalog // may be nil
+	ix *index.Index
+	// catalog may hold nil. It is atomic so a recovered or freshly
+	// rolled catalog can replace the serving one mid-flight: each query
+	// path loads the pointer once and sticks with that snapshot, so a
+	// query never mixes statistics from two catalog states.
+	catalog atomic.Pointer[views.Catalog]
 	scorer  ranking.Scorer
 
 	contentField string
@@ -191,9 +197,8 @@ func New(ix *index.Index, catalog *views.Catalog, opts Options) *Engine {
 		scorer = ranking.NewPivotedTFIDF()
 	}
 	schema := ix.Schema()
-	return &Engine{
+	e := &Engine{
 		ix:           ix,
-		catalog:      catalog,
 		scorer:       scorer,
 		contentField: schema.ContentField,
 		predField:    schema.PredicateField,
@@ -207,13 +212,26 @@ func New(ix *index.Index, catalog *views.Catalog, opts Options) *Engine {
 		deadline:     opts.Deadline,
 		statsBudget:  opts.StatsBudget,
 	}
+	e.catalog.Store(catalog)
+	return e
 }
 
 // Index returns the engine's index.
 func (e *Engine) Index() *index.Index { return e.ix }
 
 // Catalog returns the engine's view catalog (nil if none).
-func (e *Engine) Catalog() *views.Catalog { return e.catalog }
+func (e *Engine) Catalog() *views.Catalog { return e.catalog.Load() }
+
+// SwapCatalog atomically replaces the engine's view catalog and purges
+// the statistics cache, whose entries describe the catalog state they
+// were computed against. In-flight queries finish on the catalog they
+// already loaded — both states are internally consistent — so a catalog
+// recovered from snapshot + WAL replay can go live without a restart or
+// a lock on the query path. Pass nil to disable view acceleration.
+func (e *Engine) SwapCatalog(cat *views.Catalog) {
+	e.catalog.Store(cat)
+	e.cache.purge()
+}
 
 // Scorer returns the engine's ranking function.
 func (e *Engine) Scorer() ranking.Scorer { return e.scorer }

@@ -59,8 +59,8 @@ func (e *Engine) Explain(q query.Query) (Explanation, error) {
 	ex.StraightforwardBound = bound * int64(len(a.kwTerms)+1)
 
 	ex.Plan = PlanStraightforward
-	if e.catalog != nil {
-		if v := e.catalog.Match(a.context); v != nil && e.viewWorthwhile(v, a, ctx) {
+	if cat := e.catalog.Load(); cat != nil {
+		if v := cat.Match(a.context); v != nil && e.viewWorthwhile(v, a, ctx) {
 			ex.Plan = PlanView
 			ex.ViewK = v.K()
 			ex.ViewSize = v.Size()

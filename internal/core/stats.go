@@ -27,8 +27,8 @@ func (e *Engine) contextStats(ctx context.Context, a analyzed, kw, preds []*post
 	}
 	var cs ranking.CollectionStats
 	var err error
-	if useViews && e.catalog != nil {
-		if v := e.catalog.Match(a.context); v != nil && e.viewWorthwhile(v, a, preds) {
+	if cat := e.catalog.Load(); useViews && cat != nil {
+		if v := cat.Match(a.context); v != nil && e.viewWorthwhile(v, a, preds) {
 			st.Plan = PlanView
 			st.UsedView = true
 			st.ViewSize = v.Size()
@@ -63,8 +63,8 @@ func (e *Engine) approximateStats(a analyzed, useViews bool, st *ExecStats) rank
 		DF: make(map[string]int64, len(a.kwTerms)),
 		TC: make(map[string]int64, len(a.kwTerms)),
 	}
-	if useViews && e.catalog != nil {
-		if v := e.catalog.Match(a.context); v != nil {
+	if cat := e.catalog.Load(); useViews && cat != nil {
+		if v := cat.Match(a.context); v != nil {
 			if ans, err := v.Answer(a.context, a.kwTerms, &st.Stats); err == nil {
 				st.Plan = PlanView
 				st.UsedView = true
@@ -231,8 +231,8 @@ func (e *Engine) statsFromCache(ctx context.Context, a analyzed, kw, preds []*po
 		TC:       make(map[string]int64, len(a.kwTerms)),
 	}
 	var view *views.View
-	if useViews && e.catalog != nil {
-		view = e.catalog.Match(a.context)
+	if cat := e.catalog.Load(); useViews && cat != nil {
+		view = cat.Match(a.context)
 	}
 	var missTracked []string // view-tracked keywords, one Answer scan
 	var missTrackedIdx []int // their positions, for the error fallback
@@ -314,8 +314,8 @@ func (e *Engine) ContextSize(context []string) int64 {
 	if len(norm) == 0 {
 		return e.globalN
 	}
-	if e.catalog != nil {
-		if v := e.catalog.Match(norm); v != nil {
+	if cat := e.catalog.Load(); cat != nil {
+		if v := cat.Match(norm); v != nil {
 			if ans, err := v.Answer(norm, nil, nil); err == nil {
 				return ans.Count
 			}

@@ -1,0 +1,139 @@
+package fsx
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeString(s string) func(io.Writer) error {
+	return func(w io.Writer) error {
+		_, err := io.WriteString(w, s)
+		return err
+	}
+}
+
+func TestWriteFileAtomicReplacesContent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	if err := WriteFileAtomic(OS, path, writeString("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(OS, path, writeString("new content")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "new content" {
+		t.Fatalf("content = %q", b)
+	}
+	if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("temp file left behind")
+	}
+}
+
+// TestWriteFileAtomicSurvivesEveryFault sweeps a fault through every
+// mutating operation of the atomic-write protocol and asserts the
+// invariant that names it: the destination holds either the old or the
+// new content — never a prefix, never nothing.
+func TestWriteFileAtomicSurvivesEveryFault(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	payload := strings.Repeat("new", 100)
+
+	ffs := NewFaultFS(OS)
+	if err := WriteFileAtomic(ffs, path, writeString(payload)); err != nil {
+		t.Fatal(err)
+	}
+	total := ffs.Ops()
+	if total < 4 { // create, write, sync, close, rename, syncdir
+		t.Fatalf("suspiciously few ops: %d", total)
+	}
+	// Restore the pre-state for the sweep.
+	if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for point := 1; point <= total; point++ {
+		for _, short := range []bool{false, true} {
+			ffs.Arm(point, short)
+			err := WriteFileAtomic(ffs, path, writeString(payload))
+			b, rerr := os.ReadFile(path)
+			if rerr != nil {
+				t.Fatalf("point %d: destination unreadable: %v", point, rerr)
+			}
+			got := string(b)
+			if err != nil {
+				// Failed write: old content must survive untouched,
+				// except when only the final directory sync failed — the
+				// rename itself already happened, so the new content is
+				// equally acceptable.
+				if got != "old" && got != payload {
+					t.Fatalf("point %d short=%v: content %q after fault", point, short, got)
+				}
+			} else if got != payload {
+				t.Fatalf("point %d: clean return but content %q", point, got)
+			}
+			// Reset the on-disk state.
+			ffs.Reset()
+			os.Remove(path + ".tmp")
+			if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestFaultFSCrashSemantics(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS)
+	ffs.Arm(1, false)
+	if _, err := ffs.Create(filepath.Join(dir, "a")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected fault, got %v", err)
+	}
+	if !ffs.Crashed() {
+		t.Fatal("not crashed after firing")
+	}
+	if _, err := ffs.Create(filepath.Join(dir, "b")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash op: want ErrCrashed, got %v", err)
+	}
+	// Reads still work for the recovery pass.
+	if err := os.WriteFile(filepath.Join(dir, "c"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ffs.Open(filepath.Join(dir, "c"))
+	if err != nil {
+		t.Fatalf("read after crash: %v", err)
+	}
+	f.Close()
+	ffs.Reset()
+	g, err := ffs.Create(filepath.Join(dir, "d"))
+	if err != nil {
+		t.Fatalf("create after reset: %v", err)
+	}
+	g.Close()
+}
+
+func TestShortWriteLeavesPrefix(t *testing.T) {
+	dir := t.TempDir()
+	ffs := NewFaultFS(OS)
+	f, err := ffs.Create(filepath.Join(dir, "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffs.Arm(1, true)
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected, got %v", err)
+	}
+	if n != 5 {
+		t.Fatalf("short write wrote %d bytes, want 5", n)
+	}
+}

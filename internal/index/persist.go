@@ -5,9 +5,10 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
-	"os"
 
+	"csrank/internal/fsx"
 	"csrank/internal/postings"
+	"csrank/internal/snapshot"
 )
 
 // FormatVersion is the index persistence format written by Encode.
@@ -18,6 +19,20 @@ import (
 // Version 0 (gob's zero value for a missing field) and take the legacy
 // postings.DecodePostings path, so old index files keep loading.
 const FormatVersion = 2
+
+// maxDocs bounds the collection cardinality a decoder accepts: DocIDs
+// are uint32, so anything above 2^31 documents is either corruption or a
+// hostile stream trying to force a giant allocation.
+const maxDocs = 1 << 31
+
+// maxSegSize bounds the persisted skip-segment size; real values are a
+// few hundred.
+const maxSegSize = 1 << 24
+
+// maxDecodeBytes caps how much of an untrusted stream Decode consumes
+// before giving up, so a stream that lies about its lengths errors out
+// instead of allocating without bound.
+const maxDecodeBytes = int64(1) << 31
 
 // persistent is the flat gob representation of an Index. Posting lists are
 // stored as compressed byte slices; container and skip structure are
@@ -41,6 +56,8 @@ type persistentField struct {
 }
 
 // Encode serializes the index with encoding/gob using FormatVersion.
+// This is the raw payload; SaveFile wraps it in the checksummed snapshot
+// frame.
 func (ix *Index) Encode(w io.Writer) error {
 	p := persistent{
 		Version: FormatVersion,
@@ -80,18 +97,57 @@ func decodeTermList(version int, data []byte, segSize int) (*postings.List, erro
 	}
 }
 
-// Decode deserializes an index written by Encode, accepting both the
-// current FormatVersion and untagged legacy streams.
-func Decode(r io.Reader) (*Index, error) {
-	var p persistent
-	if err := gob.NewDecoder(r).Decode(&p); err != nil {
-		return nil, fmt.Errorf("index: decode: %w", err)
-	}
+// validate rejects persisted values no real index can contain before any
+// of them size an allocation or feed ranking. Corrupt and hostile
+// streams must fail here with a descriptive error, never reach the
+// engine as a garbage index.
+func (p *persistent) validate() error {
 	if p.Version != 0 && p.Version != FormatVersion {
-		return nil, fmt.Errorf("index: unsupported format version %d (this build reads 0 and %d)", p.Version, FormatVersion)
+		return fmt.Errorf("index: unsupported format version %d (this build reads 0 and %d)", p.Version, FormatVersion)
+	}
+	if p.NumDocs < 0 || p.NumDocs > maxDocs {
+		return fmt.Errorf("index: persisted NumDocs %d out of range [0, %d]", p.NumDocs, maxDocs)
+	}
+	if p.SegSize < 0 || p.SegSize > maxSegSize {
+		return fmt.Errorf("index: persisted SegSize %d out of range [0, %d]", p.SegSize, maxSegSize)
 	}
 	if err := p.Schema.Validate(); err != nil {
-		return nil, fmt.Errorf("index: persisted schema invalid: %w", err)
+		return fmt.Errorf("index: persisted schema invalid: %w", err)
+	}
+	for field, ls := range p.Lengths {
+		if len(ls) != p.NumDocs {
+			return fmt.Errorf("index: field %q has %d persisted lengths for %d documents", field, len(ls), p.NumDocs)
+		}
+		for d, l := range ls {
+			if l < 0 {
+				return fmt.Errorf("index: field %q doc %d has negative length %d", field, d, l)
+			}
+		}
+	}
+	for field, vs := range p.Stored {
+		if len(vs) != p.NumDocs {
+			return fmt.Errorf("index: field %q has %d stored values for %d documents", field, len(vs), p.NumDocs)
+		}
+	}
+	for field, pf := range p.Fields {
+		if pf.TotalLen < 0 {
+			return fmt.Errorf("index: field %q has negative TotalLen %d", field, pf.TotalLen)
+		}
+	}
+	return nil
+}
+
+// Decode deserializes an index written by Encode, accepting both the
+// current FormatVersion and untagged legacy streams. Input is treated as
+// untrusted: sizes are capped, counters are range-checked, and malformed
+// posting lists error instead of panicking.
+func Decode(r io.Reader) (*Index, error) {
+	var p persistent
+	if err := gob.NewDecoder(io.LimitReader(r, maxDecodeBytes)).Decode(&p); err != nil {
+		return nil, fmt.Errorf("index: decode: %w", err)
+	}
+	if err := p.validate(); err != nil {
+		return nil, err
 	}
 	ix := &Index{
 		schema:  p.Schema,
@@ -115,6 +171,9 @@ func Decode(r io.Reader) (*Index, error) {
 			if err != nil {
 				return nil, fmt.Errorf("index: term %q: %w", term, err)
 			}
+			if l.Len() > p.NumDocs {
+				return nil, fmt.Errorf("index: term %q has %d postings for %d documents", term, l.Len(), p.NumDocs)
+			}
 			fi.terms[term] = l
 			fi.totalTF[term] = l.SumTF()
 		}
@@ -123,30 +182,93 @@ func Decode(r io.Reader) (*Index, error) {
 	return ix, nil
 }
 
-// SaveFile writes the index to path, creating or truncating it.
-func (ix *Index) SaveFile(path string) error {
-	f, err := os.Create(path)
+// WriteSnapshot writes the index to w in the framed snapshot format:
+// magic header, format version, per-section CRC32-C, whole-file trailer.
+func (ix *Index) WriteSnapshot(w io.Writer) error {
+	sw, err := snapshot.NewWriter(w, snapshot.KindIndex, FormatVersion)
 	if err != nil {
 		return err
 	}
-	bw := bufio.NewWriterSize(f, 1<<20)
-	if err := ix.Encode(bw); err != nil {
-		f.Close()
+	if err := ix.Encode(sw); err != nil {
 		return err
 	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return sw.Close()
 }
 
-// LoadFile reads an index written by SaveFile.
+// ReadSnapshot reads an index from either a framed snapshot or a legacy
+// raw-gob stream (sniffed by magic), verifying all checksums in the
+// framed case.
+func ReadSnapshot(r io.Reader) (*Index, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	prefix, err := br.Peek(len(snapshot.Magic))
+	if err != nil || !snapshot.IsFramed(prefix) {
+		// Legacy raw gob (or too short to be framed — let gob report it).
+		return Decode(br)
+	}
+	sr, err := snapshot.NewReader(br)
+	if err != nil {
+		return nil, fmt.Errorf("index: %w", err)
+	}
+	if kind := sr.Header().Kind; kind != snapshot.KindIndex {
+		return nil, fmt.Errorf("index: snapshot holds payload kind %d, want %d (index)", kind, snapshot.KindIndex)
+	}
+	ix, err := Decode(sr)
+	if err != nil {
+		return nil, err
+	}
+	// Drain to the trailer so truncation after the gob payload and
+	// whole-file corruption are still detected.
+	if err := sr.Verify(); err != nil {
+		return nil, fmt.Errorf("index: %w", err)
+	}
+	return ix, nil
+}
+
+// SaveFile writes the index to path as a framed, checksummed snapshot
+// using an atomic write-to-temp + fsync + rename protocol: a crash at
+// any instant leaves either the previous file or the complete new one.
+func (ix *Index) SaveFile(path string) error {
+	return ix.SaveFileFS(fsx.OS, path)
+}
+
+// SaveFileFS is SaveFile against an explicit filesystem (fault-injection
+// tests substitute a crashing one).
+func (ix *Index) SaveFileFS(fs fsx.FS, path string) error {
+	return fsx.WriteFileAtomic(fs, path, func(w io.Writer) error {
+		bw := bufio.NewWriterSize(w, 1<<20)
+		if err := ix.WriteSnapshot(bw); err != nil {
+			return err
+		}
+		return bw.Flush()
+	})
+}
+
+// SaveFileLegacy writes the raw gob stream without the snapshot frame —
+// byte-compatible with readers that predate the framed format. The write
+// itself is still atomic (temp + fsync + rename), so even opting out of
+// checksums can never destroy the previous index file.
+func (ix *Index) SaveFileLegacy(path string) error {
+	return fsx.WriteFileAtomic(fsx.OS, path, func(w io.Writer) error {
+		bw := bufio.NewWriterSize(w, 1<<20)
+		if err := ix.Encode(bw); err != nil {
+			return err
+		}
+		return bw.Flush()
+	})
+}
+
+// LoadFile reads an index written by SaveFile or SaveFileLegacy, or by
+// any build before the framed format existed.
 func LoadFile(path string) (*Index, error) {
-	f, err := os.Open(path)
+	return LoadFileFS(fsx.OS, path)
+}
+
+// LoadFileFS is LoadFile against an explicit filesystem.
+func LoadFileFS(fs fsx.FS, path string) (*Index, error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return Decode(bufio.NewReaderSize(f, 1<<20))
+	return ReadSnapshot(f)
 }

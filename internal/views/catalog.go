@@ -5,8 +5,10 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
-	"os"
 	"sort"
+
+	"csrank/internal/fsx"
+	"csrank/internal/snapshot"
 )
 
 // Catalog holds the materialized views selected for a collection, plus
@@ -149,6 +151,18 @@ func Decode(r io.Reader) (*Catalog, error) {
 			v.tracked[w] = true
 		}
 		for _, g := range pv.Groups {
+			// Aggregates of a group-by over real documents are
+			// non-negative by construction; a negative value can only be
+			// corruption and would silently poison every ranking that
+			// consults this view.
+			if g.Count < 0 || g.Len < 0 {
+				return nil, fmt.Errorf("views: decode: view %d group %x has negative aggregates (count=%d len=%d)", i, g.Key, g.Count, g.Len)
+			}
+			for w, df := range g.DF {
+				if df < 0 || g.TC[w] < 0 {
+					return nil, fmt.Errorf("views: decode: view %d group %x has negative df/tc for %q", i, g.Key, w)
+				}
+			}
 			grp := &Group{Count: g.Count, Len: g.Len, DF: g.DF, TC: g.TC}
 			if grp.DF == nil {
 				grp.DF = make(map[string]int64)
@@ -163,30 +177,94 @@ func Decode(r io.Reader) (*Catalog, error) {
 	return NewCatalog(vs, p.ContextThreshold, p.ViewSizeLimit), nil
 }
 
-// SaveFile writes the catalog to path.
-func (c *Catalog) SaveFile(path string) error {
-	f, err := os.Create(path)
+// CatalogFormatVersion is the app-level version recorded in the framed
+// snapshot header for catalog payloads.
+const CatalogFormatVersion = 1
+
+// WriteSnapshot writes the catalog to w in the framed snapshot format:
+// magic header, format version, per-section CRC32-C, whole-file trailer.
+func (c *Catalog) WriteSnapshot(w io.Writer) error {
+	sw, err := snapshot.NewWriter(w, snapshot.KindViews, CatalogFormatVersion)
 	if err != nil {
 		return err
 	}
-	bw := bufio.NewWriterSize(f, 1<<20)
-	if err := c.Encode(bw); err != nil {
-		f.Close()
+	if err := c.Encode(sw); err != nil {
 		return err
 	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return sw.Close()
 }
 
-// LoadFile reads a catalog written by SaveFile.
+// ReadSnapshot reads a catalog from either a framed snapshot or a legacy
+// raw-gob stream (sniffed by magic), verifying all checksums in the
+// framed case.
+func ReadSnapshot(r io.Reader) (*Catalog, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	prefix, err := br.Peek(len(snapshot.Magic))
+	if err != nil || !snapshot.IsFramed(prefix) {
+		return Decode(br)
+	}
+	sr, err := snapshot.NewReader(br)
+	if err != nil {
+		return nil, fmt.Errorf("views: %w", err)
+	}
+	if kind := sr.Header().Kind; kind != snapshot.KindViews {
+		return nil, fmt.Errorf("views: snapshot holds payload kind %d, want %d (views)", kind, snapshot.KindViews)
+	}
+	c, err := Decode(sr)
+	if err != nil {
+		return nil, err
+	}
+	if err := sr.Verify(); err != nil {
+		return nil, fmt.Errorf("views: %w", err)
+	}
+	return c, nil
+}
+
+// SaveFile writes the catalog to path as a framed, checksummed snapshot
+// with an atomic write-to-temp + fsync + rename protocol: a crash at any
+// instant leaves either the previous file or the complete new one.
+func (c *Catalog) SaveFile(path string) error {
+	return c.SaveFileFS(fsx.OS, path)
+}
+
+// SaveFileFS is SaveFile against an explicit filesystem (fault-injection
+// tests substitute a crashing one).
+func (c *Catalog) SaveFileFS(fs fsx.FS, path string) error {
+	return fsx.WriteFileAtomic(fs, path, func(w io.Writer) error {
+		bw := bufio.NewWriterSize(w, 1<<20)
+		if err := c.WriteSnapshot(bw); err != nil {
+			return err
+		}
+		return bw.Flush()
+	})
+}
+
+// SaveFileLegacy writes the catalog as a raw gob stream — the pre-frame
+// on-disk format, for toolchains that read views.gob without this
+// package. The write is still atomic (temp + fsync + rename); only the
+// per-section checksums are given up.
+func (c *Catalog) SaveFileLegacy(path string) error {
+	return fsx.WriteFileAtomic(fsx.OS, path, func(w io.Writer) error {
+		bw := bufio.NewWriterSize(w, 1<<20)
+		if err := c.Encode(bw); err != nil {
+			return err
+		}
+		return bw.Flush()
+	})
+}
+
+// LoadFile reads a catalog written by SaveFile — current framed files
+// and pre-frame raw gob files alike.
 func LoadFile(path string) (*Catalog, error) {
-	f, err := os.Open(path)
+	return LoadFileFS(fsx.OS, path)
+}
+
+// LoadFileFS is LoadFile against an explicit filesystem.
+func LoadFileFS(fs fsx.FS, path string) (*Catalog, error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return Decode(bufio.NewReaderSize(f, 1<<20))
+	return ReadSnapshot(f)
 }

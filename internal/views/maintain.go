@@ -7,6 +7,8 @@ package views
 // thousands of citations a day while the MeSH vocabulary, and therefore
 // the selected K sets, stays stable).
 
+import "fmt"
+
 // DocUpdate describes one document for incremental view maintenance.
 type DocUpdate struct {
 	// Predicates are the document's predicate terms (after annotation
@@ -40,17 +42,59 @@ func (v *View) Apply(u DocUpdate) {
 }
 
 // Remove folds one deleted document out of the view. The caller must
-// pass the same DocUpdate the document was applied with; removing an
-// unknown document corrupts the aggregates silently (as with any
-// distributive-view maintenance), so ingestion pipelines must log
-// updates. A group whose count reaches zero is dropped, keeping
-// ViewSize equal to the number of non-empty tuples.
-func (v *View) Remove(u DocUpdate) {
+// pass the same DocUpdate the document was applied with (distributive
+// views cannot reconstruct per-document contributions, which is why the
+// ingestion pipeline write-ahead-logs every update). A mismatched
+// removal — an unknown group, or any aggregate that would underflow —
+// returns an error and leaves the group untouched, instead of silently
+// corrupting the statistics every later query would rank with. A group
+// whose count reaches zero is dropped, keeping ViewSize equal to the
+// number of non-empty tuples.
+func (v *View) Remove(u DocUpdate) error {
 	key := v.patternOf(u.Predicates)
+	if err := v.checkRemove(key, u); err != nil {
+		return err
+	}
+	v.removeUnchecked(key, u)
+	return nil
+}
+
+// checkRemove validates that removing u from the group at key keeps
+// every aggregate consistent, without mutating anything.
+func (v *View) checkRemove(key string, u DocUpdate) error {
 	g := v.groups[key]
 	if g == nil {
-		return
+		return fmt.Errorf("views: remove from unknown group %x (document was never applied with this pattern)", key)
 	}
+	if g.Count < 1 {
+		return fmt.Errorf("views: group %x count %d would underflow", key, g.Count)
+	}
+	if g.Len < u.Len {
+		return fmt.Errorf("views: group %x len %d < removed document len %d", key, g.Len, u.Len)
+	}
+	if g.Count == 1 && g.Len != u.Len {
+		return fmt.Errorf("views: removing the last document of group %x leaves residual len %d", key, g.Len-u.Len)
+	}
+	for w, tf := range u.TF {
+		if tf <= 0 || !v.tracked[w] {
+			continue
+		}
+		if g.DF[w] < 1 {
+			return fmt.Errorf("views: group %x df(%s) would underflow", key, w)
+		}
+		if g.TC[w] < tf {
+			return fmt.Errorf("views: group %x tc(%s) %d < removed tf %d", key, w, g.TC[w], tf)
+		}
+		if g.DF[w] == 1 && g.TC[w] != tf {
+			return fmt.Errorf("views: removing the last %s-document of group %x leaves residual tc %d", w, key, g.TC[w]-tf)
+		}
+	}
+	return nil
+}
+
+// removeUnchecked applies a removal already validated by checkRemove.
+func (v *View) removeUnchecked(key string, u DocUpdate) {
+	g := v.groups[key]
 	g.Count--
 	g.Len -= u.Len
 	for w, tf := range u.TF {
@@ -88,8 +132,19 @@ func (c *Catalog) Apply(u DocUpdate) {
 }
 
 // Remove folds one deleted document out of every view of the catalog.
-func (c *Catalog) Remove(u DocUpdate) {
-	for _, v := range c.views {
-		v.Remove(u)
+// All views are validated before any is mutated, so a mismatched update
+// leaves the whole catalog untouched — no view ends up half a removal
+// ahead of its siblings.
+func (c *Catalog) Remove(u DocUpdate) error {
+	keys := make([]string, len(c.views))
+	for i, v := range c.views {
+		keys[i] = v.patternOf(u.Predicates)
+		if err := v.checkRemove(keys[i], u); err != nil {
+			return err
+		}
 	}
+	for i, v := range c.views {
+		v.removeUnchecked(keys[i], u)
+	}
+	return nil
 }

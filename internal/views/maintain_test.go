@@ -195,15 +195,118 @@ func TestApplyCreatesAndRemoveDropsGroups(t *testing.T) {
 	u := DocUpdate{Predicates: []string{meshTerms[0], meshTerms[1]}, Len: 10}
 	v.Apply(u)
 	v.Apply(u)
-	v.Remove(u)
-	v.Remove(u)
+	if err := v.Remove(u); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Remove(u); err != nil {
+		t.Fatal(err)
+	}
 	if v.Size() != before {
 		t.Fatalf("size %d, want %d", v.Size(), before)
 	}
-	// Removing a document from a non-existent group is a no-op.
-	v.Remove(DocUpdate{Predicates: []string{"ghost"}, Len: 5})
+}
+
+// TestRemoveUnknownGroupErrors checks that removing a document whose
+// pattern maps to a group that was never populated is rejected and
+// leaves the view untouched.
+func TestRemoveUnknownGroupErrors(t *testing.T) {
+	tbl, meshTerms, _ := randomTable(t, 31, 40, 6, 2)
+	v, err := Materialize(tbl, meshTerms[:3], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a predicate combination whose group is empty.
+	var ghost []string
+	combos := [][]string{
+		{meshTerms[0]}, {meshTerms[1]}, {meshTerms[2]},
+		{meshTerms[0], meshTerms[1]}, {meshTerms[0], meshTerms[2]},
+		{meshTerms[1], meshTerms[2]}, {meshTerms[0], meshTerms[1], meshTerms[2]},
+		nil,
+	}
+	for _, c := range combos {
+		if v.groups[v.patternOf(c)] == nil {
+			ghost = c
+			break
+		}
+	}
+	if ghost == nil && v.groups[v.patternOf(nil)] != nil {
+		t.Skip("every pattern over K is populated in this corpus")
+	}
+	before := v.Size()
+	if err := v.Remove(DocUpdate{Predicates: ghost, Len: 5}); err == nil {
+		t.Fatal("remove from unknown group succeeded")
+	}
 	if v.Size() != before {
-		t.Fatal("phantom remove changed the view")
+		t.Fatal("failed remove still changed the view")
+	}
+}
+
+// TestRemoveUnderflowErrors checks every underflow class: Len, DF, TC,
+// and last-document residue. Each must error and leave the group's
+// aggregates exactly as they were.
+func TestRemoveUnderflowErrors(t *testing.T) {
+	k := []string{"m0", "m1"}
+	words := []string{"w0"}
+	fresh := func() *View {
+		v := newView(k)
+		v.tracked["w0"] = true
+		v.Apply(DocUpdate{Predicates: []string{"m0"}, Len: 10, TF: map[string]int64{"w0": 2}})
+		v.Apply(DocUpdate{Predicates: []string{"m0"}, Len: 4})
+		return v
+	}
+	snapshotAnswer := func(v *View) ContextStats {
+		cs, err := v.Answer([]string{"m0"}, words, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cs
+	}
+	cases := []struct {
+		name string
+		u    DocUpdate
+	}{
+		{"len underflow", DocUpdate{Predicates: []string{"m0"}, Len: 100}},
+		{"df underflow", DocUpdate{Predicates: []string{"m0"}, Len: 4, TF: map[string]int64{"w0": 1}}},
+		{"tc underflow", DocUpdate{Predicates: []string{"m0"}, Len: 10, TF: map[string]int64{"w0": 99}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := fresh()
+			if tc.name == "df underflow" {
+				// Drain the only w0 document first so DF is 0... which
+				// deletes the column; removing a w0-carrying doc then
+				// hits the df(w0) < 1 branch.
+				if err := v.Remove(DocUpdate{Predicates: []string{"m0"}, Len: 10, TF: map[string]int64{"w0": 2}}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			before := snapshotAnswer(v)
+			if err := v.Remove(tc.u); err == nil {
+				t.Fatal("mismatched remove succeeded")
+			}
+			after := snapshotAnswer(v)
+			if after.Count != before.Count || after.Len != before.Len ||
+				after.DF["w0"] != before.DF["w0"] || after.TC["w0"] != before.TC["w0"] {
+				t.Fatalf("failed remove mutated the group: %+v -> %+v", before, after)
+			}
+		})
+	}
+	// Last-document residue: removing the final document must cancel the
+	// group exactly.
+	v := newView(k)
+	v.tracked["w0"] = true
+	v.Apply(DocUpdate{Predicates: []string{"m1"}, Len: 7, TF: map[string]int64{"w0": 3}})
+	if err := v.Remove(DocUpdate{Predicates: []string{"m1"}, Len: 5, TF: map[string]int64{"w0": 3}}); err == nil {
+		t.Fatal("last-document removal with residual len succeeded")
+	}
+	if err := v.Remove(DocUpdate{Predicates: []string{"m1"}, Len: 7, TF: map[string]int64{"w0": 1}}); err == nil {
+		t.Fatal("last-document removal with residual tc succeeded")
+	}
+	if err := v.Remove(DocUpdate{Predicates: []string{"m1"}, Len: 7, TF: map[string]int64{"w0": 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if v.Size() != 0 {
+		t.Fatalf("size %d after removing the only document", v.Size())
 	}
 }
 

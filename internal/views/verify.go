@@ -1,0 +1,178 @@
+package views
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"csrank/internal/index"
+	"csrank/internal/widetable"
+)
+
+// Integrity audit: recompute view aggregates from the index — the source
+// of truth — and report every group whose stored statistics drifted.
+// Incremental maintenance is only trustworthy if a mismatched update can
+// be *detected* after the fact; this is the detector the recovery tests
+// run after every simulated crash.
+
+// Drift describes one disagreement between a stored group and the same
+// group recomputed from the index.
+type Drift struct {
+	// View is the index of the drifted view in Catalog.Views() order.
+	View int
+	// Key is the group's packed bit pattern over K.
+	Key string
+	// Field names the aggregate that disagrees ("count", "len",
+	// "df(word)", "tc(word)", or "missing"/"phantom" for whole groups).
+	Field string
+	// Got is the stored value, Want the recomputed one.
+	Got, Want int64
+}
+
+func (d Drift) String() string {
+	return fmt.Sprintf("view %d group %x: %s = %d, index says %d", d.View, d.Key, d.Field, d.Got, d.Want)
+}
+
+// Fingerprint returns a deterministic digest of the catalog's full
+// logical state: every group of every view, aggregates included, in
+// canonical order. Two catalogs answer every context query identically
+// iff their states match, so equal fingerprints across a crash and
+// recovery mean query results are bit-identical — this is what the
+// kill-point tests compare. The digest is order-insensitive across
+// views (recovery re-sorts views by their current size, which drifts as
+// documents are removed), and insensitive to gob's randomized map
+// iteration, which makes raw snapshot bytes unusable for the purpose.
+func (c *Catalog) Fingerprint() string {
+	perView := make([]uint64, len(c.views))
+	for i, v := range c.views {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "k=%s\x00tracked=%s\x00", strings.Join(v.k, ","), strings.Join(v.TrackedWords(), ","))
+		keys := make([]string, 0, len(v.groups))
+		for k := range v.groups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			g := v.groups[k]
+			fmt.Fprintf(h, "g=%x c=%d l=%d", k, g.Count, g.Len)
+			words := make([]string, 0, len(g.DF))
+			for w := range g.DF {
+				words = append(words, w)
+			}
+			sort.Strings(words)
+			for _, w := range words {
+				fmt.Fprintf(h, " %s=%d/%d", w, g.DF[w], g.TC[w])
+			}
+			h.Write([]byte{0})
+		}
+		perView[i] = h.Sum64()
+	}
+	sort.Slice(perView, func(a, b int) bool { return perView[a] < perView[b] })
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(c.ContextThreshold))
+	h.Write(buf[:])
+	binary.LittleEndian.PutUint64(buf[:], uint64(c.ViewSizeLimit))
+	h.Write(buf[:])
+	for _, fp := range perView {
+		binary.LittleEndian.PutUint64(buf[:], fp)
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// VerifyOptions configures a Verify run.
+type VerifyOptions struct {
+	// SampleGroups bounds how many groups per view are compared (0 =
+	// every group). Sampling is deterministic — an evenly spaced stride
+	// over the sorted group keys — so repeated audits cover the same
+	// groups and a drifting group is either always or never caught by
+	// the same configuration.
+	SampleGroups int
+	// MaxDrift stops the audit after this many findings (0 = unlimited);
+	// one corrupted view can otherwise produce a finding per group.
+	MaxDrift int
+}
+
+// Verify recomputes each view's sampled groups from the index and
+// reports every aggregate that drifted. A clean recovery must produce
+// zero drift; any finding means the catalog and the index disagree and
+// the catalog should be re-materialized (or restored from a snapshot and
+// replayed).
+func (c *Catalog) Verify(ix *index.Index, opts VerifyOptions) ([]Drift, error) {
+	var drift []Drift
+	for vi, v := range c.views {
+		tbl := widetable.FromIndex(ix, v.TrackedWords())
+		want, err := Materialize(tbl, v.k, v.TrackedWords())
+		if err != nil {
+			return drift, fmt.Errorf("views: verify view %d: %w", vi, err)
+		}
+		drift = append(drift, compareViews(vi, v, want, opts)...)
+		if opts.MaxDrift > 0 && len(drift) >= opts.MaxDrift {
+			return drift[:opts.MaxDrift], nil
+		}
+	}
+	return drift, nil
+}
+
+// compareViews diffs the stored view against the recomputed one over a
+// deterministic sample of group keys.
+func compareViews(vi int, got, want *View, opts VerifyOptions) []Drift {
+	keys := make(map[string]bool, len(got.groups)+len(want.groups))
+	for k := range got.groups {
+		keys[k] = true
+	}
+	for k := range want.groups {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+	if n := opts.SampleGroups; n > 0 && len(sorted) > n {
+		stride := len(sorted) / n
+		sample := make([]string, 0, n)
+		for i := 0; i < len(sorted) && len(sample) < n; i += stride {
+			sample = append(sample, sorted[i])
+		}
+		sorted = sample
+	}
+
+	var out []Drift
+	for _, key := range sorted {
+		g, w := got.groups[key], want.groups[key]
+		switch {
+		case g == nil:
+			out = append(out, Drift{View: vi, Key: key, Field: "missing", Got: 0, Want: w.Count})
+			continue
+		case w == nil:
+			out = append(out, Drift{View: vi, Key: key, Field: "phantom", Got: g.Count, Want: 0})
+			continue
+		}
+		if g.Count != w.Count {
+			out = append(out, Drift{View: vi, Key: key, Field: "count", Got: g.Count, Want: w.Count})
+		}
+		if g.Len != w.Len {
+			out = append(out, Drift{View: vi, Key: key, Field: "len", Got: g.Len, Want: w.Len})
+		}
+		words := make(map[string]bool, len(g.DF)+len(w.DF))
+		for x := range g.DF {
+			words[x] = true
+		}
+		for x := range w.DF {
+			words[x] = true
+		}
+		for x := range words {
+			if g.DF[x] != w.DF[x] {
+				out = append(out, Drift{View: vi, Key: key, Field: "df(" + x + ")", Got: g.DF[x], Want: w.DF[x]})
+			}
+			if g.TC[x] != w.TC[x] {
+				out = append(out, Drift{View: vi, Key: key, Field: "tc(" + x + ")", Got: g.TC[x], Want: w.TC[x]})
+			}
+		}
+	}
+	return out
+}

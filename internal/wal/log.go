@@ -1,0 +1,154 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"csrank/internal/fsx"
+)
+
+// recordHeaderSize is the fixed prefix of every record: uint32 payload
+// length plus uint32 CRC32-C of the payload.
+const recordHeaderSize = 8
+
+// Log is an append-only record log. Append is the durability point of
+// the ingestion pipeline: each batch is framed into one record, written
+// with a single Write call, and fsynced before Append returns, so an
+// acknowledged batch survives any later crash.
+type Log struct {
+	fs   fsx.FS
+	path string
+	f    fsx.File
+}
+
+// OpenLog opens (creating if absent) the log at path for appending.
+func OpenLog(fs fsx.FS, path string) (*Log, error) {
+	f, err := fs.OpenAppend(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	return &Log{fs: fs, path: path, f: f}, nil
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Append frames the batch into one record and makes it durable. On error
+// the tail of the file may hold a torn record; the caller must stop
+// appending (a later record after a torn one is unreachable to replay)
+// and reopen through recovery.
+func (l *Log) Append(b Batch) error {
+	payload, err := encodeBatch(b)
+	if err != nil {
+		return err
+	}
+	rec := make([]byte, recordHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.Checksum(payload, castagnoli))
+	copy(rec[recordHeaderSize:], payload)
+	if _, err := l.f.Write(rec); err != nil {
+		return fmt.Errorf("wal: append %s: %w", l.path, err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync %s: %w", l.path, err)
+	}
+	return nil
+}
+
+// Close releases the log's file handle.
+func (l *Log) Close() error { return l.f.Close() }
+
+// ReplayResult reports what a Replay pass found.
+type ReplayResult struct {
+	// Batches is the number of complete, checksum-valid records replayed.
+	Batches int
+	// TornTail is true when the file ends in an incomplete or
+	// checksum-invalid final record — the signature of a crash mid-append.
+	// The torn bytes start at TailOffset; truncating the file there makes
+	// the log clean again.
+	TornTail   bool
+	TailOffset int64
+	// TailBytes is how many bytes the torn tail spans (0 when clean).
+	TailBytes int64
+}
+
+// Replay reads the log at path and calls fn for every complete record in
+// order. A torn final record — incomplete header, incomplete payload, or
+// a checksum mismatch on the record that touches end-of-file — is the
+// expected residue of a crash mid-append: it is skipped and reported,
+// not an error. Any damage *before* the final record (checksum mismatch
+// mid-file, an impossible length field, an undecodable payload) cannot
+// be explained by a torn append and is returned as a hard corruption
+// error, because silently resuming past it would drop acknowledged
+// batches.
+func Replay(fs fsx.FS, path string, fn func(Batch) error) (ReplayResult, error) {
+	var res ReplayResult
+	f, err := fs.Open(path)
+	if err != nil {
+		return res, err
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return res, fmt.Errorf("wal: read %s: %w", path, err)
+	}
+
+	off := 0
+	for off < len(data) {
+		rest := len(data) - off
+		if rest < recordHeaderSize {
+			return tornTail(res, off, rest), nil
+		}
+		length := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		wantCRC := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if length == 0 && allZero(data[off:]) {
+			// Filesystems may zero-extend the tail page on a crash; a run
+			// of zeros to end-of-file is a torn tail, not corruption.
+			return tornTail(res, off, rest), nil
+		}
+		if length == 0 || length > maxRecordBytes {
+			return res, fmt.Errorf("wal: %s: corrupt record header at offset %d (length %d)", path, off, length)
+		}
+		if rest < recordHeaderSize+length {
+			return tornTail(res, off, rest), nil
+		}
+		payload := data[off+recordHeaderSize : off+recordHeaderSize+length]
+		if crc32.Checksum(payload, castagnoli) != wantCRC {
+			if rest == recordHeaderSize+length {
+				// Final record: a torn write of the payload's last bytes
+				// is indistinguishable from corruption, and the batch was
+				// never acknowledged — skip it.
+				return tornTail(res, off, rest), nil
+			}
+			return res, fmt.Errorf("wal: %s: checksum mismatch at offset %d with %d bytes following — log is corrupt", path, off, rest-recordHeaderSize-length)
+		}
+		batch, err := decodeBatch(payload)
+		if err != nil {
+			return res, fmt.Errorf("wal: %s: record at offset %d: %w", path, off, err)
+		}
+		if err := fn(batch); err != nil {
+			return res, fmt.Errorf("wal: %s: replaying record at offset %d: %w", path, off, err)
+		}
+		res.Batches++
+		off += recordHeaderSize + length
+	}
+	return res, nil
+}
+
+func allZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func tornTail(res ReplayResult, off, rest int) ReplayResult {
+	res.TornTail = true
+	res.TailOffset = int64(off)
+	res.TailBytes = int64(rest)
+	return res
+}

@@ -1,0 +1,374 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"csrank/internal/fsx"
+	"csrank/internal/views"
+)
+
+// Manager pairs a live views.Catalog with its durability state: a
+// generation-tagged snapshot on disk plus the write-ahead log of every
+// batch applied since that snapshot. The directory layout is
+//
+//	catalog-<gen>.snap   framed, checksummed catalog snapshot
+//	wal-<gen>.log        batches applied after snapshot <gen>
+//
+// where <gen> is a zero-padded hex generation counter. Snapshot rolls
+// the generation forward: write catalog-<gen+1>.snap atomically, start
+// an empty wal-<gen+1>.log, then retire generations older than the
+// previous one. Recovery (Open) loads the newest snapshot that passes
+// its checksums and replays its log; a torn final record is truncated
+// away, anything worse is a hard error.
+type Manager struct {
+	fs   fsx.FS
+	dir  string
+	opts Options
+
+	mu        sync.Mutex
+	cat       *views.Catalog
+	gen       uint64
+	log       *Log
+	sinceSnap int
+	failed    error
+}
+
+// Options configures a Manager.
+type Options struct {
+	// FS is the filesystem to operate on; nil means the real one.
+	FS fsx.FS
+	// SnapshotEvery rolls a new snapshot automatically after this many
+	// batches have been appended since the last one (0 = only explicit
+	// Snapshot calls). Bounding the log bounds recovery replay time.
+	SnapshotEvery int
+}
+
+func (o Options) fs() fsx.FS {
+	if o.FS != nil {
+		return o.FS
+	}
+	return fsx.OS
+}
+
+// Recovery reports what Open found and did.
+type Recovery struct {
+	// Generation is the snapshot generation recovery loaded.
+	Generation uint64
+	// BatchesReplayed is how many WAL batches were folded into the
+	// snapshot to reach the recovered state.
+	BatchesReplayed int
+	// TornTail is true when the log ended in a crash-torn record; the
+	// TruncatedBytes spanning it were cut off.
+	TornTail       bool
+	TruncatedBytes int64
+	// CorruptSnapshots lists generations whose snapshot failed its
+	// checksums and was skipped in favor of an older one.
+	CorruptSnapshots []uint64
+}
+
+func snapName(gen uint64) string { return fmt.Sprintf("catalog-%016x.snap", gen) }
+func walName(gen uint64) string  { return fmt.Sprintf("wal-%016x.log", gen) }
+
+// Create initializes dir with generation 1: a snapshot of cat and an
+// empty log. The catalog is owned by the manager from here on — mutate
+// it only through Apply.
+func Create(dir string, cat *views.Catalog, opts Options) (*Manager, error) {
+	fs := opts.fs()
+	if err := fs.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("wal: mkdir %s: %w", dir, err)
+	}
+	m := &Manager{fs: fs, dir: dir, opts: opts, cat: cat, gen: 1}
+	if err := cat.SaveFileFS(fs, filepath.Join(dir, snapName(m.gen))); err != nil {
+		return nil, err
+	}
+	log, err := OpenLog(fs, filepath.Join(dir, walName(m.gen)))
+	if err != nil {
+		return nil, err
+	}
+	m.log = log
+	if err := fs.SyncDir(dir); err != nil {
+		log.Close()
+		return nil, fmt.Errorf("wal: sync %s: %w", dir, err)
+	}
+	return m, nil
+}
+
+// Open recovers the catalog from dir: load the newest snapshot whose
+// checksums verify, replay its log, truncate a torn tail if the crash
+// left one, and resume appending at the recovered generation.
+func Open(dir string, opts Options) (*Manager, Recovery, error) {
+	fs := opts.fs()
+	var rec Recovery
+	gens, err := listGenerations(fs, dir)
+	if err != nil {
+		return nil, rec, err
+	}
+	if len(gens) == 0 {
+		return nil, rec, fmt.Errorf("wal: %s holds no catalog snapshots", dir)
+	}
+
+	var (
+		cat     *views.Catalog
+		gen     uint64
+		loadErr error
+	)
+	for i := len(gens) - 1; i >= 0; i-- {
+		g := gens[i]
+		c, err := views.LoadFileFS(fs, filepath.Join(dir, snapName(g)))
+		if err != nil {
+			rec.CorruptSnapshots = append(rec.CorruptSnapshots, g)
+			loadErr = errors.Join(loadErr, fmt.Errorf("generation %d: %w", g, err))
+			continue
+		}
+		cat, gen = c, g
+		break
+	}
+	if cat == nil {
+		return nil, rec, fmt.Errorf("wal: no snapshot in %s passed verification: %w", dir, loadErr)
+	}
+	rec.Generation = gen
+
+	walPath := filepath.Join(dir, walName(gen))
+	replay, err := Replay(fs, walPath, func(b Batch) error { return applyBatch(cat, b) })
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		// A crash between snapshot rename and log creation leaves no log
+		// for the newest generation; the snapshot alone is the state.
+	case err != nil:
+		return nil, rec, err
+	}
+	rec.BatchesReplayed = replay.Batches
+	if replay.TornTail {
+		rec.TornTail = true
+		rec.TruncatedBytes = replay.TailBytes
+		if err := fs.Truncate(walPath, replay.TailOffset); err != nil {
+			return nil, rec, fmt.Errorf("wal: truncate torn tail of %s: %w", walPath, err)
+		}
+	}
+
+	log, err := OpenLog(fs, walPath)
+	if err != nil {
+		return nil, rec, err
+	}
+	m := &Manager{
+		fs: fs, dir: dir, opts: opts,
+		cat: cat, gen: gen, log: log, sinceSnap: replay.Batches,
+	}
+	m.sweepTemp()
+	return m, rec, nil
+}
+
+// listGenerations returns the snapshot generations present in dir in
+// ascending order.
+func listGenerations(fs fsx.FS, dir string) ([]uint64, error) {
+	entries, err := fs.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: list %s: %w", dir, err)
+	}
+	var gens []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "catalog-") || !strings.HasSuffix(name, ".snap") {
+			continue
+		}
+		var g uint64
+		if _, err := fmt.Sscanf(name, "catalog-%016x.snap", &g); err == nil {
+			gens = append(gens, g)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+// sweepTemp removes write-to-temp residue a crash mid-snapshot left
+// behind. Best effort: a leftover temp file is inert either way.
+func (m *Manager) sweepTemp() {
+	entries, err := m.fs.ReadDir(m.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			m.fs.Remove(filepath.Join(m.dir, e.Name()))
+		}
+	}
+}
+
+// Catalog returns the live catalog. The manager owns it: callers may
+// read concurrently with nothing, and must route every mutation through
+// Apply or the log diverges from memory.
+func (m *Manager) Catalog() *views.Catalog {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cat
+}
+
+// Generation returns the current snapshot generation.
+func (m *Manager) Generation() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.gen
+}
+
+// Err returns the sticky failure that poisoned the manager, if any.
+func (m *Manager) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.failed
+}
+
+// Apply runs one batch: the updates are folded into the in-memory
+// catalog (validating every remove), the batch is appended to the log
+// and fsynced, and — every Options.SnapshotEvery batches — a fresh
+// snapshot generation is rolled. The in-memory fold happens first so a
+// batch that mixes applies and removes of the same document validates
+// sequentially; if the log append then fails, the fold is rolled back
+// update by update, so memory never runs ahead of the durable state. A
+// logging or snapshot failure poisons the manager: the on-disk tail may
+// be torn, and appending past a torn record would strand every later
+// batch beyond what recovery can read.
+func (m *Manager) Apply(b Batch) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.failed != nil {
+		return fmt.Errorf("wal: manager unusable after earlier failure: %w", m.failed)
+	}
+	if len(b) == 0 {
+		return nil
+	}
+
+	applied := 0
+	var err error
+	for _, u := range b {
+		switch u.Op {
+		case OpApply:
+			m.cat.Apply(u.Doc)
+		case OpRemove:
+			err = m.cat.Remove(u.Doc)
+		default:
+			err = fmt.Errorf("wal: unknown op %d", u.Op)
+		}
+		if err != nil {
+			break
+		}
+		applied++
+	}
+	if err != nil {
+		m.rollback(b[:applied])
+		return err // validation failure: nothing was logged, state is unchanged
+	}
+
+	if err := m.log.Append(b); err != nil {
+		m.rollback(b)
+		m.failed = err
+		return err
+	}
+	m.sinceSnap++
+
+	if m.opts.SnapshotEvery > 0 && m.sinceSnap >= m.opts.SnapshotEvery {
+		if err := m.snapshotLocked(); err != nil {
+			m.failed = err
+			return err
+		}
+	}
+	return nil
+}
+
+// rollback undoes already-folded updates in reverse order. Each inverse
+// must succeed — it reverses an operation that just succeeded under the
+// same lock — so a failure here is a maintenance bug, not an I/O state.
+func (m *Manager) rollback(done Batch) {
+	for i := len(done) - 1; i >= 0; i-- {
+		u := done[i]
+		switch u.Op {
+		case OpApply:
+			if err := m.cat.Remove(u.Doc); err != nil {
+				panic(fmt.Sprintf("wal: rollback of apply failed: %v", err))
+			}
+		case OpRemove:
+			m.cat.Apply(u.Doc)
+		}
+	}
+}
+
+// Snapshot rolls a new generation now: the catalog is written to
+// catalog-<gen+1>.snap atomically, an empty wal-<gen+1>.log becomes the
+// live log, and generations older than the previous one are retired.
+func (m *Manager) Snapshot() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.failed != nil {
+		return fmt.Errorf("wal: manager unusable after earlier failure: %w", m.failed)
+	}
+	if err := m.snapshotLocked(); err != nil {
+		m.failed = err
+		return err
+	}
+	return nil
+}
+
+func (m *Manager) snapshotLocked() error {
+	next := m.gen + 1
+	if err := m.cat.SaveFileFS(m.fs, filepath.Join(m.dir, snapName(next))); err != nil {
+		return err
+	}
+	log, err := OpenLog(m.fs, filepath.Join(m.dir, walName(next)))
+	if err != nil {
+		return err
+	}
+	if err := m.fs.SyncDir(m.dir); err != nil {
+		log.Close()
+		return fmt.Errorf("wal: sync %s: %w", m.dir, err)
+	}
+	m.log.Close()
+	prev := m.gen
+	m.log, m.gen, m.sinceSnap = log, next, 0
+
+	// Retire generations older than the previous one, best effort: a
+	// leftover generation costs disk, never correctness — recovery always
+	// prefers the newest verifiable snapshot.
+	if gens, err := listGenerations(m.fs, m.dir); err == nil {
+		for _, g := range gens {
+			if g < prev {
+				m.fs.Remove(filepath.Join(m.dir, snapName(g)))
+				m.fs.Remove(filepath.Join(m.dir, walName(g)))
+			}
+		}
+	}
+	return nil
+}
+
+// Close releases the live log handle. The manager is not usable after.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.log == nil {
+		return nil
+	}
+	err := m.log.Close()
+	m.log = nil
+	return err
+}
+
+// applyBatch folds a recovered batch into cat, mirroring Apply's fold.
+func applyBatch(cat *views.Catalog, b Batch) error {
+	for i, u := range b {
+		switch u.Op {
+		case OpApply:
+			cat.Apply(u.Doc)
+		case OpRemove:
+			if err := cat.Remove(u.Doc); err != nil {
+				return fmt.Errorf("update %d: %w", i, err)
+			}
+		default:
+			return fmt.Errorf("update %d: unknown op %d", i, u.Op)
+		}
+	}
+	return nil
+}

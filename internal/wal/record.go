@@ -1,0 +1,226 @@
+// Package wal implements the write-ahead update log and the
+// snapshot-plus-replay recovery protocol for the materialized-view
+// catalog. Incremental view maintenance is only safe if every DocUpdate
+// is durably logged before it mutates the aggregates (views.Remove can
+// validate an update but cannot reconstruct a lost one); the WAL is that
+// log, and the Manager pairs it with generation-tagged checksummed
+// catalog snapshots so recovery is: load the newest valid snapshot, then
+// replay its log tail, skipping at most one torn final record.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+
+	"csrank/internal/views"
+)
+
+// Op tags one update's direction.
+type Op uint8
+
+// The two update directions.
+const (
+	OpApply  Op = 1
+	OpRemove Op = 2
+)
+
+// Update is one logged document update.
+type Update struct {
+	Op  Op
+	Doc views.DocUpdate
+}
+
+// Batch is the atomic unit of the log: one WAL record holds one batch,
+// and recovery replays whole records only, so a crash can never leave
+// half a batch applied. Ingestion pipelines that need multi-document
+// atomicity put the documents in one batch.
+type Batch []Update
+
+// Record layout (all integers little-endian):
+//
+//	length  uint32   payload byte count
+//	CRC     uint32   CRC32-C of the payload
+//	payload encoded batch (see encodeBatch)
+//
+// Payload layout (varint = unsigned LEB128 as in encoding/binary):
+//
+//	count   uvarint  updates in the batch
+//	per update:
+//	  op          byte
+//	  npred       uvarint, then per predicate: uvarint length + bytes
+//	  len         uvarint
+//	  ntf         uvarint, then per word: uvarint length + bytes, uvarint tf
+//
+// TF words are sorted so encoding is deterministic — replaying a log
+// twice produces byte-identical re-encodings, which the recovery tests
+// rely on.
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// maxRecordBytes caps a record's payload so a corrupted length field
+// cannot demand an absurd allocation during replay.
+const maxRecordBytes = 64 << 20
+
+func appendUvarint(b []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(b, tmp[:n]...)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// encodeBatch serializes a batch into the payload layout above.
+func encodeBatch(b Batch) ([]byte, error) {
+	out := appendUvarint(nil, uint64(len(b)))
+	for i, u := range b {
+		if u.Op != OpApply && u.Op != OpRemove {
+			return nil, fmt.Errorf("wal: update %d has unknown op %d", i, u.Op)
+		}
+		if u.Doc.Len < 0 {
+			return nil, fmt.Errorf("wal: update %d has negative len %d", i, u.Doc.Len)
+		}
+		out = append(out, byte(u.Op))
+		out = appendUvarint(out, uint64(len(u.Doc.Predicates)))
+		for _, p := range u.Doc.Predicates {
+			out = appendString(out, p)
+		}
+		out = appendUvarint(out, uint64(u.Doc.Len))
+		words := make([]string, 0, len(u.Doc.TF))
+		for w := range u.Doc.TF {
+			words = append(words, w)
+		}
+		sort.Strings(words)
+		out = appendUvarint(out, uint64(len(words)))
+		for _, w := range words {
+			tf := u.Doc.TF[w]
+			if tf < 0 {
+				return nil, fmt.Errorf("wal: update %d has negative tf(%s)=%d", i, w, tf)
+			}
+			out = appendString(out, w)
+			out = appendUvarint(out, uint64(tf))
+		}
+	}
+	return out, nil
+}
+
+// payloadReader walks an encoded payload with bounds checking.
+type payloadReader struct {
+	b   []byte
+	pos int
+}
+
+func (r *payloadReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wal: truncated varint at offset %d", r.pos)
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *payloadReader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(r.b)-r.pos) {
+		return "", fmt.Errorf("wal: string length %d exceeds payload at offset %d", n, r.pos)
+	}
+	s := string(r.b[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s, nil
+}
+
+func (r *payloadReader) byte() (byte, error) {
+	if r.pos >= len(r.b) {
+		return 0, fmt.Errorf("wal: truncated payload at offset %d", r.pos)
+	}
+	c := r.b[r.pos]
+	r.pos++
+	return c, nil
+}
+
+// decodeBatch reverses encodeBatch, treating the payload as untrusted:
+// every length is bounds-checked against the remaining bytes and
+// trailing garbage is an error.
+func decodeBatch(payload []byte) (Batch, error) {
+	r := &payloadReader{b: payload}
+	count, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if count > uint64(len(payload)) {
+		return nil, fmt.Errorf("wal: batch claims %d updates in %d bytes", count, len(payload))
+	}
+	batch := make(Batch, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var u Update
+		op, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		u.Op = Op(op)
+		if u.Op != OpApply && u.Op != OpRemove {
+			return nil, fmt.Errorf("wal: update %d has unknown op %d", i, op)
+		}
+		npred, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if npred > uint64(len(payload)) {
+			return nil, fmt.Errorf("wal: update %d claims %d predicates", i, npred)
+		}
+		if npred > 0 {
+			u.Doc.Predicates = make([]string, 0, npred)
+			for j := uint64(0); j < npred; j++ {
+				p, err := r.str()
+				if err != nil {
+					return nil, err
+				}
+				u.Doc.Predicates = append(u.Doc.Predicates, p)
+			}
+		}
+		l, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		u.Doc.Len = int64(l)
+		if u.Doc.Len < 0 {
+			return nil, fmt.Errorf("wal: update %d len overflows", i)
+		}
+		ntf, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if ntf > uint64(len(payload)) {
+			return nil, fmt.Errorf("wal: update %d claims %d tf entries", i, ntf)
+		}
+		if ntf > 0 {
+			u.Doc.TF = make(map[string]int64, ntf)
+			for j := uint64(0); j < ntf; j++ {
+				w, err := r.str()
+				if err != nil {
+					return nil, err
+				}
+				tf, err := r.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				if int64(tf) < 0 {
+					return nil, fmt.Errorf("wal: update %d tf(%s) overflows", i, w)
+				}
+				u.Doc.TF[w] = int64(tf)
+			}
+		}
+		batch = append(batch, u)
+	}
+	if r.pos != len(payload) {
+		return nil, fmt.Errorf("wal: %d trailing payload bytes", len(payload)-r.pos)
+	}
+	return batch, nil
+}
