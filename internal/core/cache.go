@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+
+	"csrank/internal/views"
 )
 
 // statsCache memoizes collection-specific statistics per normalized
@@ -39,6 +41,13 @@ type cacheShard struct {
 }
 
 type cacheEntry struct {
+	// cat is the catalog the statistics were computed against, by
+	// pointer identity (possibly nil). An entry only ever serves queries
+	// running on the same catalog: a query in flight across a
+	// SwapCatalog can complete its store after the swap's purge, and
+	// without the tag that stale entry would feed old-catalog statistics
+	// to queries on the new one.
+	cat         *views.Catalog
 	n, totalLen int64
 	// words maps keyword -> (df, tc) within the context.
 	words map[string]dfTC
@@ -88,12 +97,14 @@ func (c *statsCache) shard(key string) *cacheShard {
 	return &c.shards[h.Sum32()&c.mask]
 }
 
-// lookup returns the cached entry for the context, if any. Only the
+// lookup returns the cached entry for the context, if it was computed
+// against cat (by pointer identity); an entry for another catalog is a
+// miss, left in place for the next store to overwrite. Only the
 // statistics of the requested keywords are copied out — not the whole
 // accumulated word map — so a hit costs O(len(need)) regardless of how
 // many keywords earlier queries cached for the context. The returned map
 // is a private copy, so callers never race with concurrent store calls.
-func (c *statsCache) lookup(context, need []string) (n, totalLen int64, words map[string]dfTC, ok bool) {
+func (c *statsCache) lookup(context, need []string, cat *views.Catalog) (n, totalLen int64, words map[string]dfTC, ok bool) {
 	if c == nil {
 		return 0, 0, nil, false
 	}
@@ -102,7 +113,7 @@ func (c *statsCache) lookup(context, need []string) (n, totalLen int64, words ma
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e := s.entries[key]
-	if e == nil {
+	if e == nil || e.cat != cat {
 		return 0, 0, nil, false
 	}
 	snapshot := make(map[string]dfTC, len(need))
@@ -114,8 +125,11 @@ func (c *statsCache) lookup(context, need []string) (n, totalLen int64, words ma
 	return e.n, e.totalLen, snapshot, true
 }
 
-// store inserts or extends the context's entry with the given statistics.
-func (c *statsCache) store(context []string, n, totalLen int64, words map[string]dfTC) {
+// store inserts or extends the context's entry with statistics computed
+// against cat. An existing entry for another catalog is reset in place
+// (same ring slot) rather than extended — mixing statistics across
+// catalog states is exactly what the tag exists to prevent.
+func (c *statsCache) store(context []string, n, totalLen int64, words map[string]dfTC, cat *views.Catalog) {
 	if c == nil {
 		return
 	}
@@ -124,6 +138,10 @@ func (c *statsCache) store(context []string, n, totalLen int64, words map[string
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e := s.entries[key]
+	if e != nil && e.cat != cat {
+		e.cat, e.n, e.totalLen = cat, n, totalLen
+		clear(e.words)
+	}
 	if e == nil {
 		if s.count >= s.max {
 			// FIFO eviction: drop the oldest, freeing its ring slot.
@@ -133,7 +151,7 @@ func (c *statsCache) store(context []string, n, totalLen int64, words map[string
 			s.count--
 			delete(s.entries, oldest)
 		}
-		e = &cacheEntry{n: n, totalLen: totalLen, words: make(map[string]dfTC)}
+		e = &cacheEntry{cat: cat, n: n, totalLen: totalLen, words: make(map[string]dfTC)}
 		s.entries[key] = e
 		s.ring[(s.head+s.count)%len(s.ring)] = key
 		s.count++
@@ -143,10 +161,11 @@ func (c *statsCache) store(context []string, n, totalLen int64, words map[string
 	}
 }
 
-// purge drops every cached context. Called when the catalog (or the
-// underlying collection) changes: cached statistics describe the state
-// they were computed against, and serving them across a swap would rank
-// queries with a mixture of old and new collection statistics.
+// purge drops every cached context, releasing the old entries' memory
+// promptly when the catalog changes. Correctness does not depend on it:
+// the per-entry catalog tag already makes entries from other catalog
+// states unservable, including one stored by an in-flight query after
+// this purge completes.
 func (c *statsCache) purge() {
 	if c == nil {
 		return

@@ -83,27 +83,27 @@ func singleShardCache(max int) *statsCache {
 
 func TestStatsCacheEviction(t *testing.T) {
 	c := singleShardCache(2)
-	c.store([]string{"a"}, 1, 10, nil)
-	c.store([]string{"b"}, 2, 20, nil)
-	c.store([]string{"c"}, 3, 30, nil)
+	c.store([]string{"a"}, 1, 10, nil, nil)
+	c.store([]string{"b"}, 2, 20, nil, nil)
+	c.store([]string{"c"}, 3, 30, nil, nil)
 	if c.len() != 2 {
 		t.Fatalf("len = %d, want 2", c.len())
 	}
-	if _, _, _, ok := c.lookup([]string{"a"}, nil); ok {
+	if _, _, _, ok := c.lookup([]string{"a"}, nil, nil); ok {
 		t.Error("oldest entry not evicted")
 	}
-	if n, _, _, ok := c.lookup([]string{"c"}, nil); !ok || n != 3 {
+	if n, _, _, ok := c.lookup([]string{"c"}, nil, nil); !ok || n != 3 {
 		t.Error("newest entry missing")
 	}
 	// The ring wraps: keep inserting well past capacity and verify the
 	// bound holds and the freshest entry always survives.
 	for i := 0; i < 20; i++ {
 		key := []string{string(rune('d' + i))}
-		c.store(key, int64(i), 1, nil)
+		c.store(key, int64(i), 1, nil, nil)
 		if c.len() > 2 {
 			t.Fatalf("cache grew past max: %d", c.len())
 		}
-		if _, _, _, ok := c.lookup(key, nil); !ok {
+		if _, _, _, ok := c.lookup(key, nil, nil); !ok {
 			t.Fatalf("entry %d missing right after store", i)
 		}
 	}
@@ -117,8 +117,8 @@ func TestStatsCacheShardedBound(t *testing.T) {
 	c := newStatsCache(max)
 	for i := 0; i < 100; i++ {
 		key := []string{fmt.Sprintf("ctx%d", i)}
-		c.store(key, int64(i), 1, nil)
-		if _, _, _, ok := c.lookup(key, nil); !ok {
+		c.store(key, int64(i), 1, nil, nil)
+		if _, _, _, ok := c.lookup(key, nil, nil); !ok {
 			t.Fatalf("entry %d missing right after store", i)
 		}
 	}
@@ -135,13 +135,53 @@ func TestStatsCacheSelectiveLookup(t *testing.T) {
 	ctx := []string{"m"}
 	c.store(ctx, 5, 50, map[string]dfTC{
 		"w1": {1, 10}, "w2": {2, 20}, "w3": {3, 30},
-	})
-	_, _, words, ok := c.lookup(ctx, []string{"w2", "absent"})
+	}, nil)
+	_, _, words, ok := c.lookup(ctx, []string{"w2", "absent"}, nil)
 	if !ok {
 		t.Fatal("miss")
 	}
 	if len(words) != 1 || words["w2"] != (dfTC{2, 20}) {
 		t.Fatalf("words = %v, want only w2", words)
+	}
+}
+
+// TestStatsCacheCatalogTagging covers the SwapCatalog race: a query in
+// flight across a swap can complete its store after the swap's purge,
+// and that entry — computed against the old catalog — must never serve
+// queries running on the new one.
+func TestStatsCacheCatalogTagging(t *testing.T) {
+	oldCat := views.NewCatalog(nil, 1, 1)
+	newCat := views.NewCatalog(nil, 1, 1)
+	c := newStatsCache(4)
+	ctx := []string{"m"}
+
+	c.store(ctx, 5, 50, map[string]dfTC{"w1": {1, 10}}, oldCat)
+	if n, _, _, ok := c.lookup(ctx, []string{"w1"}, oldCat); !ok || n != 5 {
+		t.Fatal("same-catalog lookup missed")
+	}
+
+	// The swap purges, then the in-flight query's store lands late.
+	c.purge()
+	c.store(ctx, 5, 50, map[string]dfTC{"w1": {1, 10}}, oldCat)
+	if _, _, _, ok := c.lookup(ctx, []string{"w1"}, newCat); ok {
+		t.Fatal("stale old-catalog entry served across the swap")
+	}
+
+	// A store for the new catalog resets the entry in place — no
+	// old-catalog keyword may survive the reset.
+	c.store(ctx, 7, 70, map[string]dfTC{"w2": {2, 20}}, newCat)
+	n, totalLen, words, ok := c.lookup(ctx, []string{"w1", "w2"}, newCat)
+	if !ok || n != 7 || totalLen != 70 {
+		t.Fatalf("new-catalog entry: n=%d len=%d ok=%v", n, totalLen, ok)
+	}
+	if _, stale := words["w1"]; stale {
+		t.Fatal("old-catalog keyword survived the reset")
+	}
+	if words["w2"] != (dfTC{2, 20}) {
+		t.Fatalf("words = %v", words)
+	}
+	if _, _, _, ok := c.lookup(ctx, nil, oldCat); ok {
+		t.Fatal("reset entry still serves the old catalog")
 	}
 }
 
@@ -151,8 +191,8 @@ func TestStatsCacheDisabled(t *testing.T) {
 	}
 	var c *statsCache
 	// nil cache is a no-op everywhere.
-	c.store([]string{"a"}, 1, 1, nil)
-	if _, _, _, ok := c.lookup([]string{"a"}, nil); ok {
+	c.store([]string{"a"}, 1, 1, nil, nil)
+	if _, _, _, ok := c.lookup([]string{"a"}, nil, nil); ok {
 		t.Error("nil cache returned a hit")
 	}
 	if c.len() != 0 {

@@ -227,7 +227,10 @@ func (e *Engine) Catalog() *views.Catalog { return e.catalog.Load() }
 // were computed against. In-flight queries finish on the catalog they
 // already loaded — both states are internally consistent — so a catalog
 // recovered from snapshot + WAL replay can go live without a restart or
-// a lock on the query path. Pass nil to disable view acceleration.
+// a lock on the query path. An in-flight query on the old catalog may
+// complete a cache store after the purge; such entries are tagged with
+// the catalog they were computed against and never serve queries on the
+// new one. Pass nil to disable view acceleration.
 func (e *Engine) SwapCatalog(cat *views.Catalog) {
 	e.catalog.Store(cat)
 	e.cache.purge()
@@ -469,6 +472,10 @@ func (e *Engine) searchContextual(ctx context.Context, q query.Query, k int, use
 		return out, st, herr
 	}
 	kw, preds := e.lists(a)
+	// One catalog load per query: every view match and cache access of
+	// this execution uses this snapshot, so a concurrent SwapCatalog can
+	// never mix statistics from two catalog states.
+	cat := e.catalog.Load()
 
 	// Phase overlap: the unranked result-set intersection and the context
 	// statistics computation are data-independent, so with parallelism
@@ -502,7 +509,7 @@ func (e *Engine) searchContextual(ctx context.Context, q query.Query, k int, use
 	if e.statsBudget > 0 {
 		statsCtx, statsCancel = context.WithTimeout(ctx, e.statsBudget)
 	}
-	cs, cerr := e.contextStats(statsCtx, a, kw, preds, useViews, &st)
+	cs, cerr := e.contextStats(statsCtx, a, kw, preds, useViews, &st, cat)
 	if statsCancel != nil {
 		statsCancel()
 	}
@@ -513,7 +520,7 @@ func (e *Engine) searchContextual(ctx context.Context, q query.Query, k int, use
 			// Only the stats budget expired; the query itself is alive.
 			// Fall back to approximate statistics — bounded work, flagged
 			// result — per the hybrid philosophy.
-			cs = e.approximateStats(a, useViews, &st)
+			cs = e.approximateStats(a, useViews, &st, cat)
 			st.degrade("stats budget exceeded: approximate statistics")
 		case errors.Is(cerr, context.DeadlineExceeded):
 			// The whole-query deadline died during statistics: nothing

@@ -12,12 +12,14 @@ import (
 // contextStats computes S_c(D_P): from the statistics cache when one is
 // configured, else from the smallest usable materialized view (with
 // per-keyword intersection fallback), else with the straightforward
-// Figure 3 plan. Freshly computed exact statistics are cached; a caller
-// that later substitutes approximate statistics never reaches the store,
-// so the cache only ever holds exact values.
-func (e *Engine) contextStats(ctx context.Context, a analyzed, kw, preds []*postings.List, useViews bool, st *ExecStats) (ranking.CollectionStats, error) {
+// Figure 3 plan. cat is the catalog snapshot the query loaded — the one
+// pointer every view match and cache access of this execution uses, so
+// statistics never mix catalog states. Freshly computed exact statistics
+// are cached; a caller that later substitutes approximate statistics
+// never reaches the store, so the cache only ever holds exact values.
+func (e *Engine) contextStats(ctx context.Context, a analyzed, kw, preds []*postings.List, useViews bool, st *ExecStats, cat *views.Catalog) (ranking.CollectionStats, error) {
 	if e.cache != nil {
-		cs, cached, err := e.statsFromCache(ctx, a, kw, preds, useViews, st)
+		cs, cached, err := e.statsFromCache(ctx, a, kw, preds, useViews, st, cat)
 		if err != nil {
 			return ranking.CollectionStats{}, err
 		}
@@ -27,7 +29,7 @@ func (e *Engine) contextStats(ctx context.Context, a analyzed, kw, preds []*post
 	}
 	var cs ranking.CollectionStats
 	var err error
-	if cat := e.catalog.Load(); useViews && cat != nil {
+	if useViews && cat != nil {
 		if v := cat.Match(a.context); v != nil && e.viewWorthwhile(v, a, preds) {
 			st.Plan = PlanView
 			st.UsedView = true
@@ -44,7 +46,7 @@ func (e *Engine) contextStats(ctx context.Context, a analyzed, kw, preds []*post
 			return ranking.CollectionStats{}, err
 		}
 	}
-	e.cacheStore(a, cs)
+	e.cacheStore(a, cs, cat)
 	return cs, nil
 }
 
@@ -58,12 +60,12 @@ func (e *Engine) contextStats(ctx context.Context, a analyzed, kw, preds []*post
 // whole-collection statistics stand in unscaled: exactly the conventional
 // baseline's ranking, which keeps every score finite and well-defined.
 // The result is approximate by construction and is never cached.
-func (e *Engine) approximateStats(a analyzed, useViews bool, st *ExecStats) ranking.CollectionStats {
+func (e *Engine) approximateStats(a analyzed, useViews bool, st *ExecStats, cat *views.Catalog) ranking.CollectionStats {
 	cs := ranking.CollectionStats{
 		DF: make(map[string]int64, len(a.kwTerms)),
 		TC: make(map[string]int64, len(a.kwTerms)),
 	}
-	if cat := e.catalog.Load(); useViews && cat != nil {
+	if useViews && cat != nil {
 		if v := cat.Match(a.context); v != nil {
 			if ans, err := v.Answer(a.context, a.kwTerms, &st.Stats); err == nil {
 				st.Plan = PlanView
@@ -218,8 +220,8 @@ func (e *Engine) viewWorthwhile(v *views.View, a analyzed, preds []*postings.Lis
 // cache, computing and back-filling any keywords the cached entry lacks:
 // view-tracked keywords are answered in one view scan, the rest by
 // (possibly fanned-out) intersections. cached is false on a cache miss.
-func (e *Engine) statsFromCache(ctx context.Context, a analyzed, kw, preds []*postings.List, useViews bool, st *ExecStats) (ranking.CollectionStats, bool, error) {
-	n, totalLen, words, ok := e.cache.lookup(a.context, a.kwTerms)
+func (e *Engine) statsFromCache(ctx context.Context, a analyzed, kw, preds []*postings.List, useViews bool, st *ExecStats, cat *views.Catalog) (ranking.CollectionStats, bool, error) {
+	n, totalLen, words, ok := e.cache.lookup(a.context, a.kwTerms, cat)
 	if !ok {
 		return ranking.CollectionStats{}, false, nil
 	}
@@ -231,7 +233,7 @@ func (e *Engine) statsFromCache(ctx context.Context, a analyzed, kw, preds []*po
 		TC:       make(map[string]int64, len(a.kwTerms)),
 	}
 	var view *views.View
-	if cat := e.catalog.Load(); useViews && cat != nil {
+	if useViews && cat != nil {
 		view = cat.Match(a.context)
 	}
 	var missTracked []string // view-tracked keywords, one Answer scan
@@ -279,14 +281,14 @@ func (e *Engine) statsFromCache(ctx context.Context, a analyzed, kw, preds []*po
 		return ranking.CollectionStats{}, false, err
 	}
 	if filled != nil {
-		e.cache.store(a.context, n, totalLen, filled)
+		e.cache.store(a.context, n, totalLen, filled, cat)
 	}
 	return cs, true, nil
 }
 
 // cacheStore records freshly computed statistics for future queries in
-// the same context.
-func (e *Engine) cacheStore(a analyzed, cs ranking.CollectionStats) {
+// the same context running on the same catalog.
+func (e *Engine) cacheStore(a analyzed, cs ranking.CollectionStats, cat *views.Catalog) {
 	if e.cache == nil {
 		return
 	}
@@ -294,7 +296,7 @@ func (e *Engine) cacheStore(a analyzed, cs ranking.CollectionStats) {
 	for _, w := range a.kwTerms {
 		words[w] = dfTC{df: cs.DF[w], tc: cs.TC[w]}
 	}
-	e.cache.store(a.context, cs.N, cs.TotalLen, words)
+	e.cache.store(a.context, cs.N, cs.TotalLen, words, cat)
 }
 
 // ContextSize returns |D_P| for a context specification, answered from

@@ -2,12 +2,22 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 
 	"csrank/internal/fsx"
 )
+
+// ErrBatchUnloggable marks Append rejections that happen before any byte
+// reaches the file: the batch cannot be framed into a record Replay
+// would accept — an unencodable update, or a payload above the
+// maxRecordBytes cap Replay enforces. The log tail is untouched and the
+// log remains appendable; acknowledging such a batch would otherwise
+// write a record whose length field Replay rejects as corrupt, making
+// every later acknowledged batch unrecoverable.
+var ErrBatchUnloggable = errors.New("wal: batch cannot be framed into a loggable record")
 
 // recordHeaderSize is the fixed prefix of every record: uint32 payload
 // length plus uint32 CRC32-C of the payload.
@@ -32,6 +42,20 @@ func OpenLog(fs fsx.FS, path string) (*Log, error) {
 	return &Log{fs: fs, path: path, f: f}, nil
 }
 
+// CreateLog creates an empty log at path, truncating any stale file
+// already there. Snapshot rolls use it for the new generation's log: a
+// recovery that fell back past a corrupt snapshot can leave the
+// abandoned generation's log on disk, and appending after its committed
+// records would make a later recovery replay them on top of a snapshot
+// they were never applied to.
+func CreateLog(fs fsx.FS, path string) (*Log, error) {
+	f, err := fs.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: create %s: %w", path, err)
+	}
+	return &Log{fs: fs, path: path, f: f}, nil
+}
+
 // Path returns the log's file path.
 func (l *Log) Path() string { return l.path }
 
@@ -42,7 +66,11 @@ func (l *Log) Path() string { return l.path }
 func (l *Log) Append(b Batch) error {
 	payload, err := encodeBatch(b)
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: %w", ErrBatchUnloggable, err)
+	}
+	if len(payload) > maxRecordBytes {
+		return fmt.Errorf("%w: batch encodes to %d bytes, above the %d-byte record cap",
+			ErrBatchUnloggable, len(payload), maxRecordBytes)
 	}
 	rec := make([]byte, recordHeaderSize+len(payload))
 	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))

@@ -24,8 +24,12 @@ import (
 // the generation forward: write catalog-<gen+1>.snap atomically, start
 // an empty wal-<gen+1>.log, then retire generations older than the
 // previous one. Recovery (Open) loads the newest snapshot that passes
-// its checksums and replays its log; a torn final record is truncated
-// away, anything worse is a hard error.
+// its checksums and replays its log; when newer generations exist whose
+// snapshots failed verification, their logs are chain-replayed on top —
+// each begins at exactly the state the previous generation's full
+// replay reconstructs — so acknowledged batches survive snapshot rot. A
+// torn final record in the last log of the chain is truncated away,
+// anything worse is a hard error.
 type Manager struct {
 	fs   fsx.FS
 	dir  string
@@ -70,10 +74,27 @@ type Recovery struct {
 	// CorruptSnapshots lists generations whose snapshot failed its
 	// checksums and was skipped in favor of an older one.
 	CorruptSnapshots []uint64
+	// ChainedWALs lists the generations from CorruptSnapshots whose logs
+	// were chain-replayed on top of the recovered snapshot, so their
+	// acknowledged batches were not lost with the snapshot. The manager
+	// resumes at the last of them.
+	ChainedWALs []uint64
+	// StaleWALs lists orphaned logs newer than the resumed generation (no
+	// snapshot exists for them); they were removed so a later snapshot
+	// roll cannot append after their abandoned records.
+	StaleWALs []uint64
 }
 
 func snapName(gen uint64) string { return fmt.Sprintf("catalog-%016x.snap", gen) }
 func walName(gen uint64) string  { return fmt.Sprintf("wal-%016x.log", gen) }
+
+// ErrBatchCommitted marks Apply failures that happened after the batch
+// was durably appended to the log: the batch is committed and recovery
+// will replay it, so the caller must NOT resubmit it — the aggregate
+// updates are not idempotent and a resubmission after restart would
+// double-apply. The manager itself is poisoned by the underlying
+// failure (available via errors.Unwrap and Err).
+var ErrBatchCommitted = errors.New("wal: batch committed, post-commit snapshot roll failed")
 
 // Create initializes dir with generation 1: a snapshot of cat and an
 // empty log. The catalog is owned by the manager from here on — mutate
@@ -87,7 +108,7 @@ func Create(dir string, cat *views.Catalog, opts Options) (*Manager, error) {
 	if err := cat.SaveFileFS(fs, filepath.Join(dir, snapName(m.gen))); err != nil {
 		return nil, err
 	}
-	log, err := OpenLog(fs, filepath.Join(dir, walName(m.gen)))
+	log, err := CreateLog(fs, filepath.Join(dir, walName(m.gen)))
 	if err != nil {
 		return nil, err
 	}
@@ -100,8 +121,10 @@ func Create(dir string, cat *views.Catalog, opts Options) (*Manager, error) {
 }
 
 // Open recovers the catalog from dir: load the newest snapshot whose
-// checksums verify, replay its log, truncate a torn tail if the crash
-// left one, and resume appending at the recovered generation.
+// checksums verify, replay its log, chain-replay the logs of any newer
+// generations whose snapshots failed verification, truncate a torn tail
+// if the crash left one, and resume appending at the last generation
+// whose log was replayed.
 func Open(dir string, opts Options) (*Manager, Recovery, error) {
 	fs := opts.fs()
 	var rec Recovery
@@ -134,21 +157,67 @@ func Open(dir string, opts Options) (*Manager, Recovery, error) {
 	}
 	rec.Generation = gen
 
-	walPath := filepath.Join(dir, walName(gen))
-	replay, err := Replay(fs, walPath, func(b Batch) error { return applyBatch(cat, b) })
-	switch {
-	case errors.Is(err, os.ErrNotExist):
-		// A crash between snapshot rename and log creation leaves no log
-		// for the newest generation; the snapshot alone is the state.
-	case err != nil:
-		return nil, rec, err
+	// Every snapshot newer than the recovered one failed verification,
+	// but their logs may still hold acknowledged batches. Snapshot <g+1>
+	// is written at exactly the state snap <g> plus a full wal-<g> replay
+	// reconstructs, so those logs chain: replay wal-<g>, then wal-<g+1>,
+	// and so on. The chain requires contiguous generations — a gap means
+	// the state the next log starts from is unreconstructable, and
+	// resuming past it would silently drop acknowledged data.
+	chain := append([]uint64(nil), rec.CorruptSnapshots...)
+	sort.Slice(chain, func(i, j int) bool { return chain[i] < chain[j] })
+	for i, g := range chain {
+		if want := gen + 1 + uint64(i); g != want {
+			return nil, rec, fmt.Errorf("wal: cannot chain to corrupt snapshot generation %d: generation %d is missing from %s", g, want, dir)
+		}
 	}
-	rec.BatchesReplayed = replay.Batches
-	if replay.TornTail {
+
+	cur := gen
+	var last ReplayResult
+	for {
+		walPath := filepath.Join(dir, walName(cur))
+		replay, err := Replay(fs, walPath, func(b Batch) error { return applyBatch(cat, b) })
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			// A crash between snapshot rename and log creation leaves no
+			// log for the generation; the snapshot alone is the state.
+		case err != nil:
+			return nil, rec, err
+		}
+		rec.BatchesReplayed += replay.Batches
+		last = replay
+		if len(chain) == 0 || chain[0] != cur+1 {
+			break
+		}
+		if replay.TornTail {
+			// Appends to wal-<cur> stop before snapshot <cur+1> rolls, so
+			// a torn record here cannot be crash residue: it is an
+			// acknowledged batch damaged at rest, and chaining past it
+			// would apply wal-<cur+1> to the wrong base state.
+			return nil, rec, fmt.Errorf("wal: %s ends in a torn record but generation %d exists — log is corrupt", walPath, cur+1)
+		}
+		cur, chain = chain[0], chain[1:]
+		rec.ChainedWALs = append(rec.ChainedWALs, cur)
+	}
+	walPath := filepath.Join(dir, walName(cur))
+	if last.TornTail {
 		rec.TornTail = true
-		rec.TruncatedBytes = replay.TailBytes
-		if err := fs.Truncate(walPath, replay.TailOffset); err != nil {
+		rec.TruncatedBytes = last.TailBytes
+		if err := fs.Truncate(walPath, last.TailOffset); err != nil {
 			return nil, rec, fmt.Errorf("wal: truncate torn tail of %s: %w", walPath, err)
+		}
+	}
+
+	// Orphaned logs newer than the resumed generation (no snapshot was
+	// completed for them) hold batches whose base state is unknown; they
+	// are unrecoverable, and a later snapshot roll reusing the generation
+	// must not find them. Remove them, reporting which.
+	if walGens, err := listWALGenerations(fs, dir); err == nil {
+		for _, g := range walGens {
+			if g > cur {
+				fs.Remove(filepath.Join(dir, walName(g)))
+				rec.StaleWALs = append(rec.StaleWALs, g)
+			}
 		}
 	}
 
@@ -158,7 +227,7 @@ func Open(dir string, opts Options) (*Manager, Recovery, error) {
 	}
 	m := &Manager{
 		fs: fs, dir: dir, opts: opts,
-		cat: cat, gen: gen, log: log, sinceSnap: replay.Batches,
+		cat: cat, gen: cur, log: log, sinceSnap: last.Batches,
 	}
 	m.sweepTemp()
 	return m, rec, nil
@@ -167,18 +236,29 @@ func Open(dir string, opts Options) (*Manager, Recovery, error) {
 // listGenerations returns the snapshot generations present in dir in
 // ascending order.
 func listGenerations(fs fsx.FS, dir string) ([]uint64, error) {
+	return listGens(fs, dir, "catalog-%016x.snap")
+}
+
+// listWALGenerations returns the log generations present in dir in
+// ascending order.
+func listWALGenerations(fs fsx.FS, dir string) ([]uint64, error) {
+	return listGens(fs, dir, "wal-%016x.log")
+}
+
+func listGens(fs fsx.FS, dir, pattern string) ([]uint64, error) {
 	entries, err := fs.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: list %s: %w", dir, err)
 	}
+	prefix := pattern[:strings.IndexByte(pattern, '%')]
 	var gens []uint64
 	for _, e := range entries {
 		name := e.Name()
-		if !strings.HasPrefix(name, "catalog-") || !strings.HasSuffix(name, ".snap") {
+		if !strings.HasPrefix(name, prefix) {
 			continue
 		}
 		var g uint64
-		if _, err := fmt.Sscanf(name, "catalog-%016x.snap", &g); err == nil {
+		if _, err := fmt.Sscanf(name, pattern, &g); err == nil && name == fmt.Sprintf(pattern, g) {
 			gens = append(gens, g)
 		}
 	}
@@ -232,7 +312,12 @@ func (m *Manager) Err() error {
 // update by update, so memory never runs ahead of the durable state. A
 // logging or snapshot failure poisons the manager: the on-disk tail may
 // be torn, and appending past a torn record would strand every later
-// batch beyond what recovery can read.
+// batch beyond what recovery can read. Two append failures are softer:
+// a batch the log rejects outright (ErrBatchUnloggable) wrote nothing,
+// so the manager stays usable; and a failure of the automatic snapshot
+// roll *after* a successful append returns an error wrapping
+// ErrBatchCommitted — the batch is durable and will be replayed by
+// recovery, so the caller must not resubmit it.
 func (m *Manager) Apply(b Batch) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -266,7 +351,9 @@ func (m *Manager) Apply(b Batch) error {
 
 	if err := m.log.Append(b); err != nil {
 		m.rollback(b)
-		m.failed = err
+		if !errors.Is(err, ErrBatchUnloggable) {
+			m.failed = err // the on-disk tail may hold a torn record
+		}
 		return err
 	}
 	m.sinceSnap++
@@ -274,7 +361,7 @@ func (m *Manager) Apply(b Batch) error {
 	if m.opts.SnapshotEvery > 0 && m.sinceSnap >= m.opts.SnapshotEvery {
 		if err := m.snapshotLocked(); err != nil {
 			m.failed = err
-			return err
+			return fmt.Errorf("%w: %w", ErrBatchCommitted, err)
 		}
 	}
 	return nil
@@ -318,7 +405,10 @@ func (m *Manager) snapshotLocked() error {
 	if err := m.cat.SaveFileFS(m.fs, filepath.Join(m.dir, snapName(next))); err != nil {
 		return err
 	}
-	log, err := OpenLog(m.fs, filepath.Join(m.dir, walName(next)))
+	// CreateLog truncates: a stale wal-<next> (left by a recovery that
+	// fell back past a corrupt catalog-<next>.snap) must not contribute
+	// its abandoned records to the fresh generation's replay.
+	log, err := CreateLog(m.fs, filepath.Join(m.dir, walName(next)))
 	if err != nil {
 		return err
 	}

@@ -2,11 +2,13 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"hash/crc32"
 	"math/rand"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -474,8 +476,9 @@ func TestManagerSnapshotRollsGenerations(t *testing.T) {
 }
 
 // TestManagerFallsBackToOlderSnapshot corrupts the newest snapshot at
-// rest; recovery must skip it, load the previous generation, and replay
-// that generation's log to the same state.
+// rest; recovery must skip it, load the previous generation, replay that
+// generation's log, and then chain-replay the corrupt generation's log
+// on top — every acknowledged batch survives the snapshot's rot.
 func TestManagerFallsBackToOlderSnapshot(t *testing.T) {
 	ix := buildTestIndex(t, 43, 150)
 	rng := rand.New(rand.NewSource(47))
@@ -517,26 +520,223 @@ func TestManagerFallsBackToOlderSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer m2.Close()
 	if rec.Generation != 1 {
 		t.Fatalf("recovered generation %d, want fallback to 1", rec.Generation)
 	}
 	if len(rec.CorruptSnapshots) != 1 || rec.CorruptSnapshots[0] != 2 {
 		t.Fatalf("corrupt snapshots: %v, want [2]", rec.CorruptSnapshots)
 	}
-	// Gen 1's log still holds batches 0-3; batches 4-5 lived only in gen
-	// 2's log, which is replayed... no — fallback replays gen 1's log, so
-	// only the first four batches are recoverable. Verify exactly that.
-	if rec.BatchesReplayed != 4 {
-		t.Fatalf("replayed %d batches from gen 1, want 4", rec.BatchesReplayed)
+	// Gen 1's log holds batches 0-3 and gen 2's log batches 4-5; the
+	// chain replays both, so recovery reaches the full acknowledged state.
+	if rec.BatchesReplayed != 6 {
+		t.Fatalf("replayed %d batches across the chain, want 6", rec.BatchesReplayed)
 	}
+	if len(rec.ChainedWALs) != 1 || rec.ChainedWALs[0] != 2 {
+		t.Fatalf("chained WALs: %v, want [2]", rec.ChainedWALs)
+	}
+	if got := m2.Catalog().Fingerprint(); got != live {
+		t.Fatal("chained recovery lost acknowledged batches")
+	}
+	if g := m2.Generation(); g != 2 {
+		t.Fatalf("resumed at generation %d, want 2 (end of the chain)", g)
+	}
+	// The resumed manager keeps working, and a second recovery (gen 2's
+	// snapshot is still corrupt) re-chains to the extended state.
+	extra := randomBatches(rng, 1)[0]
+	if err := m2.Apply(extra); err != nil {
+		t.Fatal(err)
+	}
+	next := m2.Catalog().Fingerprint()
+	m2.Close()
+	m3, rec3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m3.Close()
+	if rec3.BatchesReplayed != 7 || len(rec3.ChainedWALs) != 1 {
+		t.Fatalf("re-recovery: %+v", rec3)
+	}
+	if m3.Catalog().Fingerprint() != next {
+		t.Fatal("post-chain appends did not recover")
+	}
+}
+
+// TestChainRefusesTornIntermediateLog damages the final record of a log
+// whose successor generation exists on disk: that can never be crash
+// residue (appends stop before the next snapshot rolls), so chaining
+// past it would apply the next log to the wrong base state. Recovery
+// must refuse with a hard error.
+func TestChainRefusesTornIntermediateLog(t *testing.T) {
+	ix := buildTestIndex(t, 103, 150)
+	rng := rand.New(rand.NewSource(107))
+	batches := randomBatches(rng, 6)
+
+	dir := t.TempDir()
+	m, err := Create(dir, buildTestCatalog(t, ix), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches[:4] {
+		if err := m.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Snapshot(); err != nil { // gen 2
+		t.Fatal(err)
+	}
+	for _, b := range batches[4:] {
+		if err := m.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Close()
+
+	// Corrupt the gen-2 snapshot so recovery must chain from gen 1, and
+	// cut the last bytes off gen 1's log so the chain's base is torn.
+	snap := filepath.Join(dir, snapName(2))
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(snap, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wal1 := filepath.Join(dir, walName(1))
+	info, err := os.Stat(wal1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(wal1, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("chained past a torn intermediate log")
+	}
+}
+
+// TestOpenRemovesOrphanedNewerWAL plants a log for a generation that has
+// no snapshot: its batches have no reconstructable base state, and a
+// later snapshot roll reusing the generation must not find it. Open
+// removes it and reports the removal.
+func TestOpenRemovesOrphanedNewerWAL(t *testing.T) {
+	ix := buildTestIndex(t, 109, 150)
+	rng := rand.New(rand.NewSource(113))
+	batches := randomBatches(rng, 3)
+
+	dir := t.TempDir()
+	m, err := Create(dir, buildTestCatalog(t, ix), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches {
+		if err := m.Apply(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	live := m.Catalog().Fingerprint()
+	m.Close()
+
+	// An orphaned wal-2 holding a committed-looking record.
+	stale := filepath.Join(dir, walName(2))
+	l, err := OpenLog(fsx.OS, stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(randomBatches(rng, 1)[0]); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	m2, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.StaleWALs) != 1 || rec.StaleWALs[0] != 2 {
+		t.Fatalf("stale WALs: %v, want [2]", rec.StaleWALs)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("orphaned wal-2 still on disk")
+	}
+	if m2.Catalog().Fingerprint() != live {
+		t.Fatal("orphaned log leaked into the recovered state")
+	}
+	// The next snapshot roll reuses generation 2 with an empty log.
+	if err := m2.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Apply(randomBatches(rng, 1)[0]); err != nil {
+		t.Fatal(err)
+	}
+	after := m2.Catalog().Fingerprint()
+	m2.Close()
+	m3, rec3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m3.Close()
+	if rec3.Generation != 2 || rec3.BatchesReplayed != 1 {
+		t.Fatalf("post-roll recovery: %+v", rec3)
+	}
+	if m3.Catalog().Fingerprint() != after {
+		t.Fatal("post-roll recovery diverged")
+	}
+}
+
+// TestSnapshotRollTruncatesStaleWAL is the reviewer's reuse scenario
+// driven end to end: a stale wal-2 with an old committed record sits on
+// disk when the manager rolls generation 2. The roll must start the new
+// log empty — replaying the stale record on top of the fresh snapshot
+// would corrupt the catalog silently.
+func TestSnapshotRollTruncatesStaleWAL(t *testing.T) {
+	ix := buildTestIndex(t, 127, 150)
+	rng := rand.New(rand.NewSource(131))
+	batches := randomBatches(rng, 3)
+
+	dir := t.TempDir()
+	m, err := Create(dir, buildTestCatalog(t, ix), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Apply(batches[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Plant the stale log the pre-fix recovery path could leave behind.
+	stale := filepath.Join(dir, walName(2))
+	l, err := OpenLog(fsx.OS, stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(batches[1]); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	if err := m.Snapshot(); err != nil { // rolls to generation 2
+		t.Fatal(err)
+	}
+	if err := m.Apply(batches[2]); err != nil {
+		t.Fatal(err)
+	}
+	live := m.Catalog().Fingerprint()
+	m.Close()
+
 	mirror := buildTestCatalog(t, ix)
-	applyDirect(t, mirror, batches[:4])
-	if got := m2.Catalog().Fingerprint(); got != mirror.Fingerprint() {
-		t.Fatal("fallback recovery diverged from the first four batches")
+	applyDirect(t, mirror, []Batch{batches[0], batches[2]})
+	if mirror.Fingerprint() != live {
+		t.Fatal("live state should hold batches 0 and 2 only")
 	}
-	if got := m2.Catalog().Fingerprint(); got == live {
-		t.Fatal("fallback recovery cannot equal the post-gen-2 state")
+	m2, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if rec.Generation != 2 || rec.BatchesReplayed != 1 {
+		t.Fatalf("recovery replayed the stale record: %+v", rec)
+	}
+	if m2.Catalog().Fingerprint() != live {
+		t.Fatal("stale wal-2 record replayed on top of the fresh snapshot")
 	}
 }
 
@@ -614,6 +814,125 @@ func TestManagerTornTailRecovery(t *testing.T) {
 	}
 	if m3.Catalog().Fingerprint() != next {
 		t.Fatal("post-truncation appends did not recover")
+	}
+}
+
+// TestAppendRejectsOversizedBatch feeds Append a batch whose payload
+// exceeds the record cap Replay enforces: it must be rejected before any
+// byte reaches the file — a written-and-acked record with an oversized
+// length field would make Replay fail the whole log — and the log must
+// remain appendable.
+func TestAppendRejectsOversizedBatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	rng := rand.New(rand.NewSource(137))
+	good := randomBatches(rng, 2)
+
+	l, err := OpenLog(fsx.OS, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.Append(good[0]); err != nil {
+		t.Fatal(err)
+	}
+	huge := Batch{{Op: OpApply, Doc: views.DocUpdate{
+		Predicates: []string{strings.Repeat("m", maxRecordBytes+1)},
+		Len:        1,
+	}}}
+	err = l.Append(huge)
+	if !errors.Is(err, ErrBatchUnloggable) {
+		t.Fatalf("oversized append: %v, want ErrBatchUnloggable", err)
+	}
+	if err := l.Append(good[1]); err != nil {
+		t.Fatalf("log unusable after rejected batch: %v", err)
+	}
+	res, err := Replay(fsx.OS, path, func(Batch) error { return nil })
+	if err != nil || res.TornTail || res.Batches != 2 {
+		t.Fatalf("replay after rejection: res=%+v err=%v", res, err)
+	}
+}
+
+// TestManagerRejectsOversizedBatchWithoutPoisoning: an oversized batch
+// wrote nothing, so Apply must roll the in-memory fold back and leave
+// the manager fully usable — unlike a torn append, nothing on disk is
+// suspect.
+func TestManagerRejectsOversizedBatchWithoutPoisoning(t *testing.T) {
+	ix := buildTestIndex(t, 139, 150)
+	rng := rand.New(rand.NewSource(149))
+	dir := t.TempDir()
+	m, err := Create(dir, buildTestCatalog(t, ix), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Apply(randomBatches(rng, 1)[0]); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Catalog().Fingerprint()
+
+	huge := Batch{{Op: OpApply, Doc: views.DocUpdate{
+		Predicates: []string{strings.Repeat("m", maxRecordBytes+1)},
+		Len:        1,
+	}}}
+	if err := m.Apply(huge); !errors.Is(err, ErrBatchUnloggable) {
+		t.Fatalf("oversized apply: %v, want ErrBatchUnloggable", err)
+	}
+	if m.Catalog().Fingerprint() != before {
+		t.Fatal("rejected batch left residue in the catalog")
+	}
+	if m.Err() != nil {
+		t.Fatal("rejected batch poisoned the manager")
+	}
+	if err := m.Apply(randomBatches(rng, 1)[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestApplyCommittedBatchSnapshotFailure crashes the automatic snapshot
+// roll after the batch's log append already succeeded: Apply must return
+// an error wrapping ErrBatchCommitted — the batch is durable and will be
+// replayed, so a caller that resubmitted it would double-apply — and
+// recovery must indeed surface the batch.
+func TestApplyCommittedBatchSnapshotFailure(t *testing.T) {
+	ix := buildTestIndex(t, 151, 150)
+	rng := rand.New(rand.NewSource(157))
+	batches := randomBatches(rng, 2)
+
+	dir := t.TempDir()
+	ffs := fsx.NewFaultFS(fsx.OS)
+	m, err := Create(dir, buildTestCatalog(t, ix), Options{FS: ffs, SnapshotEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Apply(batches[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Batch 2's append is one write plus one fsync; the third mutating
+	// operation is the snapshot roll's temp-file create. Fail there.
+	ffs.Arm(3, false)
+	err = m.Apply(batches[1])
+	if !errors.Is(err, ErrBatchCommitted) {
+		t.Fatalf("post-commit snapshot failure: %v, want ErrBatchCommitted", err)
+	}
+	if m.Err() == nil {
+		t.Fatal("manager not poisoned after failed snapshot roll")
+	}
+	ffs.Reset()
+
+	m2, rec, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if rec.BatchesReplayed != 2 {
+		t.Fatalf("replayed %d batches, want 2 (the 'failed' batch is committed)", rec.BatchesReplayed)
+	}
+	mirror := buildTestCatalog(t, ix)
+	applyDirect(t, mirror, batches)
+	if m2.Catalog().Fingerprint() != mirror.Fingerprint() {
+		t.Fatal("committed batch lost after snapshot-roll failure")
 	}
 }
 
