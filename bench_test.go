@@ -13,11 +13,14 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
 	"csrank/internal/core"
+	"csrank/internal/corpus"
 	"csrank/internal/experiments"
+	"csrank/internal/index"
 	"csrank/internal/mining"
 	"csrank/internal/postings"
 	"csrank/internal/query"
@@ -520,6 +523,115 @@ func BenchmarkScoreHotPath(b *testing.B) {
 		}
 	})
 	_ = sink
+}
+
+// --- Block-max dynamic pruning ---------------------------------------
+
+var (
+	prunedBenchOnce sync.Once
+	prunedBenchIx   *index.Index
+	prunedBenchErr  error
+)
+
+// getPrunedBenchIndex builds a 140k-document corpus spanning three
+// posting-list containers, once per process. "alpha" is a broad keyword
+// (half the collection, zipf-ish tf 1..20, tf 1 only in the last
+// container), "beta" moderate; ctx_broad covers 80% of documents and
+// ctx_sel ~6%. Every document has the same analyzed length, so scores
+// vary with tf alone and the bound ceilings are tight.
+func getPrunedBenchIndex(b *testing.B) *index.Index {
+	b.Helper()
+	prunedBenchOnce.Do(func() {
+		const nDocs = 140000
+		const docLen = 40
+		pads := []string{"pada", "padb", "padc", "padd", "pade", "padf"}
+		docs := make([]index.Document, nDocs)
+		var sb strings.Builder
+		for i := range docs {
+			sb.Reset()
+			ta, tb := 0, 0
+			if i%2 == 0 {
+				ta = 1
+				if i < 120000 {
+					ta = 1 + int((uint32(i)*2654435761)>>20)%20
+				}
+			}
+			if i%5 == 0 {
+				tb = 1 + i%7
+			}
+			for j := 0; j < ta; j++ {
+				sb.WriteString("alpha ")
+			}
+			for j := 0; j < tb; j++ {
+				sb.WriteString("beta ")
+			}
+			for j := ta + tb; j < docLen; j++ {
+				sb.WriteString(pads[(i+j)%len(pads)])
+				sb.WriteByte(' ')
+			}
+			mesh := "ctx_other"
+			if i%5 != 0 {
+				mesh = "ctx_broad"
+			}
+			if i%16 == 0 {
+				mesh += " ctx_sel"
+			}
+			docs[i] = index.Document{Fields: map[string]string{
+				"title": fmt.Sprintf("d%d", i), "content": sb.String(), "mesh": mesh,
+			}}
+		}
+		prunedBenchIx, prunedBenchErr = index.BuildFrom(corpus.Schema(), 0, docs)
+	})
+	if prunedBenchErr != nil {
+		b.Fatal(prunedBenchErr)
+	}
+	return prunedBenchIx
+}
+
+// BenchmarkPrunedSearch measures block-max dynamic pruning against
+// exhaustive scoring on identical queries: every scorer, k ∈ {10, 100},
+// a broad single-keyword contextual query (56k-document conjunction —
+// the case the pruned path must win by ≥2x at k=10) and a selective
+// two-keyword one (1.8k documents — the case pruning can barely help).
+// Rankings are bit-identical either way (TestPrunedBitIdenticalToExhaustive);
+// allocation deltas also show the pooled scoring scratch at work.
+func BenchmarkPrunedSearch(b *testing.B) {
+	ix := getPrunedBenchIndex(b)
+	queries := []struct{ label, q string }{
+		{"broad", "alpha | ctx_broad"},
+		{"selective", "alpha beta | ctx_sel"},
+	}
+	scorers := []ranking.Scorer{
+		ranking.NewPivotedTFIDF(),
+		ranking.NewBM25(),
+		ranking.NewDirichletLM(),
+		ranking.NewCosineTFIDF(),
+		ranking.NewJelinekMercerLM(),
+	}
+	for _, sc := range scorers {
+		for _, qc := range queries {
+			q := query.MustParse(qc.q)
+			for _, k := range []int{10, 100} {
+				for _, pruned := range []bool{false, true} {
+					mode := "exhaustive"
+					if pruned {
+						mode = "pruned"
+					}
+					name := fmt.Sprintf("%s/%s/k=%d/%s", sc.Name(), qc.label, k, mode)
+					b.Run(name, func(b *testing.B) {
+						e := core.New(ix, nil, core.Options{Parallelism: 1, Scorer: sc, Pruning: pruned})
+						b.ReportAllocs()
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							if _, _, err := e.SearchContextSensitive(q, k); err != nil {
+								b.Fatal(err)
+							}
+						}
+					})
+				}
+			}
+		}
+	}
 }
 
 // stridedList builds a list of n docIDs start, start+stride, … — at

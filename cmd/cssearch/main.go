@@ -43,6 +43,7 @@ func main() {
 		scorer      = flag.String("scorer", "pivoted-tfidf", "pivoted-tfidf | bm25 | dirichlet-lm")
 		parallel    = flag.Int("parallel", 0, "intra-query parallelism (0 = GOMAXPROCS, 1 = sequential)")
 		timeout     = flag.Duration("timeout", 0, "per-query deadline (e.g. 50ms); on expiry partial results are returned flagged degraded (0 = unbounded)")
+		pruning     = flag.Bool("pruning", false, "enable block-max dynamic pruning (safe: top-k is bit-identical to exhaustive scoring)")
 		interactive = flag.Bool("i", false, "interactive mode: read queries from stdin (prefix a line with '?' for plan explanation only)")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 		memprofile  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -71,13 +72,13 @@ func main() {
 		os.Exit(1)
 	}
 	if *interactive {
-		err = runInteractive(*data, *walDir, *k, *mode, *scorer, *parallel, *timeout, os.Stdin, os.Stdout)
+		err = runInteractive(*data, *walDir, *k, *mode, *scorer, *parallel, *timeout, *pruning, os.Stdin, os.Stdout)
 	} else if *q == "" {
 		stopProfiles()
 		flag.Usage()
 		os.Exit(2)
 	} else {
-		err = run(*data, *walDir, *q, *k, *mode, *scorer, *parallel, *timeout)
+		err = run(*data, *walDir, *q, *k, *mode, *scorer, *parallel, *timeout, *pruning)
 	}
 	stopProfiles()
 	if err != nil {
@@ -127,8 +128,8 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 // starting with '?' print the plan explanation instead; "exit" or EOF
 // ends the session. Per-query errors are reported and the loop
 // continues.
-func runInteractive(data, walDir string, k int, mode, scorerName string, parallel int, timeout time.Duration, in io.Reader, out io.Writer) error {
-	eng, ix, err := openEngine(data, walDir, scorerName, parallel, timeout)
+func runInteractive(data, walDir string, k int, mode, scorerName string, parallel int, timeout time.Duration, pruning bool, in io.Reader, out io.Writer) error {
+	eng, ix, err := openEngine(data, walDir, scorerName, parallel, timeout, pruning)
 	if err != nil {
 		return err
 	}
@@ -168,7 +169,9 @@ func runInteractive(data, walDir string, k int, mode, scorerName string, paralle
 
 // printListStats reports, per field, how the index's posting lists are
 // laid out in the adaptive container layer — the storage side of the
-// bitmap/array hybrid (index format version 2).
+// bitmap/array hybrid (index format version 2) — and, since format
+// version 3, how many lists carry per-container score bounds plus the
+// loosest list-level ceilings dynamic pruning works with.
 func printListStats(data string, out io.Writer) error {
 	ix, err := index.LoadFile(filepath.Join(data, "index.gob"))
 	if err != nil {
@@ -183,6 +186,10 @@ func printListStats(data string, out io.Writer) error {
 		fmt.Fprintf(out, "  %-10s %7d lists %9d postings  %7d sparse / %d dense chunks  %5d tf arrays  %6.2f bytes/posting\n",
 			f.Name, cs.Lists, cs.Postings, cs.SparseChunks, cs.DenseChunks, cs.TFLists,
 			float64(cs.Bytes)/float64maxOne(cs.Postings))
+		if cs.BoundedLists > 0 {
+			fmt.Fprintf(out, "  %-10s %7d bounded lists  max tf=%d  min doclen=%d\n",
+				"", cs.BoundedLists, cs.MaxTF, cs.MinDocLen)
+		}
 	}
 	return nil
 }
@@ -194,8 +201,8 @@ func float64maxOne(n int64) float64 {
 	return float64(n)
 }
 
-func run(data, walDir, qstr string, k int, mode, scorerName string, parallel int, timeout time.Duration) error {
-	eng, ix, err := openEngine(data, walDir, scorerName, parallel, timeout)
+func run(data, walDir, qstr string, k int, mode, scorerName string, parallel int, timeout time.Duration, pruning bool) error {
+	eng, ix, err := openEngine(data, walDir, scorerName, parallel, timeout, pruning)
 	if err != nil {
 		return err
 	}
@@ -204,7 +211,7 @@ func run(data, walDir, qstr string, k int, mode, scorerName string, parallel int
 
 // openEngine loads the persisted index and (optionally) views and wires
 // the requested scorer.
-func openEngine(data, walDir, scorerName string, parallel int, timeout time.Duration) (*core.Engine, *index.Index, error) {
+func openEngine(data, walDir, scorerName string, parallel int, timeout time.Duration, pruning bool) (*core.Engine, *index.Index, error) {
 	var sc ranking.Scorer
 	switch scorerName {
 	case "pivoted-tfidf":
@@ -228,7 +235,7 @@ func openEngine(data, walDir, scorerName string, parallel int, timeout time.Dura
 		fmt.Fprintln(os.Stderr, "note: no views loaded; contextual queries use the straightforward plan")
 		cat = nil
 	}
-	return core.New(ix, cat, core.Options{Scorer: sc, Parallelism: parallel, Deadline: timeout}), ix, nil
+	return core.New(ix, cat, core.Options{Scorer: sc, Parallelism: parallel, Deadline: timeout, Pruning: pruning}), ix, nil
 }
 
 // loadCatalog returns the view catalog: recovered from the WAL directory
@@ -298,6 +305,10 @@ func searchAndPrint(e *core.Engine, ix *index.Index, qstr string, k int, mode st
 		fmt.Fprintf(out, "%s  [plan=%s view=%v results=%d |D_P|=%d %s]\n",
 			label, st.Plan, st.UsedView, st.ResultSize, st.ContextSize,
 			st.Elapsed.Round(time.Microsecond))
+		if st.Pruning.Active {
+			fmt.Fprintf(out, "  pruning: containers skipped=%d docs skipped=%d bound checks=%d\n",
+				st.Pruning.ContainersSkipped, st.Pruning.DocsSkipped, st.Pruning.BoundChecks)
+		}
 		if st.Degraded {
 			fmt.Fprintf(out, "  !! degraded: %s\n", st.DegradedReason)
 			fmt.Fprintf(out, "     phases: analyze=%s stats=%s resultset=%s score=%s  cost: entries=%d seeks=%d aggregated=%d viewgroups=%d\n",

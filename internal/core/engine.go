@@ -93,6 +93,18 @@ type Options struct {
 	// statistics otherwise — and flags the result Degraded, per the
 	// paper's hybrid bounded-worst-case philosophy. Zero means no budget.
 	StatsBudget time.Duration
+	// Pruning enables block-max dynamic pruning: top-k scoring walks the
+	// conjunction with bound-aware cursors and skips documents — or whole
+	// 2^16-docID containers — whose score upper bound proves they cannot
+	// enter the top k. The skipped work is the only difference: results
+	// are bit-identical to exhaustive scoring at every parallelism. The
+	// pruned path engages when k > 0, the scorer implements
+	// ranking.BoundedScorer (all five built-ins do), and every keyword
+	// list carries bound metadata (any index built or loaded by this
+	// version); other queries fall back to exhaustive scoring. The §6
+	// reproduction experiments pin it off so measured list costs match
+	// the paper's cost model.
+	Pruning bool
 }
 
 // Result is one ranked hit.
@@ -130,7 +142,10 @@ type ExecStats struct {
 	// computed by intersection because no view tracks them (or, in
 	// degraded mode, estimated because the budget was gone).
 	FallbackKeywords int
-	// ResultSize is the unranked result cardinality.
+	// ResultSize is the unranked result cardinality. When the pruned
+	// path ran (Pruning.Active) it counts only the conjunction members
+	// the pruned loop visited: members inside skipped containers are
+	// provably outside the top k but were never enumerated.
 	ResultSize int
 	// ContextSize is |D_P| (0 for conventional evaluation of a
 	// context-free query).
@@ -147,6 +162,9 @@ type ExecStats struct {
 	// DegradedReason explains each degradation, "; "-joined in the order
 	// the phases hit their limits. Empty when Degraded is false.
 	DegradedReason string
+	// Pruning reports what dynamic pruning did (all-zero with Active
+	// false when Options.Pruning was off or the query was ineligible).
+	Pruning PruningStats
 	// Phases is the per-phase wall-clock breakdown.
 	Phases PhaseTimings
 	// Elapsed is wall-clock execution time.
@@ -188,6 +206,7 @@ type Engine struct {
 	workers     int         // resolved Options.Parallelism (≥ 1)
 	deadline    time.Duration
 	statsBudget time.Duration
+	pruning     bool
 }
 
 // New creates an engine. catalog may be nil (no view acceleration).
@@ -211,6 +230,7 @@ func New(ix *index.Index, catalog *views.Catalog, opts Options) *Engine {
 		workers:      resolveWorkers(opts.Parallelism),
 		deadline:     opts.Deadline,
 		statsBudget:  opts.StatsBudget,
+		pruning:      opts.Pruning,
 	}
 	e.catalog.Store(catalog)
 	return e
@@ -419,15 +439,9 @@ func (e *Engine) searchConventional(ctx context.Context, q query.Query, k int) (
 		return out, st, herr
 	}
 	kw, preds := e.lists(a)
-	tRes := time.Now()
-	res, rerr := evaluateResultSet(ctx, kw, preds, &st.Stats)
-	st.Phases.ResultSet = time.Since(tRes)
-	if rerr != nil && !degradeOnDeadline(rerr, &st, "deadline exceeded during result-set intersection: partial results") {
-		st.Elapsed = time.Since(start)
-		return nil, st, rerr
-	}
-	st.ResultSize = res.Len()
-
+	// Statistics first: they are O(#keywords) map fills from precomputed
+	// aggregates, and the pruned path needs them before any scoring
+	// decision (score upper bounds are functions of the statistics).
 	tStats := time.Now()
 	cs := ranking.CollectionStats{
 		N:        e.globalN,
@@ -440,6 +454,27 @@ func (e *Engine) searchConventional(ctx context.Context, q query.Query, k int) (
 		cs.TC[w] = e.ix.TotalTF(e.contentField, w)
 	}
 	st.Phases.Stats = time.Since(tStats)
+
+	if e.prunedEligible(kw, preds, k) {
+		tScore := time.Now()
+		out, serr := e.prunedSearch(ctx, a, kw, preds, cs, k, &st)
+		st.Phases.Score = time.Since(tScore)
+		if serr != nil && !degradeOnDeadline(serr, &st, "deadline exceeded during pruned scoring: partial top-k") {
+			st.Elapsed = time.Since(start)
+			return nil, st, serr
+		}
+		st.Elapsed = time.Since(start)
+		return out, st, nil
+	}
+
+	tRes := time.Now()
+	res, rerr := evaluateResultSet(ctx, kw, preds, &st.Stats)
+	st.Phases.ResultSet = time.Since(tRes)
+	if rerr != nil && !degradeOnDeadline(rerr, &st, "deadline exceeded during result-set intersection: partial results") {
+		st.Elapsed = time.Since(start)
+		return nil, st, rerr
+	}
+	st.ResultSize = res.Len()
 
 	tScore := time.Now()
 	out, serr := e.score(ctx, a, res, cs, k)
@@ -477,6 +512,13 @@ func (e *Engine) searchContextual(ctx context.Context, q query.Query, k int, use
 	// never mix statistics from two catalog states.
 	cat := e.catalog.Load()
 
+	// The pruned path replaces the materialized result set with a
+	// bound-aware walk, and its bounds are functions of the context
+	// statistics S_c(D_P) — it cannot start until contextStats returns
+	// (see ranking/bounds.go). So under pruning there is no result-set
+	// phase to overlap with statistics and no worker to spawn.
+	pruned := e.prunedEligible(kw, preds, k)
+
 	// Phase overlap: the unranked result-set intersection and the context
 	// statistics computation are data-independent, so with parallelism
 	// enabled the intersection runs on its own panic-guarded goroutine
@@ -489,7 +531,7 @@ func (e *Engine) searchContextual(ctx context.Context, q query.Query, k int, use
 		err error
 	}
 	var resCh chan resOut
-	if e.workers > 1 {
+	if e.workers > 1 && !pruned {
 		resCh = make(chan resOut, 1)
 		go func() {
 			var out resOut
@@ -539,6 +581,21 @@ func (e *Engine) searchContextual(ctx context.Context, q query.Query, k int, use
 		}
 	}
 	st.ContextSize = cs.N
+
+	if pruned {
+		// Statistics are settled (exact or approximate — the bounds are
+		// valid ceilings for whatever statistics the query ranks with):
+		// walk the conjunction with bound-aware cursors directly.
+		tScore := time.Now()
+		out, serr := e.prunedSearch(ctx, a, kw, preds, cs, k, &st)
+		st.Phases.Score = time.Since(tScore)
+		if serr != nil && !degradeOnDeadline(serr, &st, "deadline exceeded during pruned scoring: partial top-k") {
+			st.Elapsed = time.Since(start)
+			return nil, st, serr
+		}
+		st.Elapsed = time.Since(start)
+		return out, st, nil
+	}
 
 	tRes := time.Now()
 	var res *postings.Intersection

@@ -186,9 +186,12 @@ func (e *Engine) score(ctx context.Context, a analyzed, res *postings.Intersecti
 		top := newTopK(k)
 		err := e.scoreRange(ctx, qs, a.kwTerms, res, cs, indexed, 0, n, top)
 		if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			top.release()
 			return nil, err
 		}
-		return top.results(), err
+		out := top.results()
+		top.release()
+		return out, err
 	}
 	tops := make([]*topK, chunks)
 	errs := make([]error, chunks)
@@ -221,13 +224,20 @@ func (e *Engine) score(ctx context.Context, a analyzed, res *postings.Intersecti
 			deadlineErr = err
 			continue
 		}
+		for _, t := range tops {
+			t.release()
+		}
 		return nil, err
 	}
 	final := tops[0]
 	for _, t := range tops[1:] {
 		final.merge(t)
 	}
-	return final.results(), deadlineErr
+	out := final.results()
+	for _, t := range tops {
+		t.release()
+	}
+	return out, deadlineErr
 }
 
 // guardedScoreRange is scoreRange behind a panic guard, for use as a
@@ -237,14 +247,16 @@ func (e *Engine) guardedScoreRange(ctx context.Context, qs ranking.QueryStats, t
 	return e.scoreRange(ctx, qs, terms, res, cs, indexed, lo, hi, top)
 }
 
-// scoreRange scores documents [lo, hi) of res into top. One TF buffer
-// (slice or map, depending on the scorer's capabilities) is reused for
-// the whole range. ctx is polled every scoreCheckMask+1 documents; on
-// expiry the heap keeps what was scored so far and ctx's error is
-// returned.
+// scoreRange scores documents [lo, hi) of res into top. One pooled TF
+// buffer (slice or map, depending on the scorer's capabilities) is
+// reused for the whole range. ctx is polled every scoreCheckMask+1
+// documents; on expiry the heap keeps what was scored so far and ctx's
+// error is returned.
 func (e *Engine) scoreRange(ctx context.Context, qs ranking.QueryStats, terms []string, res *postings.Intersection, cs ranking.CollectionStats, indexed ranking.IndexedScorer, lo, hi int, top *topK) error {
+	s := getScratch(len(terms))
+	defer putScratch(s)
 	if indexed != nil {
-		tf := make([]int64, len(terms))
+		tf := s.tf
 		for i := lo; i < hi; i++ {
 			if i&scoreCheckMask == 0 {
 				if err := ctx.Err(); err != nil {
@@ -260,7 +272,10 @@ func (e *Engine) scoreRange(ctx context.Context, qs ranking.QueryStats, terms []
 		}
 		return nil
 	}
-	tf := make(map[string]int64, len(terms))
+	if s.tfm == nil {
+		s.tfm = make(map[string]int64, len(terms))
+	}
+	tf := s.tfm
 	for i := lo; i < hi; i++ {
 		if i&scoreCheckMask == 0 {
 			if err := ctx.Err(); err != nil {

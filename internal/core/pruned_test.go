@@ -1,0 +1,313 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"csrank/internal/corpus"
+	"csrank/internal/index"
+	"csrank/internal/query"
+	"csrank/internal/ranking"
+	"csrank/internal/views"
+	"csrank/internal/widetable"
+)
+
+// prunedCorpusDocs spans three posting-list containers (docIDs run past
+// 2·2^16), so container-granular skipping is actually reachable. Every
+// document has exactly the same analyzed content length, which makes the
+// guaranteed-skip test's threshold argument exact: with equal lengths,
+// score is monotone in tf alone.
+const prunedCorpusDocs = 140000
+
+var (
+	prunedOnce sync.Once
+	prunedIx   *index.Index
+	prunedCat  *views.Catalog
+	prunedErr  error
+)
+
+// prunedTFAlpha is the tf of "alpha" in doc i (0 when absent). Documents
+// past 120000 — covering the whole last container — carry tf 1 only, so
+// a filled top-10 heap makes their containers skippable.
+func prunedTFAlpha(i int) int {
+	if i%2 != 0 {
+		return 0
+	}
+	if i >= 120000 {
+		return 1
+	}
+	return 1 + int((uint32(i)*2654435761)>>20)%20
+}
+
+func prunedTFBeta(i int) int {
+	if i%5 != 0 {
+		return 0
+	}
+	return 1 + i%7
+}
+
+// buildPrunedSystem builds the shared multi-container corpus once per
+// process, plus a catalog with one view over {ctx_a} tracking both
+// keywords (for the views-on arm of the equivalence matrix).
+func buildPrunedSystem(t testing.TB) (*index.Index, *views.Catalog) {
+	t.Helper()
+	prunedOnce.Do(func() {
+		const docLen = 40
+		pads := []string{"pada", "padb", "padc", "padd", "pade", "padf"}
+		docs := make([]index.Document, prunedCorpusDocs)
+		var sb strings.Builder
+		for i := range docs {
+			sb.Reset()
+			ta, tb := prunedTFAlpha(i), prunedTFBeta(i)
+			for j := 0; j < ta; j++ {
+				sb.WriteString("alpha ")
+			}
+			for j := 0; j < tb; j++ {
+				sb.WriteString("beta ")
+			}
+			for j := ta + tb; j < docLen; j++ {
+				sb.WriteString(pads[(i+j)%len(pads)])
+				sb.WriteByte(' ')
+			}
+			mesh := "ctx_other"
+			if i%5 != 0 {
+				mesh = "ctx_a"
+			}
+			if i%16 == 0 {
+				mesh += " ctx_b"
+			}
+			docs[i] = index.Document{Fields: map[string]string{
+				"title": fmt.Sprintf("d%d", i), "content": sb.String(), "mesh": mesh,
+			}}
+		}
+		var ix *index.Index
+		ix, prunedErr = index.BuildFrom(corpus.Schema(), 0, docs)
+		if prunedErr != nil {
+			return
+		}
+		tbl := widetable.FromIndex(ix, []string{"alpha", "beta"})
+		v, err := views.Materialize(tbl, []string{"ctx_a"}, []string{"alpha", "beta"})
+		if err != nil {
+			prunedErr = err
+			return
+		}
+		prunedIx = ix
+		prunedCat = views.NewCatalog([]*views.View{v}, 100, 1<<30)
+	})
+	if prunedErr != nil {
+		t.Fatal(prunedErr)
+	}
+	return prunedIx, prunedCat
+}
+
+func prunedScorers() []ranking.Scorer {
+	return []ranking.Scorer{
+		ranking.NewPivotedTFIDF(),
+		ranking.NewBM25(),
+		ranking.NewDirichletLM(),
+		ranking.NewCosineTFIDF(),
+		ranking.NewJelinekMercerLM(),
+	}
+}
+
+// TestPrunedBitIdenticalToExhaustive is the safety contract: with pruning
+// on, Search must return exactly the exhaustive top-k — same DocIDs, same
+// order, bit-for-bit equal scores — for every scorer, every k, every
+// parallelism, conventional and contextual queries alike. The query pool
+// rotates so the full (scorer × parallelism × k) cross is exercised
+// without scoring the 140k-doc corpus hundreds of times.
+func TestPrunedBitIdenticalToExhaustive(t *testing.T) {
+	ix, _ := buildPrunedSystem(t)
+	queries := []string{
+		"alpha",
+		"beta",
+		"alpha beta",
+		"alpha | ctx_a",
+		"beta | ctx_b",
+		"alpha beta | ctx_a",
+	}
+	ks := []int{1, 10, 100}
+	pars := []int{1, 2, 4}
+	combo := 0
+	for _, sc := range prunedScorers() {
+		for _, p := range pars {
+			exh := New(ix, nil, Options{Parallelism: p, Scorer: sc})
+			prn := New(ix, nil, Options{Parallelism: p, Scorer: sc, Pruning: true})
+			for _, k := range ks {
+				qs := queries[combo%len(queries)]
+				combo++
+				q := query.MustParse(qs)
+				want, wst, err := exh.Search(q, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, gst, err := prn.Search(q, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				label := fmt.Sprintf("%s p=%d k=%d %q", sc.Name(), p, k, qs)
+				if wst.Pruning.Active {
+					t.Fatalf("%s: exhaustive engine reported pruning active", label)
+				}
+				if !gst.Pruning.Active {
+					t.Fatalf("%s: pruning engine did not engage the pruned path", label)
+				}
+				assertBitIdentical(t, label, want, got)
+			}
+		}
+	}
+}
+
+// TestPrunedBitIdenticalWithViews repeats the equivalence check on the
+// view-backed contextual plan: bounds are computed from whatever
+// statistics the query ranks with, so a view-answered S_c(D_P) must
+// prune just as safely as the straightforward one.
+func TestPrunedBitIdenticalWithViews(t *testing.T) {
+	ix, cat := buildPrunedSystem(t)
+	for _, p := range []int{1, 4} {
+		exh := New(ix, cat, Options{Parallelism: p})
+		prn := New(ix, cat, Options{Parallelism: p, Pruning: true})
+		for _, k := range []int{1, 10, 100} {
+			for _, qs := range []string{"alpha | ctx_a", "alpha beta | ctx_a", "beta | ctx_b"} {
+				q := query.MustParse(qs)
+				want, _, err := exh.SearchContextSensitive(q, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, gst, err := prn.SearchContextSensitive(q, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !gst.Pruning.Active {
+					t.Fatalf("views p=%d k=%d %q: pruned path not engaged", p, k, qs)
+				}
+				assertBitIdentical(t, fmt.Sprintf("views p=%d k=%d %q", p, k, qs), want, got)
+			}
+		}
+	}
+}
+
+// TestPrunedSkipsWork asserts pruning actually prunes on the corpus built
+// for it: the last container holds only tf-1 "alpha" documents, so once
+// the top-10 heap fills with the tf≥10 scores of earlier containers, its
+// summed ceiling falls below the threshold and the container is skipped
+// wholesale; low-tf documents inside the surviving containers fail their
+// document-level bound checks too.
+func TestPrunedSkipsWork(t *testing.T) {
+	ix, _ := buildPrunedSystem(t)
+	e := New(ix, nil, Options{Parallelism: 1, Pruning: true})
+	_, st, err := e.Search(query.MustParse("alpha"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Pruning.Active {
+		t.Fatal("pruned path not engaged")
+	}
+	if st.Pruning.ContainersSkipped < 1 {
+		t.Fatalf("ContainersSkipped = %d, want ≥ 1 (tf-1 tail container must be skipped)", st.Pruning.ContainersSkipped)
+	}
+	if st.Pruning.DocsSkipped == 0 {
+		t.Fatal("DocsSkipped = 0, want document-level skips inside surviving containers")
+	}
+	if st.Pruning.BoundChecks < st.Pruning.DocsSkipped {
+		t.Fatalf("BoundChecks %d < DocsSkipped %d", st.Pruning.BoundChecks, st.Pruning.DocsSkipped)
+	}
+	// The cost model must show the savings: a pruned search of the same
+	// query scans strictly fewer posting entries than the exhaustive one.
+	_, est, err := New(ix, nil, Options{Parallelism: 1}).Search(query.MustParse("alpha"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EntriesScanned >= est.EntriesScanned {
+		t.Fatalf("pruned EntriesScanned %d ≥ exhaustive %d", st.EntriesScanned, est.EntriesScanned)
+	}
+}
+
+// TestPrunedDeadlineDegrades: an already-expired per-query deadline with
+// pruning enabled must degrade gracefully — flagged partial (here empty)
+// results and a nil error — exactly like the exhaustive path.
+func TestPrunedDeadlineDegrades(t *testing.T) {
+	ix, _ := buildPrunedSystem(t)
+	for _, p := range []int{1, 4} {
+		e := New(ix, nil, Options{Parallelism: p, Pruning: true, Deadline: time.Nanosecond})
+		res, st, err := e.SearchContextSensitive(query.MustParse("alpha | ctx_a"), 10)
+		if err != nil {
+			t.Fatalf("parallelism %d: expired deadline returned error %v, want degraded result", p, err)
+		}
+		if !st.Degraded || st.DegradedReason == "" {
+			t.Fatalf("parallelism %d: Degraded = %v (%q), want flagged", p, st.Degraded, st.DegradedReason)
+		}
+		if len(res) != 0 {
+			t.Fatalf("parallelism %d: got %d results before any evaluation, want 0", p, len(res))
+		}
+	}
+}
+
+// unboundedScorer wraps BM25 but hides UpperBound, modeling a
+// user-supplied Scorer with no bound derivation.
+type unboundedScorer struct{ inner ranking.Scorer }
+
+func (u unboundedScorer) Name() string { return "unbounded-" + u.inner.Name() }
+func (u unboundedScorer) Score(q ranking.QueryStats, d ranking.DocStats, c ranking.CollectionStats) float64 {
+	return u.inner.Score(q, d, c)
+}
+
+// TestPrunedFallsBackForUnboundedScorer: Options.Pruning with a scorer
+// that cannot bound itself must silently fall back to exhaustive scoring
+// and still return the exact ranking.
+func TestPrunedFallsBackForUnboundedScorer(t *testing.T) {
+	ix, _ := buildPrunedSystem(t)
+	base := New(ix, nil, Options{Parallelism: 2, Scorer: ranking.NewBM25()})
+	e := New(ix, nil, Options{Parallelism: 2, Scorer: unboundedScorer{ranking.NewBM25()}, Pruning: true})
+	q := query.MustParse("alpha | ctx_a")
+	want, _, err := base.Search(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := e.Search(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Pruning.Active {
+		t.Fatal("pruning reported active for a scorer with no UpperBound")
+	}
+	if st.Pruning.ContainersSkipped != 0 || st.Pruning.DocsSkipped != 0 {
+		t.Fatalf("fallback path recorded pruning work: %+v", st.Pruning)
+	}
+	assertBitIdentical(t, "unbounded fallback", want, got)
+}
+
+// TestPrunedZeroAndAllK: k ≤ 0 (return everything) can prune nothing and
+// must take the exhaustive path; a k larger than the result set must
+// return the full set, identically.
+func TestPrunedZeroAndAllK(t *testing.T) {
+	ix, _ := buildPrunedSystem(t)
+	exh := New(ix, nil, Options{Parallelism: 2})
+	prn := New(ix, nil, Options{Parallelism: 2, Pruning: true})
+	q := query.MustParse("beta | ctx_b")
+	want, _, err := exh.Search(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := prn.Search(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Pruning.Active {
+		t.Fatal("k=0 engaged the pruned path; nothing can be pruned when everything is returned")
+	}
+	assertBitIdentical(t, "k=0", want, got)
+
+	want, _, err = exh.Search(q, len(want)+50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = prn.Search(q, len(want)+50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, "k>matches", want, got)
+}

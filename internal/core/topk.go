@@ -3,6 +3,7 @@ package core
 import (
 	"container/heap"
 	"sort"
+	"sync"
 )
 
 // topK keeps the k best results seen so far in a min-heap (the weakest
@@ -14,7 +15,35 @@ type topK struct {
 	all  []Result // used when k ≤ 0
 }
 
-func newTopK(k int) *topK { return &topK{k: k} }
+// topKPool recycles topK values — and, more importantly, their heap
+// backing arrays — across queries and scoring partitions. Only the
+// heap is reused: results() copies it before returning, so nothing a
+// caller holds ever aliases pooled memory. The k ≤ 0 'all' slice is
+// handed to the caller verbatim and therefore never pooled.
+var topKPool = sync.Pool{New: func() any { return new(topK) }}
+
+func newTopK(k int) *topK {
+	t := topKPool.Get().(*topK)
+	t.k = k
+	t.heap = t.heap[:0]
+	t.all = nil
+	return t
+}
+
+// release returns t and its heap backing to the pool. Call only after
+// results() (or on an error path that discards the heap).
+func (t *topK) release() {
+	t.all = nil
+	topKPool.Put(t)
+}
+
+// full reports whether the heap holds k results — the precondition for
+// reading a pruning threshold from it.
+func (t *topK) full() bool { return t.k > 0 && len(t.heap) >= t.k }
+
+// floor returns the weakest kept score (the heap root). Only valid
+// when full() — the root of an underfull heap bounds nothing.
+func (t *topK) floor() float64 { return t.heap[0].Score }
 
 func (t *topK) push(r Result) {
 	if t.k <= 0 {

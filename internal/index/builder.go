@@ -98,8 +98,31 @@ func (b *Builder) Build() *Index {
 		}
 		ix.fields[field] = fi
 	}
+	ix.buildContentBounds()
 	b.terms = nil
 	return ix
+}
+
+// buildContentBounds attaches per-container score-bound metadata
+// (postings.ChunkBound: MaxTF, MinDocLen) to every content-field list.
+// Keyword queries rank over the content field only, so predicate lists —
+// boolean filters that never contribute score — carry no bounds. Called
+// at build time and when loading pre-v3 snapshots.
+func (ix *Index) buildContentBounds() {
+	fi := ix.fields[ix.schema.ContentField]
+	if fi == nil {
+		return
+	}
+	ls := ix.lengths[ix.schema.ContentField]
+	docLen := func(d DocID) int32 {
+		if int(d) < len(ls) {
+			return ls[d]
+		}
+		return 0
+	}
+	for _, l := range fi.terms {
+		l.BuildBounds(docLen)
+	}
 }
 
 // BuildFrom indexes all docs under schema in one call, a convenience for

@@ -235,6 +235,12 @@ type ContainerStats struct {
 	DenseChunks  int
 	TFLists      int // lists carrying an explicit TF array
 	Bytes        int64
+	// BoundedLists counts lists carrying per-container score-bound
+	// metadata (format v3); MaxTF and MinDocLen summarize the list-level
+	// ceilings across them (the loosest bounds pruning ever works with).
+	BoundedLists int
+	MaxTF        uint32
+	MinDocLen    int32
 }
 
 // ContainerStats reports the container breakdown of one field's lists.
@@ -252,6 +258,15 @@ func (ix *Index) ContainerStats(field string) ContainerStats {
 		cs.DenseChunks += d
 		if l.HasTFs() {
 			cs.TFLists++
+		}
+		if l.HasBounds() {
+			if cs.BoundedLists == 0 || l.MinDocLen() < cs.MinDocLen {
+				cs.MinDocLen = l.MinDocLen()
+			}
+			cs.BoundedLists++
+			if l.MaxTF() > cs.MaxTF {
+				cs.MaxTF = l.MaxTF()
+			}
 		}
 		cs.Bytes += l.Bytes()
 	}

@@ -12,13 +12,14 @@ import (
 )
 
 // FormatVersion is the index persistence format written by Encode.
-// Version 2 stores each posting list in the container-aware layout
-// (postings.EncodeList): predicate-shaped lists carry no per-posting TF
-// bytes, and lists rebuild straight into adaptive array/bitset containers
-// on load. Streams written before the version tag existed decode with
-// Version 0 (gob's zero value for a missing field) and take the legacy
-// postings.DecodePostings path, so old index files keep loading.
-const FormatVersion = 2
+// Version 3 extends the container-aware version 2 layout with
+// per-container score-bound metadata (postings.ChunkBound) on the lists
+// that carry it — the block-max data dynamic pruning needs, persisted so
+// a loaded index can prune without a rebuild pass. Version 2 streams
+// (same layout, no bound bytes) and untagged legacy streams (Version 0,
+// postings.DecodePostings) keep loading; their bound metadata is rebuilt
+// from the persisted document lengths at load time.
+const FormatVersion = 3
 
 // maxDocs bounds the collection cardinality a decoder accepts: DocIDs
 // are uint32, so anything above 2^31 documents is either corruption or a
@@ -84,7 +85,9 @@ func (ix *Index) Encode(w io.Writer) error {
 // decodeTermList rebuilds one term's list according to the stream version.
 func decodeTermList(version int, data []byte, segSize int) (*postings.List, error) {
 	switch version {
-	case FormatVersion:
+	case FormatVersion, 2:
+		// Version 2 is the same container-aware layout minus the bound
+		// metadata flag, which the list codec gates per list anyway.
 		return postings.DecodeList(data, segSize)
 	case 0:
 		ps, err := postings.DecodePostings(data)
@@ -93,7 +96,7 @@ func decodeTermList(version int, data []byte, segSize int) (*postings.List, erro
 		}
 		return postings.NewList(ps, segSize), nil
 	default:
-		return nil, fmt.Errorf("unsupported index format version %d (this build reads 0 and %d)", version, FormatVersion)
+		return nil, fmt.Errorf("unsupported index format version %d (this build reads 0, 2 and %d)", version, FormatVersion)
 	}
 }
 
@@ -102,8 +105,8 @@ func decodeTermList(version int, data []byte, segSize int) (*postings.List, erro
 // streams must fail here with a descriptive error, never reach the
 // engine as a garbage index.
 func (p *persistent) validate() error {
-	if p.Version != 0 && p.Version != FormatVersion {
-		return fmt.Errorf("index: unsupported format version %d (this build reads 0 and %d)", p.Version, FormatVersion)
+	if p.Version != 0 && p.Version != 2 && p.Version != FormatVersion {
+		return fmt.Errorf("index: unsupported format version %d (this build reads 0, 2 and %d)", p.Version, FormatVersion)
 	}
 	if p.NumDocs < 0 || p.NumDocs > maxDocs {
 		return fmt.Errorf("index: persisted NumDocs %d out of range [0, %d]", p.NumDocs, maxDocs)
@@ -178,6 +181,12 @@ func Decode(r io.Reader) (*Index, error) {
 			fi.totalTF[term] = l.SumTF()
 		}
 		ix.fields[name] = fi
+	}
+	if p.Version < FormatVersion {
+		// Pre-v3 streams carry no score-bound metadata: rebuild it from
+		// the persisted document lengths so loaded legacy indexes prune
+		// exactly like freshly built ones.
+		ix.buildContentBounds()
 	}
 	return ix, nil
 }

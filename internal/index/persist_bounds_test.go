@@ -1,0 +1,169 @@
+package index
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"strings"
+	"testing"
+
+	"csrank/internal/postings"
+)
+
+// assertSameBounds fails unless both lists carry identical score-bound
+// metadata: same container count, bit-for-bit equal per-container
+// (MaxTF, MinDocLen), same list-level ceilings.
+func assertSameBounds(t *testing.T, label string, want, got *postings.List) {
+	t.Helper()
+	if want.HasBounds() != got.HasBounds() {
+		t.Fatalf("%s: HasBounds %v vs %v", label, want.HasBounds(), got.HasBounds())
+	}
+	if !want.HasBounds() {
+		return
+	}
+	if want.NumChunks() != got.NumChunks() {
+		t.Fatalf("%s: %d containers vs %d", label, want.NumChunks(), got.NumChunks())
+	}
+	for ci := 0; ci < want.NumChunks(); ci++ {
+		if want.ChunkBoundAt(ci) != got.ChunkBoundAt(ci) {
+			t.Fatalf("%s: container %d bound %v vs %v", label, ci, want.ChunkBoundAt(ci), got.ChunkBoundAt(ci))
+		}
+	}
+	if want.MaxTF() != got.MaxTF() || want.MinDocLen() != got.MinDocLen() {
+		t.Fatalf("%s: list ceilings (%d,%d) vs (%d,%d)",
+			label, want.MaxTF(), want.MinDocLen(), got.MaxTF(), got.MinDocLen())
+	}
+}
+
+// boundsTestIndex builds a collection large enough that content lists mix
+// sparse and dense containers, with varied TFs and lengths so bound
+// metadata is non-trivial.
+func boundsTestIndex(t *testing.T) *Index {
+	t.Helper()
+	n := postings.DenseThreshold + 700
+	docs := make([]Document, n)
+	for i := range docs {
+		content := strings.Repeat("shared ", i%5+1) + strings.Repeat("pad ", i%9)
+		if i%3 == 0 {
+			content += strings.Repeat(" rareword", i%4+1)
+		}
+		docs[i] = doc(fmt.Sprintf("doc %d", i), content, "common")
+	}
+	ix, err := BuildFrom(testSchema(), 0, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+// TestPersistV3BoundsRoundTrip: bound metadata built at index time must
+// survive the framed v3 snapshot bit-for-bit — the loaded index prunes
+// from persisted bounds, not a rebuild.
+func TestPersistV3BoundsRoundTrip(t *testing.T) {
+	ix := boundsTestIndex(t)
+	for _, term := range ix.Terms("content") {
+		if !ix.Postings("content", term).HasBounds() {
+			t.Fatalf("content list %q built without bounds", term)
+		}
+	}
+	if ix.Postings("mesh", "common").HasBounds() {
+		t.Fatal("predicate list grew bounds; only scored content lists should carry them")
+	}
+	var buf bytes.Buffer
+	if err := ix.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, term := range ix.Terms("content") {
+		assertSameBounds(t, "content/"+term, ix.Postings("content", term), got.Postings("content", term))
+	}
+	if got.Postings("mesh", "common").HasBounds() {
+		t.Fatal("round trip attached bounds to a predicate list")
+	}
+}
+
+// encodeV2 writes ix exactly the way version-2 builds did: the same
+// container-aware list codec, but with every list stripped of bound
+// metadata before encoding (v2 lists never carried the bounds flag).
+func encodeV2(t *testing.T, ix *Index) []byte {
+	t.Helper()
+	p := persistent{
+		Version: 2,
+		Schema:  ix.schema,
+		SegSize: ix.segSize,
+		NumDocs: ix.numDocs,
+		Lengths: ix.lengths,
+		Stored:  ix.stored,
+		Fields:  make(map[string]persistentField, len(ix.fields)),
+	}
+	for name, fi := range ix.fields {
+		pf := persistentField{
+			TotalLen: fi.totalLen,
+			Terms:    make(map[string][]byte, len(fi.terms)),
+		}
+		for term, l := range fi.terms {
+			bare := postings.NewList(l.Postings(), ix.segSize)
+			if bare.HasBounds() {
+				t.Fatalf("fresh NewList for %q unexpectedly has bounds", term)
+			}
+			pf.Terms[term] = postings.EncodeList(bare)
+		}
+		p.Fields[name] = pf
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&p); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestPersistV2RebuildsBoundsOnLoad: a version-2 stream (no bound bytes)
+// must load cleanly and come out with bound metadata rebuilt from the
+// persisted document lengths, equal to what index-time construction
+// produced.
+func TestPersistV2RebuildsBoundsOnLoad(t *testing.T) {
+	ix := boundsTestIndex(t)
+	got, err := Decode(bytes.NewReader(encodeV2(t, ix)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, term := range ix.Terms("content") {
+		assertSameBounds(t, "v2 content/"+term, ix.Postings("content", term), got.Postings("content", term))
+	}
+	if got.Postings("mesh", "common").HasBounds() {
+		t.Fatal("v2 load attached bounds to a predicate list")
+	}
+}
+
+// TestPersistLegacyRebuildsBounds: untagged version-0 streams
+// (postings.EncodePostings payloads) also come back prunable.
+func TestPersistLegacyRebuildsBounds(t *testing.T) {
+	ix := buildTestIndex(t)
+	got, err := Decode(bytes.NewReader(legacyEncode(t, ix)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, term := range ix.Terms("content") {
+		assertSameBounds(t, "legacy content/"+term, ix.Postings("content", term), got.Postings("content", term))
+	}
+}
+
+// TestCorruptionSweepCoversBounds pins the premise of the framed
+// corruption sweep in fuzz_persist_test.go: the index it exercises
+// actually serializes bound metadata, so truncations and bit flips run
+// through the v3 bound bytes too.
+func TestCorruptionSweepCoversBounds(t *testing.T) {
+	ix := buildTestIndex(t)
+	var n int
+	for _, term := range ix.Terms("content") {
+		if ix.Postings("content", term).HasBounds() {
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("corruption-sweep index has no bounded lists; the sweep no longer covers v3 bound bytes")
+	}
+}

@@ -1,0 +1,274 @@
+package postings
+
+import "math/bits"
+
+// Per-container score-bound metadata for block-max dynamic pruning. Each
+// 2^16-docID chunk of a keyword list records the largest term frequency
+// and the smallest document length among its postings; every built-in
+// ranking formula is monotone nondecreasing in tf and nonincreasing in
+// len(d), so (MaxTF, MinDocLen) suffice to compute a score upper bound
+// for every document the container can contain. The list-level ceiling
+// (max over chunks / min over chunks) orders lists for MaxScore-style
+// essential/non-essential splits.
+//
+// Bounds are built at index time (Builder.Build calls BuildBounds with
+// the field's document lengths) and persisted by the format-v3 codec;
+// older snapshots rebuild them on load. A list without bounds simply
+// disables pruning for queries touching it — correctness never depends
+// on the metadata being present.
+
+// ContainerSpan is the docID width of one adaptive container (2^16): the
+// granularity at which bound metadata is kept and at which the pruned
+// scoring loop can skip work wholesale.
+const ContainerSpan = chunkSpan
+
+// ChunkBound is the score-bound metadata of one container: the largest
+// term frequency and the smallest document length among its postings.
+type ChunkBound struct {
+	MaxTF     uint32
+	MinDocLen int32
+}
+
+// BuildBounds computes per-container (and list-level) score-bound
+// metadata, looking document lengths up through docLen. It must be called
+// before the list is shared across goroutines (index build or load time);
+// the query path only reads the result. Calling it again recomputes the
+// metadata.
+func (l *List) BuildBounds(docLen func(docID uint32) int32) {
+	bounds := make([]ChunkBound, len(l.chunks))
+	g := 0
+	for ci := range l.chunks {
+		b := ChunkBound{MinDocLen: int32(^uint32(0) >> 1)}
+		end := l.offsets[ci+1]
+		visitChunk(l, ci, func(docID uint32) {
+			if tf := l.tfAt(g); tf > b.MaxTF {
+				b.MaxTF = tf
+			}
+			if dl := docLen(docID); dl < b.MinDocLen {
+				b.MinDocLen = dl
+			}
+			g++
+		})
+		if g != end {
+			panic("postings: BuildBounds chunk walk out of sync")
+		}
+		bounds[ci] = b
+	}
+	l.adoptBounds(bounds)
+}
+
+// visitChunk calls fn for every docID of chunk ci in ascending order.
+func visitChunk(l *List, ci int, fn func(docID uint32)) {
+	ch := &l.chunks[ci]
+	if ch.dense() {
+		for w := 0; w < chunkWords; w++ {
+			x := ch.bits[w]
+			for x != 0 {
+				fn(ch.base | uint32(w<<6|bits.TrailingZeros64(x)))
+				x &= x - 1
+			}
+		}
+		return
+	}
+	for _, key := range ch.keys {
+		fn(ch.base | uint32(key))
+	}
+}
+
+// adoptBounds installs a per-chunk bound slice (len must equal the chunk
+// count) and derives the list-level ceilings.
+func (l *List) adoptBounds(bounds []ChunkBound) {
+	l.bounds = bounds
+	l.maxTF = 0
+	l.minLen = 0
+	first := true
+	for _, b := range bounds {
+		if b.MaxTF > l.maxTF {
+			l.maxTF = b.MaxTF
+		}
+		if first || b.MinDocLen < l.minLen {
+			l.minLen = b.MinDocLen
+		}
+		first = false
+	}
+}
+
+// HasBounds reports whether the list carries score-bound metadata.
+func (l *List) HasBounds() bool { return l.bounds != nil }
+
+// MaxTF returns the list-level term-frequency ceiling (0 when the list
+// has no bounds or no postings).
+func (l *List) MaxTF() uint32 { return l.maxTF }
+
+// MinDocLen returns the list-level document-length floor (0 when the
+// list has no bounds or no postings).
+func (l *List) MinDocLen() int32 { return l.minLen }
+
+// ChunkBoundAt returns the bound metadata of chunk ci; for in-package
+// and index-layer inspection (liststats, tests).
+func (l *List) ChunkBoundAt(ci int) ChunkBound { return l.bounds[ci] }
+
+// NumChunks returns the number of populated containers.
+func (l *List) NumChunks() int { return len(l.chunks) }
+
+// BoundCursor is the pruning-aware cursor over a list with (optional)
+// score-bound metadata. It is the exported face of the internal cursor:
+// the same M0 cost accounting (Seeks, SegmentsSkipped, EntriesScanned),
+// plus access to the current container's bound and the ability to skip
+// the rest of a container wholesale when its bound proves no document in
+// it can rank.
+type BoundCursor struct {
+	c cursor
+}
+
+// NewBoundCursor positions a cursor on the first posting of l. st may be
+// nil (no cost accounting).
+func NewBoundCursor(l *List, st *Stats) *BoundCursor {
+	b := &BoundCursor{}
+	b.c.l = l
+	b.c.st = st
+	b.c.enterChunk(0)
+	return b
+}
+
+// Exhausted reports whether the cursor has run off the end of the list.
+func (b *BoundCursor) Exhausted() bool { return b.c.exhausted() }
+
+// DocID returns the current posting's document ID (undefined when
+// exhausted).
+func (b *BoundCursor) DocID() uint32 { return b.c.docID() }
+
+// TF returns the current posting's term frequency.
+func (b *BoundCursor) TF() uint32 { return b.c.tf() }
+
+// Next advances by one posting, charging one scanned entry.
+func (b *BoundCursor) Next() { b.c.next() }
+
+// NextAtLeast advances to the first posting with DocID ≥ target and
+// reports whether one exists, with the M0 model's seek charge.
+func (b *BoundCursor) NextAtLeast(target uint32) bool { return b.c.seek(target) }
+
+// ContainerBase returns the first docID of the current container's range
+// (undefined when exhausted).
+func (b *BoundCursor) ContainerBase() uint32 { return b.c.l.chunks[b.c.ci].base }
+
+// ContainerEnd returns one past the last docID of the current
+// container's range.
+func (b *BoundCursor) ContainerEnd() uint32 { return b.ContainerBase() + ContainerSpan }
+
+// ContainerBound returns the current container's score-bound metadata.
+// ok is false when the cursor is exhausted or the list carries no bounds.
+func (b *BoundCursor) ContainerBound() (bound ChunkBound, ok bool) {
+	if b.c.exhausted() || b.c.l.bounds == nil {
+		return ChunkBound{}, false
+	}
+	return b.c.l.bounds[b.c.ci], true
+}
+
+// NextAtLeastWithBound advances to the first posting with DocID ≥ target
+// and returns it together with its container's bound metadata, so a
+// pruned scoring loop can decide in one call whether the landing
+// container is worth scanning. ok is false when the list is exhausted;
+// bound is the zero value when the list carries no metadata.
+func (b *BoundCursor) NextAtLeastWithBound(target uint32) (docID uint32, bound ChunkBound, ok bool) {
+	if !b.c.seek(target) {
+		return 0, ChunkBound{}, false
+	}
+	bound, _ = b.ContainerBound()
+	return b.c.docID(), bound, true
+}
+
+// TFMask is a survivor set over term frequencies 0..255 for
+// SkipNonSurvivors: bit tf set means a posting with that term frequency
+// might still beat the caller's score threshold. Frequencies ≥ 256 are
+// always treated as survivors, so a mask only ever errs on the side of
+// not skipping.
+type TFMask struct {
+	bits [4]uint64
+}
+
+// Set marks tf as a survivor (tf ≥ 256 is implicit and ignored).
+func (m *TFMask) Set(tf uint32) {
+	if tf < 256 {
+		m.bits[tf>>6] |= 1 << (tf & 63)
+	}
+}
+
+// Clear empties the mask.
+func (m *TFMask) Clear() { m.bits = [4]uint64{} }
+
+func (m *TFMask) has(tf uint32) bool {
+	return tf >= 256 || m.bits[tf>>6]&(1<<(tf&63)) != 0
+}
+
+// SkipNonSurvivors advances the cursor past the run of consecutive
+// postings, starting at the current one, whose term frequencies are not
+// in the survivor mask. It stops on the first survivor or, when the run
+// reaches the end of the current container, on the first posting of the
+// next one, and returns the number of postings skipped. This is the
+// block-internal counterpart of SkipContainer: the per-posting work is
+// one tf-array read instead of a full cursor step, so a pruned scoring
+// loop can dismiss the bulk of a surviving container at memory-scan
+// speed. Dismissed postings charge scanned entries — their term
+// frequencies were examined — never skipped segments. A list without a
+// tf array has implicit tf 1 everywhere: the whole container run is
+// dismissed in O(1) when the mask excludes 1.
+func (b *BoundCursor) SkipNonSurvivors(m *TFMask) int {
+	c := &b.c
+	if c.exhausted() {
+		return 0
+	}
+	l := c.l
+	end := l.offsets[c.ci+1]
+	if l.tfs == nil {
+		if m.has(1) {
+			return 0
+		}
+		n := end - c.gpos
+		c.st.addEntries(int64(n))
+		c.enterChunk(c.ci + 1)
+		return n
+	}
+	g := c.gpos
+	for g < end && !m.has(l.tfs[g]) {
+		g++
+	}
+	n := g - c.gpos
+	if n == 0 {
+		return 0
+	}
+	c.st.addEntries(int64(n))
+	if g == end {
+		c.enterChunk(c.ci + 1)
+		return n
+	}
+	ch := &l.chunks[c.ci]
+	if ch.dense() {
+		c.bit = ch.selectFrom(c.bit, n)
+		c.rank += n
+		c.cur = ch.base | uint32(c.bit)
+	} else {
+		c.ki += n
+		c.cur = ch.base | uint32(ch.keys[c.ki])
+	}
+	c.gpos = g
+	return n
+}
+
+// SkipContainer jumps over the remainder of the current container —
+// every unread posting in it — and lands on the first posting of the
+// next one, reporting whether the list still has postings. The skipped
+// postings charge SegmentsSkipped in M0-model segments (never scanned
+// entries): the §3.2.1 accounting for work a skip structure avoided.
+func (b *BoundCursor) SkipContainer() bool {
+	if b.c.exhausted() {
+		return false
+	}
+	remaining := b.c.l.offsets[b.c.ci+1] - b.c.gpos
+	if remaining > 0 {
+		seg := b.c.l.segSize
+		b.c.st.addSkipped(int64((remaining + seg - 1) / seg))
+	}
+	b.c.enterChunk(b.c.ci + 1)
+	return !b.c.exhausted()
+}

@@ -36,17 +36,23 @@ func EncodePostings(ps []Posting) []byte {
 	return buf
 }
 
-// EncodeList serializes a List in the container-aware layout used by index
-// format version 2: a flags byte (bit 0: explicit TFs present), a uvarint
-// count, the docid gaps (first docid stored +1), and — only when the list
-// carries explicit term frequencies — the TF array as uvarints. Predicate
-// lists (TF = 1 implicit) therefore pay nothing per posting for TFs,
-// unlike EncodePostings which interleaves a TF byte for every entry.
+// EncodeList serializes a List in the container-aware layout used by
+// index formats 2 and 3: a flags byte (bit 0: explicit TFs present,
+// bit 1: per-container score bounds present), a uvarint count, the docid
+// gaps (first docid stored +1), then — only when the respective flag is
+// set — the TF array as uvarints and the per-container (MaxTF,
+// MinDocLen) pairs as uvarints, one pair per populated container in
+// order. Predicate lists (TF = 1 implicit) therefore pay nothing per
+// posting for TFs, unlike EncodePostings which interleaves a TF byte for
+// every entry.
 func EncodeList(l *List) []byte {
 	buf := make([]byte, 0, l.Len()*2+binary.MaxVarintLen64+1)
 	var flags byte
 	if l.HasTFs() {
 		flags |= 1
+	}
+	if l.HasBounds() {
+		flags |= 2
 	}
 	buf = append(buf, flags)
 	var tmp [binary.MaxVarintLen64]byte
@@ -69,6 +75,10 @@ func EncodeList(l *List) []byte {
 	for _, tf := range l.tfs {
 		put(uint64(tf))
 	}
+	for _, b := range l.bounds {
+		put(uint64(b.MaxTF))
+		put(uint64(b.MinDocLen))
+	}
 	return buf
 }
 
@@ -80,7 +90,7 @@ func DecodeList(data []byte, segSize int) (*List, error) {
 		return nil, fmt.Errorf("postings: empty list encoding")
 	}
 	flags := data[0]
-	if flags&^byte(1) != 0 {
+	if flags&^byte(3) != 0 {
 		return nil, fmt.Errorf("postings: unknown list flags %#x", flags)
 	}
 	data = data[1:]
@@ -125,10 +135,31 @@ func DecodeList(data []byte, segSize int) (*List, error) {
 			tfs = append(tfs, uint32(tf))
 		}
 	}
+	l := newListRaw(ids, tfs, segSize, DenseThreshold)
+	if flags&2 != 0 {
+		// One (MaxTF, MinDocLen) pair per populated container; the
+		// container count is fully determined by the docIDs just decoded,
+		// so no length prefix is needed (or trusted).
+		bounds := make([]ChunkBound, len(l.chunks))
+		for i := range bounds {
+			maxTF, n := binary.Uvarint(data)
+			if n <= 0 || maxTF > 1<<32-1 {
+				return nil, fmt.Errorf("postings: corrupt bound max-tf at container %d", i)
+			}
+			data = data[n:]
+			minLen, n := binary.Uvarint(data)
+			if n <= 0 || minLen > 1<<31-1 {
+				return nil, fmt.Errorf("postings: corrupt bound min-len at container %d", i)
+			}
+			data = data[n:]
+			bounds[i] = ChunkBound{MaxTF: uint32(maxTF), MinDocLen: int32(minLen)}
+		}
+		l.adoptBounds(bounds)
+	}
 	if len(data) != 0 {
 		return nil, fmt.Errorf("postings: %d trailing bytes", len(data))
 	}
-	return newListRaw(ids, tfs, segSize, DenseThreshold), nil
+	return l, nil
 }
 
 // DecodePostings reverses EncodePostings. It validates structure (count,

@@ -56,6 +56,26 @@ func (c *chunk) firstFrom(from int) int {
 	return w<<6 + bits.TrailingZeros64(x)
 }
 
+// selectFrom returns the position of the n-th set bit (n ≥ 1) strictly
+// after position bit in the dense chunk. The caller guarantees it
+// exists.
+func (c *chunk) selectFrom(bit, n int) int {
+	w := bit >> 6
+	x := c.bits[w] & (^uint64(0) << (uint(bit&63) + 1))
+	for {
+		if p := bits.OnesCount64(x); p >= n {
+			for ; n > 1; n-- {
+				x &= x - 1
+			}
+			return w<<6 + bits.TrailingZeros64(x)
+		} else {
+			n -= p
+		}
+		w++
+		x = c.bits[w]
+	}
+}
+
 // popRange counts the set bits of the dense chunk in [from, to).
 func (c *chunk) popRange(from, to int) int {
 	if from >= to {

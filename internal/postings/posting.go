@@ -49,6 +49,12 @@ type List struct {
 	tfs     []uint32 // nil ⇒ TF = 1 everywhere
 	n       int
 	segSize int
+	// bounds holds per-container score-bound metadata (parallel to
+	// chunks; nil when never built), with the list-level ceilings cached
+	// in maxTF/minLen. See bounds.go.
+	bounds []ChunkBound
+	maxTF  uint32
+	minLen int32
 }
 
 // newListRaw builds a list from strictly ascending ids (not validated) and

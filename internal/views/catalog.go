@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"csrank/internal/fsx"
 	"csrank/internal/snapshot"
@@ -18,6 +19,24 @@ import (
 // since answering cost is proportional to ViewSize.
 type Catalog struct {
 	views []*View
+	// exact indexes views by the signature of their keyword set K,
+	// mapping to the earliest (hence smallest, by the sort order) view
+	// with exactly that K. A context equal to some view's K hits here in
+	// O(|P|) instead of scanning the catalog; ViewSize monotonicity
+	// (K ⊆ K' ⇒ Size(V_K) ≤ Size(V_K')) guarantees the exact view has
+	// minimal size among all usable views.
+	exact map[string]int
+	// bandStart[i] is the index of the first view whose Size equals
+	// views[i]'s — the start of i's equal-size band. An exact hit must
+	// still check the earlier views of its band: the linear scan would
+	// have returned the first usable equal-size view, and Match promises
+	// the same answer. Views in strictly earlier bands cannot be usable
+	// for the exact view's K: all views are materialized over one data
+	// snapshot at construction, so ViewSize monotonicity held when the
+	// order was fixed. (Usable itself depends only on the immutable K
+	// sets, so later incremental maintenance never changes any Match
+	// answer — it only drifts sizes, which both paths ignore.)
+	bandStart []int
 	// ContextThreshold is T_C: contexts at least this large are covered.
 	ContextThreshold int64
 	// ViewSizeLimit is T_V: the maximum non-empty tuple count per view.
@@ -25,11 +44,48 @@ type Catalog struct {
 }
 
 // NewCatalog builds a catalog from materialized views. Views are kept in
-// ascending size order so Match scans from the cheapest candidate.
+// ascending size order so Match scans from the cheapest candidate, and
+// indexed by keyword-set signature so exact-K contexts match in O(|P|).
 func NewCatalog(vs []*View, tc int64, tv int) *Catalog {
 	sorted := append([]*View(nil), vs...)
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Size() < sorted[j].Size() })
-	return &Catalog{views: sorted, ContextThreshold: tc, ViewSizeLimit: tv}
+	c := &Catalog{views: sorted, ContextThreshold: tc, ViewSizeLimit: tv}
+	c.exact = make(map[string]int, len(sorted))
+	c.bandStart = make([]int, len(sorted))
+	for i, v := range sorted {
+		if i > 0 && sorted[i-1].Size() == v.Size() {
+			c.bandStart[i] = c.bandStart[i-1]
+		} else {
+			c.bandStart[i] = i
+		}
+		sig := keySignature(v.K())
+		if _, dup := c.exact[sig]; !dup {
+			c.exact[sig] = i
+		}
+	}
+	return c
+}
+
+// keySignature joins a sorted, deduplicated term set into a map key.
+// Analyzed terms never contain NUL, so the join is collision-free; Match
+// re-verifies the hit anyway, so even a pathological collision cannot
+// produce a wrong view.
+func keySignature(terms []string) string {
+	return strings.Join(terms, "\x00")
+}
+
+// canonicalTerms returns p sorted and deduplicated, copying only when p
+// is not already canonical (the engine's analyzer always hands Match
+// canonical contexts, so the common case allocates nothing).
+func canonicalTerms(p []string) []string {
+	for i := 1; i < len(p); i++ {
+		if p[i] <= p[i-1] {
+			q := append([]string(nil), p...)
+			sort.Strings(q)
+			return dedupSorted(q)
+		}
+	}
+	return p
 }
 
 // Views returns the catalog's views in ascending size order.
@@ -40,10 +96,31 @@ func (c *Catalog) Len() int { return len(c.views) }
 
 // Match returns the smallest usable view for context p, or nil if no view
 // covers p (the engine then falls back to the straightforward
-// evaluation).
+// evaluation). Contexts equal to some view's keyword set — the common
+// case when view selection mined the query workload — resolve through
+// the signature index without scanning the catalog; everything else
+// falls back to the ordered subset scan. Both paths return exactly the
+// view the plain linear scan would.
 func (c *Catalog) Match(p []string) *View {
+	q := canonicalTerms(p)
+	if i, ok := c.exact[keySignature(q)]; ok {
+		v := c.views[i]
+		// Re-verify the hit (collision paranoia): p ⊆ K plus equal
+		// cardinality of two duplicate-free sets means K == p.
+		if len(v.K()) == len(q) && v.Usable(q) {
+			// The exact view has minimal size among usable views, but the
+			// linear scan returns the *first* usable view in sort order:
+			// an earlier view in the same equal-size band wins if usable.
+			for j := c.bandStart[i]; j < i; j++ {
+				if c.views[j].Usable(q) {
+					return c.views[j]
+				}
+			}
+			return v
+		}
+	}
 	for _, v := range c.views {
-		if v.Usable(p) {
+		if v.Usable(q) {
 			return v
 		}
 	}
