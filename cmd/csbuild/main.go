@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"csrank/internal/corpus"
+	"csrank/internal/index"
 	"csrank/internal/selection"
 )
 
@@ -30,15 +31,22 @@ func main() {
 		segSize = flag.Int("segsize", 0, "posting-list skip-segment size M0 (0 = default 128)")
 		dump    = flag.Bool("dump", false, "also write the raw citations as citations.jsonl")
 		legacy  = flag.Bool("legacy-snapshots", false, "write index.gob and views.gob as raw gob streams (pre-frame format) instead of checksummed snapshots")
+		format  = flag.Int("format", index.MappedFormatVersion, "index file format: 4 = paged mmap-ready, 3 = framed gob snapshot")
 	)
 	flag.Parse()
-	if err := run(*out, *docs, *terms, *topics, *tcFrac, *tv, *seed, *segSize, *dump, *legacy); err != nil {
+	if err := run(*out, *docs, *terms, *topics, *tcFrac, *tv, *seed, *segSize, *dump, *legacy, *format); err != nil {
 		fmt.Fprintln(os.Stderr, "csbuild:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, docs, terms, topics int, tcFrac float64, tv int, seed int64, segSize int, dump, legacy bool) error {
+func run(out string, docs, terms, topics int, tcFrac float64, tv int, seed int64, segSize int, dump, legacy bool, format int) error {
+	if format != index.FormatVersion && format != index.MappedFormatVersion {
+		return fmt.Errorf("unsupported -format %d (this build writes %d or %d)", format, index.FormatVersion, index.MappedFormatVersion)
+	}
+	if legacy && format == index.MappedFormatVersion {
+		return fmt.Errorf("-legacy-snapshots requires -format %d: the paged format is framed by construction", index.FormatVersion)
+	}
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
@@ -82,12 +90,18 @@ func run(out string, docs, terms, topics int, tcFrac float64, tv int, seed int64
 		m.Result.Stats.FrequentTerms, m.Result.Stats.Separators, m.Result.Stats.CliqueRemainders)
 
 	saveIndex, saveViews := ix.SaveFile, m.Catalog.SaveFile
+	if format == index.MappedFormatVersion {
+		saveIndex = ix.SaveMapped
+	}
 	if legacy {
 		saveIndex, saveViews = ix.SaveFileLegacy, m.Catalog.SaveFileLegacy
 	}
-	if err := saveIndex(filepath.Join(out, "index.gob")); err != nil {
+	indexPath := filepath.Join(out, "index.gob")
+	t0 = time.Now()
+	if err := saveIndex(indexPath); err != nil {
 		return err
 	}
+	saveTime := time.Since(t0)
 	if err := saveViews(filepath.Join(out, "views.gob")); err != nil {
 		return err
 	}
@@ -101,14 +115,33 @@ func run(out string, docs, terms, topics int, tcFrac float64, tv int, seed int64
 		}
 		fmt.Printf("dumped raw citations to %s\n", path)
 	}
-	format := "checksummed snapshots"
-	if legacy {
-		format = "legacy raw gob"
+	formatName := fmt.Sprintf("format v%d (paged, mmap-ready)", index.MappedFormatVersion)
+	switch {
+	case legacy:
+		formatName = "legacy raw gob"
+	case format == index.FormatVersion:
+		formatName = fmt.Sprintf("format v%d (checksummed snapshot)", index.FormatVersion)
 	}
-	fmt.Printf("wrote %s and %s as %s (views: %.2f MB)\n",
-		filepath.Join(out, "index.gob"), filepath.Join(out, "views.gob"),
-		format, float64(m.Catalog.TotalBytes())/(1<<20))
+	st, err := os.Stat(indexPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %.2f MB as %s in %s (%.2f bytes/posting on disk)\n",
+		indexPath, float64(st.Size())/(1<<20), formatName, saveTime.Round(time.Millisecond),
+		float64(st.Size())/float64(max64(totalPostings(ix), 1)))
+	fmt.Printf("wrote %s (views: %.2f MB)\n",
+		filepath.Join(out, "views.gob"), float64(m.Catalog.TotalBytes())/(1<<20))
 	return nil
+}
+
+// totalPostings sums postings across every field, the denominator for
+// the on-disk bytes/posting figure.
+func totalPostings(ix *index.Index) int64 {
+	var n int64
+	for _, f := range ix.Schema().Fields {
+		n += ix.ContainerStats(f.Name).Postings
+	}
+	return n
 }
 
 func max64(a, b int64) int64 {

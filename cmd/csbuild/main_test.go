@@ -13,7 +13,7 @@ import (
 
 func TestRunProducesLoadableArtifacts(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, 2000, 100, 0, 0.02, 128, 1, 0, true, false); err != nil {
+	if err := run(dir, 2000, 100, 0, 0.02, 128, 1, 0, true, false, index.MappedFormatVersion); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"index.gob", "views.gob", "mesh.gob", "citations.jsonl"} {
@@ -21,9 +21,19 @@ func TestRunProducesLoadableArtifacts(t *testing.T) {
 			t.Fatalf("missing artifact %s: %v", name, err)
 		}
 	}
+	raw, err := os.ReadFile(filepath.Join(dir, "index.gob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snapshot.IsPaged(raw) {
+		t.Error("default build did not write the paged v4 format")
+	}
 	ix, err := index.LoadFile(filepath.Join(dir, "index.gob"))
 	if err != nil {
 		t.Fatal(err)
+	}
+	if !ix.Mapped() {
+		t.Error("v4 index did not open through the mapped reader")
 	}
 	if ix.NumDocs() != 2000 {
 		t.Errorf("NumDocs = %d", ix.NumDocs())
@@ -45,12 +55,41 @@ func TestRunProducesLoadableArtifacts(t *testing.T) {
 }
 
 func TestRunRejectsBadConfig(t *testing.T) {
-	if err := run(t.TempDir(), 0, 100, 0, 0.02, 128, 1, 0, false, false); err == nil {
+	if err := run(t.TempDir(), 0, 100, 0, 0.02, 128, 1, 0, false, false, index.MappedFormatVersion); err == nil {
 		t.Error("zero docs accepted")
 	}
 	// Unwritable output directory.
-	if err := run("/proc/definitely/not/writable", 100, 50, 0, 0.02, 128, 1, 0, false, false); err == nil {
+	if err := run("/proc/definitely/not/writable", 100, 50, 0, 0.02, 128, 1, 0, false, false, index.MappedFormatVersion); err == nil {
 		t.Error("unwritable dir accepted")
+	}
+	// The paged format is framed by construction: no legacy opt-out.
+	if err := run(t.TempDir(), 100, 50, 0, 0.02, 128, 1, 0, false, true, index.MappedFormatVersion); err == nil {
+		t.Error("legacy-snapshots with the paged format accepted")
+	}
+	if err := run(t.TempDir(), 100, 50, 0, 0.02, 128, 1, 0, false, false, 7); err == nil {
+		t.Error("unknown format version accepted")
+	}
+}
+
+// TestRunGobFormat: -format 3 keeps writing the framed gob snapshot.
+func TestRunGobFormat(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 500, 60, 0, 0.02, 128, 1, 0, false, false, index.FormatVersion); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "index.gob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapshot.IsPaged(raw) || !snapshot.IsFramed(raw) {
+		t.Error("-format 3 did not write a framed gob snapshot")
+	}
+	ix, err := index.LoadFile(filepath.Join(dir, "index.gob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Mapped() {
+		t.Error("gob snapshot opened as mapped")
 	}
 }
 
@@ -58,7 +97,7 @@ func TestRunRejectsBadConfig(t *testing.T) {
 // streams (no snapshot magic) that LoadFile still reads via sniffing.
 func TestRunLegacySnapshots(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, 1000, 80, 0, 0.02, 128, 1, 0, false, true); err != nil {
+	if err := run(dir, 1000, 80, 0, 0.02, 128, 1, 0, false, true, index.FormatVersion); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"index.gob", "views.gob"} {

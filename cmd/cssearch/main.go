@@ -169,15 +169,20 @@ func runInteractive(data, walDir string, k int, mode, scorerName string, paralle
 
 // printListStats reports, per field, how the index's posting lists are
 // laid out in the adaptive container layer — the storage side of the
-// bitmap/array hybrid (index format version 2) — and, since format
-// version 3, how many lists carry per-container score bounds plus the
-// loosest list-level ceilings dynamic pruning works with.
+// bitmap/array hybrid (index format version 2) — how many lists carry
+// per-container score bounds (format v3), and the on-disk block layout
+// of the paged format (v4): encoding mix, payload+directory bytes, and
+// the compression ratio against the decoded in-memory footprint.
 func printListStats(data string, out io.Writer) error {
 	ix, err := index.LoadFile(filepath.Join(data, "index.gob"))
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "index: %s (format v%d)\n", ix, index.FormatVersion)
+	version := index.FormatVersion
+	if ix.Mapped() {
+		version = index.MappedFormatVersion
+	}
+	fmt.Fprintf(out, "index: %s (format v%d)\n", ix, version)
 	for _, f := range ix.Schema().Fields {
 		cs := ix.ContainerStats(f.Name)
 		if cs.Lists == 0 {
@@ -190,6 +195,18 @@ func printListStats(data string, out io.Writer) error {
 			fmt.Fprintf(out, "  %-10s %7d bounded lists  max tf=%d  min doclen=%d\n",
 				"", cs.BoundedLists, cs.MaxTF, cs.MinDocLen)
 		}
+		bs := ix.FieldBlockStats(f.Name)
+		disk := bs.PayloadBytes + bs.DirBytes
+		fmt.Fprintf(out, "  %-10s on disk: %d bytes (%d payload + %d dir)  %.2f bytes/posting  %.2fx vs decoded\n",
+			"", disk, bs.PayloadBytes, bs.DirBytes,
+			float64(disk)/float64maxOne(cs.Postings),
+			float64(cs.Bytes)/float64maxOne(disk))
+		fmt.Fprintf(out, "  %-10s blocks: %d sparse-raw / %d dense-raw / %d packed  %d with tf columns\n",
+			"", bs.SparseRaw, bs.DenseRaw, bs.SparsePacked, bs.TFBlocks)
+	}
+	if ix.Mapped() {
+		budget, used, ins, evs := ix.BlockCacheStats()
+		fmt.Fprintf(out, "  block cache: budget=%d used=%d insertions=%d evictions=%d\n", budget, used, ins, evs)
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"csrank/internal/corpus"
+	"csrank/internal/index"
 	"csrank/internal/selection"
 	"csrank/internal/views"
 	"csrank/internal/wal"
@@ -170,5 +171,48 @@ func TestRunInteractive(t *testing.T) {
 	// Bad scorer surfaces immediately.
 	if err := runInteractive(dir, "", 3, "context", "nope", 0, 0, false, strings.NewReader(""), &out); err == nil {
 		t.Error("unknown scorer accepted")
+	}
+}
+
+// TestListStatsBothFormats: -liststats reports the on-disk block layout
+// for a gob-v3 index and a paged-v4 one, labeling each with its actual
+// format version (cache stats only exist for the mapped reader).
+func TestListStatsBothFormats(t *testing.T) {
+	dir := buildData(t)
+	var v3 bytes.Buffer
+	if err := printListStats(dir, &v3); err != nil {
+		t.Fatal(err)
+	}
+	s := v3.String()
+	if !strings.Contains(s, "format v3") {
+		t.Errorf("v3 dir mislabeled:\n%s", s)
+	}
+	for _, want := range []string{"on disk:", "blocks:", "bytes/posting"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("v3 liststats missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "block cache") {
+		t.Errorf("heap index reports a block cache:\n%s", s)
+	}
+
+	ix, err := index.LoadFile(filepath.Join(dir, "index.gob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.SaveMapped(filepath.Join(dir, "index.gob")); err != nil {
+		t.Fatal(err)
+	}
+	var v4 bytes.Buffer
+	if err := printListStats(dir, &v4); err != nil {
+		t.Fatal(err)
+	}
+	s = v4.String()
+	if !strings.Contains(s, "format v4") || !strings.Contains(s, "block cache") {
+		t.Errorf("v4 liststats wrong:\n%s", s)
+	}
+	// The paged file must also serve searches through the same CLI path.
+	if err := run(dir, "", "disease | anatomy", 3, "context", "bm25", 1, 0, true); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -78,6 +78,12 @@ type PruningStats struct {
 	// ContainersSkipped counts aligned container ranges dismissed
 	// wholesale by the summed per-container ceilings.
 	ContainersSkipped int64
+	// ContainersSkippedUndecoded counts, among the cursors party to those
+	// wholesale dismissals, the containers whose on-disk block was never
+	// decompressed: the bound came from the mapped block directory alone,
+	// so skipping cost zero payload I/O (always 0 on heap indexes, where
+	// every container is resident by definition).
+	ContainersSkippedUndecoded int64
 	// DocsSkipped counts candidate documents dismissed by a
 	// document-level bound without being scored. When the driver list is
 	// a keyword, its bound is checked before the conjunction probe, so
@@ -93,6 +99,7 @@ type PruningStats struct {
 func (p *PruningStats) add(o PruningStats) {
 	p.Active = p.Active || o.Active
 	p.ContainersSkipped += o.ContainersSkipped
+	p.ContainersSkippedUndecoded += o.ContainersSkippedUndecoded
 	p.DocsSkipped += o.DocsSkipped
 	p.BoundChecks += o.BoundChecks
 }
@@ -481,6 +488,11 @@ func (w *prunedWorker) run(ctx context.Context, lo uint32, hi uint64) error {
 			w.pst.ContainersSkipped++
 			alive := true
 			for _, c := range w.curs {
+				if !c.ContainerResident() {
+					// Mapped block dismissed straight off its directory
+					// entry — never decompressed.
+					w.pst.ContainersSkippedUndecoded++
+				}
 				if !c.SkipContainer() {
 					alive = false
 				}
@@ -497,8 +509,13 @@ func (w *prunedWorker) run(ctx context.Context, lo uint32, hi uint64) error {
 		// document before any other cursor moves, so runs of hopeless
 		// candidates are dismissed by the tf survivor mask at tf-array
 		// scan speed — no conjunction probe, no per-posting cursor step.
+		// The ContainerBase conjunct is redundant logically (base ≤ DocID
+		// always) but decisive physically: when the driver has moved on to
+		// a later container whose mapped block is still pending, the base
+		// alone proves the range is done — asking DocID would decompress
+		// the block this loop exists to avoid touching.
 		staged := pq.driver < pq.nk
-		for !driver.Exhausted() && uint64(driver.DocID()) < rangeEnd {
+		for !driver.Exhausted() && uint64(driver.ContainerBase()) < rangeEnd && uint64(driver.DocID()) < rangeEnd {
 			probes++
 			if probes&scoreCheckMask == 0 {
 				if err := ctx.Err(); err != nil {
@@ -571,7 +588,17 @@ func (w *prunedWorker) run(ctx context.Context, lo uint32, hi uint64) error {
 			}
 			driver.Next()
 		}
-		if driver.Exhausted() || uint64(driver.DocID()) >= hi {
+		// End-of-window check, metadata first for the same reason as the
+		// scan condition above. A pending block whose base is inside the
+		// window genuinely might hold in-window documents, so fall through
+		// to the outer loop: its container-skip check gets a chance to
+		// dismiss the block off its directory bounds before anything asks
+		// for a DocID. Only a resident cursor can prove a mid-container
+		// window end here.
+		if driver.Exhausted() || uint64(driver.ContainerBase()) >= hi {
+			return nil
+		}
+		if driver.ContainerResident() && uint64(driver.DocID()) >= hi {
 			return nil
 		}
 	}

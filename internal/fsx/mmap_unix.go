@@ -1,0 +1,35 @@
+//go:build unix
+
+package fsx
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmap maps name read-only. An empty file yields an empty (non-mapped)
+// slice, because zero-length mmap is an EINVAL on most kernels.
+func (osFS) mmap(name string) ([]byte, func() error, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	if size != int64(int(size)) {
+		return nil, nil, syscall.EFBIG
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The fd can close now: the mapping keeps the file content alive.
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

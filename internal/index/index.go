@@ -10,7 +10,9 @@ import (
 	"sort"
 
 	"csrank/internal/analysis"
+	"csrank/internal/fsx"
 	"csrank/internal/postings"
+	"csrank/internal/snapshot"
 )
 
 // DocID identifies a document within an index. IDs are dense and assigned
@@ -78,7 +80,10 @@ type fieldIndex struct {
 	totalTF map[string]int64
 }
 
-// Index is an immutable inverted index built by a Builder.
+// Index is an immutable inverted index built by a Builder, loaded from a
+// gob snapshot, or opened from a memory-mapped format-v4 file. The three
+// share every accessor; a mapped index additionally owns its paged image
+// and the decoded-block cache, and must be Closed when done.
 type Index struct {
 	schema  Schema
 	fields  map[string]*fieldIndex
@@ -86,6 +91,12 @@ type Index struct {
 	stored  map[string][]string
 	numDocs int
 	segSize int
+
+	// Mapped-index state (nil / empty for heap indexes).
+	paged   *snapshot.PagedFile
+	mapping *fsx.Mapping
+	cache   *postings.BlockCache
+	stviews map[string]*storedView // stored fields read in place
 }
 
 // Schema returns the schema the index was built with.
@@ -195,6 +206,11 @@ func (ix *Index) TermsWithMinDF(field string, minDF int64) []string {
 // StoredField returns the stored raw text of field for doc ("" if the field
 // is not stored or the doc is out of range).
 func (ix *Index) StoredField(doc DocID, field string) string {
+	if v, ok := ix.stviews[field]; ok {
+		// Mapped index: the string materializes from the mapping on
+		// demand; nothing was decoded at open time.
+		return v.at(doc)
+	}
 	vs := ix.stored[field]
 	if vs == nil || int(doc) >= len(vs) {
 		return ""
@@ -271,4 +287,21 @@ func (ix *Index) ContainerStats(field string) ContainerStats {
 		cs.Bytes += l.Bytes()
 	}
 	return cs
+}
+
+// FieldBlockStats aggregates the format-v4 block layout over one field's
+// posting lists: encoding mix and on-disk footprint. On a mapped index
+// this reads block directories; on a heap index it measures what
+// SaveMapped would write, so csbuild can report the disk footprint of
+// either representation.
+func (ix *Index) FieldBlockStats(field string) postings.BlockStats {
+	var bs postings.BlockStats
+	fi := ix.fields[field]
+	if fi == nil {
+		return bs
+	}
+	for _, l := range fi.terms {
+		bs.AddTo(l.BlockStats())
+	}
+	return bs
 }

@@ -1,0 +1,336 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"csrank/internal/fsx"
+	"csrank/internal/postings"
+)
+
+// synthIndex builds a randomized multi-field index large enough to
+// produce sparse, dense and packed blocks plus elided TF columns.
+func synthIndex(t testing.TB, rng *rand.Rand, numDocs int) *Index {
+	t.Helper()
+	vocab := make([]string, 120)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("w%02d", i)
+	}
+	mesh := []string{"neoplasms", "hemic_system", "digestive_system", "viruses", "parasites"}
+	docs := make([]Document, numDocs)
+	for d := range docs {
+		var content []string
+		for n := rng.Intn(30) + 3; n > 0; n-- {
+			w := vocab[rng.Intn(len(vocab))]
+			for r := rng.Intn(3) + 1; r > 0; r-- {
+				content = append(content, w)
+			}
+		}
+		docs[d] = doc(
+			"title "+vocab[rng.Intn(len(vocab))],
+			strings.Join(content, " "),
+			mesh[rng.Intn(len(mesh))]+" "+mesh[rng.Intn(len(mesh))],
+		)
+	}
+	ix, err := BuildFrom(testSchema(), 4, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+// assertIndexesEqual checks every query-visible accessor agrees.
+func assertIndexesEqual(t *testing.T, want, got *Index) {
+	t.Helper()
+	if want.NumDocs() != got.NumDocs() || want.SegmentSize() != got.SegmentSize() {
+		t.Fatalf("shape differs: %d/%d docs, %d/%d segsize",
+			want.NumDocs(), got.NumDocs(), want.SegmentSize(), got.SegmentSize())
+	}
+	for _, f := range []string{"title", "content", "mesh"} {
+		wt, gt := want.Terms(f), got.Terms(f)
+		if len(wt) != len(gt) {
+			t.Fatalf("field %q: %d vs %d terms", f, len(gt), len(wt))
+		}
+		if want.TotalFieldLen(f) != got.TotalFieldLen(f) {
+			t.Fatalf("field %q: TotalFieldLen differs", f)
+		}
+		for i, term := range wt {
+			if gt[i] != term {
+				t.Fatalf("field %q: term %d is %q, want %q", f, i, gt[i], term)
+			}
+			if want.DF(f, term) != got.DF(f, term) {
+				t.Fatalf("field %q term %q: DF differs", f, term)
+			}
+			if want.TotalTF(f, term) != got.TotalTF(f, term) {
+				t.Fatalf("field %q term %q: TotalTF %d vs %d", f, term, got.TotalTF(f, term), want.TotalTF(f, term))
+			}
+			wl, gl := want.Postings(f, term), got.Postings(f, term)
+			if wl.Len() != gl.Len() || wl.HasTFs() != gl.HasTFs() || wl.HasBounds() != gl.HasBounds() {
+				t.Fatalf("field %q term %q: list shape differs", f, term)
+			}
+			type pt struct{ d, tf uint32 }
+			var wps, gps []pt
+			wl.ForEach(func(d, tf uint32) { wps = append(wps, pt{d, tf}) })
+			gl.ForEach(func(d, tf uint32) { gps = append(gps, pt{d, tf}) })
+			for i := range wps {
+				if wps[i] != gps[i] {
+					t.Fatalf("field %q term %q: posting %d differs", f, term, i)
+				}
+			}
+			if wl.HasBounds() {
+				for ci := 0; ci < wl.NumChunks(); ci++ {
+					if wl.ChunkBoundAt(ci) != gl.ChunkBoundAt(ci) {
+						t.Fatalf("field %q term %q: bound %d differs", f, term, ci)
+					}
+				}
+			}
+		}
+	}
+	for d := DocID(0); int(d) < want.NumDocs(); d++ {
+		for _, f := range []string{"title", "content", "mesh"} {
+			if want.FieldLen(d, f) != got.FieldLen(d, f) {
+				t.Fatalf("doc %d field %q: length differs", d, f)
+			}
+		}
+		if want.StoredField(d, "title") != got.StoredField(d, "title") {
+			t.Fatalf("doc %d: stored title differs", d)
+		}
+	}
+}
+
+func TestMappedCopyEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, numDocs := range []int{3, 50, 400} {
+		ix := synthIndex(t, rng, numDocs)
+		mx, err := MappedCopy(ix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mx.Mapped() || ix.Mapped() {
+			t.Fatalf("Mapped() flags wrong")
+		}
+		assertIndexesEqual(t, ix, mx)
+		if err := mx.Verify(); err != nil {
+			t.Fatalf("Verify: %v", err)
+		}
+	}
+}
+
+func TestMappedFileRoundTrip(t *testing.T) {
+	ix := synthIndex(t, rand.New(rand.NewSource(2)), 200)
+	path := filepath.Join(t.TempDir(), "index.v4")
+	if err := ix.SaveMapped(path); err != nil {
+		t.Fatal(err)
+	}
+	mx, err := OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mx.Close()
+	assertIndexesEqual(t, ix, mx)
+	if err := mx.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// LoadFile negotiates to the mapped reader by magic.
+	lx, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lx.Close()
+	if !lx.Mapped() {
+		t.Fatalf("LoadFile did not map a v4 file")
+	}
+	assertIndexesEqual(t, ix, lx)
+}
+
+// TestMappedV3V4RoundTripEquivalence saves the same index in both
+// formats, reloads each, re-saves the mapped one back to v3 and reloads
+// again: every hop must preserve the full query-visible state.
+func TestMappedV3V4RoundTripEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 5; trial++ {
+		ix := synthIndex(t, rng, rng.Intn(300)+10)
+		dir := t.TempDir()
+		v3 := filepath.Join(dir, "index.v3")
+		v4 := filepath.Join(dir, "index.v4")
+		if err := ix.SaveFile(v3); err != nil {
+			t.Fatal(err)
+		}
+		if err := ix.SaveMapped(v4); err != nil {
+			t.Fatal(err)
+		}
+		ix3, err := LoadFile(v3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix4, err := LoadFile(v4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIndexesEqual(t, ix3, ix4)
+		// Mapped → gob re-save → reload: the downgrade path.
+		back := filepath.Join(dir, "back.v3")
+		if err := ix4.SaveFile(back); err != nil {
+			t.Fatal(err)
+		}
+		ixb, err := LoadFile(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIndexesEqual(t, ix, ixb)
+		ix4.Close()
+	}
+}
+
+// TestMappedDetectsCorruption bit-flips every byte of a v4 image and
+// truncates it at every length: each mutation must fail OpenMappedBytes
+// or Verify. Small pages keep the sweep fast without losing a code path.
+func TestMappedDetectsCorruption(t *testing.T) {
+	ix := synthIndex(t, rand.New(rand.NewSource(4)), 40)
+	var buf bytes.Buffer
+	if err := ix.WritePaged(&buf, 64); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	check := func(img []byte) error {
+		mx, err := OpenMappedBytes(img, 0)
+		if err != nil {
+			return err
+		}
+		return mx.Verify()
+	}
+	if err := check(full); err != nil {
+		t.Fatalf("pristine image rejected: %v", err)
+	}
+	for cut := 0; cut < len(full); cut++ {
+		if check(full[:cut]) == nil {
+			t.Fatalf("truncation to %d bytes verified cleanly", cut)
+		}
+	}
+	mut := append([]byte(nil), full...)
+	for off := 0; off < len(mut); off++ {
+		bit := byte(1) << uint(off%8)
+		mut[off] ^= bit
+		if check(mut) == nil {
+			t.Fatalf("bit flip at byte %d verified cleanly", off)
+		}
+		mut[off] ^= bit
+	}
+}
+
+// TestMappedCorruptBlockFailsQueryNotOpen: flipping a payload byte is
+// invisible to the lazy open but must surface as a *BlockCorruptError
+// panic the moment the block materializes.
+func TestMappedCorruptBlockFailsQueryNotOpen(t *testing.T) {
+	ix := synthIndex(t, rand.New(rand.NewSource(5)), 100)
+	var buf bytes.Buffer
+	if err := ix.WritePaged(&buf, 64); err != nil {
+		t.Fatal(err)
+	}
+	img := buf.Bytes()
+	// Locate the postings section by diffing against the pristine open.
+	mx, err := OpenMappedBytes(img, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec, ok := mx.paged.Section("postings")
+	if !ok || len(sec) == 0 {
+		t.Fatal("no postings section")
+	}
+	// Flip a byte inside the section (located by pointer identity within
+	// the shared backing array).
+	off := bytesIndexWithin(img, sec) + len(sec)/2
+	img[off] ^= 0x10
+	mx2, err := OpenMappedBytes(img, 0)
+	if err != nil {
+		t.Fatalf("lazy open rejected payload corruption eagerly: %v", err)
+	}
+	if mx2.Verify() == nil {
+		t.Fatal("Verify missed payload corruption")
+	}
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("walking corrupt payload did not panic")
+		} else if _, ok := r.(*postings.BlockCorruptError); !ok {
+			t.Fatalf("panic %T, want *BlockCorruptError", r)
+		}
+	}()
+	for _, f := range []string{"title", "content", "mesh"} {
+		for _, term := range mx2.Terms(f) {
+			mx2.Postings(f, term).ForEach(func(d, tf uint32) {})
+		}
+	}
+	t.Fatal("no block decoded the corrupt byte") // unreachable if flip landed in a real block
+}
+
+// bytesIndexWithin returns the offset of sub within outer, where sub is
+// a subslice of outer's backing array.
+func bytesIndexWithin(outer, sub []byte) int {
+	if len(sub) == 0 {
+		return 0
+	}
+	for i := range outer {
+		if &outer[i] == &sub[0] {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestMappedOpenThroughFaultFS exercises the read-all fallback path:
+// FaultFS cannot mmap, so MapFile copies — the reader must behave
+// identically.
+func TestMappedOpenThroughFaultFS(t *testing.T) {
+	ix := synthIndex(t, rand.New(rand.NewSource(6)), 80)
+	path := filepath.Join(t.TempDir(), "index.v4")
+	if err := ix.SaveMapped(path); err != nil {
+		t.Fatal(err)
+	}
+	ffs := fsx.NewFaultFS(fsx.OS)
+	mx, err := LoadFileFS(ffs, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mx.Mapped() {
+		t.Fatal("fallback reader should still report Mapped")
+	}
+	assertIndexesEqual(t, ix, mx)
+}
+
+func TestMappedRejectsGarbage(t *testing.T) {
+	if _, err := OpenMappedBytes([]byte("not a paged file at all"), 0); err == nil {
+		t.Fatal("garbage opened")
+	}
+	if _, err := OpenMappedBytes(nil, 0); err == nil {
+		t.Fatal("empty image opened")
+	}
+}
+
+func TestMappedBlockCacheAccounting(t *testing.T) {
+	ix := synthIndex(t, rand.New(rand.NewSource(8)), 500)
+	var buf bytes.Buffer
+	if err := ix.WritePaged(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	mx, err := OpenMappedBytes(buf.Bytes(), 4096) // tiny budget
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, term := range mx.Terms("content") {
+		mx.Postings("content", term).ForEach(func(d, tf uint32) {})
+	}
+	budget, used, ins, _ := mx.BlockCacheStats()
+	if budget != 4096 {
+		t.Fatalf("budget %d", budget)
+	}
+	if ins == 0 {
+		t.Fatal("no decoded blocks charged (expected some TF columns)")
+	}
+	if used > 2*budget {
+		t.Fatalf("cache used %d far over budget", used)
+	}
+}

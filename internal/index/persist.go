@@ -2,6 +2,7 @@ package index
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -20,6 +21,38 @@ import (
 // postings.DecodePostings) keep loading; their bound metadata is rebuilt
 // from the persisted document lengths at load time.
 const FormatVersion = 3
+
+// gobFormatVersions is the single source of truth for every gob-stream
+// format version this build reads (the paged format v4 negotiates by
+// magic, not by this list). Error messages derive from it so they can
+// never drift from the switch in decodeTermList.
+var gobFormatVersions = []int{0, 2, FormatVersion}
+
+// supportedGobVersions renders gobFormatVersions for error messages
+// ("0, 2 and 3").
+func supportedGobVersions() string {
+	var b []byte
+	for i, v := range gobFormatVersions {
+		switch {
+		case i == 0:
+		case i == len(gobFormatVersions)-1:
+			b = append(b, " and "...)
+		default:
+			b = append(b, ", "...)
+		}
+		b = fmt.Appendf(b, "%d", v)
+	}
+	return string(b)
+}
+
+func isGobFormatVersion(v int) bool {
+	for _, g := range gobFormatVersions {
+		if v == g {
+			return true
+		}
+	}
+	return false
+}
 
 // maxDocs bounds the collection cardinality a decoder accepts: DocIDs
 // are uint32, so anything above 2^31 documents is either corruption or a
@@ -60,13 +93,22 @@ type persistentField struct {
 // This is the raw payload; SaveFile wraps it in the checksummed snapshot
 // frame.
 func (ix *Index) Encode(w io.Writer) error {
+	stored := ix.stored
+	if len(ix.stviews) > 0 {
+		// Mapped index being re-saved to the gob format: materialize the
+		// in-place stored fields.
+		stored = make(map[string][]string, len(ix.stviews))
+		for f := range ix.stviews {
+			stored[f] = ix.storedSlice(f)
+		}
+	}
 	p := persistent{
 		Version: FormatVersion,
 		Schema:  ix.schema,
 		SegSize: ix.segSize,
 		NumDocs: ix.numDocs,
 		Lengths: ix.lengths,
-		Stored:  ix.stored,
+		Stored:  stored,
 		Fields:  make(map[string]persistentField, len(ix.fields)),
 	}
 	for name, fi := range ix.fields {
@@ -96,7 +138,7 @@ func decodeTermList(version int, data []byte, segSize int) (*postings.List, erro
 		}
 		return postings.NewList(ps, segSize), nil
 	default:
-		return nil, fmt.Errorf("unsupported index format version %d (this build reads 0, 2 and %d)", version, FormatVersion)
+		return nil, fmt.Errorf("unsupported index format version %d (this build reads %s)", version, supportedGobVersions())
 	}
 }
 
@@ -105,8 +147,8 @@ func decodeTermList(version int, data []byte, segSize int) (*postings.List, erro
 // streams must fail here with a descriptive error, never reach the
 // engine as a garbage index.
 func (p *persistent) validate() error {
-	if p.Version != 0 && p.Version != 2 && p.Version != FormatVersion {
-		return fmt.Errorf("index: unsupported format version %d (this build reads 0, 2 and %d)", p.Version, FormatVersion)
+	if !isGobFormatVersion(p.Version) {
+		return fmt.Errorf("index: unsupported format version %d (this build reads %s)", p.Version, supportedGobVersions())
 	}
 	if p.NumDocs < 0 || p.NumDocs > maxDocs {
 		return fmt.Errorf("index: persisted NumDocs %d out of range [0, %d]", p.NumDocs, maxDocs)
@@ -204,12 +246,21 @@ func (ix *Index) WriteSnapshot(w io.Writer) error {
 	return sw.Close()
 }
 
-// ReadSnapshot reads an index from either a framed snapshot or a legacy
-// raw-gob stream (sniffed by magic), verifying all checksums in the
-// framed case.
+// ReadSnapshot reads an index from a format-v4 paged image, a framed
+// snapshot, or a legacy raw-gob stream (sniffed by magic), verifying
+// checksums per the format's contract. A paged stream is read fully
+// into memory — callers that want the mapping should use OpenMapped
+// (LoadFileFS routes there automatically).
 func ReadSnapshot(r io.Reader) (*Index, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	prefix, err := br.Peek(len(snapshot.Magic))
+	if err == nil && snapshot.IsPaged(prefix) {
+		data, err := io.ReadAll(io.LimitReader(br, maxDecodeBytes))
+		if err != nil {
+			return nil, fmt.Errorf("index: %w", err)
+		}
+		return OpenMappedBytes(data, 0)
+	}
 	if err != nil || !snapshot.IsFramed(prefix) {
 		// Legacy raw gob (or too short to be framed — let gob report it).
 		return Decode(br)
@@ -272,12 +323,21 @@ func LoadFile(path string) (*Index, error) {
 	return LoadFileFS(fsx.OS, path)
 }
 
-// LoadFileFS is LoadFile against an explicit filesystem.
+// LoadFileFS is LoadFile against an explicit filesystem. Format
+// negotiation is by magic: a v4 paged file is memory-mapped through
+// OpenMappedFS (zero-decode open); framed-v2/v3 and legacy raw-gob
+// files decode through ReadSnapshot as before.
 func LoadFileFS(fs fsx.FS, path string) (*Index, error) {
 	f, err := fs.Open(path)
 	if err != nil {
 		return nil, err
 	}
+	var prefix [8]byte
+	n, _ := io.ReadFull(f, prefix[:])
+	if snapshot.IsPaged(prefix[:n]) {
+		f.Close()
+		return OpenMappedFS(fs, path, DefaultBlockCacheBudget)
+	}
 	defer f.Close()
-	return ReadSnapshot(f)
+	return ReadSnapshot(io.MultiReader(bytes.NewReader(prefix[:n]), f))
 }

@@ -1,0 +1,102 @@
+package postings
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// BlockCache bounds the heap held by decoded mapped blocks. Only blocks
+// that required real decoding are charged — packed docIDs and uvarint TF
+// columns — while zero-copy views of the mapping weigh nothing and are
+// memoized permanently in their list's slot. Eviction is FIFO: the
+// oldest decoded block's slot is cleared, so the next touch re-decodes
+// it; readers that obtained the payload pointer before the eviction keep
+// using it safely (the garbage collector keeps it alive for them).
+//
+// FIFO rather than LRU is deliberate: the query kernels stream blocks in
+// ascending docID order, so recency tracking buys little, and a hit
+// costs one atomic load with no bookkeeping writes on the hot path.
+type BlockCache struct {
+	mu     sync.Mutex
+	budget int64
+	used   int64
+	// FIFO of charged slots. An entry's slot may have been re-filled
+	// after an earlier eviction; the Swap in evict keeps the accounting
+	// exact either way because a block's decoded weight is deterministic.
+	fifo []blockCacheEntry
+
+	insertions atomic.Int64
+	evictions  atomic.Int64
+}
+
+type blockCacheEntry struct {
+	slot   *atomic.Pointer[chunkPayload]
+	weight int64
+}
+
+// NewBlockCache returns a cache that keeps at most budget bytes of
+// decoded block payloads. A nil *BlockCache is valid and means
+// "memoize everything, never evict".
+func NewBlockCache(budget int64) *BlockCache {
+	if budget <= 0 {
+		return nil
+	}
+	return &BlockCache{budget: budget}
+}
+
+// insert charges a freshly decoded block and evicts the oldest charged
+// blocks until the budget holds again. The new entry is evicted last,
+// so a single block larger than the whole budget is simply not retained.
+func (c *BlockCache) insert(slot *atomic.Pointer[chunkPayload], weight int64) {
+	c.insertions.Add(1)
+	c.mu.Lock()
+	c.fifo = append(c.fifo, blockCacheEntry{slot: slot, weight: weight})
+	c.used += weight
+	for c.used > c.budget && len(c.fifo) > 0 {
+		e := c.fifo[0]
+		c.fifo[0] = blockCacheEntry{}
+		c.fifo = c.fifo[1:]
+		if p := e.slot.Swap(nil); p != nil {
+			c.used -= e.weight
+		}
+		c.evictions.Add(1)
+	}
+	if len(c.fifo) == 0 {
+		c.fifo = nil // let the drained backing array go
+	}
+	c.mu.Unlock()
+}
+
+// Used returns the bytes currently charged to the cache.
+func (c *BlockCache) Used() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Budget returns the configured byte budget (0 for a nil cache).
+func (c *BlockCache) Budget() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.budget
+}
+
+// Insertions returns how many decoded blocks were ever charged.
+func (c *BlockCache) Insertions() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.insertions.Load()
+}
+
+// Evictions returns how many cache entries were evicted.
+func (c *BlockCache) Evictions() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.evictions.Load()
+}

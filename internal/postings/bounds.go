@@ -36,20 +36,19 @@ type ChunkBound struct {
 // metadata.
 func (l *List) BuildBounds(docLen func(docID uint32) int32) {
 	bounds := make([]ChunkBound, len(l.chunks))
-	g := 0
 	for ci := range l.chunks {
 		b := ChunkBound{MinDocLen: int32(^uint32(0) >> 1)}
-		end := l.offsets[ci+1]
-		visitChunk(l, ci, func(docID uint32) {
-			if tf := l.tfAt(g); tf > b.MaxTF {
+		n := 0
+		visitChunk(l, ci, func(docID, tf uint32) {
+			if tf > b.MaxTF {
 				b.MaxTF = tf
 			}
 			if dl := docLen(docID); dl < b.MinDocLen {
 				b.MinDocLen = dl
 			}
-			g++
+			n++
 		})
-		if g != end {
+		if n != int(l.chunks[ci].n) {
 			panic("postings: BuildBounds chunk walk out of sync")
 		}
 		bounds[ci] = b
@@ -57,21 +56,25 @@ func (l *List) BuildBounds(docLen func(docID uint32) int32) {
 	l.adoptBounds(bounds)
 }
 
-// visitChunk calls fn for every docID of chunk ci in ascending order.
-func visitChunk(l *List, ci int, fn func(docID uint32)) {
-	ch := &l.chunks[ci]
-	if ch.dense() {
+// visitChunk calls fn for every (docID, tf) of chunk ci in ascending
+// docID order.
+func visitChunk(l *List, ci int, fn func(docID, tf uint32)) {
+	base := l.chunks[ci].base
+	keys, bs, tfs := l.payload(ci)
+	if bs != nil {
+		r := 0
 		for w := 0; w < chunkWords; w++ {
-			x := ch.bits[w]
+			x := bs[w]
 			for x != 0 {
-				fn(ch.base | uint32(w<<6|bits.TrailingZeros64(x)))
+				fn(base|uint32(w<<6|bits.TrailingZeros64(x)), tfOf(tfs, r))
 				x &= x - 1
+				r++
 			}
 		}
 		return
 	}
-	for _, key := range ch.keys {
-		fn(ch.base | uint32(key))
+	for r, key := range keys {
+		fn(base|uint32(key), tfOf(tfs, r))
 	}
 }
 
@@ -220,7 +223,11 @@ func (b *BoundCursor) SkipNonSurvivors(m *TFMask) int {
 	}
 	l := c.l
 	end := l.offsets[c.ci+1]
-	if l.tfs == nil {
+	if !l.blockHasTFs(c.ci) {
+		// TF = 1 for the whole block — the list drops TF storage, or this
+		// mapped block elided an all-ones TF column. Either the mask keeps
+		// 1 (nothing to skip) or the entire remaining run is dismissed in
+		// O(1), without materializing a mapped block.
 		if m.has(1) {
 			return 0
 		}
@@ -229,8 +236,12 @@ func (b *BoundCursor) SkipNonSurvivors(m *TFMask) int {
 		c.enterChunk(c.ci + 1)
 		return n
 	}
+	if c.pending {
+		c.resolve()
+	}
+	off := l.offsets[c.ci]
 	g := c.gpos
-	for g < end && !m.has(l.tfs[g]) {
+	for g < end && !m.has(c.tfs[g-off]) {
 		g++
 	}
 	n := g - c.gpos
@@ -242,17 +253,29 @@ func (b *BoundCursor) SkipNonSurvivors(m *TFMask) int {
 		c.enterChunk(c.ci + 1)
 		return n
 	}
-	ch := &l.chunks[c.ci]
-	if ch.dense() {
-		c.bit = ch.selectFrom(c.bit, n)
+	base := l.chunks[c.ci].base
+	if c.bits != nil {
+		c.bit = bitsSelectFrom(c.bits, c.bit, n)
 		c.rank += n
-		c.cur = ch.base | uint32(c.bit)
+		c.cur = base | uint32(c.bit)
 	} else {
 		c.ki += n
-		c.cur = ch.base | uint32(ch.keys[c.ki])
+		c.cur = base | uint32(c.keys[c.ki])
 	}
 	c.gpos = g
 	return n
+}
+
+// ContainerResident reports whether the current container's payload is
+// resident in memory: always for a heap list, only after
+// materialization for a mapped block. The pruned path reads it before
+// SkipContainer to count containers dismissed without ever decoding
+// their on-disk blocks.
+func (b *BoundCursor) ContainerResident() bool {
+	if b.c.exhausted() {
+		return true
+	}
+	return b.c.l.residentAt(b.c.ci)
 }
 
 // SkipContainer jumps over the remainder of the current container —

@@ -63,7 +63,12 @@ func EncodeList(l *List) []byte {
 	put(uint64(l.Len()))
 	prev := uint32(0)
 	first := true
-	l.ForEach(func(d, _ uint32) {
+	writeTFs := l.HasTFs()
+	var tfBuf []uint32
+	if writeTFs {
+		tfBuf = make([]uint32, 0, l.Len())
+	}
+	l.ForEach(func(d, tf uint32) {
 		if first {
 			put(uint64(d) + 1)
 			first = false
@@ -71,8 +76,11 @@ func EncodeList(l *List) []byte {
 			put(uint64(d - prev))
 		}
 		prev = d
+		if writeTFs {
+			tfBuf = append(tfBuf, tf)
+		}
 	})
-	for _, tf := range l.tfs {
+	for _, tf := range tfBuf {
 		put(uint64(tf))
 	}
 	for _, b := range l.bounds {

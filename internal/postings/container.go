@@ -11,6 +11,15 @@ import "math/bits"
 // entirely (TF = 1 is implicit). Dense chunks make count-only
 // intersections — the γ_count work that dominates the paper's cost model —
 // a word-AND plus popcount instead of a merge.
+//
+// Since format v4 a chunk is either *heap-resident* (keys or bits
+// populated, as built by buildChunks) or *mapped* (keys and bits nil;
+// the payload lives in an on-disk block reached through the list's
+// mappedSource and is materialized on demand). Every kernel below asks
+// for a chunk's payload through List.payload, which is a field read for
+// heap chunks and a lazy decode for mapped ones; chunk-level metadata
+// (base, n, representation) is always resident, so alignment, skipping
+// and routing decisions never touch the payload.
 const (
 	chunkBits  = 16
 	chunkSpan  = 1 << chunkBits // docIDs covered by one chunk
@@ -22,46 +31,50 @@ const (
 	DenseThreshold = 4096
 )
 
-// chunk holds the documents of one 2^16-wide docID range in exactly one of
-// the two representations.
+// chunk holds the documents of one 2^16-wide docID range. Heap chunks
+// store the payload inline in exactly one of the two representations;
+// mapped chunks store only metadata plus the block encoding tag.
 type chunk struct {
 	base uint32 // first docID of the range (low 16 bits zero)
 	n    int32
-	keys []uint16 // sparse: sorted low-16-bit keys; nil when dense
-	bits []uint64 // dense: chunkWords-word bitset; nil when sparse
+	enc  uint8    // block encoding (mapped lists); heap chunks leave it 0
+	keys []uint16 // sparse: sorted low-16-bit keys; nil when dense or mapped
+	bits []uint64 // dense: chunkWords-word bitset; nil when sparse or mapped
 }
 
-func (c *chunk) dense() bool { return c.bits != nil }
+// dense reports the chunk's representation. For mapped chunks the
+// answer comes from the encoding tag, so it never requires the payload.
+func (c *chunk) dense() bool { return c.bits != nil || c.enc == BlockDenseRaw }
 
-// has reports whether the dense chunk contains the low-16-bit key lo.
-func (c *chunk) has(lo uint32) bool {
-	return c.bits[lo>>6]&(1<<(lo&63)) != 0
+// bitsHas reports whether the bitset contains the low-16-bit key lo.
+func bitsHas(b []uint64, lo uint32) bool {
+	return b[lo>>6]&(1<<(lo&63)) != 0
 }
 
-// firstFrom returns the position of the first set bit ≥ from in the dense
-// chunk, or -1 when none remains.
-func (c *chunk) firstFrom(from int) int {
+// bitsFirstFrom returns the position of the first set bit ≥ from in the
+// bitset, or -1 when none remains.
+func bitsFirstFrom(b []uint64, from int) int {
 	w := from >> 6
 	if w >= chunkWords {
 		return -1
 	}
-	x := c.bits[w] & (^uint64(0) << uint(from&63))
+	x := b[w] & (^uint64(0) << uint(from&63))
 	for x == 0 {
 		w++
 		if w == chunkWords {
 			return -1
 		}
-		x = c.bits[w]
+		x = b[w]
 	}
 	return w<<6 + bits.TrailingZeros64(x)
 }
 
-// selectFrom returns the position of the n-th set bit (n ≥ 1) strictly
-// after position bit in the dense chunk. The caller guarantees it
+// bitsSelectFrom returns the position of the n-th set bit (n ≥ 1)
+// strictly after position bit in the bitset. The caller guarantees it
 // exists.
-func (c *chunk) selectFrom(bit, n int) int {
+func bitsSelectFrom(b []uint64, bit, n int) int {
 	w := bit >> 6
-	x := c.bits[w] & (^uint64(0) << (uint(bit&63) + 1))
+	x := b[w] & (^uint64(0) << (uint(bit&63) + 1))
 	for {
 		if p := bits.OnesCount64(x); p >= n {
 			for ; n > 1; n-- {
@@ -72,26 +85,26 @@ func (c *chunk) selectFrom(bit, n int) int {
 			n -= p
 		}
 		w++
-		x = c.bits[w]
+		x = b[w]
 	}
 }
 
-// popRange counts the set bits of the dense chunk in [from, to).
-func (c *chunk) popRange(from, to int) int {
+// bitsPopRange counts the set bits of the bitset in [from, to).
+func bitsPopRange(b []uint64, from, to int) int {
 	if from >= to {
 		return 0
 	}
 	fw, tw := from>>6, to>>6
 	fm := ^uint64(0) << uint(from&63)
 	if fw == tw {
-		return bits.OnesCount64(c.bits[fw] & fm & ((1 << uint(to&63)) - 1))
+		return bits.OnesCount64(b[fw] & fm & ((1 << uint(to&63)) - 1))
 	}
-	n := bits.OnesCount64(c.bits[fw] & fm)
+	n := bits.OnesCount64(b[fw] & fm)
 	for w := fw + 1; w < tw; w++ {
-		n += bits.OnesCount64(c.bits[w])
+		n += bits.OnesCount64(b[w])
 	}
 	if tw < chunkWords {
-		n += bits.OnesCount64(c.bits[tw] & ((1 << uint(to&63)) - 1))
+		n += bits.OnesCount64(b[tw] & ((1 << uint(to&63)) - 1))
 	}
 	return n
 }
@@ -172,14 +185,18 @@ func gallopSearch16(keys []uint16, from int, target uint16) int {
 // list's chunk for a common range is dense, the range is resolved by
 // word-AND + popcount; otherwise the smallest chunk drives and the others
 // are probed (O(1) bit tests into bitsets, galloping forward seeks into
-// arrays). Cost accounting: skipped chunks charge SegmentsSkipped in
-// M0-model segments; bitset work charges EntriesScanned in
-// entry-equivalents (one 64-doc word ≈ one entry probe) and is also
-// tallied separately in Stats.BitmapWords.
+// arrays). Chunk alignment and skipping read only resident metadata;
+// mapped payloads materialize when a common range is actually resolved.
+// Cost accounting: skipped chunks charge SegmentsSkipped in M0-model
+// segments; bitset work charges EntriesScanned in entry-equivalents (one
+// 64-doc word ≈ one entry probe) and is also tallied separately in
+// Stats.BitmapWords.
 func visitConjunction(lists []*List, st *Stats, cc *canceler, visit func(docID uint32)) int64 {
 	k := len(lists)
-	cis := make([]int, k) // per-list chunk index
-	aps := make([]int, k) // per-list in-chunk array pointer, reset per range
+	cis := make([]int, k)       // per-list chunk index
+	aps := make([]int, k)       // per-list in-chunk array pointer, reset per range
+	keys := make([][]uint16, k) // per-list resident payload for the common range
+	words := make([][]uint64, k)
 	var count int64
 align:
 	for {
@@ -214,20 +231,22 @@ align:
 		allDense := true
 		minIdx := 0
 		for i, l := range lists {
-			ch := &l.chunks[cis[i]]
-			if !ch.dense() {
+			if !l.chunks[cis[i]].dense() {
 				allDense = false
 			}
-			if ch.n < lists[minIdx].chunks[cis[minIdx]].n {
+			if l.chunks[cis[i]].n < lists[minIdx].chunks[cis[minIdx]].n {
 				minIdx = i
 			}
 		}
+		for i, l := range lists {
+			keys[i], words[i], _ = l.payload(cis[i])
+		}
 		if allDense {
-			count += andChunks(lists, cis, base, visit)
+			count += andChunks(words, base, visit)
 			st.addBitmapWords(int64(k) * chunkWords)
 			st.addEntries(int64(k) * chunkWords)
 		} else {
-			count += probeChunks(lists, cis, aps, minIdx, base, st, visit)
+			count += probeChunks(lists, cis, aps, keys, words, minIdx, base, st, visit)
 		}
 		for i := range cis {
 			cis[i]++
@@ -237,12 +256,12 @@ align:
 
 // andChunks resolves one all-dense chunk range by word-AND; with visit nil
 // matches are only popcounted.
-func andChunks(lists []*List, cis []int, base uint32, visit func(uint32)) int64 {
+func andChunks(words [][]uint64, base uint32, visit func(uint32)) int64 {
 	var count int64
 	for w := 0; w < chunkWords; w++ {
-		x := lists[0].chunks[cis[0]].bits[w]
-		for i := 1; i < len(lists) && x != 0; i++ {
-			x &= lists[i].chunks[cis[i]].bits[w]
+		x := words[0][w]
+		for i := 1; i < len(words) && x != 0; i++ {
+			x &= words[i][w]
 		}
 		if x == 0 {
 			continue
@@ -262,39 +281,37 @@ func andChunks(lists []*List, cis []int, base uint32, visit func(uint32)) int64 
 
 // probeChunks resolves one mixed chunk range: the smallest chunk (minIdx)
 // drives, and every driver element is probed in the other chunks.
-func probeChunks(lists []*List, cis, aps []int, minIdx int, base uint32, st *Stats, visit func(uint32)) int64 {
+func probeChunks(lists []*List, cis, aps []int, keys [][]uint16, words [][]uint64, minIdx int, base uint32, st *Stats, visit func(uint32)) int64 {
 	for i := range aps {
 		aps[i] = 0
 	}
 	var count int64
 	probe := func(lo uint16) bool {
-		for i, l := range lists {
+		for i := range lists {
 			if i == minIdx {
 				continue
 			}
-			ch := &l.chunks[cis[i]]
-			if ch.dense() {
+			if words[i] != nil {
 				st.addBitmapWords(1)
 				st.addEntries(1)
-				if !ch.has(uint32(lo)) {
+				if !bitsHas(words[i], uint32(lo)) {
 					return false
 				}
 				continue
 			}
-			p := gallopSearch16(ch.keys, aps[i], lo)
+			p := gallopSearch16(keys[i], aps[i], lo)
 			st.addEntries(int64(p - aps[i]))
 			aps[i] = p
-			if p == len(ch.keys) || ch.keys[p] != lo {
+			if p == len(keys[i]) || keys[i][p] != lo {
 				return false
 			}
 		}
 		return true
 	}
-	drv := &lists[minIdx].chunks[cis[minIdx]]
-	st.addEntries(int64(drv.n))
-	if drv.dense() {
+	st.addEntries(int64(lists[minIdx].chunks[cis[minIdx]].n))
+	if words[minIdx] != nil {
 		for w := 0; w < chunkWords; w++ {
-			x := drv.bits[w]
+			x := words[minIdx][w]
 			for x != 0 {
 				lo := uint16(w<<6 | bits.TrailingZeros64(x))
 				x &= x - 1
@@ -308,7 +325,7 @@ func probeChunks(lists []*List, cis, aps []int, minIdx int, base uint32, st *Sta
 		}
 		return count
 	}
-	for _, lo := range drv.keys {
+	for _, lo := range keys[minIdx] {
 		if probe(lo) {
 			count++
 			if visit != nil {

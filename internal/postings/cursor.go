@@ -9,6 +9,14 @@ package postings
 // precede it. Because the global element position is tracked at all times
 // (dense chunks maintain an incremental rank), the reported numbers are
 // identical to what the former segment-skip implementation produced.
+//
+// Over a mapped list the cursor is additionally *lazy*: entering a chunk
+// only records its metadata position (the chunk's first element, whose
+// global index is exact without the payload) and defers materializing
+// the block until the first docID/tf/step actually needs it. A pruned
+// scoring loop that dismisses the container via its bound therefore
+// skips the block without ever decompressing it, and the cost charges
+// are unchanged because they are functions of global positions only.
 type cursor struct {
 	l  *List
 	st *Stats
@@ -21,6 +29,16 @@ type cursor struct {
 	rank int
 	gpos int
 	cur  uint32
+	// Resident payload views of the current chunk, loaded by resolve.
+	// keys/bits mirror the chunk representation; tfs is the chunk-local
+	// TF column (nil ⇒ TF = 1).
+	keys []uint16
+	bits []uint64
+	tfs  []uint32
+	// pending marks a cursor positioned at the first element of a mapped
+	// chunk whose payload has not been materialized. gpos is exact
+	// (offsets[ci]); cur/ki/bit/rank are not yet valid.
+	pending bool
 }
 
 func newCursor(l *List, st *Stats) *cursor {
@@ -30,46 +48,86 @@ func newCursor(l *List, st *Stats) *cursor {
 }
 
 // enterChunk positions the cursor on the first element of chunk ci, or
-// marks it exhausted when no chunk remains. Chunks are never empty.
+// marks it exhausted when no chunk remains. Chunks are never empty. For
+// mapped chunks the position is recorded lazily: the payload stays on
+// disk until resolve.
 func (c *cursor) enterChunk(ci int) {
 	c.ci = ci
 	if ci >= len(c.l.chunks) {
 		c.gpos = c.l.n
+		c.pending = false
 		return
 	}
-	ch := &c.l.chunks[ci]
 	c.gpos = c.l.offsets[ci]
-	if ch.dense() {
-		c.bit = ch.firstFrom(0)
+	if c.l.src != nil {
+		c.pending = true
+		return
+	}
+	c.loadViews(ci)
+	c.firstInChunk()
+}
+
+// loadViews installs the payload views of chunk ci.
+func (c *cursor) loadViews(ci int) {
+	c.keys, c.bits, c.tfs = c.l.payload(ci)
+}
+
+// firstInChunk positions on the chunk's first element (views loaded).
+func (c *cursor) firstInChunk() {
+	base := c.l.chunks[c.ci].base
+	if c.bits != nil {
+		c.bit = bitsFirstFrom(c.bits, 0)
 		c.rank = 0
-		c.cur = ch.base | uint32(c.bit)
+		c.cur = base | uint32(c.bit)
 		return
 	}
 	c.ki = 0
-	c.cur = ch.base | uint32(ch.keys[0])
+	c.cur = base | uint32(c.keys[0])
+}
+
+// resolve materializes a pending chunk and fixes the in-chunk position.
+func (c *cursor) resolve() {
+	c.loadViews(c.ci)
+	c.firstInChunk()
+	c.pending = false
 }
 
 func (c *cursor) exhausted() bool { return c.gpos >= c.l.n }
 
-func (c *cursor) docID() uint32 { return c.cur }
+func (c *cursor) docID() uint32 {
+	if c.pending {
+		c.resolve()
+	}
+	return c.cur
+}
 
-func (c *cursor) tf() uint32 { return c.l.tfAt(c.gpos) }
+func (c *cursor) tf() uint32 {
+	if c.pending {
+		c.resolve()
+	}
+	if c.tfs == nil {
+		return 1
+	}
+	return c.tfs[c.gpos-c.l.offsets[c.ci]]
+}
 
 // next advances the cursor by one posting, counting the consumed entry.
 func (c *cursor) next() {
+	if c.pending {
+		c.resolve()
+	}
 	c.st.addEntries(1)
-	ch := &c.l.chunks[c.ci]
 	c.gpos++
-	if ch.dense() {
-		if nb := ch.firstFrom(c.bit + 1); nb >= 0 {
+	if c.bits != nil {
+		if nb := bitsFirstFrom(c.bits, c.bit+1); nb >= 0 {
 			c.bit = nb
 			c.rank++
-			c.cur = ch.base | uint32(nb)
+			c.cur = c.l.chunks[c.ci].base | uint32(nb)
 			return
 		}
-	} else if c.ki+1 < len(ch.keys) {
+	} else if c.ki+1 < len(c.keys) {
 		c.ki++
-		c.cur = ch.base | uint32(ch.keys[c.ki])
+		c.cur = c.l.chunks[c.ci].base | uint32(c.keys[c.ki])
 		return
 	}
 	c.enterChunk(c.ci + 1)
@@ -78,13 +136,30 @@ func (c *cursor) next() {
 // seek advances the cursor to the first posting with DocID ≥ target and
 // reports whether such a posting exists. The physical move is a chunk jump
 // plus a gallop (array) or word probe (bitset); the charge is the M0
-// model's, computed from the before/after global positions.
+// model's, computed from the before/after global positions. A pending
+// cursor whose chunk base already satisfies the target stays pending —
+// that is the no-decompression skip path.
 func (c *cursor) seek(target uint32) bool {
 	c.st.addSeek()
 	if c.gpos >= c.l.n {
 		return false
 	}
-	if c.cur >= target {
+	if c.pending {
+		if c.l.chunks[c.ci].base >= target {
+			// The chunk's first element is ≥ its base ≥ target: already
+			// positioned, no payload needed, no movement to charge.
+			return true
+		}
+		if target <= c.l.chunks[c.ci].base|(chunkSpan-1) {
+			// Target falls inside this chunk's range: the payload decides.
+			c.resolve()
+			if c.cur >= target {
+				return true
+			}
+		}
+		// Target at or beyond this chunk's end: walking chunk metadata
+		// suffices until the landing chunk.
+	} else if c.cur >= target {
 		return true
 	}
 	old := c.gpos
@@ -93,7 +168,8 @@ func (c *cursor) seek(target uint32) bool {
 	return c.gpos < c.l.n
 }
 
-// advanceTo moves the cursor to the first element ≥ target (target > cur).
+// advanceTo moves the cursor to the first element ≥ target (target > cur,
+// or the cursor is pending with target > its chunk base).
 func (c *cursor) advanceTo(target uint32) {
 	tb := target &^ uint32(chunkSpan-1)
 	ci := c.ci
@@ -110,55 +186,60 @@ func (c *cursor) advanceTo(target uint32) {
 			return
 		}
 		// Fresh chunk covering target's range: search it from the start.
-		ch := &c.l.chunks[ci]
+		c.ci = ci
+		c.pending = false
+		c.loadViews(ci)
 		lo := target & (chunkSpan - 1)
-		if ch.dense() {
-			nb := ch.firstFrom(int(lo))
+		if c.bits != nil {
+			nb := bitsFirstFrom(c.bits, int(lo))
 			if nb < 0 {
 				c.enterChunk(ci + 1)
 				return
 			}
-			c.ci = ci
 			c.bit = nb
-			c.rank = ch.popRange(0, nb)
+			c.rank = bitsPopRange(c.bits, 0, nb)
 			c.gpos = c.l.offsets[ci] + c.rank
-			c.cur = ch.base | uint32(nb)
+			c.cur = c.l.chunks[ci].base | uint32(nb)
 			return
 		}
-		ki := gallopSearch16(ch.keys, 0, uint16(lo))
-		if ki == len(ch.keys) {
+		ki := gallopSearch16(c.keys, 0, uint16(lo))
+		if ki == len(c.keys) {
 			c.enterChunk(ci + 1)
 			return
 		}
-		c.ci = ci
 		c.ki = ki
 		c.gpos = c.l.offsets[ci] + ki
-		c.cur = ch.base | uint32(ch.keys[ki])
+		c.cur = c.l.chunks[ci].base | uint32(c.keys[ki])
 		return
 	}
 	// Same chunk: advance within it.
-	ch := &c.l.chunks[ci]
+	if c.pending {
+		c.resolve()
+		if c.cur >= target {
+			return
+		}
+	}
 	lo := target & (chunkSpan - 1)
-	if ch.dense() {
-		nb := ch.firstFrom(int(lo))
+	if c.bits != nil {
+		nb := bitsFirstFrom(c.bits, int(lo))
 		if nb < 0 {
 			c.enterChunk(ci + 1)
 			return
 		}
-		c.rank += ch.popRange(c.bit, nb)
+		c.rank += bitsPopRange(c.bits, c.bit, nb)
 		c.bit = nb
 		c.gpos = c.l.offsets[ci] + c.rank
-		c.cur = ch.base | uint32(nb)
+		c.cur = c.l.chunks[ci].base | uint32(nb)
 		return
 	}
-	ki := gallopSearch16(ch.keys, c.ki, uint16(lo))
-	if ki == len(ch.keys) {
+	ki := gallopSearch16(c.keys, c.ki, uint16(lo))
+	if ki == len(c.keys) {
 		c.enterChunk(ci + 1)
 		return
 	}
 	c.ki = ki
 	c.gpos = c.l.offsets[ci] + ki
-	c.cur = ch.base | uint32(ch.keys[ki])
+	c.cur = c.l.chunks[ci].base | uint32(c.keys[ki])
 }
 
 // chargeSeek reports the M0 cost model's charge for a seek that moved the

@@ -120,7 +120,7 @@ func IntersectCtx(ctx context.Context, lists []*List, st *Stats) (*Intersection,
 	}
 	allTFLess := true
 	for _, l := range lists {
-		if l.tfs != nil {
+		if l.HasTFs() {
 			allTFLess = false
 			break
 		}
@@ -299,35 +299,35 @@ func UnionCtx(ctx context.Context, lists []*List, st *Stats) (*List, error) {
 			if cis[i] >= len(l.chunks) || l.chunks[cis[i]].base != base {
 				continue
 			}
-			c := &l.chunks[cis[i]]
-			gstart := l.offsets[cis[i]]
-			if c.dense() {
+			n := int(l.chunks[cis[i]].n)
+			keys, words, tfs := l.payload(cis[i])
+			if words != nil {
 				r := 0
-				for w, word := range c.bits {
+				for w, word := range words {
 					pres[w] |= word
 					for word != 0 {
 						lo := w<<6 + bits.TrailingZeros64(word)
-						if l.tfs == nil {
+						if tfs == nil {
 							acc[lo]++
 						} else {
-							acc[lo] += uint64(l.tfs[gstart+r])
+							acc[lo] += uint64(tfs[r])
 						}
 						r++
 						word &= word - 1
 					}
 				}
 			} else {
-				for j, key := range c.keys {
+				for j, key := range keys {
 					lo := int(key)
 					pres[lo>>6] |= 1 << uint(lo&63)
-					if l.tfs == nil {
+					if tfs == nil {
 						acc[lo]++
 					} else {
-						acc[lo] += uint64(l.tfs[gstart+j])
+						acc[lo] += uint64(tfs[j])
 					}
 				}
 			}
-			consumed += int(c.n)
+			consumed += n
 			cis[i]++
 		}
 		for w := range pres {

@@ -40,13 +40,14 @@ type Posting struct {
 // adaptive chunk containers, with term frequencies in a parallel array in
 // element order. A nil TF array means TF = 1 for every document — the
 // shape of a predicate-field list. Build lists with NewList, FromDocIDs or
-// a Builder.
+// a Builder; format-v4 files open lists in mapped form (see mapped.go),
+// where chunk payloads stay on disk until first touched.
 type List struct {
 	chunks []chunk
 	// offsets[i] is the global element index of chunk i's first document;
 	// offsets[len(chunks)] == n.
 	offsets []int
-	tfs     []uint32 // nil ⇒ TF = 1 everywhere
+	tfs     []uint32 // nil ⇒ TF = 1 everywhere (heap lists only)
 	n       int
 	segSize int
 	// bounds holds per-container score-bound metadata (parallel to
@@ -55,7 +56,63 @@ type List struct {
 	bounds []ChunkBound
 	maxTF  uint32
 	minLen int32
+	// src is non-nil for mapped lists: chunk payloads (and chunk-local
+	// TF columns) materialize lazily from the on-disk block layout.
+	src *mappedSource
 }
+
+// chunkPayload is one chunk's resident payload: exactly one of
+// keys/bits is non-nil, and tfs is the chunk-local TF column (nil ⇒
+// TF = 1 for every posting of the chunk).
+type chunkPayload struct {
+	keys []uint16
+	bits []uint64
+	tfs  []uint32
+}
+
+// payload returns chunk ci's payload views. Heap chunks answer with
+// field reads (the TF view is a subslice of the global array); mapped
+// chunks materialize the block on first touch — decoding it, or
+// aliasing the mapping directly for raw encodings — and memoize the
+// result. Mapped materialization verifies the block's CRC and panics
+// with a *BlockCorruptError on mismatch; the engine's worker recovery
+// turns that into a query error.
+func (l *List) payload(ci int) (keys []uint16, bits []uint64, tfs []uint32) {
+	if l.src == nil {
+		ch := &l.chunks[ci]
+		if l.tfs != nil {
+			tfs = l.tfs[l.offsets[ci]:l.offsets[ci+1]]
+		}
+		return ch.keys, ch.bits, tfs
+	}
+	p := l.src.materialize(l, ci)
+	return p.keys, p.bits, p.tfs
+}
+
+// blockHasTFs reports whether chunk ci stores explicit TFs, without
+// materializing it. Blocks whose TFs are all 1 are stored TF-less even
+// in lists that carry TFs elsewhere.
+func (l *List) blockHasTFs(ci int) bool {
+	if l.src == nil {
+		return l.tfs != nil
+	}
+	return l.src.blockTFLen(ci) > 0
+}
+
+// residentAt reports whether chunk ci's payload is resident — always
+// for heap chunks, only after materialization for mapped ones. The
+// pruned path uses it to count containers dismissed without ever
+// decoding their blocks.
+func (l *List) residentAt(ci int) bool {
+	if l.src == nil {
+		return true
+	}
+	return l.src.mat[ci].Load() != nil
+}
+
+// Mapped reports whether the list reads its payloads from a mapped
+// format-v4 file rather than the heap.
+func (l *List) Mapped() bool { return l.src != nil }
 
 // newListRaw builds a list from strictly ascending ids (not validated) and
 // an optional parallel TF slice; an all-ones TF slice is dropped.
@@ -128,14 +185,11 @@ func (l *List) Segments() int {
 
 // HasTFs reports whether the list stores explicit term frequencies; lists
 // without them (predicate lists) have TF = 1 for every document.
-func (l *List) HasTFs() bool { return l.tfs != nil }
-
-// tfAt returns the TF of the element at global index g.
-func (l *List) tfAt(g int) uint32 {
-	if l.tfs == nil {
-		return 1
+func (l *List) HasTFs() bool {
+	if l.src != nil {
+		return l.src.hasTFs
 	}
-	return l.tfs[g]
+	return l.tfs != nil
 }
 
 // chunkAt returns the index of the chunk containing global element index g.
@@ -143,18 +197,28 @@ func (l *List) chunkAt(g int) int {
 	return sort.Search(len(l.chunks), func(c int) bool { return l.offsets[c+1] > g })
 }
 
+// tfOf reads a chunk-local TF view: nil means TF = 1.
+func tfOf(tfs []uint32, r int) uint32 {
+	if tfs == nil {
+		return 1
+	}
+	return tfs[r]
+}
+
 // At returns the i-th posting. It is a positional lookup for offline
 // consumers (tests, inspection); dense chunks answer it by a bit-select
 // walk.
 func (l *List) At(i int) Posting {
 	ci := l.chunkAt(i)
-	ch := &l.chunks[ci]
+	base := l.chunks[ci].base
 	rank := i - l.offsets[ci]
-	if !ch.dense() {
-		return Posting{DocID: ch.base | uint32(ch.keys[rank]), TF: l.tfAt(i)}
+	keys, bs, tfs := l.payload(ci)
+	if bs == nil {
+		return Posting{DocID: base | uint32(keys[rank]), TF: tfOf(tfs, rank)}
 	}
+	tf := tfOf(tfs, rank)
 	for w := 0; w < chunkWords; w++ {
-		x := ch.bits[w]
+		x := bs[w]
 		c := bits.OnesCount64(x)
 		if rank >= c {
 			rank -= c
@@ -163,31 +227,32 @@ func (l *List) At(i int) Posting {
 		for ; rank > 0; rank-- {
 			x &= x - 1
 		}
-		return Posting{DocID: ch.base | uint32(w<<6|bits.TrailingZeros64(x)), TF: l.tfAt(i)}
+		return Posting{DocID: base | uint32(w<<6|bits.TrailingZeros64(x)), TF: tf}
 	}
 	panic("postings: At index out of range")
 }
 
 // ForEach calls fn for every posting in ascending DocID order. It is the
-// streaming accessor: no slice is materialized.
+// streaming accessor: no slice is materialized (mapped chunks
+// materialize one block at a time).
 func (l *List) ForEach(fn func(docID, tf uint32)) {
-	g := 0
 	for ci := range l.chunks {
-		ch := &l.chunks[ci]
-		if ch.dense() {
+		base := l.chunks[ci].base
+		keys, bs, tfs := l.payload(ci)
+		if bs != nil {
+			r := 0
 			for w := 0; w < chunkWords; w++ {
-				x := ch.bits[w]
+				x := bs[w]
 				for x != 0 {
-					fn(ch.base|uint32(w<<6|bits.TrailingZeros64(x)), l.tfAt(g))
+					fn(base|uint32(w<<6|bits.TrailingZeros64(x)), tfOf(tfs, r))
 					x &= x - 1
-					g++
+					r++
 				}
 			}
 			continue
 		}
-		for _, key := range ch.keys {
-			fn(ch.base|uint32(key), l.tfAt(g))
-			g++
+		for r, key := range keys {
+			fn(base|uint32(key), tfOf(tfs, r))
 		}
 	}
 }
@@ -213,7 +278,12 @@ func (l *List) DocIDs() []uint32 {
 }
 
 // SumTF returns Σ tf over the list — tc(w, D) for a whole collection.
+// Mapped lists answer from the value persisted in the file's table of
+// contents, never touching a block.
 func (l *List) SumTF() int64 {
+	if l.src != nil {
+		return l.src.sumTF
+	}
 	if l.tfs == nil {
 		return int64(l.n)
 	}
@@ -229,13 +299,15 @@ func (l *List) MaxDocID() uint32 {
 	if l.n == 0 {
 		return 0
 	}
-	ch := &l.chunks[len(l.chunks)-1]
-	if !ch.dense() {
-		return ch.base | uint32(ch.keys[len(ch.keys)-1])
+	ci := len(l.chunks) - 1
+	base := l.chunks[ci].base
+	keys, bs, _ := l.payload(ci)
+	if bs == nil {
+		return base | uint32(keys[len(keys)-1])
 	}
 	for w := chunkWords - 1; ; w-- {
-		if x := ch.bits[w]; x != 0 {
-			return ch.base | uint32(w<<6+63-bits.LeadingZeros64(x))
+		if x := bs[w]; x != 0 {
+			return base | uint32(w<<6+63-bits.LeadingZeros64(x))
 		}
 	}
 }
@@ -258,14 +330,14 @@ func (l *List) Contains(docID uint32) bool {
 	if ci < 0 {
 		return false
 	}
-	ch := &l.chunks[ci]
 	lo := docID & (chunkSpan - 1)
-	if ch.dense() {
-		return ch.has(lo)
+	keys, bs, _ := l.payload(ci)
+	if bs != nil {
+		return bitsHas(bs, lo)
 	}
 	k := uint16(lo)
-	i := sort.Search(len(ch.keys), func(i int) bool { return ch.keys[i] >= k })
-	return i < len(ch.keys) && ch.keys[i] == k
+	i := sort.Search(len(keys), func(i int) bool { return keys[i] >= k })
+	return i < len(keys) && keys[i] == k
 }
 
 // TF returns the term frequency recorded for docID, or 0 if absent.
@@ -274,36 +346,40 @@ func (l *List) TF(docID uint32) uint32 {
 	if ci < 0 {
 		return 0
 	}
-	ch := &l.chunks[ci]
 	lo := docID & (chunkSpan - 1)
-	if ch.dense() {
-		if !ch.has(lo) {
+	keys, bs, tfs := l.payload(ci)
+	if bs != nil {
+		if !bitsHas(bs, lo) {
 			return 0
 		}
-		if l.tfs == nil {
-			return 1
-		}
-		return l.tfs[l.offsets[ci]+ch.popRange(0, int(lo))]
+		return tfOf(tfs, bitsPopRange(bs, 0, int(lo)))
 	}
 	k := uint16(lo)
-	i := sort.Search(len(ch.keys), func(i int) bool { return ch.keys[i] >= k })
-	if i == len(ch.keys) || ch.keys[i] != k {
+	i := sort.Search(len(keys), func(i int) bool { return keys[i] >= k })
+	if i == len(keys) || keys[i] != k {
 		return 0
 	}
-	return l.tfAt(l.offsets[ci] + i)
+	return tfOf(tfs, i)
 }
 
-// Bytes returns the in-memory payload footprint of the list: container
-// storage (2 B per sparse key, 8 KiB per dense chunk) plus the TF array.
-// Dense predicate chunks undercut the seed's 8 B/posting whenever a chunk
-// holds more than DenseThreshold documents.
+// Bytes returns the decoded payload footprint of the list: container
+// storage (2 B per sparse key, 8 KiB per dense chunk) plus the TF
+// columns. Dense predicate chunks undercut the seed's 8 B/posting
+// whenever a chunk holds more than DenseThreshold documents. For mapped
+// lists this is the footprint the list *would* occupy fully decoded,
+// computed from resident metadata — the actual resident bytes are
+// whatever blocks have materialized. On-disk footprints come from
+// DiskBytes.
 func (l *List) Bytes() int64 {
 	var total int64
 	for i := range l.chunks {
 		if l.chunks[i].dense() {
 			total += chunkWords * 8
 		} else {
-			total += int64(len(l.chunks[i].keys)) * 2
+			total += int64(l.chunks[i].n) * 2
+		}
+		if l.src != nil && l.blockHasTFs(i) {
+			total += int64(l.chunks[i].n) * 4
 		}
 	}
 	return total + int64(len(l.tfs))*4
