@@ -12,11 +12,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"csrank/internal/corpus"
 	"csrank/internal/index"
 	"csrank/internal/selection"
+	"csrank/internal/shard"
 )
 
 func main() {
@@ -32,20 +34,24 @@ func main() {
 		dump    = flag.Bool("dump", false, "also write the raw citations as citations.jsonl")
 		legacy  = flag.Bool("legacy-snapshots", false, "write index.gob and views.gob as raw gob streams (pre-frame format) instead of checksummed snapshots")
 		format  = flag.Int("format", index.MappedFormatVersion, "index file format: 4 = paged mmap-ready, 3 = framed gob snapshot")
+		shards  = flag.Int("shards", 1, "document partitions: >1 writes a sharded cluster (shard-NNN dirs + cluster.json) for csserve")
 	)
 	flag.Parse()
-	if err := run(*out, *docs, *terms, *topics, *tcFrac, *tv, *seed, *segSize, *dump, *legacy, *format); err != nil {
+	if err := run(*out, *docs, *terms, *topics, *tcFrac, *tv, *seed, *segSize, *dump, *legacy, *format, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "csbuild:", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, docs, terms, topics int, tcFrac float64, tv int, seed int64, segSize int, dump, legacy bool, format int) error {
+func run(out string, docs, terms, topics int, tcFrac float64, tv int, seed int64, segSize int, dump, legacy bool, format, shards int) error {
 	if format != index.FormatVersion && format != index.MappedFormatVersion {
 		return fmt.Errorf("unsupported -format %d (this build writes %d or %d)", format, index.FormatVersion, index.MappedFormatVersion)
 	}
 	if legacy && format == index.MappedFormatVersion {
 		return fmt.Errorf("-legacy-snapshots requires -format %d: the paged format is framed by construction", index.FormatVersion)
+	}
+	if legacy && shards > 1 {
+		return fmt.Errorf("-legacy-snapshots cannot write a sharded cluster")
 	}
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
@@ -64,6 +70,13 @@ func run(out string, docs, terms, topics int, tcFrac float64, tv int, seed int64
 	}
 	fmt.Printf("generated %d citations over %d MeSH terms in %s\n",
 		len(c.Docs), c.Onto.Len(), time.Since(t0).Round(time.Millisecond))
+
+	if err := writeQueries(out, c); err != nil {
+		return err
+	}
+	if shards > 1 {
+		return runSharded(out, c, tcFrac, tv, seed, segSize, format, shards, dump)
+	}
 
 	t0 = time.Now()
 	ix, err := c.BuildIndex(segSize)
@@ -131,6 +144,89 @@ func run(out string, docs, terms, topics int, tcFrac float64, tv int, seed int64
 		float64(st.Size())/float64(max64(totalPostings(ix), 1)))
 	fmt.Printf("wrote %s (views: %.2f MB)\n",
 		filepath.Join(out, "views.gob"), float64(m.Catalog.TotalBytes())/(1<<20))
+	return nil
+}
+
+// writeQueries dumps the corpus topics as a replayable query log
+// (queries.txt, "keywords | context terms" per line) for csload.
+func writeQueries(out string, c *corpus.Corpus) error {
+	if len(c.Topics) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	for _, t := range c.Topics {
+		b.WriteString(strings.Join(t.Keywords, " "))
+		if len(t.ContextTerms) > 0 {
+			b.WriteString(" | ")
+			b.WriteString(strings.Join(t.ContextTerms, " "))
+		}
+		b.WriteByte('\n')
+	}
+	path := filepath.Join(out, "queries.txt")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d topic queries)\n", path, len(c.Topics))
+	return nil
+}
+
+// runSharded hash-partitions the corpus and writes a cluster layout:
+// shard-NNN directories each holding an ordinary engine data directory
+// (index + views, selected per shard with T_C scaled to the shard's
+// size), plus cluster.json. csserve and csrank.OpenSharded load it; the
+// merged ranking is bit-identical to the unsharded build.
+func runSharded(out string, c *corpus.Corpus, tcFrac float64, tv int, seed int64, segSize, format, shards int, dump bool) error {
+	parts, _, err := shard.Split(c.IndexDocuments(), shards)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	totalViews := 0
+	for i, part := range parts {
+		ix, err := index.BuildFrom(corpus.Schema(), segSize, part)
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		tc := int64(tcFrac * float64(len(part)))
+		if tc < 1 {
+			tc = 1
+		}
+		m, err := selection.Select(ix, selection.Config{TC: tc, TV: tv, Seed: seed})
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		totalViews += m.Catalog.Len()
+		sd := shard.ShardDir(out, i)
+		if err := os.MkdirAll(sd, 0o755); err != nil {
+			return err
+		}
+		save := ix.SaveFile
+		if format == index.MappedFormatVersion {
+			save = ix.SaveMapped
+		}
+		if err := save(filepath.Join(sd, "index.gob")); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		if err := m.Catalog.SaveFile(filepath.Join(sd, "views.gob")); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		fmt.Printf("  shard %d: %d docs, %d views (T_C=%d)\n", i, len(part), m.Catalog.Len(), tc)
+	}
+	if err := shard.SaveManifest(out, shard.NewManifest(len(c.Docs), shards)); err != nil {
+		return err
+	}
+	if err := c.Onto.SaveFile(filepath.Join(out, "mesh.gob")); err != nil {
+		return err
+	}
+	if dump {
+		path := filepath.Join(out, "citations.jsonl")
+		if err := c.SaveJSONL(path); err != nil {
+			return err
+		}
+		fmt.Printf("dumped raw citations to %s\n", path)
+	}
+	fmt.Printf("wrote %d-shard cluster (%d docs, %d views, format v%d) under %s in %s\n",
+		shards, len(c.Docs), totalViews, format, out, time.Since(t0).Round(time.Millisecond))
 	return nil
 }
 

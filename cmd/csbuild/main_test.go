@@ -3,8 +3,10 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
+	"csrank"
 	"csrank/internal/index"
 	"csrank/internal/mesh"
 	"csrank/internal/snapshot"
@@ -13,7 +15,7 @@ import (
 
 func TestRunProducesLoadableArtifacts(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, 2000, 100, 0, 0.02, 128, 1, 0, true, false, index.MappedFormatVersion); err != nil {
+	if err := run(dir, 2000, 100, 0, 0.02, 128, 1, 0, true, false, index.MappedFormatVersion, 1); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"index.gob", "views.gob", "mesh.gob", "citations.jsonl"} {
@@ -54,19 +56,76 @@ func TestRunProducesLoadableArtifacts(t *testing.T) {
 	}
 }
 
+// TestRunSharded: -shards 4 writes a loadable cluster plus the topic
+// query log, and the cluster ranks bit-identically to the unsharded
+// build of the same corpus.
+func TestRunSharded(t *testing.T) {
+	single, cluster := t.TempDir(), t.TempDir()
+	if err := run(single, 6000, 150, 10, 0.02, 128, 1, 0, false, false, index.MappedFormatVersion, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(cluster, 6000, 150, 10, 0.02, 128, 1, 0, false, false, index.MappedFormatVersion, 4); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"cluster.json", "mesh.gob", "queries.txt",
+		filepath.Join("shard-000", "index.gob"), filepath.Join("shard-003", "views.gob")} {
+		if _, err := os.Stat(filepath.Join(cluster, name)); err != nil {
+			t.Fatalf("missing artifact %s: %v", name, err)
+		}
+	}
+	raw, err := os.ReadFile(filepath.Join(cluster, "queries.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(queries) != 10 {
+		t.Fatalf("%d topic queries, want 10", len(queries))
+	}
+
+	se, err := csrank.OpenSharded(cluster, csrank.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se.NumShards() != 4 || se.NumDocs() != 6000 {
+		t.Fatalf("cluster: %d shards / %d docs", se.NumShards(), se.NumDocs())
+	}
+	e, err := csrank.Open(single, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		want, _, err := e.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := se.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("q=%q: %d hits sharded, %d single", q, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("q=%q rank %d: %+v sharded, want %+v", q, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 func TestRunRejectsBadConfig(t *testing.T) {
-	if err := run(t.TempDir(), 0, 100, 0, 0.02, 128, 1, 0, false, false, index.MappedFormatVersion); err == nil {
+	if err := run(t.TempDir(), 0, 100, 0, 0.02, 128, 1, 0, false, false, index.MappedFormatVersion, 1); err == nil {
 		t.Error("zero docs accepted")
 	}
 	// Unwritable output directory.
-	if err := run("/proc/definitely/not/writable", 100, 50, 0, 0.02, 128, 1, 0, false, false, index.MappedFormatVersion); err == nil {
+	if err := run("/proc/definitely/not/writable", 100, 50, 0, 0.02, 128, 1, 0, false, false, index.MappedFormatVersion, 1); err == nil {
 		t.Error("unwritable dir accepted")
 	}
 	// The paged format is framed by construction: no legacy opt-out.
-	if err := run(t.TempDir(), 100, 50, 0, 0.02, 128, 1, 0, false, true, index.MappedFormatVersion); err == nil {
+	if err := run(t.TempDir(), 100, 50, 0, 0.02, 128, 1, 0, false, true, index.MappedFormatVersion, 1); err == nil {
 		t.Error("legacy-snapshots with the paged format accepted")
 	}
-	if err := run(t.TempDir(), 100, 50, 0, 0.02, 128, 1, 0, false, false, 7); err == nil {
+	if err := run(t.TempDir(), 100, 50, 0, 0.02, 128, 1, 0, false, false, 7, 1); err == nil {
 		t.Error("unknown format version accepted")
 	}
 }
@@ -74,7 +133,7 @@ func TestRunRejectsBadConfig(t *testing.T) {
 // TestRunGobFormat: -format 3 keeps writing the framed gob snapshot.
 func TestRunGobFormat(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, 500, 60, 0, 0.02, 128, 1, 0, false, false, index.FormatVersion); err != nil {
+	if err := run(dir, 500, 60, 0, 0.02, 128, 1, 0, false, false, index.FormatVersion, 1); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(filepath.Join(dir, "index.gob"))
@@ -97,7 +156,7 @@ func TestRunGobFormat(t *testing.T) {
 // streams (no snapshot magic) that LoadFile still reads via sniffing.
 func TestRunLegacySnapshots(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(dir, 1000, 80, 0, 0.02, 128, 1, 0, false, true, index.FormatVersion); err != nil {
+	if err := run(dir, 1000, 80, 0, 0.02, 128, 1, 0, false, true, index.FormatVersion, 1); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"index.gob", "views.gob"} {

@@ -1,0 +1,282 @@
+// Command csload is an open-loop load generator for csserve: it replays
+// a query log at one or more fixed arrival rates — firing on schedule
+// regardless of how many requests are still in flight, the arrival
+// model that actually exposes tail latency and overload shedding — and
+// reports exact p50/p90/p99/p999 latency, shed counts (429/503) and
+// degraded-result counts per rate level.
+//
+// Usage:
+//
+//	csload -url http://localhost:8080 -queries queries.txt -qps 100,400 -duration 10s -out BENCH.json
+//	csload -url http://localhost:8080 -compare http://localhost:8081 -queries queries.txt
+//
+// With -compare, every query is sent to both servers and the hit lists
+// (doc_id and score) must match exactly — the sharded-vs-single
+// equivalence check CI runs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	neturl "net/url"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// hit / searchResponse mirror csserve's wire format (the csrank.Hit and
+// csrank.Stats JSON tags).
+type hit struct {
+	DocID int     `json:"doc_id"`
+	Title string  `json:"title"`
+	Score float64 `json:"score"`
+}
+
+type searchResponse struct {
+	Hits  []hit `json:"hits"`
+	Stats struct {
+		Degraded bool `json:"degraded"`
+	} `json:"stats"`
+}
+
+// levelResult is one arrival-rate level's outcome in the -out report.
+type levelResult struct {
+	QPS      float64 `json:"qps"`
+	Sent     int64   `json:"sent"`
+	OK       int64   `json:"ok"`
+	Shed429  int64   `json:"shed_429"`
+	Shed503  int64   `json:"shed_503"`
+	Errors   int64   `json:"errors"`
+	Degraded int64   `json:"degraded"`
+	P50ms    float64 `json:"p50_ms"`
+	P90ms    float64 `json:"p90_ms"`
+	P99ms    float64 `json:"p99_ms"`
+	P999ms   float64 `json:"p999_ms"`
+}
+
+func main() {
+	var (
+		url      = flag.String("url", "http://localhost:8080", "csserve base URL")
+		queries  = flag.String("queries", "", "file with one query per line (required)")
+		qps      = flag.String("qps", "100", "comma-separated arrival rates to run, e.g. 100,400")
+		duration = flag.Duration("duration", 10*time.Second, "how long to hold each rate")
+		k        = flag.Int("k", 10, "results per query")
+		out      = flag.String("out", "", "write the per-level JSON report here (default stdout)")
+		compare  = flag.String("compare", "", "second csserve URL: check both servers return identical hits for every query, then exit")
+	)
+	flag.Parse()
+	if err := run(*url, *queries, *qps, *duration, *k, *out, *compare); err != nil {
+		fmt.Fprintln(os.Stderr, "csload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(url, queriesPath, qpsList string, duration time.Duration, k int, out, compare string) error {
+	if queriesPath == "" {
+		return fmt.Errorf("-queries is required")
+	}
+	qs, err := readQueries(queriesPath)
+	if err != nil {
+		return err
+	}
+	if compare != "" {
+		n, err := compareServers(url, compare, qs, k)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("compare: %d queries identical on %s and %s\n", n, url, compare)
+		return nil
+	}
+
+	var results []levelResult
+	for _, field := range strings.Split(qpsList, ",") {
+		rate, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+		if err != nil || rate <= 0 {
+			return fmt.Errorf("bad qps %q", field)
+		}
+		fmt.Fprintf(os.Stderr, "csload: %v qps for %v against %s\n", rate, duration, url)
+		lr, err := runLevel(url, qs, rate, duration, k)
+		if err != nil {
+			return err
+		}
+		results = append(results, lr)
+		fmt.Fprintf(os.Stderr, "csload: sent=%d ok=%d shed=%d+%d errors=%d degraded=%d p50=%.2fms p99=%.2fms p999=%.2fms\n",
+			lr.Sent, lr.OK, lr.Shed429, lr.Shed503, lr.Errors, lr.Degraded, lr.P50ms, lr.P99ms, lr.P999ms)
+		if lr.Errors > 0 {
+			return fmt.Errorf("%d request(s) failed with non-shed errors at %v qps", lr.Errors, rate)
+		}
+	}
+
+	w := io.Writer(os.Stdout)
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+func readQueries(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var qs []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			qs = append(qs, line)
+		}
+	}
+	if len(qs) == 0 {
+		return nil, fmt.Errorf("%s holds no queries", path)
+	}
+	return qs, nil
+}
+
+// runLevel fires requests open-loop at the given rate for the given
+// duration, cycling through the query log, and waits for every
+// in-flight request before computing exact percentiles.
+func runLevel(url string, qs []string, rate float64, duration time.Duration, k int) (levelResult, error) {
+	lr := levelResult{QPS: rate}
+	interval := time.Duration(float64(time.Second) / rate)
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	var (
+		mu                             sync.Mutex
+		latencies                      []time.Duration
+		ok, s429, s503, errs, degraded atomic.Int64
+		wg                             sync.WaitGroup
+	)
+	deadline := time.Now().Add(duration)
+	next := time.Now()
+	for i := 0; time.Now().Before(deadline); i++ {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		next = next.Add(interval)
+		q := qs[i%len(qs)]
+		lr.Sent++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start := time.Now()
+			resp, err := client.Get(fmt.Sprintf("%s/search?q=%s&k=%d", url, neturl.QueryEscape(q), k))
+			elapsed := time.Since(start)
+			if err != nil {
+				errs.Add(1)
+				return
+			}
+			defer resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				var sr searchResponse
+				if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+					errs.Add(1)
+					return
+				}
+				if sr.Stats.Degraded {
+					degraded.Add(1)
+				}
+				ok.Add(1)
+				mu.Lock()
+				latencies = append(latencies, elapsed)
+				mu.Unlock()
+			case http.StatusTooManyRequests:
+				s429.Add(1)
+			case http.StatusServiceUnavailable:
+				s503.Add(1)
+			default:
+				io.Copy(io.Discard, resp.Body)
+				errs.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	lr.OK, lr.Shed429, lr.Shed503 = ok.Load(), s429.Load(), s503.Load()
+	lr.Errors, lr.Degraded = errs.Load(), degraded.Load()
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	lr.P50ms = quantile(latencies, 0.50)
+	lr.P90ms = quantile(latencies, 0.90)
+	lr.P99ms = quantile(latencies, 0.99)
+	lr.P999ms = quantile(latencies, 0.999)
+	return lr, nil
+}
+
+// quantile returns the exact q-quantile (nearest-rank) of sorted
+// samples, in milliseconds.
+func quantile(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+// compareServers fetches every query from both servers sequentially and
+// fails on the first hit-list divergence (doc_id or score). Shed
+// responses are retried a few times — equivalence needs an answer, not
+// an admission decision.
+func compareServers(urlA, urlB string, qs []string, k int) (int, error) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	fetch := func(url, q string) (searchResponse, error) {
+		var sr searchResponse
+		for attempt := 0; ; attempt++ {
+			resp, err := client.Get(fmt.Sprintf("%s/search?q=%s&k=%d", url, neturl.QueryEscape(q), k))
+			if err != nil {
+				return sr, err
+			}
+			if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if attempt >= 5 {
+					return sr, fmt.Errorf("%s: shed %d times for %q", url, attempt+1, q)
+				}
+				time.Sleep(50 * time.Millisecond)
+				continue
+			}
+			if resp.StatusCode != http.StatusOK {
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				return sr, fmt.Errorf("%s: status %d for %q: %s", url, resp.StatusCode, q, strings.TrimSpace(string(body)))
+			}
+			err = json.NewDecoder(resp.Body).Decode(&sr)
+			resp.Body.Close()
+			return sr, err
+		}
+	}
+	for _, q := range qs {
+		a, err := fetch(urlA, q)
+		if err != nil {
+			return 0, err
+		}
+		b, err := fetch(urlB, q)
+		if err != nil {
+			return 0, err
+		}
+		if len(a.Hits) != len(b.Hits) {
+			return 0, fmt.Errorf("%q: %d hits on %s, %d on %s", q, len(a.Hits), urlA, len(b.Hits), urlB)
+		}
+		for i := range a.Hits {
+			if a.Hits[i].DocID != b.Hits[i].DocID || a.Hits[i].Score != b.Hits[i].Score {
+				return 0, fmt.Errorf("%q rank %d: (#%d, %v) on %s but (#%d, %v) on %s",
+					q, i, a.Hits[i].DocID, a.Hits[i].Score, urlA, b.Hits[i].DocID, b.Hits[i].Score, urlB)
+			}
+		}
+	}
+	return len(qs), nil
+}

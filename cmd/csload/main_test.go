@@ -1,0 +1,103 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// fakeServe returns an httptest server speaking csserve's wire format,
+// scoring docs deterministically from a seed so two servers with the
+// same seed are "identical clusters" and different seeds diverge.
+func fakeServe(seed float64) *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("q")
+		if q == "" {
+			http.Error(w, `{"error":"missing q"}`, http.StatusBadRequest)
+			return
+		}
+		var sr searchResponse
+		for i := 0; i < 3; i++ {
+			sr.Hits = append(sr.Hits, hit{DocID: i, Title: fmt.Sprintf("doc %d", i), Score: seed - float64(i)})
+		}
+		json.NewEncoder(w).Encode(sr)
+	}))
+}
+
+func writeQueries(t *testing.T, lines string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "queries.txt")
+	if err := os.WriteFile(path, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadQueries(t *testing.T) {
+	path := writeQueries(t, "a | x\n\n  b  \n")
+	qs, err := readQueries(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 2 || qs[0] != "a | x" || qs[1] != "b" {
+		t.Fatalf("qs = %q", qs)
+	}
+	if _, err := readQueries(writeQueries(t, "\n\n")); err == nil {
+		t.Fatal("empty query file accepted")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	var samples []time.Duration
+	for i := 1; i <= 1000; i++ {
+		samples = append(samples, time.Duration(i)*time.Millisecond)
+	}
+	if p50 := quantile(samples, 0.50); p50 != 501 {
+		t.Fatalf("p50 = %v", p50)
+	}
+	if p999 := quantile(samples, 0.999); p999 != 1000 {
+		t.Fatalf("p999 = %v", p999)
+	}
+	if quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile not 0")
+	}
+}
+
+func TestRunLevel(t *testing.T) {
+	ts := fakeServe(10)
+	defer ts.Close()
+	lr, err := runLevel(ts.URL, []string{"pancreas | digestive_system"}, 200, 250*time.Millisecond, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.Sent == 0 || lr.OK != lr.Sent || lr.Errors != 0 {
+		t.Fatalf("level result %+v", lr)
+	}
+	if lr.P50ms <= 0 || lr.P999ms < lr.P50ms {
+		t.Fatalf("percentiles %+v", lr)
+	}
+}
+
+func TestCompareServers(t *testing.T) {
+	a, b := fakeServe(10), fakeServe(10)
+	defer a.Close()
+	defer b.Close()
+	qs := []string{"q one", "q two | ctx"}
+	n, err := compareServers(a.URL, b.URL, qs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("compared %d queries", n)
+	}
+	c := fakeServe(99) // diverging scores
+	defer c.Close()
+	if _, err := compareServers(a.URL, c.URL, qs, 5); err == nil {
+		t.Fatal("diverging servers compared equal")
+	}
+}

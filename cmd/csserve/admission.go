@@ -1,0 +1,89 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Admission control errors, mapped onto HTTP status codes by the
+// handler: a full queue sheds immediately (429, retryable), a queue
+// timeout means the server is saturated deeper than the client's
+// patience (503).
+var (
+	errQueueFull    = errors.New("admission queue full")
+	errQueueTimeout = errors.New("timed out waiting for an execution slot")
+)
+
+// admission is a two-stage admission controller: a fixed pool of
+// execution slots (bounding in-flight searches, and therefore memory
+// and goroutine fan-out) fronted by a bounded wait queue. A request
+// that cannot get a slot immediately queues; when the queue is full it
+// is shed at once, and when it has waited queueTimeout it is shed as
+// saturated. Shedding at the door keeps latency bounded under overload
+// instead of letting every request crawl.
+type admission struct {
+	slots        chan struct{}
+	maxQueue     int64
+	queueTimeout time.Duration
+	queued       atomic.Int64
+}
+
+// newAdmission builds a controller with maxInflight execution slots and
+// a wait queue of maxQueue requests. queueTimeout ≤ 0 means queued
+// requests wait until their own context expires.
+func newAdmission(maxInflight, maxQueue int, queueTimeout time.Duration) *admission {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admission{
+		slots:        make(chan struct{}, maxInflight),
+		maxQueue:     int64(maxQueue),
+		queueTimeout: queueTimeout,
+	}
+}
+
+// acquire obtains an execution slot, waiting in the bounded queue if
+// none is free. It returns errQueueFull without waiting when the queue
+// is at capacity, errQueueTimeout after queueTimeout in the queue, or
+// ctx.Err() if the request's own context ends first. On nil return the
+// caller must release().
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		return errQueueFull
+	}
+	defer a.queued.Add(-1)
+	var expired <-chan time.Time
+	if a.queueTimeout > 0 {
+		t := time.NewTimer(a.queueTimeout)
+		defer t.Stop()
+		expired = t.C
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-expired:
+		return errQueueTimeout
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns an execution slot to the pool.
+func (a *admission) release() { <-a.slots }
+
+// inflight reports how many slots are currently held.
+func (a *admission) inflight() int { return len(a.slots) }
+
+// queueDepth reports how many requests are waiting for a slot.
+func (a *admission) queueDepth() int { return int(a.queued.Load()) }

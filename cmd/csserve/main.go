@@ -1,0 +1,96 @@
+// Command csserve is an HTTP/JSON front end for context-sensitive
+// search over a data directory written by csbuild — single-engine or
+// sharded (csbuild -shards N). Every request is admission-controlled: a
+// bounded pool of in-flight searches fronted by a bounded wait queue,
+// so overload sheds (429/503) at the door instead of melting latency.
+//
+// Usage:
+//
+//	csserve -data ./data -addr :8080 -max-inflight 16 -timeout 200ms
+//
+// Endpoints:
+//
+//	GET /search?q=pancreas+leukemia+%7C+digestive_system&k=10
+//	GET /statsz    cumulative counters + latency quantiles
+//	GET /healthz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"csrank"
+)
+
+func main() {
+	var (
+		data         = flag.String("data", "data", "data directory (single-engine or sharded cluster)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		mode         = flag.String("mode", "auto", "auto | single | sharded — how to interpret -data")
+		scorer       = flag.String("scorer", "pivoted-tfidf", "pivoted-tfidf | bm25 | dirichlet-lm")
+		parallel     = flag.Int("parallel", 0, "intra-query parallelism per shard (0 = GOMAXPROCS)")
+		pruning      = flag.Bool("pruning", false, "enable block-max dynamic pruning (rank-safe)")
+		cache        = flag.Int("cache", 256, "context-statistics cache entries per shard (0 = off)")
+		timeout      = flag.Duration("timeout", 0, "per-request deadline covering queue wait + execution; on expiry partial results are returned flagged degraded (0 = unbounded)")
+		statsBudget  = flag.Duration("stats-budget", 0, "per-query context-statistics budget; past it ranking uses approximate statistics flagged degraded (0 = unbounded)")
+		k            = flag.Int("k", 10, "default result count (override per request with ?k=)")
+		maxInflight  = flag.Int("max-inflight", runtime.GOMAXPROCS(0), "maximum concurrently executing searches")
+		maxQueue     = flag.Int("max-queue", 64, "maximum searches waiting for an execution slot; beyond this requests are shed with 429")
+		queueTimeout = flag.Duration("queue-timeout", 100*time.Millisecond, "longest a search may wait for a slot before shedding with 503 (0 = wait for the request deadline)")
+		perShard     = flag.Bool("per-shard-stats", false, "include each shard's statistics report in /search responses")
+	)
+	flag.Parse()
+	if err := run(*data, *addr, *mode, *scorer, *parallel, *pruning, *cache, *timeout, *statsBudget, *k, *maxInflight, *maxQueue, *queueTimeout, *perShard); err != nil {
+		fmt.Fprintln(os.Stderr, "csserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(data, addr, mode, scorer string, parallel int, pruning bool, cache int, timeout, statsBudget time.Duration, k, maxInflight, maxQueue int, queueTimeout time.Duration, perShard bool) error {
+	opts := csrank.BuildOptions{
+		Scorer:        csrank.Scorer(scorer),
+		Parallelism:   parallel,
+		Pruning:       pruning,
+		CacheContexts: cache,
+		Timeout:       timeout,
+		StatsBudget:   statsBudget,
+	}
+	eng, err := openEngine(data, mode, opts)
+	if err != nil {
+		return err
+	}
+	srv := newServer(eng, newAdmission(maxInflight, maxQueue, queueTimeout), k, timeout, perShard)
+	fmt.Fprintf(os.Stderr, "csserve: %d documents over %d shard(s); listening on %s (inflight≤%d queue≤%d)\n",
+		eng.NumDocs(), eng.NumShards(), addr, maxInflight, maxQueue)
+	return http.ListenAndServe(addr, srv.routes())
+}
+
+// openEngine resolves the data directory into a ShardedEngine: a
+// cluster manifest opens as a cluster, a single-engine directory is
+// wrapped as a one-shard cluster, so the server has one code path.
+func openEngine(data, mode string, opts csrank.BuildOptions) (*csrank.ShardedEngine, error) {
+	sharded := csrank.IsSharded(data)
+	switch mode {
+	case "auto":
+	case "sharded":
+		if !sharded {
+			return nil, fmt.Errorf("%s holds no cluster manifest", data)
+		}
+	case "single":
+		sharded = false
+	default:
+		return nil, fmt.Errorf("unknown mode %q", mode)
+	}
+	if sharded {
+		return csrank.OpenSharded(data, opts)
+	}
+	e, err := csrank.OpenWithOptions(data, opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.Sharded()
+}

@@ -1,0 +1,223 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"csrank"
+)
+
+// buildTestEngine builds a small sharded engine through the public API.
+func buildTestEngine(t *testing.T, shards int) *csrank.ShardedEngine {
+	t.Helper()
+	b := csrank.NewBuilder()
+	for i := 0; i < 300; i++ {
+		pred := "neoplasms"
+		if i%3 == 0 {
+			pred = "digestive_system"
+		}
+		b.Add(csrank.Document{
+			Title:      fmt.Sprintf("doc %d", i),
+			Body:       fmt.Sprintf("pancreas leukemia study cohort %d", i%7),
+			Predicates: []string{pred},
+		})
+	}
+	eng, err := b.BuildSharded(shards, csrank.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, v any) int {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	return resp.StatusCode
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	eng := buildTestEngine(t, 3)
+	srv := newServer(eng, newAdmission(4, 16, time.Second), 10, 0, true)
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	var got searchResponse
+	code := getJSON(t, ts, "/search?q=pancreas+leukemia+%7C+digestive_system&k=5", &got)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if len(got.Hits) != 5 || got.K != 5 {
+		t.Fatalf("hits=%d k=%d", len(got.Hits), got.K)
+	}
+	if len(got.Shards) != 3 {
+		t.Fatalf("%d per-shard reports, want 3", len(got.Shards))
+	}
+	// The HTTP path must rank exactly as the library does.
+	want, _, err := eng.Search("pancreas leukemia | digestive_system", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got.Hits[i] != want[i] {
+			t.Fatalf("rank %d: %+v over HTTP, want %+v", i, got.Hits[i], want[i])
+		}
+	}
+
+	var bad errorResponse
+	if code := getJSON(t, ts, "/search?q=", &bad); code != http.StatusBadRequest {
+		t.Fatalf("empty q: status %d", code)
+	}
+	if code := getJSON(t, ts, "/search?q=x&k=zebra", &bad); code != http.StatusBadRequest {
+		t.Fatalf("bad k: status %d", code)
+	}
+
+	var st statszResponse
+	if code := getJSON(t, ts, "/statsz", &st); code != http.StatusOK {
+		t.Fatalf("statsz status %d", code)
+	}
+	if st.Requests != 3 || st.OK != 1 || st.BadRequests != 2 {
+		t.Fatalf("statsz counters %+v", st)
+	}
+	if st.NumShards != 3 || st.NumDocs != 300 {
+		t.Fatalf("statsz topology %+v", st)
+	}
+	if st.LatencyP50 <= 0 {
+		t.Fatalf("p50 = %v after a served search", st.LatencyP50)
+	}
+}
+
+// TestAdmissionShedding saturates the slot pool and checks both shed
+// paths: 429 when the queue is full, 503 when the queue wait times out.
+func TestAdmissionShedding(t *testing.T) {
+	adm := newAdmission(1, 1, 20*time.Millisecond)
+
+	// Hold the only slot.
+	if err := adm.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// One waiter fills the queue, then times out with errQueueTimeout.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	queued := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		close(queued)
+		if err := adm.acquire(context.Background()); err != errQueueTimeout {
+			t.Errorf("queued acquire: %v, want errQueueTimeout", err)
+		}
+	}()
+	<-queued
+	// Give the waiter time to enter the queue, then overflow it.
+	deadline := time.Now().Add(time.Second)
+	for adm.queueDepth() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if err := adm.acquire(context.Background()); err != errQueueFull {
+		t.Fatalf("overflow acquire: %v, want errQueueFull", err)
+	}
+	wg.Wait()
+	adm.release()
+
+	// After release the pool is free again.
+	if err := adm.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	adm.release()
+}
+
+// TestServerOverloadResponses drives the HTTP layer into overload and
+// checks the status codes and counters.
+func TestServerOverloadResponses(t *testing.T) {
+	eng := buildTestEngine(t, 2)
+	srv := newServer(eng, newAdmission(1, 1, 10*time.Millisecond), 10, 0, false)
+	ts := httptest.NewServer(srv.routes())
+	defer ts.Close()
+
+	// Hold the single slot so every request must queue or shed.
+	if err := srv.adm.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	codes := make(chan int, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := ts.Client().Get(ts.URL + "/search?q=pancreas")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+			codes <- resp.StatusCode
+		}()
+	}
+	wg.Wait()
+	close(codes)
+	srv.adm.release()
+
+	shed429, shed503 := 0, 0
+	for c := range codes {
+		switch c {
+		case http.StatusTooManyRequests:
+			shed429++
+		case http.StatusServiceUnavailable:
+			shed503++
+		default:
+			t.Fatalf("unexpected status %d under saturation", c)
+		}
+	}
+	if shed503 == 0 {
+		t.Fatal("no queued request timed out with 503")
+	}
+	if shed429+shed503 != 8 {
+		t.Fatalf("shed %d+%d of 8", shed429, shed503)
+	}
+	if got := srv.shedQueue.Load() + srv.shedTimeout.Load(); got != 8 {
+		t.Fatalf("shed counters sum to %d, want 8", got)
+	}
+
+	// Service resumes once the slot frees.
+	resp, err := ts.Client().Get(ts.URL + "/search?q=pancreas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-overload status %d", resp.StatusCode)
+	}
+}
+
+func TestLatencyHistQuantiles(t *testing.T) {
+	var h latencyHist
+	for i := 0; i < 900; i++ {
+		h.observe(100 * time.Microsecond) // bucket upper bound 128µs
+	}
+	for i := 0; i < 100; i++ {
+		h.observe(50 * time.Millisecond)
+	}
+	if p50 := h.quantile(0.50); p50 != 0.128 {
+		t.Fatalf("p50 = %v ms", p50)
+	}
+	if p99 := h.quantile(0.99); p99 < 32 || p99 > 128 {
+		t.Fatalf("p99 = %v ms", p99)
+	}
+	if (&latencyHist{}).quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile not 0")
+	}
+}

@@ -1,0 +1,259 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math/bits"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"csrank"
+)
+
+// searchResponse is the /search wire format. Hits and Stats are the
+// library's own types — their JSON tags are the wire contract, so the
+// server needs no shadow structs.
+type searchResponse struct {
+	Query  string         `json:"query"`
+	K      int            `json:"k"`
+	Hits   []csrank.Hit   `json:"hits"`
+	Stats  csrank.Stats   `json:"stats"`
+	Shards []csrank.Stats `json:"shards,omitempty"`
+}
+
+// errorResponse is the wire format for every non-2xx answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// statszResponse is the /statsz wire format: cumulative counters plus
+// the latency distribution of admitted searches.
+type statszResponse struct {
+	NumDocs     int      `json:"num_docs"`
+	NumShards   int      `json:"num_shards"`
+	Generations []uint64 `json:"generations"`
+
+	Requests    int64 `json:"requests"`
+	OK          int64 `json:"ok"`
+	BadRequests int64 `json:"bad_requests"`
+	ShedQueue   int64 `json:"shed_queue_full"`
+	ShedTimeout int64 `json:"shed_queue_timeout"`
+	Errors      int64 `json:"errors"`
+	Degraded    int64 `json:"degraded"`
+	PrunedDocs  int64 `json:"pruned_docs"`
+
+	Inflight   int `json:"inflight"`
+	QueueDepth int `json:"queue_depth"`
+
+	LatencyP50  float64 `json:"latency_p50_ms"`
+	LatencyP90  float64 `json:"latency_p90_ms"`
+	LatencyP99  float64 `json:"latency_p99_ms"`
+	LatencyP999 float64 `json:"latency_p999_ms"`
+}
+
+// latencyHist is a lock-free log₂-bucketed latency histogram: bucket i
+// holds samples in [2^(i-1), 2^i) microseconds. 48 buckets cover ~9
+// years, so the top bucket never saturates in practice. Percentiles
+// read the upper bound of the bucket the rank falls into — at most 2×
+// off, which is plenty for an operator dashboard (the load harness
+// measures exact percentiles client-side).
+type latencyHist struct {
+	counts [48]atomic.Int64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	us := uint64(d.Microseconds())
+	i := bits.Len64(us) // 0 for 0µs, else ⌊log₂⌋+1
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	h.counts[i].Add(1)
+}
+
+// quantile returns the q-quantile in milliseconds (0 when empty).
+func (h *latencyHist) quantile(q float64) float64 {
+	var counts [48]int64
+	total := int64(0)
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	seen := int64(0)
+	for i, c := range counts {
+		seen += c
+		if seen > rank {
+			return float64(uint64(1)<<uint(i)) / 1000.0
+		}
+	}
+	return float64(uint64(1)<<47) / 1000.0
+}
+
+// server serves context-sensitive search over HTTP with admission
+// control. One server fronts one ShardedEngine (a single engine is a
+// one-shard cluster), so single and sharded data directories share
+// every code path.
+type server struct {
+	eng      *csrank.ShardedEngine
+	adm      *admission
+	defaultK int
+	timeout  time.Duration // per-request deadline covering queue wait + execution
+	perShard bool          // include per-shard stats in responses
+
+	bufs sync.Pool // *bytes.Buffer, pooled response encoding
+
+	requests    atomic.Int64
+	ok          atomic.Int64
+	badRequests atomic.Int64
+	shedQueue   atomic.Int64
+	shedTimeout atomic.Int64
+	errCount    atomic.Int64
+	degraded    atomic.Int64
+	prunedDocs  atomic.Int64
+	hist        latencyHist
+}
+
+func newServer(eng *csrank.ShardedEngine, adm *admission, defaultK int, timeout time.Duration, perShard bool) *server {
+	return &server{
+		eng:      eng,
+		adm:      adm,
+		defaultK: defaultK,
+		timeout:  timeout,
+		perShard: perShard,
+		bufs:     sync.Pool{New: func() any { return new(bytes.Buffer) }},
+	}
+}
+
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/statsz", s.handleStatsz)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// writeJSON encodes v through a pooled buffer so a slow client can
+// never hold a half-encoded response (and encoding allocations are
+// amortized), then writes it with the given status.
+func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := s.bufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer s.bufs.Put(buf)
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		http.Error(w, `{"error":"encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(buf.Bytes())
+}
+
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		s.badRequests.Add(1)
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing q parameter"})
+		return
+	}
+	k := s.defaultK
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		n, err := strconv.Atoi(ks)
+		if err != nil {
+			s.badRequests.Add(1)
+			s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad k parameter"})
+			return
+		}
+		k = n
+	}
+
+	// The deadline covers queue wait AND execution: a request that
+	// queued for most of its budget gets only the remainder to run,
+	// degrading (flagged) rather than overshooting the SLO.
+	ctx := r.Context()
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+
+	if err := s.adm.acquire(ctx); err != nil {
+		switch {
+		case errors.Is(err, errQueueFull):
+			s.shedQueue.Add(1)
+			s.writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+		case errors.Is(err, errQueueTimeout), errors.Is(err, context.DeadlineExceeded):
+			s.shedTimeout.Add(1)
+			s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: errQueueTimeout.Error()})
+		default: // client went away while queued
+			s.errCount.Add(1)
+			s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		}
+		return
+	}
+	defer s.adm.release()
+
+	start := time.Now()
+	hits, st, perShard, err := s.eng.SearchDetailed(ctx, q, k)
+	s.hist.observe(time.Since(start))
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.errCount.Add(1)
+			s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+			return
+		}
+		// Anything else at this point is a malformed query: the engine's
+		// deadline path degrades instead of failing.
+		s.badRequests.Add(1)
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	s.ok.Add(1)
+	if st.Degraded {
+		s.degraded.Add(1)
+	}
+	s.prunedDocs.Add(st.PrunedDocs)
+	resp := searchResponse{Query: q, K: k, Hits: hits, Stats: st}
+	if s.perShard {
+		resp.Shards = perShard
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, statszResponse{
+		NumDocs:     s.eng.NumDocs(),
+		NumShards:   s.eng.NumShards(),
+		Generations: s.eng.Generations(),
+		Requests:    s.requests.Load(),
+		OK:          s.ok.Load(),
+		BadRequests: s.badRequests.Load(),
+		ShedQueue:   s.shedQueue.Load(),
+		ShedTimeout: s.shedTimeout.Load(),
+		Errors:      s.errCount.Load(),
+		Degraded:    s.degraded.Load(),
+		PrunedDocs:  s.prunedDocs.Load(),
+		Inflight:    s.adm.inflight(),
+		QueueDepth:  s.adm.queueDepth(),
+		LatencyP50:  s.hist.quantile(0.50),
+		LatencyP90:  s.hist.quantile(0.90),
+		LatencyP99:  s.hist.quantile(0.99),
+		LatencyP999: s.hist.quantile(0.999),
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n"))
+}

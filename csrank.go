@@ -123,6 +123,24 @@ type BuildOptions struct {
 	// queries; past it the engine ranks with approximate statistics and
 	// flags the result Degraded. Zero means unbounded.
 	StatsBudget time.Duration
+	// Pruning enables block-max dynamic pruning: top-k scoring skips
+	// documents and containers whose score bound proves they cannot
+	// rank. Results stay bit-identical to exhaustive scoring.
+	Pruning bool
+}
+
+// coreOptions maps the runtime subset of BuildOptions onto the engine
+// options every construction path (Build, BuildSharded, Open) shares.
+func (o BuildOptions) coreOptions(scorer ranking.Scorer) core.Options {
+	return core.Options{
+		Scorer:        scorer,
+		CacheContexts: o.CacheContexts,
+		CostBased:     o.CostBasedPlanning,
+		Parallelism:   o.Parallelism,
+		Deadline:      o.Timeout,
+		StatsBudget:   o.StatsBudget,
+		Pruning:       o.Pruning,
+	}
 }
 
 // Builder accumulates documents for an Engine.
@@ -181,14 +199,7 @@ func (b *Builder) Build(opts BuildOptions) (*Engine, error) {
 		selTime = time.Since(t0)
 	}
 	return &Engine{
-		engine: core.New(ix, cat, core.Options{
-			Scorer:        scorer,
-			CacheContexts: opts.CacheContexts,
-			CostBased:     opts.CostBasedPlanning,
-			Parallelism:   opts.Parallelism,
-			Deadline:      opts.Timeout,
-			StatsBudget:   opts.StatsBudget,
-		}),
+		engine:     core.New(ix, cat, opts.coreOptions(scorer)),
 		selectTime: selTime,
 	}, nil
 }
@@ -205,39 +216,52 @@ func schema() index.Schema {
 	}
 }
 
-// Hit is one ranked search result.
+// Hit is one ranked search result. The JSON tags are the wire format
+// cmd/csserve responses use, so serving needs no shadow types.
 type Hit struct {
-	// DocID is the document's insertion-order number.
-	DocID int
+	// DocID is the document's insertion-order number (the global number
+	// for sharded engines).
+	DocID int `json:"doc_id"`
 	// Title is the document's stored title.
-	Title string
+	Title string `json:"title"`
 	// Score is the ranking score (higher is more relevant).
-	Score float64
+	Score float64 `json:"score"`
 }
 
-// Stats summarizes one query execution.
+// Stats summarizes one query execution. For sharded engines it is the
+// cluster-level aggregation of every shard's report (counters summed,
+// flags ORed, Elapsed the fan-out maximum). The JSON tags are the wire
+// format cmd/csserve responses use.
 type Stats struct {
-	// Plan is the strategy used: "conventional", "view" or
-	// "straightforward".
-	Plan string
+	// Plan is the strategy used: "conventional", "view",
+	// "straightforward" — or "mixed" when a sharded execution used
+	// different plans on different shards.
+	Plan string `json:"plan"`
 	// UsedView reports whether a materialized view answered the context
-	// statistics.
-	UsedView bool
+	// statistics (any shard, for sharded engines).
+	UsedView bool `json:"used_view"`
 	// ResultSize is the unranked result cardinality.
-	ResultSize int
+	ResultSize int `json:"result_size"`
 	// ContextSize is |D_P| for contextual queries.
-	ContextSize int64
+	ContextSize int64 `json:"context_size"`
 	// CacheHit reports that context statistics came from the statistics
 	// cache (only with BuildOptions.CacheContexts > 0).
-	CacheHit bool
+	CacheHit bool `json:"cache_hit"`
 	// Degraded reports that a timeout or statistics budget expired and
 	// the hits are partial and/or ranked under approximate statistics.
-	Degraded bool
+	Degraded bool `json:"degraded"`
 	// DegradedReason explains what was traded away (empty when Degraded
 	// is false).
-	DegradedReason string
-	// Elapsed is the wall-clock execution time.
-	Elapsed time.Duration
+	DegradedReason string `json:"degraded_reason,omitempty"`
+	// PrunedDocs counts candidate documents block-max pruning dismissed
+	// without scoring (0 unless BuildOptions/SearchOptions enable
+	// Pruning).
+	PrunedDocs int64 `json:"pruned_docs"`
+	// PrunedContainers counts whole docID containers pruning dismissed
+	// wholesale.
+	PrunedContainers int64 `json:"pruned_containers"`
+	// Elapsed is the wall-clock execution time in nanoseconds.
+	Elapsed time.Duration `json:"elapsed_ns"`
 }
 
 // Engine answers context-sensitive queries.
@@ -303,14 +327,16 @@ func (e *Engine) convert(rs []core.Result) []Hit {
 
 func convertStats(st core.ExecStats) Stats {
 	return Stats{
-		Plan:           string(st.Plan),
-		UsedView:       st.UsedView,
-		ResultSize:     st.ResultSize,
-		ContextSize:    st.ContextSize,
-		CacheHit:       st.CacheHit,
-		Degraded:       st.Degraded,
-		DegradedReason: st.DegradedReason,
-		Elapsed:        st.Elapsed,
+		Plan:             string(st.Plan),
+		UsedView:         st.UsedView,
+		ResultSize:       st.ResultSize,
+		ContextSize:      st.ContextSize,
+		CacheHit:         st.CacheHit,
+		Degraded:         st.Degraded,
+		DegradedReason:   st.DegradedReason,
+		PrunedDocs:       st.Pruning.DocsSkipped,
+		PrunedContainers: st.Pruning.ContainersSkipped,
+		Elapsed:          st.Elapsed,
 	}
 }
 
@@ -387,12 +413,5 @@ func OpenWithOptions(dir string, opts BuildOptions) (*Engine, error) {
 	if err != nil {
 		cat = nil // view-less engine
 	}
-	return &Engine{engine: core.New(ix, cat, core.Options{
-		Scorer:        sc,
-		CacheContexts: opts.CacheContexts,
-		CostBased:     opts.CostBasedPlanning,
-		Parallelism:   opts.Parallelism,
-		Deadline:      opts.Timeout,
-		StatsBudget:   opts.StatsBudget,
-	})}, nil
+	return &Engine{engine: core.New(ix, cat, opts.coreOptions(sc))}, nil
 }

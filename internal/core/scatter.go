@@ -1,0 +1,273 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"csrank/internal/query"
+	"csrank/internal/ranking"
+)
+
+// Scatter-gather execution. A document-partitioned cluster cannot run
+// SearchCtx independently per shard: collection statistics (N, len(D),
+// df, tc — whether over the whole collection or over the context D_P)
+// are properties of the union, and a shard ranking under its local
+// counts would score documents differently from a single-engine run.
+// The two entry points below split one query at exactly the right seam:
+//
+//   - StatsFor computes the statistics this engine's documents
+//     contribute. Every field the scorers consume is an integer count
+//     over a disjoint document subset, so per-shard partial statistics
+//     sum — exactly, with no floating-point involvement — to the
+//     statistics a single engine holding the union would compute
+//     (MergeCollectionStats).
+//   - SearchWithStats evaluates the result set and scores it under
+//     externally supplied statistics. Per-document scores are pure
+//     functions of (S_q, S_d, S_c); S_d (term frequencies, document
+//     length) is a local fact identical in sharded and unsharded
+//     indexes, so with the merged S_c every shard produces exactly the
+//     floats the single engine would.
+//
+// The distributed merge then needs only MergeResults' strict
+// (score, docID) total order to be provably bit-identical to the
+// single-engine ranking, tie-breaks included.
+
+// StatsFor computes the collection statistics SearchCtx would rank q
+// with, without evaluating the result set: whole-collection aggregates
+// for context-free queries, S_c(D_P) (view-accelerated, cached, and
+// budget-degradable exactly like SearchCtx) for contextual ones. In a
+// document-partitioned cluster the returned statistics are one shard's
+// partial addend; MergeCollectionStats sums them into the union's
+// statistics. A deadline expiry degrades to approximate statistics and
+// flags st.Degraded instead of failing, mirroring the search path's
+// boundedness contract; explicit cancellation fails the call.
+func (e *Engine) StatsFor(ctx context.Context, q query.Query) (cs ranking.CollectionStats, st ExecStats, err error) {
+	ctx, cancel := e.applyDeadline(ctx)
+	defer cancel()
+	defer recoverToError(&err, "statistics phase")
+	start := time.Now()
+	defer func() { st.Elapsed = time.Since(start) }()
+	a, aerr := e.analyze(q)
+	if aerr != nil {
+		err = aerr
+		return
+	}
+	st.Phases.Analyze = time.Since(start)
+	if !q.IsContextual() || len(a.context) == 0 {
+		st.Plan = PlanConventional
+		// Whole-collection statistics are O(#keywords) aggregate reads —
+		// cheap enough to answer exactly even after a deadline expired
+		// (the scoring phase is where a dead deadline degrades). Explicit
+		// cancellation still fails the call.
+		if cerr := ctx.Err(); cerr != nil && !errors.Is(cerr, context.DeadlineExceeded) {
+			err = cerr
+			return
+		}
+		tStats := time.Now()
+		cs = e.globalStats(a)
+		st.Phases.Stats = time.Since(tStats)
+		return
+	}
+	st.Plan = PlanStraightforward
+	cat := e.catalog.Load()
+	if cerr := ctx.Err(); cerr != nil {
+		if !errors.Is(cerr, context.DeadlineExceeded) {
+			err = cerr
+			return
+		}
+		cs = e.approximateStats(a, true, &st, cat)
+		st.ContextSize = cs.N
+		st.degrade("deadline expired before statistics: approximate statistics")
+		return
+	}
+	kw, preds := e.lists(a)
+	tStats := time.Now()
+	statsCtx, statsCancel := ctx, context.CancelFunc(nil)
+	if e.statsBudget > 0 {
+		statsCtx, statsCancel = context.WithTimeout(ctx, e.statsBudget)
+	}
+	var cerr error
+	cs, cerr = e.contextStats(statsCtx, a, kw, preds, true, &st, cat)
+	if statsCancel != nil {
+		statsCancel()
+	}
+	st.Phases.Stats = time.Since(tStats)
+	if cerr != nil {
+		if !errors.Is(cerr, context.DeadlineExceeded) {
+			cs = ranking.CollectionStats{}
+			err = cerr
+			return
+		}
+		cs = e.approximateStats(a, true, &st, cat)
+		if ctx.Err() == nil {
+			st.degrade("stats budget exceeded: approximate statistics")
+		} else {
+			st.degrade("deadline exceeded during statistics: approximate statistics")
+		}
+	}
+	st.ContextSize = cs.N
+	return
+}
+
+// SearchWithStats evaluates q's result set on this engine's documents
+// and ranks it under the caller-supplied collection statistics instead
+// of computing its own — the scoring half of a scatter-gather query,
+// run after the cluster merged every shard's StatsFor contribution.
+// Results use this engine's docID space; st.Plan is left empty (the
+// plan is a property of the statistics phase). Deadline expiry degrades
+// to flagged partial results exactly like SearchCtx. cs is only read,
+// so one merged statistics value can fan out to every shard
+// concurrently.
+func (e *Engine) SearchWithStats(ctx context.Context, q query.Query, k int, cs ranking.CollectionStats) (res []Result, st ExecStats, err error) {
+	ctx, cancel := e.applyDeadline(ctx)
+	defer cancel()
+	defer recoverToError(&err, "scatter-gather scoring")
+	start := time.Now()
+	defer func() { st.Elapsed = time.Since(start) }()
+	a, aerr := e.analyze(q)
+	if aerr != nil {
+		err = aerr
+		return
+	}
+	st.Phases.Analyze = time.Since(start)
+	if stop, out, herr := shortCircuit(ctx, &st); stop {
+		res, err = out, herr
+		return
+	}
+	kw, preds := e.lists(a)
+	if e.prunedEligible(kw, preds, k) {
+		tScore := time.Now()
+		out, serr := e.prunedSearch(ctx, a, kw, preds, cs, k, &st)
+		st.Phases.Score = time.Since(tScore)
+		if serr != nil && !degradeOnDeadline(serr, &st, "deadline exceeded during pruned scoring: partial top-k") {
+			err = serr
+			return
+		}
+		res = out
+		return
+	}
+	tRes := time.Now()
+	rs, rerr := evaluateResultSet(ctx, kw, preds, &st.Stats)
+	st.Phases.ResultSet = time.Since(tRes)
+	if rerr != nil && !degradeOnDeadline(rerr, &st, "deadline exceeded during result-set intersection: partial results") {
+		err = rerr
+		return
+	}
+	st.ResultSize = rs.Len()
+	tScore := time.Now()
+	out, serr := e.score(ctx, a, rs, cs, k)
+	st.Phases.Score = time.Since(tScore)
+	if serr != nil && !degradeOnDeadline(serr, &st, "deadline exceeded during scoring: partial top-k") {
+		err = serr
+		return
+	}
+	res = out
+	return
+}
+
+// globalStats assembles whole-collection statistics for the analyzed
+// keywords: O(#keywords) reads of precomputed aggregates.
+func (e *Engine) globalStats(a analyzed) ranking.CollectionStats {
+	cs := ranking.CollectionStats{
+		N:        e.globalN,
+		TotalLen: e.globalLen,
+		DF:       make(map[string]int64, len(a.kwTerms)),
+		TC:       make(map[string]int64, len(a.kwTerms)),
+	}
+	for _, w := range a.kwTerms {
+		cs.DF[w] = e.ix.DF(e.contentField, w)
+		cs.TC[w] = e.ix.TotalTF(e.contentField, w)
+	}
+	return cs
+}
+
+// MergeCollectionStats sums per-shard partial collection statistics
+// into the statistics of the union. Every summed field is an int64
+// count over disjoint document sets — |D|, len(D), df(w, D), tc(w, D)
+// are all additive under disjoint union — so the result is exactly (not
+// approximately) the statistics a single engine holding all documents
+// would compute, regardless of summation order. UniqueTerms is not
+// additive (shard dictionaries overlap) and is left zero, matching the
+// single-engine query paths, which never populate it either.
+func MergeCollectionStats(parts ...ranking.CollectionStats) ranking.CollectionStats {
+	m := ranking.CollectionStats{
+		DF: make(map[string]int64),
+		TC: make(map[string]int64),
+	}
+	for _, p := range parts {
+		m.N += p.N
+		m.TotalLen += p.TotalLen
+		for w, v := range p.DF {
+			m.DF[w] += v
+		}
+		for w, v := range p.TC {
+			m.TC[w] += v
+		}
+	}
+	return m
+}
+
+// PlanMixed marks a merged execution whose shards reported different
+// plans (e.g. a view answered the context on some shards while others
+// fell back to the straightforward aggregation).
+const PlanMixed Plan = "mixed"
+
+// MergeStats aggregates per-shard (and per-phase) execution reports
+// into one cluster-level ExecStats: cost counters, result/context
+// cardinalities, fallback keyword counts and pruning counters sum;
+// Degraded and UsedView are sticky ORs with degradation reasons
+// deduplicated; CacheHit reports whether any part was answered from a
+// statistics cache; phase timings and Elapsed take the maximum, the
+// wall-clock shape of a concurrent fan-out. Parts with an empty Plan
+// (scoring-phase reports) do not vote on the merged plan.
+func MergeStats(parts ...ExecStats) ExecStats {
+	var m ExecStats
+	var reasons map[string]bool
+	for _, p := range parts {
+		m.Stats.Add(p.Stats)
+		if p.Plan != "" {
+			switch {
+			case m.Plan == "":
+				m.Plan = p.Plan
+			case m.Plan != p.Plan:
+				m.Plan = PlanMixed
+			}
+		}
+		m.UsedView = m.UsedView || p.UsedView
+		m.ViewSize += p.ViewSize
+		m.FallbackKeywords += p.FallbackKeywords
+		m.ResultSize += p.ResultSize
+		m.ContextSize += p.ContextSize
+		m.CacheHit = m.CacheHit || p.CacheHit
+		if p.Degraded && !reasons[p.DegradedReason] {
+			if reasons == nil {
+				reasons = make(map[string]bool)
+			}
+			reasons[p.DegradedReason] = true
+			m.degrade(p.DegradedReason)
+		}
+		m.Pruning.add(p.Pruning)
+		m.Phases = maxPhases(m.Phases, p.Phases)
+		if p.Elapsed > m.Elapsed {
+			m.Elapsed = p.Elapsed
+		}
+	}
+	return m
+}
+
+func maxPhases(a, b PhaseTimings) PhaseTimings {
+	return PhaseTimings{
+		Analyze:   maxDuration(a.Analyze, b.Analyze),
+		Stats:     maxDuration(a.Stats, b.Stats),
+		ResultSet: maxDuration(a.ResultSet, b.ResultSet),
+		Score:     maxDuration(a.Score, b.Score),
+	}
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

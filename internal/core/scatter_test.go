@@ -1,0 +1,172 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"csrank/internal/query"
+	"csrank/internal/ranking"
+	"csrank/internal/views"
+	"csrank/internal/widetable"
+)
+
+// TestStatsForPlusSearchWithStatsEqualsSearch: on one engine, running
+// the two scatter-gather halves back to back must reproduce SearchCtx
+// bit-for-bit — same docIDs, same score bits, same order — for
+// contextual and context-free queries, with and without views, pruning
+// on and off.
+func TestStatsForPlusSearchWithStatsEqualsSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	ix, meshTerms, words := randomCollection(t, rng, 500, 8, 8)
+	tbl := widetable.FromIndex(ix, words)
+	v, err := views.Materialize(tbl, meshTerms[:3], words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := views.NewCatalog([]*views.View{v}, 1, 1<<20)
+
+	queries := []query.Query{
+		{Keywords: []string{words[0], words[1]}},
+		{Keywords: []string{words[2]}, Context: meshTerms[:2]},
+		{Keywords: []string{words[0], words[3]}, Context: meshTerms[1:3]},
+	}
+	for _, pruning := range []bool{false, true} {
+		for _, withCat := range []bool{false, true} {
+			c := cat
+			if !withCat {
+				c = nil
+			}
+			eng := New(ix, c, Options{Pruning: pruning})
+			for _, q := range queries {
+				for _, k := range []int{0, 5, 50} {
+					want, wantSt, err := eng.SearchCtx(context.Background(), q, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cs, statsSt, err := eng.StatsFor(context.Background(), q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, _, err := eng.SearchWithStats(context.Background(), q, k, cs)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(got) != len(want) {
+						t.Fatalf("pruning=%v cat=%v q=%v k=%d: %d results, want %d",
+							pruning, withCat, q, k, len(got), len(want))
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("pruning=%v cat=%v q=%v k=%d rank %d: %+v, want %+v",
+								pruning, withCat, q, k, i, got[i], want[i])
+						}
+					}
+					if q.IsContextual() && statsSt.ContextSize != wantSt.ContextSize {
+						t.Fatalf("q=%v: ContextSize %d, want %d", q, statsSt.ContextSize, wantSt.ContextSize)
+					}
+					if statsSt.Plan != wantSt.Plan {
+						t.Fatalf("q=%v: plan %q, want %q", q, statsSt.Plan, wantSt.Plan)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMergeResultsRankSafe: partition random result multisets, truncate
+// each partition to its top k, merge, and compare against the top k of
+// the full multiset — the distributed-merge safety argument, exercised
+// over score ties that force the docID tie-break.
+func TestMergeResultsRankSafe(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(300)
+		parts := 1 + rng.Intn(8)
+		k := rng.Intn(20)
+		if trial%5 == 0 {
+			k = 0 // keep everything
+		}
+		var all []Result
+		lists := make([][]Result, parts)
+		for d := 0; d < n; d++ {
+			// Coarse scores so ties are common.
+			r := Result{DocID: uint32(d), Score: float64(rng.Intn(6))}
+			all = append(all, r)
+			p := rng.Intn(parts)
+			lists[p] = append(lists[p], r)
+		}
+		for p := range lists {
+			lists[p] = MergeResults(k, lists[p]) // sort + per-partition truncate
+		}
+		got := MergeResults(k, lists...)
+		want := MergeResults(k, all)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d merged results, want %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d rank %d: %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMergeCollectionStats: partial statistics over disjoint subsets
+// sum to the union's statistics exactly.
+func TestMergeCollectionStats(t *testing.T) {
+	a := ranking.CollectionStats{N: 10, TotalLen: 100,
+		DF: map[string]int64{"x": 3, "y": 1}, TC: map[string]int64{"x": 7, "y": 2}}
+	b := ranking.CollectionStats{N: 4, TotalLen: 31,
+		DF: map[string]int64{"x": 2, "z": 4}, TC: map[string]int64{"x": 5, "z": 9}}
+	m := MergeCollectionStats(a, b)
+	if m.N != 14 || m.TotalLen != 131 {
+		t.Fatalf("N=%d TotalLen=%d, want 14/131", m.N, m.TotalLen)
+	}
+	if m.DF["x"] != 5 || m.DF["y"] != 1 || m.DF["z"] != 4 {
+		t.Fatalf("DF merge wrong: %v", m.DF)
+	}
+	if m.TC["x"] != 12 || m.TC["y"] != 2 || m.TC["z"] != 9 {
+		t.Fatalf("TC merge wrong: %v", m.TC)
+	}
+}
+
+// TestMergeStats: counters sum, flags stick, duplicate degradation
+// reasons collapse, wall-clock fields take the fan-out maximum, and
+// scoring-phase parts (empty Plan) do not vote on the merged plan.
+func TestMergeStats(t *testing.T) {
+	s1 := ExecStats{Plan: PlanView, UsedView: true, ViewSize: 8, ResultSize: 10,
+		ContextSize: 40, CacheHit: true, Elapsed: 5 * time.Millisecond}
+	s1.Pruning.Active = true
+	s1.Pruning.DocsSkipped = 3
+	s2 := ExecStats{Plan: PlanStraightforward, ResultSize: 7, ContextSize: 22,
+		Elapsed: 9 * time.Millisecond}
+	s2.degrade("deadline exceeded during scoring: partial top-k")
+	s3 := ExecStats{ResultSize: 1} // scoring phase: no plan vote
+	s3.degrade("deadline exceeded during scoring: partial top-k")
+
+	m := MergeStats(s1, s2, s3)
+	if m.Plan != PlanMixed {
+		t.Fatalf("plan %q, want %q", m.Plan, PlanMixed)
+	}
+	if !m.UsedView || m.ViewSize != 8 || !m.CacheHit {
+		t.Fatalf("view/cache aggregation wrong: %+v", m)
+	}
+	if m.ResultSize != 18 || m.ContextSize != 62 {
+		t.Fatalf("cardinality sums wrong: ResultSize=%d ContextSize=%d", m.ResultSize, m.ContextSize)
+	}
+	if !m.Degraded || m.DegradedReason != "deadline exceeded during scoring: partial top-k" {
+		t.Fatalf("degradation merge wrong: %q", m.DegradedReason)
+	}
+	if m.Elapsed != 9*time.Millisecond {
+		t.Fatalf("Elapsed %v, want max 9ms", m.Elapsed)
+	}
+	if !m.Pruning.Active || m.Pruning.DocsSkipped != 3 {
+		t.Fatalf("pruning merge wrong: %+v", m.Pruning)
+	}
+	single := MergeStats(s1)
+	if single.Plan != PlanView {
+		t.Fatalf("single-part plan %q, want %q", single.Plan, PlanView)
+	}
+}

@@ -85,6 +85,29 @@ func (t *topK) results() []Result {
 	return out
 }
 
+// MergeResults merges ranked result lists — each sorted under the
+// engine's strict (score desc, DocID asc) total order, as every Search
+// variant returns — into the global top k (everything when k ≤ 0). The
+// merge is rank-safe when each input list is its partition's top k under
+// the same order: a document a partition truncated away ranks strictly
+// below k documents of that partition, hence below k documents of the
+// union, so it cannot appear in the union's top k. Partitions are
+// disjoint by construction (document-partitioned shards), so the k best
+// of the concatenation are exactly the k best of the union, and the
+// strict total order makes the output independent of list arrival
+// order — bit-identical to a single-engine run over the union.
+func MergeResults(k int, lists ...[]Result) []Result {
+	top := newTopK(k)
+	for _, l := range lists {
+		for _, r := range l {
+			top.push(r)
+		}
+	}
+	out := top.results()
+	top.release()
+	return out
+}
+
 // worseThan reports whether a ranks strictly below b.
 func worseThan(a, b Result) bool {
 	if a.Score != b.Score {
@@ -95,11 +118,11 @@ func worseThan(a, b Result) bool {
 
 type resultHeap []Result
 
-func (h resultHeap) Len() int            { return len(h) }
-func (h resultHeap) Less(i, j int) bool  { return worseThan(h[i], h[j]) }
-func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
-func (h *resultHeap) Pop() interface{} {
+func (h resultHeap) Len() int           { return len(h) }
+func (h resultHeap) Less(i, j int) bool { return worseThan(h[i], h[j]) }
+func (h resultHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x any)        { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() any {
 	old := *h
 	n := len(old)
 	x := old[n-1]

@@ -1,0 +1,241 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"csrank/internal/core"
+	"csrank/internal/query"
+	"csrank/internal/ranking"
+)
+
+// Cluster is a document-partitioned set of engines serving one logical
+// collection. Each shard sits behind a core.Serving, so catalog/index
+// generation rollover (recovery, background rebuilds) swaps one shard
+// at a time with zero downtime — in-flight queries finish on the
+// engine snapshot they already fanned out to. The local→global docID
+// maps are fixed at construction: a swapped-in engine must hold the
+// same document partition (same count, same local numbering), which is
+// exactly what a rebuilt or recovered index of the same shard does.
+type Cluster struct {
+	shards  []*core.Serving
+	globals [][]uint32
+	total   int
+}
+
+// Hit is one merged result: the shard that produced it, the document's
+// docID in that shard's engine (for stored-field lookup) and in the
+// logical collection (the tie-break key), and its score.
+type Hit struct {
+	Shard  int
+	Local  uint32
+	Global uint32
+	Score  float64
+}
+
+// Summary reports what one scatter-gather execution did.
+type Summary struct {
+	// Agg is the cluster-level aggregation (core.MergeStats) of every
+	// shard's statistics-phase and scoring-phase reports.
+	Agg core.ExecStats
+	// PerShard holds each shard's merged (stats + scoring) report.
+	PerShard []core.ExecStats
+	// Generations are the serving generations the query ran against,
+	// one per shard, captured as one snapshot per shard at fan-out.
+	Generations []uint64
+	// Engines are the engine snapshots the query ran on, one per shard;
+	// callers use them to resolve stored fields for the returned hits
+	// (the serving pointer may have swapped since).
+	Engines []*core.Engine
+	// Elapsed is the cluster-level wall clock: fan-out, both phases,
+	// merge.
+	Elapsed time.Duration
+}
+
+// NewCluster assembles a cluster from per-shard engines and their
+// local→global docID maps (as produced by Split or GlobalMaps). It
+// validates the partition invariants the rank-safe merge rests on:
+// every map strictly increasing (local order = global order), maps
+// pairwise disjoint, and each map's length equal to its engine's
+// document count. Shard generations start at 0.
+func NewCluster(engines []*core.Engine, globals [][]uint32) (*Cluster, error) {
+	if len(engines) == 0 {
+		return nil, fmt.Errorf("shard: cluster needs at least one engine")
+	}
+	if len(engines) != len(globals) {
+		return nil, fmt.Errorf("shard: %d engines but %d docID maps", len(engines), len(globals))
+	}
+	total := 0
+	for i, g := range globals {
+		if n := engines[i].Index().NumDocs(); n != len(g) {
+			return nil, fmt.Errorf("shard %d: engine holds %d documents but the docID map has %d", i, n, len(g))
+		}
+		for j := 1; j < len(g); j++ {
+			if g[j] <= g[j-1] {
+				return nil, fmt.Errorf("shard %d: docID map not strictly increasing at local %d", i, j)
+			}
+		}
+		total += len(g)
+	}
+	// Disjointness across shards: the concatenation sorted must be
+	// strictly increasing. O(total log total) once at construction.
+	all := make([]uint32, 0, total)
+	for _, g := range globals {
+		all = append(all, g...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	for i := 1; i < len(all); i++ {
+		if all[i] == all[i-1] {
+			return nil, fmt.Errorf("shard: global docID %d assigned to two shards", all[i])
+		}
+	}
+	c := &Cluster{globals: globals, total: total}
+	for _, e := range engines {
+		c.shards = append(c.shards, core.NewServing(e, 0))
+	}
+	return c, nil
+}
+
+// NumShards returns the shard count.
+func (c *Cluster) NumShards() int { return len(c.shards) }
+
+// NumDocs returns the logical collection size.
+func (c *Cluster) NumDocs() int { return c.total }
+
+// Engine returns shard i's current engine and generation.
+func (c *Cluster) Engine(i int) (*core.Engine, uint64) { return c.shards[i].Snapshot() }
+
+// Generations returns each shard's current serving generation.
+func (c *Cluster) Generations() []uint64 {
+	gens := make([]uint64, len(c.shards))
+	for i, s := range c.shards {
+		gens[i] = s.Generation()
+	}
+	return gens
+}
+
+// Swap atomically replaces shard i's engine, returning the previous
+// engine and generation. The replacement must hold exactly the same
+// document partition — same count and local numbering — which a rebuilt
+// or recovered index of the shard does by construction; the count is
+// validated here, the numbering is the builder's insertion-order
+// contract. In-flight queries finish on the engine they already hold.
+func (c *Cluster) Swap(i int, eng *core.Engine, gen uint64) (*core.Engine, uint64, error) {
+	if i < 0 || i >= len(c.shards) {
+		return nil, 0, fmt.Errorf("shard: no shard %d in a %d-shard cluster", i, len(c.shards))
+	}
+	if n := eng.Index().NumDocs(); n != len(c.globals[i]) {
+		return nil, 0, fmt.Errorf("shard %d: replacement engine holds %d documents, want %d", i, n, len(c.globals[i]))
+	}
+	old, oldGen := c.shards[i].Swap(eng, gen)
+	return old, oldGen, nil
+}
+
+// Locate maps a global docID back to (shard, local). ok is false when
+// the docID belongs to no shard.
+func (c *Cluster) Locate(global uint32) (shard int, local uint32, ok bool) {
+	for s, g := range c.globals {
+		j := sort.Search(len(g), func(i int) bool { return g[i] >= global })
+		if j < len(g) && g[j] == global {
+			return s, uint32(j), true
+		}
+	}
+	return 0, 0, false
+}
+
+// Search evaluates q over the whole cluster and returns the global top
+// k (everything when k ≤ 0), bit-identical — scores, order, tie-breaks
+// — to a single engine holding all documents. Execution is two
+// concurrent fan-outs over one engine snapshot per shard:
+//
+//  1. statistics: every shard computes the statistics its documents
+//     contribute (views, caches and budgets apply per shard), and the
+//     partial integer counts are summed into the union's statistics;
+//  2. scoring: every shard ranks its documents under the merged global
+//     statistics and returns its local top k, which is rank-safe to
+//     truncate because shard-local tie-break order equals global order.
+//
+// A deadline expiry inside any shard degrades that shard's report (and
+// therefore the merged Summary) instead of failing, matching the
+// engine's boundedness contract; cancellation or a shard panic fails
+// the query with the first error in shard order.
+func (c *Cluster) Search(ctx context.Context, q query.Query, k int) ([]Hit, Summary, error) {
+	start := time.Now()
+	n := len(c.shards)
+	sum := Summary{
+		PerShard:    make([]core.ExecStats, n),
+		Generations: make([]uint64, n),
+		Engines:     make([]*core.Engine, n),
+	}
+	for i, s := range c.shards {
+		sum.Engines[i], sum.Generations[i] = s.Snapshot()
+	}
+
+	// Phase 1: partial statistics.
+	partCS := make([]ranking.CollectionStats, n)
+	statsSt := make([]core.ExecStats, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			partCS[i], statsSt[i], errs[i] = sum.Engines[i].StatsFor(ctx, q)
+		}(i)
+	}
+	partCS[0], statsSt[0], errs[0] = sum.Engines[0].StatsFor(ctx, q)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, sum, err
+		}
+	}
+	cs := core.MergeCollectionStats(partCS...)
+
+	// Phase 2: scoring under the merged statistics.
+	results := make([][]core.Result, n)
+	scoreSt := make([]core.ExecStats, n)
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], scoreSt[i], errs[i] = sum.Engines[i].SearchWithStats(ctx, q, k, cs)
+		}(i)
+	}
+	results[0], scoreSt[0], errs[0] = sum.Engines[0].SearchWithStats(ctx, q, k, cs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, sum, err
+		}
+	}
+
+	// Rank-safe merge in the global docID space.
+	lists := make([][]core.Result, n)
+	for i, rs := range results {
+		mapped := make([]core.Result, len(rs))
+		for j, r := range rs {
+			mapped[j] = core.Result{DocID: c.globals[i][r.DocID], Score: r.Score}
+		}
+		lists[i] = mapped
+	}
+	merged := core.MergeResults(k, lists...)
+	hits := make([]Hit, len(merged))
+	for i, r := range merged {
+		s, local, ok := c.Locate(r.DocID)
+		if !ok {
+			return nil, sum, fmt.Errorf("shard: merged docID %d belongs to no shard", r.DocID)
+		}
+		hits[i] = Hit{Shard: s, Local: local, Global: r.DocID, Score: r.Score}
+	}
+
+	for i := range sum.PerShard {
+		sum.PerShard[i] = core.MergeStats(statsSt[i], scoreSt[i])
+	}
+	sum.Agg = core.MergeStats(sum.PerShard...)
+	sum.Elapsed = time.Since(start)
+	return hits, sum, nil
+}

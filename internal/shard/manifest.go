@@ -1,0 +1,181 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"csrank/internal/core"
+	"csrank/internal/fsx"
+	"csrank/internal/index"
+	"csrank/internal/views"
+)
+
+// ManifestName is the cluster manifest file inside a sharded data
+// directory; its presence is how tools detect a sharded layout.
+const ManifestName = "cluster.json"
+
+// manifestVersion is the manifest schema version this package writes.
+const manifestVersion = 1
+
+// Manifest describes a persisted cluster: shard-%03d subdirectories
+// each holding an ordinary engine data directory (index.gob in any
+// supported format, optional views.gob). Because the partition function
+// is pure, the manifest needs only (TotalDocs, Shards, Partition) to
+// reconstruct every local→global docID map; ShardDocs is recorded
+// redundantly so Open can detect a shard directory that drifted from
+// the partition it claims to be.
+type Manifest struct {
+	Version   int    `json:"version"`
+	Shards    int    `json:"shards"`
+	TotalDocs int    `json:"total_docs"`
+	Partition string `json:"partition"`
+	ShardDocs []int  `json:"shard_docs"`
+}
+
+// Validate checks internal consistency.
+func (m Manifest) Validate() error {
+	if m.Version != manifestVersion {
+		return fmt.Errorf("shard: manifest version %d, this build reads %d", m.Version, manifestVersion)
+	}
+	if m.Shards < 1 {
+		return fmt.Errorf("shard: manifest declares %d shards", m.Shards)
+	}
+	if m.Partition != PartitionFNV {
+		return fmt.Errorf("shard: unknown partition function %q (this build knows %q)", m.Partition, PartitionFNV)
+	}
+	if len(m.ShardDocs) != m.Shards {
+		return fmt.Errorf("shard: manifest lists %d shard sizes for %d shards", len(m.ShardDocs), m.Shards)
+	}
+	total := 0
+	for _, n := range m.ShardDocs {
+		total += n
+	}
+	if total != m.TotalDocs {
+		return fmt.Errorf("shard: shard sizes sum to %d, manifest declares %d documents", total, m.TotalDocs)
+	}
+	return nil
+}
+
+// NewManifest builds the manifest for total documents over n shards
+// under the built-in partitioner.
+func NewManifest(total, n int) Manifest {
+	m := Manifest{Version: manifestVersion, Shards: n, TotalDocs: total, Partition: PartitionFNV}
+	for _, g := range GlobalMaps(total, n) {
+		m.ShardDocs = append(m.ShardDocs, len(g))
+	}
+	return m
+}
+
+// ShardDir returns shard i's subdirectory under a cluster data dir.
+func ShardDir(dir string, i int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard-%03d", i))
+}
+
+// SaveManifest writes the manifest atomically (temp + fsync + rename).
+func SaveManifest(dir string, m Manifest) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	return fsx.WriteFileAtomic(fsx.OS, filepath.Join(dir, ManifestName), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(m)
+	})
+}
+
+// LoadManifest reads and validates dir's cluster manifest.
+func LoadManifest(dir string) (Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return Manifest{}, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, fmt.Errorf("shard: parse %s: %w", ManifestName, err)
+	}
+	if err := m.Validate(); err != nil {
+		return Manifest{}, err
+	}
+	return m, nil
+}
+
+// IsSharded reports whether dir holds a cluster manifest.
+func IsSharded(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, ManifestName))
+	return err == nil
+}
+
+// Save persists the cluster under dir: one engine data directory per
+// shard (shard-%03d/index.gob + views.gob) plus the manifest. mapped
+// selects the format-v4 paged index layout (mmap-ready, the right
+// choice when N shards must not multiply resident heap); otherwise the
+// framed format-v3 snapshot is written. Only clusters whose docID maps
+// match the built-in partitioner can be persisted — the manifest
+// records no explicit maps, so anything else could not be reopened.
+func (c *Cluster) Save(dir string, mapped bool) error {
+	m := NewManifest(c.total, len(c.shards))
+	for i, g := range GlobalMaps(c.total, len(c.shards)) {
+		if len(g) != len(c.globals[i]) {
+			return fmt.Errorf("shard: cluster partition is not %s; cannot persist", PartitionFNV)
+		}
+		for j := range g {
+			if g[j] != c.globals[i][j] {
+				return fmt.Errorf("shard: cluster partition is not %s; cannot persist", PartitionFNV)
+			}
+		}
+	}
+	for i := range c.shards {
+		eng, _ := c.shards[i].Snapshot()
+		sd := ShardDir(dir, i)
+		if err := os.MkdirAll(sd, 0o755); err != nil {
+			return err
+		}
+		save := eng.Index().SaveFile
+		if mapped {
+			save = eng.Index().SaveMapped
+		}
+		if err := save(filepath.Join(sd, "index.gob")); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		if cat := eng.Catalog(); cat != nil {
+			if err := cat.SaveFile(filepath.Join(sd, "views.gob")); err != nil {
+				return fmt.Errorf("shard %d: %w", i, err)
+			}
+		}
+	}
+	return SaveManifest(dir, m)
+}
+
+// Open loads a persisted cluster: the manifest, then every shard's
+// index (any supported format — a format-v4 paged index maps its
+// postings lazily, so N shards do not multiply resident heap) and
+// optional view catalog, each behind an engine built with opts. A
+// shard whose document count disagrees with the manifest fails the
+// open — serving a drifted partition would silently corrupt rankings.
+func Open(dir string, opts core.Options) (*Cluster, error) {
+	m, err := LoadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	globals := GlobalMaps(m.TotalDocs, m.Shards)
+	engines := make([]*core.Engine, m.Shards)
+	for i := 0; i < m.Shards; i++ {
+		sd := ShardDir(dir, i)
+		ix, err := index.LoadFile(filepath.Join(sd, "index.gob"))
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		if ix.NumDocs() != m.ShardDocs[i] {
+			return nil, fmt.Errorf("shard %d: index holds %d documents, manifest says %d", i, ix.NumDocs(), m.ShardDocs[i])
+		}
+		cat, err := views.LoadFile(filepath.Join(sd, "views.gob"))
+		if err != nil {
+			cat = nil // view-less shard
+		}
+		engines[i] = core.New(ix, cat, opts)
+	}
+	return NewCluster(engines, globals)
+}

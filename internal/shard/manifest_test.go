@@ -1,0 +1,128 @@
+package shard
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"csrank/internal/core"
+	"csrank/internal/query"
+)
+
+// TestSaveOpenRoundTrip persists a cluster (both index formats) and
+// reopens it; rankings must be bit-identical to the in-memory cluster
+// and the manifest must detect drifted shard directories.
+func TestSaveOpenRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	docs, meshTerms, words := randomDocs(rng, 200, 6, 6)
+	parts, globals, err := Split(docs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := make([]*core.Engine, 3)
+	for i := range engines {
+		ix := buildIndex(t, parts[i], 16)
+		engines[i] = core.New(ix, shardCatalog(t, rng, ix, meshTerms, words), core.Options{})
+	}
+	mem, err := NewCluster(engines, globals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := query.Query{Keywords: []string{words[0]}, Context: meshTerms[:1]}
+	want, _, err := mem.Search(context.Background(), q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, mapped := range []bool{false, true} {
+		dir := t.TempDir()
+		if err := mem.Save(dir, mapped); err != nil {
+			t.Fatal(err)
+		}
+		if !IsSharded(dir) {
+			t.Fatal("saved directory not detected as sharded")
+		}
+		got, err := Open(dir, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumShards() != 3 || got.NumDocs() != len(docs) {
+			t.Fatalf("reopened cluster %d shards / %d docs, want 3 / %d", got.NumShards(), got.NumDocs(), len(docs))
+		}
+		hits, _, err := got.Search(context.Background(), q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hits) != len(want) {
+			t.Fatalf("mapped=%v: %d hits, want %d", mapped, len(hits), len(want))
+		}
+		for i := range want {
+			if hits[i].Global != want[i].Global || hits[i].Score != want[i].Score {
+				t.Fatalf("mapped=%v rank %d: (%d, %v), want (%d, %v)",
+					mapped, i, hits[i].Global, hits[i].Score, want[i].Global, want[i].Score)
+			}
+		}
+	}
+}
+
+// TestOpenRejectsDrift: a shard directory whose index disagrees with
+// the manifest's partition must fail to open.
+func TestOpenRejectsDrift(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	docs, _, _ := randomDocs(rng, 120, 4, 4)
+	parts, globals, err := Split(docs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := []*core.Engine{
+		core.New(buildIndex(t, parts[0], 16), nil, core.Options{}),
+		core.New(buildIndex(t, parts[1], 16), nil, core.Options{}),
+	}
+	c, err := NewCluster(engines, globals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := c.Save(dir, false); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite shard 1's index with shard 0's (wrong partition).
+	src, err := os.ReadFile(filepath.Join(ShardDir(dir, 0), "index.gob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(ShardDir(dir, 1), "index.gob"), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, core.Options{}); err == nil && len(parts[0]) != len(parts[1]) {
+		t.Fatal("drifted shard directory opened")
+	}
+}
+
+// TestManifestValidate covers the manifest's self-checks.
+func TestManifestValidate(t *testing.T) {
+	good := NewManifest(100, 4)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Manifest)
+	}{
+		{"bad version", func(m *Manifest) { m.Version = 99 }},
+		{"zero shards", func(m *Manifest) { m.Shards = 0 }},
+		{"unknown partition", func(m *Manifest) { m.Partition = "mod" }},
+		{"size mismatch", func(m *Manifest) { m.ShardDocs[0]++ }},
+		{"wrong count", func(m *Manifest) { m.ShardDocs = m.ShardDocs[:2] }},
+	}
+	for _, tc := range cases {
+		m := NewManifest(100, 4)
+		m.ShardDocs = append([]int(nil), m.ShardDocs...)
+		tc.mutate(&m)
+		if err := m.Validate(); err == nil {
+			t.Fatalf("%s: validated", tc.name)
+		}
+	}
+}

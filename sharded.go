@@ -1,0 +1,195 @@
+package csrank
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"csrank/internal/core"
+	"csrank/internal/index"
+	"csrank/internal/query"
+	"csrank/internal/selection"
+	"csrank/internal/shard"
+	"csrank/internal/views"
+)
+
+// ShardedEngine answers context-sensitive queries over a
+// document-partitioned cluster of engines. Every query fans out to all
+// shards concurrently in two phases — partial statistics, then scoring
+// under the merged global statistics — and the merged ranking is
+// bit-identical to a single Engine holding the whole collection:
+// sharding changes latency and capacity, never scores, order or
+// tie-breaks. Each shard sits behind a generation-tracked serving slot,
+// so index rollover swaps one shard at a time without downtime.
+type ShardedEngine struct {
+	cluster    *shard.Cluster
+	selectTime time.Duration
+}
+
+// BuildSharded indexes the queued documents hash-partitioned over the
+// given number of shards, running view selection independently per
+// shard (T_C scales with the shard's size, so the fractional coverage
+// guarantee is preserved), and returns a ready ShardedEngine.
+// BuildSharded(1, opts) ranks identically to Build(opts).
+func (b *Builder) BuildSharded(shards int, opts BuildOptions) (*ShardedEngine, error) {
+	scorer, err := opts.Scorer.build()
+	if err != nil {
+		return nil, err
+	}
+	frac := opts.ContextThresholdFraction
+	if frac == 0 {
+		frac = 0.01
+	}
+	tv := opts.ViewSizeLimit
+	if tv == 0 {
+		tv = 4096
+	}
+	parts, globals, err := shard.Split(b.docs, shards)
+	if err != nil {
+		return nil, err
+	}
+	var selTime time.Duration
+	engines := make([]*core.Engine, shards)
+	for i := range parts {
+		ix, err := index.BuildFrom(schema(), opts.SegmentSize, parts[i])
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		var cat *views.Catalog
+		if !opts.DisableViews {
+			tc := int64(frac * float64(ix.NumDocs()))
+			if tc < 1 {
+				tc = 1
+			}
+			t0 := time.Now()
+			m, err := selection.Select(ix, selection.Config{TC: tc, TV: tv})
+			if err != nil {
+				return nil, fmt.Errorf("shard %d: %w", i, err)
+			}
+			cat = m.Catalog
+			selTime += time.Since(t0)
+		}
+		engines[i] = core.New(ix, cat, opts.coreOptions(scorer))
+	}
+	cluster, err := shard.NewCluster(engines, globals)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedEngine{cluster: cluster, selectTime: selTime}, nil
+}
+
+// Sharded wraps an existing single engine as a one-shard cluster, so
+// callers (cmd/csserve) can serve single and sharded data directories
+// through one code path. The wrapper ranks identically to the engine.
+func (e *Engine) Sharded() (*ShardedEngine, error) {
+	n := e.engine.Index().NumDocs()
+	cluster, err := shard.NewCluster([]*core.Engine{e.engine}, shard.GlobalMaps(n, 1))
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedEngine{cluster: cluster, selectTime: e.selectTime}, nil
+}
+
+// Save persists the cluster under dir (which must exist): one
+// shard-%03d engine directory per shard plus a cluster.json manifest.
+func (e *ShardedEngine) Save(dir string) error { return e.cluster.Save(dir, false) }
+
+// SaveMapped is Save with the format-v4 paged index layout, which
+// OpenSharded maps lazily — the right choice when N shards must not
+// multiply resident heap.
+func (e *ShardedEngine) SaveMapped(dir string) error { return e.cluster.Save(dir, true) }
+
+// IsSharded reports whether dir holds a sharded data directory (a
+// cluster manifest) as written by ShardedEngine.Save, as opposed to a
+// single-engine directory written by Engine.Save.
+func IsSharded(dir string) bool { return shard.IsSharded(dir) }
+
+// OpenSharded loads a cluster saved by ShardedEngine.Save, honoring the
+// runtime options (Scorer, CacheContexts, CostBasedPlanning,
+// Parallelism, Timeout, StatsBudget, Pruning) on every shard.
+func OpenSharded(dir string, opts BuildOptions) (*ShardedEngine, error) {
+	sc, err := opts.Scorer.build()
+	if err != nil {
+		return nil, err
+	}
+	cluster, err := shard.Open(dir, opts.coreOptions(sc))
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedEngine{cluster: cluster}, nil
+}
+
+// Search parses and evaluates q ("w1 w2 | m1 m2") over all shards,
+// returning the global top k with cluster-aggregated statistics.
+func (e *ShardedEngine) Search(q string, k int) ([]Hit, Stats, error) {
+	return e.SearchCtx(context.Background(), q, k)
+}
+
+// SearchCtx is Search under a caller-supplied context: cancelling ctx
+// aborts the fan-out promptly, and a deadline degrades shards to
+// flagged partial results instead of failing, exactly as on a single
+// engine.
+func (e *ShardedEngine) SearchCtx(ctx context.Context, q string, k int) ([]Hit, Stats, error) {
+	hits, agg, _, err := e.searchDetailed(ctx, q, k)
+	return hits, agg, err
+}
+
+// SearchDetailed is SearchCtx that additionally returns each shard's
+// own statistics report (index = shard), for serving telemetry.
+func (e *ShardedEngine) SearchDetailed(ctx context.Context, q string, k int) ([]Hit, Stats, []Stats, error) {
+	return e.searchDetailed(ctx, q, k)
+}
+
+func (e *ShardedEngine) searchDetailed(ctx context.Context, q string, k int) ([]Hit, Stats, []Stats, error) {
+	pq, err := query.Parse(q)
+	if err != nil {
+		return nil, Stats{}, nil, err
+	}
+	res, sum, err := e.cluster.Search(ctx, pq, k)
+	if err != nil {
+		return nil, Stats{}, nil, err
+	}
+	hits := make([]Hit, len(res))
+	for i, h := range res {
+		hits[i] = Hit{
+			DocID: int(h.Global),
+			Title: sum.Engines[h.Shard].Index().StoredField(h.Local, "title"),
+			Score: h.Score,
+		}
+	}
+	agg := convertStats(sum.Agg)
+	// The cluster-level wall clock (fan-out + both phases + merge), not
+	// the slowest shard's own clock, is what a serving SLO measures.
+	agg.Elapsed = sum.Elapsed
+	perShard := make([]Stats, len(sum.PerShard))
+	for i, st := range sum.PerShard {
+		perShard[i] = convertStats(st)
+	}
+	return hits, agg, perShard, nil
+}
+
+// NumShards returns the number of document partitions.
+func (e *ShardedEngine) NumShards() int { return e.cluster.NumShards() }
+
+// NumDocs returns the logical collection size across all shards.
+func (e *ShardedEngine) NumDocs() int { return e.cluster.NumDocs() }
+
+// NumViews returns the total number of materialized views across all
+// shards (0 when views are disabled).
+func (e *ShardedEngine) NumViews() int {
+	total := 0
+	for i := 0; i < e.cluster.NumShards(); i++ {
+		eng, _ := e.cluster.Engine(i)
+		if cat := eng.Catalog(); cat != nil {
+			total += cat.Len()
+		}
+	}
+	return total
+}
+
+// Generations returns each shard's current serving generation.
+func (e *ShardedEngine) Generations() []uint64 { return e.cluster.Generations() }
+
+// SelectionTime returns the total per-shard view selection and
+// materialization time during BuildSharded (zero for loaded engines).
+func (e *ShardedEngine) SelectionTime() time.Duration { return e.selectTime }
