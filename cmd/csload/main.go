@@ -9,6 +9,11 @@
 //
 //	csload -url http://localhost:8080 -queries queries.txt -qps 100,400 -duration 10s -out BENCH.json
 //	csload -url http://localhost:8080 -compare http://localhost:8081 -queries queries.txt
+//	csload -url http://localhost:8080 -ingest 1000 -qps 200 -out INGEST.json
+//
+// With -ingest N, csload POSTs N synthetic documents to /index
+// (csserve must be running with -ingest) at the first -qps rate and
+// reports the latency of the WAL-durable acks.
 //
 // With -compare, every query is sent to both servers and the hit lists
 // (doc_id and score) must match exactly — the sharded-vs-single
@@ -20,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
+	"math/rand"
 	"net/http"
 	neturl "net/url"
 	"os"
@@ -46,6 +53,36 @@ type searchResponse struct {
 	} `json:"stats"`
 }
 
+// indexRequest / indexResponse mirror csserve's POST /index wire
+// format.
+type indexRequest struct {
+	Title      string   `json:"title"`
+	Body       string   `json:"body"`
+	Predicates []string `json:"predicates,omitempty"`
+}
+
+type indexResponse struct {
+	DocID   int `json:"doc_id"`
+	Pending int `json:"pending"`
+}
+
+// ingestResult is the -ingest report: open-loop write throughput and
+// the latency of the WAL-durable ack.
+type ingestResult struct {
+	QPS      float64 `json:"qps"`
+	Sent     int64   `json:"sent"`
+	OK       int64   `json:"ok"`
+	Shed429  int64   `json:"shed_429"`
+	Shed503  int64   `json:"shed_503"`
+	Errors   int64   `json:"errors"`
+	FirstDoc int     `json:"first_doc_id"`
+	LastDoc  int     `json:"last_doc_id"`
+	P50ms    float64 `json:"p50_ms"`
+	P90ms    float64 `json:"p90_ms"`
+	P99ms    float64 `json:"p99_ms"`
+	P999ms   float64 `json:"p999_ms"`
+}
+
 // levelResult is one arrival-rate level's outcome in the -out report.
 type levelResult struct {
 	QPS      float64 `json:"qps"`
@@ -70,15 +107,34 @@ func main() {
 		k        = flag.Int("k", 10, "results per query")
 		out      = flag.String("out", "", "write the per-level JSON report here (default stdout)")
 		compare  = flag.String("compare", "", "second csserve URL: check both servers return identical hits for every query, then exit")
+		ingest   = flag.Int("ingest", 0, "POST this many synthetic documents to /index at the first -qps rate and report ack latency, then exit")
 	)
 	flag.Parse()
-	if err := run(*url, *queries, *qps, *duration, *k, *out, *compare); err != nil {
+	if err := run(*url, *queries, *qps, *duration, *k, *out, *compare, *ingest); err != nil {
 		fmt.Fprintln(os.Stderr, "csload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(url, queriesPath, qpsList string, duration time.Duration, k int, out, compare string) error {
+func run(url, queriesPath, qpsList string, duration time.Duration, k int, out, compare string, ingest int) error {
+	if ingest > 0 {
+		field := strings.Split(qpsList, ",")[0]
+		rate, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
+		if err != nil || rate <= 0 {
+			return fmt.Errorf("bad qps %q", field)
+		}
+		fmt.Fprintf(os.Stderr, "csload: ingesting %d documents at %v qps into %s\n", ingest, rate, url)
+		ir, err := runIngest(url, ingest, rate)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "csload: sent=%d ok=%d shed=%d+%d errors=%d p50=%.2fms p99=%.2fms p999=%.2fms\n",
+			ir.Sent, ir.OK, ir.Shed429, ir.Shed503, ir.Errors, ir.P50ms, ir.P99ms, ir.P999ms)
+		if ir.Errors > 0 {
+			return fmt.Errorf("%d ingest request(s) failed with non-shed errors", ir.Errors)
+		}
+		return writeReport(out, ir)
+	}
 	if queriesPath == "" {
 		return fmt.Errorf("-queries is required")
 	}
@@ -114,6 +170,11 @@ func run(url, queriesPath, qpsList string, duration time.Duration, k int, out, c
 		}
 	}
 
+	return writeReport(out, results)
+}
+
+// writeReport writes v as indented JSON to the -out path, or stdout.
+func writeReport(out string, v any) error {
 	w := io.Writer(os.Stdout)
 	if out != "" {
 		f, err := os.Create(out)
@@ -125,7 +186,7 @@ func run(url, queriesPath, qpsList string, duration time.Duration, k int, out, c
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(results)
+	return enc.Encode(v)
 }
 
 func readQueries(path string) ([]string, error) {
@@ -214,15 +275,139 @@ func runLevel(url string, qs []string, rate float64, duration time.Duration, k i
 	return lr, nil
 }
 
-// quantile returns the exact q-quantile (nearest-rank) of sorted
-// samples, in milliseconds.
+// ingestVocab seeds the synthetic document generator: enough distinct
+// terms that postings actually grow, few enough that terms repeat and
+// the scorer has real collection statistics to update.
+var ingestVocab = []string{
+	"pancreas", "leukemia", "carcinoma", "therapy", "receptor",
+	"kinase", "mutation", "biopsy", "lesion", "remission",
+	"antibody", "protein", "genome", "clinical", "cohort",
+}
+
+// runIngest POSTs n synthetic documents to /index open-loop at the
+// given arrival rate — like runLevel, requests fire on schedule rather
+// than waiting for acks, so the measured latency includes any queueing
+// inside the server's admission controller and WAL fsync path.
+func runIngest(url string, n int, rate float64) (ingestResult, error) {
+	ir := ingestResult{QPS: rate, FirstDoc: -1, LastDoc: -1}
+	interval := time.Duration(float64(time.Second) / rate)
+	client := &http.Client{Timeout: 30 * time.Second}
+	rng := rand.New(rand.NewSource(1))
+
+	docs := make([][]byte, n)
+	for i := range docs {
+		words := make([]string, 12)
+		for j := range words {
+			words[j] = ingestVocab[rng.Intn(len(ingestVocab))]
+		}
+		body, err := json.Marshal(indexRequest{
+			Title:      fmt.Sprintf("synthetic document %d", i),
+			Body:       strings.Join(words, " "),
+			Predicates: []string{ingestVocab[rng.Intn(len(ingestVocab))]},
+		})
+		if err != nil {
+			return ir, err
+		}
+		docs[i] = body
+	}
+
+	var (
+		mu             sync.Mutex
+		latencies      []time.Duration
+		first, last    atomic.Int64
+		ok, s429, s503 atomic.Int64
+		errs           atomic.Int64
+		wg             sync.WaitGroup
+	)
+	first.Store(-1)
+	last.Store(-1)
+	next := time.Now()
+	for i := 0; i < n; i++ {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		next = next.Add(interval)
+		body := docs[i]
+		ir.Sent++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			start := time.Now()
+			resp, err := client.Post(url+"/index", "application/json", strings.NewReader(string(body)))
+			elapsed := time.Since(start)
+			if err != nil {
+				errs.Add(1)
+				return
+			}
+			defer resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				var ack indexResponse
+				if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+					errs.Add(1)
+					return
+				}
+				ok.Add(1)
+				id := int64(ack.DocID)
+				for {
+					f := first.Load()
+					if f != -1 && f <= id {
+						break
+					}
+					if first.CompareAndSwap(f, id) {
+						break
+					}
+				}
+				for {
+					l := last.Load()
+					if l >= id {
+						break
+					}
+					if last.CompareAndSwap(l, id) {
+						break
+					}
+				}
+				mu.Lock()
+				latencies = append(latencies, elapsed)
+				mu.Unlock()
+			case http.StatusTooManyRequests:
+				s429.Add(1)
+			case http.StatusServiceUnavailable:
+				s503.Add(1)
+			default:
+				io.Copy(io.Discard, resp.Body)
+				errs.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	ir.OK, ir.Shed429, ir.Shed503, ir.Errors = ok.Load(), s429.Load(), s503.Load(), errs.Load()
+	ir.FirstDoc, ir.LastDoc = int(first.Load()), int(last.Load())
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	ir.P50ms = quantile(latencies, 0.50)
+	ir.P90ms = quantile(latencies, 0.90)
+	ir.P99ms = quantile(latencies, 0.99)
+	ir.P999ms = quantile(latencies, 0.999)
+	return ir, nil
+}
+
+// quantile returns the exact q-quantile of sorted samples, in
+// milliseconds, by the nearest-rank definition: the smallest sample
+// such that at least q·n samples are ≤ it, i.e. index ⌈q·n⌉-1. The
+// earlier ⌊q·n⌋ indexing was off by one — most visibly at small n,
+// where p999 of 100 samples read past the intended rank, and p50 of an
+// even n returned the (n/2+1)-th sample instead of the n/2-th.
 func quantile(sorted []time.Duration, q float64) float64 {
-	if len(sorted) == 0 {
+	n := len(sorted)
+	if n == 0 {
 		return 0
 	}
-	i := int(q * float64(len(sorted)))
-	if i >= len(sorted) {
-		i = len(sorted) - 1
+	i := int(math.Ceil(q*float64(n))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
 	}
 	return float64(sorted[i]) / float64(time.Millisecond)
 }

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 )
@@ -52,19 +53,52 @@ func TestReadQueries(t *testing.T) {
 	}
 }
 
+// TestQuantile pins the nearest-rank definition at the edges where the
+// old ⌊q·n⌋ indexing was off by one: the smallest sample with at least
+// q·n samples ≤ it lives at index ⌈q·n⌉-1, so p50 of 1..1000 is the
+// 500th sample (500ms), not the 501st, and p999 of 100 samples is the
+// 100th (⌈99.9⌉ = 100), which the old formula happened to hit only via
+// its end clamp.
 func TestQuantile(t *testing.T) {
-	var samples []time.Duration
-	for i := 1; i <= 1000; i++ {
-		samples = append(samples, time.Duration(i)*time.Millisecond)
+	ladder := func(n int) []time.Duration {
+		s := make([]time.Duration, n)
+		for i := range s {
+			s[i] = time.Duration(i+1) * time.Millisecond
+		}
+		return s
 	}
-	if p50 := quantile(samples, 0.50); p50 != 501 {
-		t.Fatalf("p50 = %v", p50)
+	cases := []struct {
+		name    string
+		samples []time.Duration
+		q       float64
+		want    float64
+	}{
+		{"empty", nil, 0.5, 0},
+		{"single p50", ladder(1), 0.50, 1},
+		{"single p999", ladder(1), 0.999, 1},
+		// Even n: ⌈0.5·1000⌉ = 500 → the 500th sample. The buggy
+		// formula returned the 501st.
+		{"p50 of 1000", ladder(1000), 0.50, 500},
+		{"p90 of 1000", ladder(1000), 0.90, 900},
+		{"p99 of 1000", ladder(1000), 0.99, 990},
+		{"p999 of 1000", ladder(1000), 0.999, 999},
+		// Small n, high quantile: fewer samples than 1/(1-q). p999 of
+		// 100 must be the maximum, ⌈99.9⌉ = 100.
+		{"p999 of 100", ladder(100), 0.999, 100},
+		{"p99 of 10", ladder(10), 0.99, 10},
+		{"p90 of 10", ladder(10), 0.90, 9},
+		// Odd n: ⌈0.5·5⌉ = 3, the true median.
+		{"p50 of 5", ladder(5), 0.50, 3},
+		{"p50 of 2", ladder(2), 0.50, 1},
+		// Boundary quantiles.
+		{"p0", ladder(10), 0, 1},
+		{"p100", ladder(10), 1, 10},
 	}
-	if p999 := quantile(samples, 0.999); p999 != 1000 {
-		t.Fatalf("p999 = %v", p999)
-	}
-	if quantile(nil, 0.5) != 0 {
-		t.Fatal("empty quantile not 0")
+	for _, tc := range cases {
+		if got := quantile(tc.samples, tc.q); got != tc.want {
+			t.Errorf("%s: quantile(n=%d, q=%v) = %v, want %v",
+				tc.name, len(tc.samples), tc.q, got, tc.want)
+		}
 	}
 }
 
@@ -80,6 +114,72 @@ func TestRunLevel(t *testing.T) {
 	}
 	if lr.P50ms <= 0 || lr.P999ms < lr.P50ms {
 		t.Fatalf("percentiles %+v", lr)
+	}
+}
+
+// fakeIngest returns an httptest server speaking csserve's /index wire
+// format, assigning doc IDs from base upward and shedding every
+// shedEvery-th request with 429 (0 = never shed).
+func fakeIngest(base int, shedEvery int) (*httptest.Server, *int) {
+	next := base
+	count := 0
+	var mu sync.Mutex
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/index" || r.Method != http.MethodPost {
+			http.Error(w, `{"error":"not found"}`, http.StatusNotFound)
+			return
+		}
+		var req indexRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Title == "" {
+			http.Error(w, `{"error":"bad document"}`, http.StatusBadRequest)
+			return
+		}
+		mu.Lock()
+		count++
+		if shedEvery > 0 && count%shedEvery == 0 {
+			mu.Unlock()
+			http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+			return
+		}
+		id := next
+		next++
+		pending := next - base
+		mu.Unlock()
+		json.NewEncoder(w).Encode(indexResponse{DocID: id, Pending: pending})
+	}))
+	return ts, &next
+}
+
+func TestRunIngest(t *testing.T) {
+	ts, next := fakeIngest(300, 0)
+	defer ts.Close()
+	ir, err := runIngest(ts.URL, 40, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.Sent != 40 || ir.OK != 40 || ir.Errors != 0 || ir.Shed429 != 0 {
+		t.Fatalf("ingest result %+v", ir)
+	}
+	if ir.FirstDoc != 300 || ir.LastDoc != 339 {
+		t.Fatalf("doc id range [%d, %d], want [300, 339]", ir.FirstDoc, ir.LastDoc)
+	}
+	if *next != 340 {
+		t.Fatalf("server assigned %d ids, want 40", *next-300)
+	}
+	if ir.P50ms <= 0 || ir.P999ms < ir.P50ms {
+		t.Fatalf("percentiles %+v", ir)
+	}
+}
+
+func TestRunIngestShedding(t *testing.T) {
+	ts, _ := fakeIngest(0, 4) // shed every 4th request
+	defer ts.Close()
+	ir, err := runIngest(ts.URL, 20, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.Shed429 != 5 || ir.OK != 15 || ir.Errors != 0 {
+		t.Fatalf("ingest result %+v", ir)
 	}
 }
 

@@ -3,7 +3,7 @@ package main
 import (
 	"context"
 	"errors"
-	"sync/atomic"
+	"sync"
 	"time"
 )
 
@@ -23,11 +23,28 @@ var (
 // is shed at once, and when it has waited queueTimeout it is shed as
 // saturated. Shedding at the door keeps latency bounded under overload
 // instead of letting every request crawl.
+//
+// Admission is queue-fair: a freed slot is handed directly to the
+// longest-queued waiter under the lock, and the no-queue fast path is
+// taken only when nobody is waiting. The earlier channel-based design
+// let any new arrival race queued waiters for a freed slot, so under
+// sustained saturation the queue could starve while late arrivals
+// sailed through — the exact opposite of an admission queue's point.
 type admission struct {
-	slots        chan struct{}
-	maxQueue     int64
 	queueTimeout time.Duration
-	queued       atomic.Int64
+	maxQueue     int
+
+	mu      sync.Mutex
+	free    int // slots not held and not handed to a waiter
+	held    int // slots currently held by admitted requests
+	waiters []*waiter
+}
+
+// waiter is one queued request. grant is buffered so the releaser can
+// hand a slot over without blocking under the lock; a waiter that gives
+// up re-checks the buffer to avoid leaking a granted slot.
+type waiter struct {
+	grant chan struct{}
 }
 
 // newAdmission builds a controller with maxInflight execution slots and
@@ -41,9 +58,9 @@ func newAdmission(maxInflight, maxQueue int, queueTimeout time.Duration) *admiss
 		maxQueue = 0
 	}
 	return &admission{
-		slots:        make(chan struct{}, maxInflight),
-		maxQueue:     int64(maxQueue),
 		queueTimeout: queueTimeout,
+		maxQueue:     maxQueue,
+		free:         maxInflight,
 	}
 }
 
@@ -53,16 +70,21 @@ func newAdmission(maxInflight, maxQueue int, queueTimeout time.Duration) *admiss
 // ctx.Err() if the request's own context ends first. On nil return the
 // caller must release().
 func (a *admission) acquire(ctx context.Context) error {
-	select {
-	case a.slots <- struct{}{}:
+	a.mu.Lock()
+	if a.free > 0 && len(a.waiters) == 0 {
+		a.free--
+		a.held++
+		a.mu.Unlock()
 		return nil
-	default:
 	}
-	if a.queued.Add(1) > a.maxQueue {
-		a.queued.Add(-1)
+	if len(a.waiters) >= a.maxQueue {
+		a.mu.Unlock()
 		return errQueueFull
 	}
-	defer a.queued.Add(-1)
+	w := &waiter{grant: make(chan struct{}, 1)}
+	a.waiters = append(a.waiters, w)
+	a.mu.Unlock()
+
 	var expired <-chan time.Time
 	if a.queueTimeout > 0 {
 		t := time.NewTimer(a.queueTimeout)
@@ -70,20 +92,64 @@ func (a *admission) acquire(ctx context.Context) error {
 		expired = t.C
 	}
 	select {
-	case a.slots <- struct{}{}:
+	case <-w.grant:
 		return nil
 	case <-expired:
-		return errQueueTimeout
+		return a.abandon(w, errQueueTimeout)
 	case <-ctx.Done():
-		return ctx.Err()
+		return a.abandon(w, ctx.Err())
 	}
 }
 
-// release returns an execution slot to the pool.
-func (a *admission) release() { <-a.slots }
+// abandon removes a timed-out or cancelled waiter from the queue. If the
+// waiter is gone, a releaser already granted it a slot — the grant is in
+// the buffer — so the slot is passed straight on rather than leaked, and
+// the caller still reports its own failure.
+func (a *admission) abandon(w *waiter, cause error) error {
+	a.mu.Lock()
+	for i, q := range a.waiters {
+		if q == w {
+			a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+			a.mu.Unlock()
+			return cause
+		}
+	}
+	// Granted concurrently with giving up: the releaser already
+	// transferred the held count to this waiter, so take the grant and
+	// pass the slot straight on.
+	a.mu.Unlock()
+	<-w.grant
+	a.release()
+	return cause
+}
+
+// release returns an execution slot: handed directly to the
+// longest-queued waiter when one exists (the waiter becomes the holder;
+// the slot never touches the free pool, so a new arrival cannot steal
+// it), otherwise back to the free pool.
+func (a *admission) release() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.waiters) > 0 {
+		w := a.waiters[0]
+		a.waiters = a.waiters[1:]
+		w.grant <- struct{}{} // buffered: never blocks
+		return                // held count transfers to the waiter
+	}
+	a.held--
+	a.free++
+}
 
 // inflight reports how many slots are currently held.
-func (a *admission) inflight() int { return len(a.slots) }
+func (a *admission) inflight() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.held
+}
 
 // queueDepth reports how many requests are waiting for a slot.
-func (a *admission) queueDepth() int { return int(a.queued.Load()) }
+func (a *admission) queueDepth() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.waiters)
+}

@@ -42,15 +42,18 @@ func main() {
 		maxQueue     = flag.Int("max-queue", 64, "maximum searches waiting for an execution slot; beyond this requests are shed with 429")
 		queueTimeout = flag.Duration("queue-timeout", 100*time.Millisecond, "longest a search may wait for a slot before shedding with 503 (0 = wait for the request deadline)")
 		perShard     = flag.Bool("per-shard-stats", false, "include each shard's statistics report in /search responses")
+		ingest       = flag.Bool("ingest", false, "accept POST /index writes (requires a sharded data directory; documents are WAL-durable before the 200)")
+		refresh      = flag.Duration("refresh", 500*time.Millisecond, "with -ingest: how often newly added documents become searchable (0 = on every Add)")
+		compactAt    = flag.Int("compact-threshold", 10000, "with -ingest: compact the mutable segment into the shard indexes once it holds this many documents (0 = never automatically)")
 	)
 	flag.Parse()
-	if err := run(*data, *addr, *mode, *scorer, *parallel, *pruning, *cache, *timeout, *statsBudget, *k, *maxInflight, *maxQueue, *queueTimeout, *perShard); err != nil {
+	if err := run(*data, *addr, *mode, *scorer, *parallel, *pruning, *cache, *timeout, *statsBudget, *k, *maxInflight, *maxQueue, *queueTimeout, *perShard, *ingest, *refresh, *compactAt); err != nil {
 		fmt.Fprintln(os.Stderr, "csserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(data, addr, mode, scorer string, parallel int, pruning bool, cache int, timeout, statsBudget time.Duration, k, maxInflight, maxQueue int, queueTimeout time.Duration, perShard bool) error {
+func run(data, addr, mode, scorer string, parallel int, pruning bool, cache int, timeout, statsBudget time.Duration, k, maxInflight, maxQueue int, queueTimeout time.Duration, perShard, ingest bool, refresh time.Duration, compactAt int) error {
 	opts := csrank.BuildOptions{
 		Scorer:        csrank.Scorer(scorer),
 		Parallelism:   parallel,
@@ -59,20 +62,23 @@ func run(data, addr, mode, scorer string, parallel int, pruning bool, cache int,
 		Timeout:       timeout,
 		StatsBudget:   statsBudget,
 	}
-	eng, err := openEngine(data, mode, opts)
+	eng, err := openEngine(data, mode, opts, ingest, refresh, compactAt)
 	if err != nil {
 		return err
 	}
-	srv := newServer(eng, newAdmission(maxInflight, maxQueue, queueTimeout), k, timeout, perShard)
-	fmt.Fprintf(os.Stderr, "csserve: %d documents over %d shard(s); listening on %s (inflight≤%d queue≤%d)\n",
-		eng.NumDocs(), eng.NumShards(), addr, maxInflight, maxQueue)
+	srv := newServer(eng, newAdmission(maxInflight, maxQueue, queueTimeout), k, timeout, perShard, ingest)
+	fmt.Fprintf(os.Stderr, "csserve: %d documents over %d shard(s); listening on %s (inflight≤%d queue≤%d ingest=%v)\n",
+		eng.NumDocs(), eng.NumShards(), addr, maxInflight, maxQueue, ingest)
 	return http.ListenAndServe(addr, srv.routes())
 }
 
 // openEngine resolves the data directory into a ShardedEngine: a
 // cluster manifest opens as a cluster, a single-engine directory is
-// wrapped as a one-shard cluster, so the server has one code path.
-func openEngine(data, mode string, opts csrank.BuildOptions) (*csrank.ShardedEngine, error) {
+// wrapped as a one-shard cluster, so the server has one code path. With
+// ingest the cluster opens writable — WAL recovery, mutable segment,
+// background refresh and compaction — which requires the sharded
+// layout (csbuild -shards N, N ≥ 1).
+func openEngine(data, mode string, opts csrank.BuildOptions, ingest bool, refresh time.Duration, compactAt int) (*csrank.ShardedEngine, error) {
 	sharded := csrank.IsSharded(data)
 	switch mode {
 	case "auto":
@@ -84,6 +90,15 @@ func openEngine(data, mode string, opts csrank.BuildOptions) (*csrank.ShardedEng
 		sharded = false
 	default:
 		return nil, fmt.Errorf("unknown mode %q", mode)
+	}
+	if ingest {
+		if !sharded {
+			return nil, fmt.Errorf("-ingest requires a sharded data directory (rebuild with csbuild -shards 1)")
+		}
+		return csrank.OpenLive(data, opts, csrank.IngestOptions{
+			RefreshEvery:     refresh,
+			CompactThreshold: compactAt,
+		})
 	}
 	if sharded {
 		return csrank.OpenSharded(data, opts)

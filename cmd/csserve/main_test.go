@@ -50,7 +50,7 @@ func getJSON(t *testing.T, ts *httptest.Server, path string, v any) int {
 
 func TestSearchEndpoint(t *testing.T) {
 	eng := buildTestEngine(t, 3)
-	srv := newServer(eng, newAdmission(4, 16, time.Second), 10, 0, true)
+	srv := newServer(eng, newAdmission(4, 16, time.Second), 10, 0, true, false)
 	ts := httptest.NewServer(srv.routes())
 	defer ts.Close()
 
@@ -143,7 +143,7 @@ func TestAdmissionShedding(t *testing.T) {
 // checks the status codes and counters.
 func TestServerOverloadResponses(t *testing.T) {
 	eng := buildTestEngine(t, 2)
-	srv := newServer(eng, newAdmission(1, 1, 10*time.Millisecond), 10, 0, false)
+	srv := newServer(eng, newAdmission(1, 1, 10*time.Millisecond), 10, 0, false, false)
 	ts := httptest.NewServer(srv.routes())
 	defer ts.Close()
 

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"math/bits"
 	"net/http"
 	"strconv"
@@ -31,6 +32,22 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// indexRequest is the POST /index wire format: one document to add to
+// the live collection.
+type indexRequest struct {
+	Title      string   `json:"title"`
+	Body       string   `json:"body"`
+	Predicates []string `json:"predicates"`
+}
+
+// indexResponse acknowledges a durably logged document.
+type indexResponse struct {
+	// DocID is the document's assigned global number.
+	DocID int `json:"doc_id"`
+	// Pending is how many acknowledged documents await compaction.
+	Pending int `json:"pending"`
+}
+
 // statszResponse is the /statsz wire format: cumulative counters plus
 // the latency distribution of admitted searches.
 type statszResponse struct {
@@ -46,6 +63,12 @@ type statszResponse struct {
 	Errors      int64 `json:"errors"`
 	Degraded    int64 `json:"degraded"`
 	PrunedDocs  int64 `json:"pruned_docs"`
+
+	IngestEnabled  bool  `json:"ingest_enabled"`
+	IngestRequests int64 `json:"ingest_requests"`
+	IndexedDocs    int64 `json:"indexed_docs"`
+	IngestErrors   int64 `json:"ingest_errors"`
+	PendingDocs    int   `json:"pending_docs"`
 
 	Inflight   int `json:"inflight"`
 	QueueDepth int `json:"queue_depth"`
@@ -110,27 +133,32 @@ type server struct {
 	defaultK int
 	timeout  time.Duration // per-request deadline covering queue wait + execution
 	perShard bool          // include per-shard stats in responses
+	ingest   bool          // accept POST /index writes
 
 	bufs sync.Pool // *bytes.Buffer, pooled response encoding
 
-	requests    atomic.Int64
-	ok          atomic.Int64
-	badRequests atomic.Int64
-	shedQueue   atomic.Int64
-	shedTimeout atomic.Int64
-	errCount    atomic.Int64
-	degraded    atomic.Int64
-	prunedDocs  atomic.Int64
-	hist        latencyHist
+	requests       atomic.Int64
+	ok             atomic.Int64
+	badRequests    atomic.Int64
+	shedQueue      atomic.Int64
+	shedTimeout    atomic.Int64
+	errCount       atomic.Int64
+	degraded       atomic.Int64
+	prunedDocs     atomic.Int64
+	ingestRequests atomic.Int64
+	indexedDocs    atomic.Int64
+	ingestErrors   atomic.Int64
+	hist           latencyHist
 }
 
-func newServer(eng *csrank.ShardedEngine, adm *admission, defaultK int, timeout time.Duration, perShard bool) *server {
+func newServer(eng *csrank.ShardedEngine, adm *admission, defaultK int, timeout time.Duration, perShard, ingest bool) *server {
 	return &server{
 		eng:      eng,
 		adm:      adm,
 		defaultK: defaultK,
 		timeout:  timeout,
 		perShard: perShard,
+		ingest:   ingest,
 		bufs:     sync.Pool{New: func() any { return new(bytes.Buffer) }},
 	}
 }
@@ -138,6 +166,7 @@ func newServer(eng *csrank.ShardedEngine, adm *admission, defaultK int, timeout 
 func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/index", s.handleIndex)
 	mux.HandleFunc("/statsz", s.handleStatsz)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
@@ -188,18 +217,7 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	if err := s.adm.acquire(ctx); err != nil {
-		switch {
-		case errors.Is(err, errQueueFull):
-			s.shedQueue.Add(1)
-			s.writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
-		case errors.Is(err, errQueueTimeout), errors.Is(err, context.DeadlineExceeded):
-			s.shedTimeout.Add(1)
-			s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: errQueueTimeout.Error()})
-		default: // client went away while queued
-			s.errCount.Add(1)
-			s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
-		}
+	if !s.admit(ctx, w) {
 		return
 	}
 	defer s.adm.release()
@@ -231,6 +249,72 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+// admit acquires an execution slot for the request, writing the shed
+// response (429 queue full, 503 saturated or gone) on failure. On true
+// the caller must release().
+func (s *server) admit(ctx context.Context, w http.ResponseWriter) bool {
+	err := s.adm.acquire(ctx)
+	if err == nil {
+		return true
+	}
+	switch {
+	case errors.Is(err, errQueueFull):
+		s.shedQueue.Add(1)
+		s.writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+	case errors.Is(err, errQueueTimeout), errors.Is(err, context.DeadlineExceeded):
+		s.shedTimeout.Add(1)
+		s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: errQueueTimeout.Error()})
+	default: // client went away while queued
+		s.errCount.Add(1)
+		s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+	}
+	return false
+}
+
+// handleIndex adds one document to the live collection. Writes go
+// through the same admission controller as searches, so a write surge
+// sheds at the door instead of starving queries (and vice versa). The
+// 200 response means the document is durably logged — fsynced — and
+// will be searchable within one refresh interval.
+func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	s.ingestRequests.Add(1)
+	if r.Method != http.MethodPost {
+		s.badRequests.Add(1)
+		s.writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	if !s.ingest {
+		s.badRequests.Add(1)
+		s.writeJSON(w, http.StatusForbidden, errorResponse{Error: "ingestion disabled (start csserve with -ingest)"})
+		return
+	}
+	var req indexRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 8<<20)).Decode(&req); err != nil {
+		s.badRequests.Add(1)
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad document: " + err.Error()})
+		return
+	}
+	ctx := r.Context()
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	if !s.admit(ctx, w) {
+		return
+	}
+	defer s.adm.release()
+
+	id, err := s.eng.Add(csrank.Document{Title: req.Title, Body: req.Body, Predicates: req.Predicates})
+	if err != nil {
+		s.ingestErrors.Add(1)
+		s.writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	s.indexedDocs.Add(1)
+	s.writeJSON(w, http.StatusOK, indexResponse{DocID: id, Pending: s.eng.Pending()})
+}
+
 func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, statszResponse{
 		NumDocs:     s.eng.NumDocs(),
@@ -244,6 +328,13 @@ func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		Errors:      s.errCount.Load(),
 		Degraded:    s.degraded.Load(),
 		PrunedDocs:  s.prunedDocs.Load(),
+
+		IngestEnabled:  s.ingest,
+		IngestRequests: s.ingestRequests.Load(),
+		IndexedDocs:    s.indexedDocs.Load(),
+		IngestErrors:   s.ingestErrors.Load(),
+		PendingDocs:    s.eng.Pending(),
+
 		Inflight:    s.adm.inflight(),
 		QueueDepth:  s.adm.queueDepth(),
 		LatencyP50:  s.hist.quantile(0.50),

@@ -151,14 +151,20 @@ type Builder struct {
 // NewBuilder returns an empty Builder.
 func NewBuilder() *Builder { return &Builder{} }
 
-// Add queues one document; documents are numbered in insertion order
-// starting at 0.
-func (b *Builder) Add(d Document) {
-	b.docs = append(b.docs, index.Document{Fields: map[string]string{
+// indexDoc maps the public document onto the schema's fields — the one
+// mapping batch builds and live ingestion both use.
+func (d Document) indexDoc() index.Document {
+	return index.Document{Fields: map[string]string{
 		"title":   d.Title,
 		"content": d.Title + " " + d.Body,
 		"mesh":    strings.Join(d.Predicates, " "),
-	}})
+	}}
+}
+
+// Add queues one document; documents are numbered in insertion order
+// starting at 0.
+func (b *Builder) Add(d Document) {
+	b.docs = append(b.docs, d.indexDoc())
 }
 
 // Len returns the number of queued documents.
@@ -268,6 +274,9 @@ type Stats struct {
 type Engine struct {
 	engine     *core.Engine
 	selectTime time.Duration
+	// live is the writable cluster EnableIngest attaches; when set,
+	// searches route through it so added documents are visible.
+	live *ShardedEngine
 }
 
 // Search parses and evaluates q ("w1 w2 | m1 m2") with context-sensitive
@@ -282,6 +291,9 @@ func (e *Engine) Search(q string, k int) ([]Hit, Stats, error) {
 // BuildOptions.Timeout) degrades to flagged partial results instead of
 // failing. A panic anywhere in the query path fails only that query.
 func (e *Engine) SearchCtx(ctx context.Context, q string, k int) ([]Hit, Stats, error) {
+	if e.live != nil {
+		return e.live.SearchCtx(ctx, q, k)
+	}
 	pq, err := query.Parse(q)
 	if err != nil {
 		return nil, Stats{}, err
@@ -356,8 +368,14 @@ func (e *Engine) Explain(q string) (string, error) {
 	return ex.String(), nil
 }
 
-// NumDocs returns the collection size.
-func (e *Engine) NumDocs() int { return e.engine.Index().NumDocs() }
+// NumDocs returns the collection size (including documents added live,
+// when ingestion is enabled).
+func (e *Engine) NumDocs() int {
+	if e.live != nil {
+		return e.live.NumDocs()
+	}
+	return e.engine.Index().NumDocs()
+}
 
 // NumViews returns the number of materialized views (0 when views are
 // disabled).

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"csrank/internal/query"
+	"csrank/internal/ranking"
+)
+
+// Multi-slice execution. A live collection is a set of disjoint
+// document slices — immutable shards plus a small mutable segment —
+// that must rank as one: collection statistics are properties of the
+// union, so slices cannot score independently. SearchSlices runs the
+// same two-phase protocol the scatter path proves bit-identical
+// (StatsFor partial statistics summed by MergeCollectionStats, then
+// SearchWithStats under the merged statistics, then MergeResults'
+// strict total order), parameterized over an explicit slice list
+// instead of a fixed cluster, so the shard fan-out and the
+// mutable-segment overlay share one implementation.
+
+// Slice is one disjoint piece of a logical collection: an engine and
+// its local→global docID map. Globals must be strictly increasing
+// (local order = global order — the invariant that makes per-slice
+// top-k truncation rank-safe) and pairwise disjoint across the slices
+// of one search; callers own those invariants.
+type Slice struct {
+	Eng     *Engine
+	Globals []uint32
+}
+
+// SliceHit is one merged result: the slice that produced it, the
+// document's docID in that slice's engine (for stored-field lookup)
+// and in the logical collection (the tie-break key), and its score.
+type SliceHit struct {
+	Slice  int
+	Local  uint32
+	Global uint32
+	Score  float64
+}
+
+// SearchSlices evaluates q over the union of the slices and returns the
+// global top k (everything when k ≤ 0), bit-identical — scores, order,
+// tie-breaks — to a single engine holding all documents, plus each
+// slice's merged (stats + scoring phase) execution report. A deadline
+// expiry inside any slice degrades that slice's report instead of
+// failing; cancellation or a slice panic fails the query with the first
+// error in slice order.
+func SearchSlices(ctx context.Context, slices []Slice, q query.Query, k int) ([]SliceHit, []ExecStats, error) {
+	n := len(slices)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("core: search over zero slices")
+	}
+
+	// Phase 1: partial statistics.
+	partCS := make([]ranking.CollectionStats, n)
+	statsSt := make([]ExecStats, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			partCS[i], statsSt[i], errs[i] = slices[i].Eng.StatsFor(ctx, q)
+		}(i)
+	}
+	partCS[0], statsSt[0], errs[0] = slices[0].Eng.StatsFor(ctx, q)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	cs := MergeCollectionStats(partCS...)
+
+	// Phase 2: scoring under the merged statistics.
+	results := make([][]Result, n)
+	scoreSt := make([]ExecStats, n)
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], scoreSt[i], errs[i] = slices[i].Eng.SearchWithStats(ctx, q, k, cs)
+		}(i)
+	}
+	results[0], scoreSt[0], errs[0] = slices[0].Eng.SearchWithStats(ctx, q, k, cs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Rank-safe merge in the global docID space.
+	lists := make([][]Result, n)
+	for i, rs := range results {
+		mapped := make([]Result, len(rs))
+		for j, r := range rs {
+			mapped[j] = Result{DocID: slices[i].Globals[r.DocID], Score: r.Score}
+		}
+		lists[i] = mapped
+	}
+	merged := MergeResults(k, lists...)
+	hits := make([]SliceHit, len(merged))
+	for i, r := range merged {
+		s, local, ok := locateSlice(slices, r.DocID)
+		if !ok {
+			return nil, nil, fmt.Errorf("core: merged docID %d belongs to no slice", r.DocID)
+		}
+		hits[i] = SliceHit{Slice: s, Local: local, Global: r.DocID, Score: r.Score}
+	}
+
+	per := make([]ExecStats, n)
+	for i := range per {
+		per[i] = MergeStats(statsSt[i], scoreSt[i])
+	}
+	return hits, per, nil
+}
+
+// locateSlice maps a global docID back to (slice, local) by binary
+// search over each slice's sorted globals.
+func locateSlice(slices []Slice, global uint32) (idx int, local uint32, ok bool) {
+	for s, sl := range slices {
+		g := sl.Globals
+		j := sort.Search(len(g), func(i int) bool { return g[i] >= global })
+		if j < len(g) && g[j] == global {
+			return s, uint32(j), true
+		}
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,511 @@
+package segment
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"csrank/internal/core"
+	"csrank/internal/fsx"
+	"csrank/internal/index"
+	"csrank/internal/query"
+	"csrank/internal/shard"
+	"csrank/internal/views"
+)
+
+// LiveName is the ingestion commit-point file inside a cluster data
+// directory: it names the current index generation and committed
+// document count. It is rewritten atomically exactly once per
+// compaction, making "which generation is live" a single-file decision
+// recovery can always answer.
+const LiveName = "live.json"
+
+type liveState struct {
+	Version   int    `json:"version"`
+	Gen       uint64 `json:"gen"`
+	TotalDocs int    `json:"total_docs"`
+}
+
+// walName returns the ingestion log for a generation: the documents
+// acknowledged after that generation's snapshot was committed.
+func walName(gen uint64) string { return fmt.Sprintf("ingest-%06d.wal", gen) }
+
+// indexName returns a shard's index file for a generation. Generation 0
+// is the csbuild-written base layout, so an uncompacted live directory
+// stays openable by every existing tool.
+func indexName(gen uint64) string {
+	if gen == 0 {
+		return "index.gob"
+	}
+	return fmt.Sprintf("index.%06d.gob", gen)
+}
+
+// Options configures an Ingester.
+type Options struct {
+	// FS is the filesystem everything durable goes through (fsx.OS when
+	// nil); fault-injection tests substitute a crashing one.
+	FS fsx.FS
+	// Core configures the engines built for shards and the mutable
+	// segment.
+	Core core.Options
+	// RefreshEvery is the interval at which the mutable segment is
+	// re-published for search. Zero refreshes synchronously inside every
+	// Add — an acknowledged document is searchable when Add returns.
+	RefreshEvery time.Duration
+	// CompactThreshold triggers a background compaction when the segment
+	// holds at least this many documents. Zero means compaction runs only
+	// when Compact is called.
+	CompactThreshold int
+	// Mapped writes compacted snapshots in the paged format-v4 layout.
+	Mapped bool
+}
+
+// View is one consistent snapshot of the searchable collection: the
+// shard slices plus (when the segment is non-empty) the mutable-segment
+// slice. Queries load it once and run entirely against it, so a
+// concurrent compaction can never double-count a document — a view
+// holds each document in exactly one slice by construction, and views
+// are replaced whole.
+type View struct {
+	// Slices are the disjoint document slices; Slices[:Base] are the
+	// immutable shards, the rest (at most one) is the mutable segment.
+	Slices []core.Slice
+	Base   int
+	// Total is the searchable document count.
+	Total int
+}
+
+// Ingester owns live ingestion for one cluster data directory: the
+// WAL-durable mutable segment, the searchable view over shards +
+// segment, and the compactor that drains the segment into the next
+// index generation. All mutation is serialized on one mutex; searches
+// are lock-free view loads.
+type Ingester struct {
+	fs      fsx.FS
+	dir     string
+	cluster *shard.Cluster
+	schema  index.Schema
+	segSize int
+	opts    Options
+
+	mu         sync.Mutex
+	seg        *Segment
+	gen        uint64
+	total      int // documents committed into the shard indexes
+	compacting bool
+	compactErr error
+	closed     bool
+
+	view atomic.Pointer[View]
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Open opens a cluster data directory for live ingestion and recovers
+// its mutable segment: load the committed generation (live.json, or the
+// csbuild manifest for a never-compacted directory), open each shard's
+// index for that generation, replay the generation's ingestion WAL into
+// the segment (truncating a torn tail), and sweep any orphan files a
+// crash mid-compaction left behind. Every document whose Add was
+// acknowledged before the crash is afterwards searchable exactly once.
+func Open(dir string, o Options) (*Ingester, error) {
+	fs := o.FS
+	if fs == nil {
+		fs = fsx.OS
+	}
+	m, err := shard.LoadManifest(dir)
+	if err != nil {
+		return nil, fmt.Errorf("segment: live ingestion requires a sharded data directory (csbuild -shards): %w", err)
+	}
+	st := liveState{Version: 1, Gen: 0, TotalDocs: m.TotalDocs}
+	if data, rerr := readAll(fs, filepath.Join(dir, LiveName)); rerr == nil {
+		if err := json.Unmarshal(data, &st); err != nil {
+			return nil, fmt.Errorf("segment: parse %s: %w", LiveName, err)
+		}
+		if st.Version != 1 {
+			return nil, fmt.Errorf("segment: %s version %d, this build reads 1", LiveName, st.Version)
+		}
+		if st.TotalDocs < m.TotalDocs {
+			return nil, fmt.Errorf("segment: %s declares %d documents, below the manifest's %d", LiveName, st.TotalDocs, m.TotalDocs)
+		}
+	}
+
+	globals := shard.GlobalMaps(st.TotalDocs, m.Shards)
+	engines := make([]*core.Engine, m.Shards)
+	for i := range engines {
+		sd := shard.ShardDir(dir, i)
+		ix, err := index.LoadFileFS(fs, filepath.Join(sd, indexName(st.Gen)))
+		if err != nil {
+			return nil, fmt.Errorf("segment: shard %d gen %d: %w", i, st.Gen, err)
+		}
+		if ix.NumDocs() != len(globals[i]) {
+			return nil, fmt.Errorf("segment: shard %d holds %d documents, partition expects %d", i, ix.NumDocs(), len(globals[i]))
+		}
+		var cat *views.Catalog
+		if st.Gen == 0 {
+			// View catalogs describe the build-time corpus; compaction
+			// changes the corpus, so catalogs serve only at generation 0
+			// and contextual statistics fall back to the (exact)
+			// straightforward plan afterwards.
+			if c, err := views.LoadFileFS(fs, filepath.Join(sd, "views.gob")); err == nil {
+				cat = c
+			}
+		}
+		engines[i] = core.New(ix, cat, o.Core)
+	}
+	cluster, err := shard.NewCluster(engines, globals)
+	if err != nil {
+		return nil, err
+	}
+
+	seg, err := OpenSegment(fs, filepath.Join(dir, walName(st.Gen)))
+	if err != nil {
+		return nil, err
+	}
+	ing := &Ingester{
+		fs:      fs,
+		dir:     dir,
+		cluster: cluster,
+		schema:  engines[0].Index().Schema(),
+		segSize: engines[0].Index().SegmentSize(),
+		opts:    o,
+		seg:     seg,
+		gen:     st.Gen,
+		total:   st.TotalDocs,
+		stop:    make(chan struct{}),
+	}
+	ing.removeOrphans()
+	ing.mu.Lock()
+	err = ing.refreshLocked()
+	ing.mu.Unlock()
+	if err != nil {
+		seg.Close()
+		return nil, err
+	}
+	if o.RefreshEvery > 0 {
+		ing.wg.Add(1)
+		go ing.refreshLoop()
+	}
+	return ing, nil
+}
+
+func readAll(fs fsx.FS, path string) ([]byte, error) {
+	f, err := fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// Cluster returns the underlying shard cluster (for generation and
+// manifest introspection).
+func (ing *Ingester) Cluster() *shard.Cluster { return ing.cluster }
+
+// Generation returns the committed compaction generation.
+func (ing *Ingester) Generation() uint64 {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	return ing.gen
+}
+
+// Pending returns how many acknowledged documents await compaction.
+func (ing *Ingester) Pending() int {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	return ing.seg.Len()
+}
+
+// NumDocs returns the total acknowledged document count (committed plus
+// segment).
+func (ing *Ingester) NumDocs() int {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	return ing.total + ing.seg.Len()
+}
+
+// CompactErr returns the most recent background-compaction failure (nil
+// after a success). Compaction failures never lose acknowledged
+// documents — the segment and its WAL are untouched until the commit
+// point — so they are reported, not fatal.
+func (ing *Ingester) CompactErr() error {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	return ing.compactErr
+}
+
+// View returns the current searchable view.
+func (ing *Ingester) View() *View { return ing.view.Load() }
+
+// Search evaluates q over the current view — shards plus mutable
+// segment, rank-safely merged — and returns the hits, each slice's
+// execution report, and the view the query ran on (for stored-field
+// resolution).
+func (ing *Ingester) Search(ctx context.Context, q query.Query, k int) ([]core.SliceHit, []core.ExecStats, *View, error) {
+	v := ing.view.Load()
+	hits, per, err := core.SearchSlices(ctx, v.Slices, q, k)
+	return hits, per, v, err
+}
+
+// Add durably logs the document — fsynced before return — and assigns
+// it the next global docID. With RefreshEvery == 0 the document is
+// searchable when Add returns; otherwise within one refresh interval.
+// An error means the document was NOT acknowledged and may not survive
+// a crash.
+func (ing *Ingester) Add(d index.Document) (int, error) {
+	ing.mu.Lock()
+	if ing.closed {
+		ing.mu.Unlock()
+		return 0, fmt.Errorf("segment: ingester is closed")
+	}
+	pos, err := ing.seg.Add(d)
+	if err != nil {
+		ing.mu.Unlock()
+		return 0, err
+	}
+	id := ing.total + pos
+	pending := ing.seg.Len()
+	if ing.opts.RefreshEvery == 0 {
+		if err := ing.refreshLocked(); err != nil {
+			ing.mu.Unlock()
+			return id, err
+		}
+	}
+	trigger := ing.opts.CompactThreshold > 0 && pending >= ing.opts.CompactThreshold && !ing.compacting
+	if trigger {
+		ing.compacting = true
+		ing.wg.Add(1)
+	}
+	ing.mu.Unlock()
+	if trigger {
+		go func() {
+			defer ing.wg.Done()
+			err := ing.doCompact()
+			ing.mu.Lock()
+			ing.compacting = false
+			ing.compactErr = err
+			ing.mu.Unlock()
+		}()
+	}
+	return id, nil
+}
+
+// Refresh republishes the searchable view: rebuild the mutable
+// segment's in-memory index over the documents acknowledged so far and
+// swap it in alongside the current shard slices, atomically.
+func (ing *Ingester) Refresh() error {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	return ing.refreshLocked()
+}
+
+func (ing *Ingester) refreshLocked() error {
+	docs := ing.seg.Docs()
+	docs = docs[:len(docs):len(docs)]
+	base, _ := ing.cluster.Slices()
+	slices := make([]core.Slice, 0, len(base)+1)
+	slices = append(slices, base...)
+	nBase := len(slices)
+	if len(docs) > 0 {
+		segIx, err := index.BuildFrom(ing.schema, ing.segSize, docs)
+		if err != nil {
+			return err
+		}
+		globals := make([]uint32, len(docs))
+		for j := range globals {
+			globals[j] = uint32(ing.total + j)
+		}
+		slices = append(slices, core.Slice{Eng: core.New(segIx, nil, ing.opts.Core), Globals: globals})
+	}
+	ing.view.Store(&View{Slices: slices, Base: nBase, Total: ing.total + len(docs)})
+	return nil
+}
+
+func (ing *Ingester) refreshLoop() {
+	defer ing.wg.Done()
+	t := time.NewTicker(ing.opts.RefreshEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ing.stop:
+			return
+		case <-t.C:
+			ing.mu.Lock()
+			if !ing.closed {
+				ing.refreshLocked() // a failed refresh retries next tick
+			}
+			ing.mu.Unlock()
+		}
+	}
+}
+
+// Compact synchronously drains the mutable segment into the next index
+// generation: per shard, extend the immutable index with the drained
+// documents (score bounds rebuilt over the merged corpus), persist the
+// new generation, commit it by atomically rewriting live.json, swap the
+// grown engines in, and retire the drained prefix from the WAL. A crash
+// at any point recovers to either the old generation (old WAL intact)
+// or the new one (drained documents in the indexes, the rest in the new
+// WAL) — never to a state missing an acknowledged document.
+func (ing *Ingester) Compact() error {
+	ing.mu.Lock()
+	if ing.compacting {
+		ing.mu.Unlock()
+		return fmt.Errorf("segment: compaction already in progress")
+	}
+	ing.compacting = true
+	ing.mu.Unlock()
+	err := ing.doCompact()
+	ing.mu.Lock()
+	ing.compacting = false
+	ing.compactErr = err
+	ing.mu.Unlock()
+	return err
+}
+
+func (ing *Ingester) doCompact() error {
+	// Build phase — off the lock, so Add keeps running. The drained
+	// prefix is frozen (the segment is append-only); documents arriving
+	// during the build stay in the segment past the commit.
+	ing.mu.Lock()
+	docs := ing.seg.Docs()
+	n := len(docs)
+	if n == 0 {
+		ing.mu.Unlock()
+		return nil
+	}
+	docs = docs[:n:n]
+	base, _ := ing.cluster.Slices()
+	total := ing.total
+	gen := ing.gen
+	ing.mu.Unlock()
+
+	newGen := gen + 1
+	nShards := len(base)
+	newTotal := total + n
+	newGlobals := shard.GlobalMaps(newTotal, nShards)
+	parts := make([][]index.Document, nShards)
+	for j, d := range docs {
+		s := shard.ShardOf(uint32(total+j), nShards)
+		parts[s] = append(parts[s], d)
+	}
+	newEngines := make([]*core.Engine, nShards)
+	for i := range newEngines {
+		ext, err := index.Extend(base[i].Eng.Index(), parts[i])
+		if err != nil {
+			return fmt.Errorf("segment: extend shard %d: %w", i, err)
+		}
+		path := filepath.Join(shard.ShardDir(ing.dir, i), indexName(newGen))
+		save := ext.SaveFileFS
+		if ing.opts.Mapped {
+			save = ext.SaveMappedFS
+		}
+		if err := save(ing.fs, path); err != nil {
+			return fmt.Errorf("segment: persist shard %d gen %d: %w", i, newGen, err)
+		}
+		newEngines[i] = core.New(ext, nil, ing.opts.Core)
+	}
+
+	// Commit phase — under the lock. Order is the crash-safety proof:
+	// (1) the new generation's WAL is written and fsynced with every
+	// document acknowledged after the drained prefix; (2) live.json
+	// flips atomically — THE commit point; (3) the grown engines swap
+	// in; (4) the old generation's files are retired (best-effort;
+	// recovery sweeps orphans). Before (2) recovery sees the old
+	// generation and the old WAL holds every acknowledged document;
+	// after (2) the new indexes and new WAL together hold every one,
+	// each exactly once.
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	rest := ing.seg.Docs()[n:]
+	seg2, err := CreateSegment(ing.fs, filepath.Join(ing.dir, walName(newGen)))
+	if err != nil {
+		return err
+	}
+	for _, d := range rest {
+		if _, err := seg2.Add(d); err != nil {
+			seg2.Close()
+			return err
+		}
+	}
+	if err := fsx.WriteFileAtomic(ing.fs, filepath.Join(ing.dir, LiveName), func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(liveState{Version: 1, Gen: newGen, TotalDocs: newTotal})
+	}); err != nil {
+		seg2.Close()
+		return err
+	}
+	for i := range newEngines {
+		if _, _, err := ing.cluster.SwapExtend(i, newEngines[i], newGlobals[i], newGen); err != nil {
+			// The commit is already durable; a swap rejection here is an
+			// invariant bug, not a recoverable condition.
+			return fmt.Errorf("segment: post-commit swap of shard %d: %w", i, err)
+		}
+	}
+	old := ing.seg
+	ing.seg = seg2
+	ing.gen = newGen
+	ing.total = newTotal
+	old.Close()
+	ing.fs.Remove(old.Path())
+	for i := 0; i < nShards; i++ {
+		ing.fs.Remove(filepath.Join(shard.ShardDir(ing.dir, i), indexName(gen)))
+	}
+	return ing.refreshLocked()
+}
+
+// removeOrphans sweeps files a crash mid-compaction can leave behind:
+// non-current ingestion WALs, non-current index generations, and
+// write-temp files. Removal is best-effort — an orphan is re-swept on
+// the next open.
+func (ing *Ingester) removeOrphans() {
+	entries, err := ing.fs.ReadDir(ing.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case e.IsDir() && strings.HasPrefix(name, "shard-"):
+			sub, err := ing.fs.ReadDir(filepath.Join(ing.dir, name))
+			if err != nil {
+				continue
+			}
+			for _, f := range sub {
+				fn := f.Name()
+				if fn == indexName(ing.gen) {
+					continue
+				}
+				if strings.HasPrefix(fn, "index") && (strings.HasSuffix(fn, ".gob") || strings.HasSuffix(fn, ".tmp")) {
+					ing.fs.Remove(filepath.Join(ing.dir, name, fn))
+				}
+			}
+		case name == walName(ing.gen):
+		case strings.HasPrefix(name, "ingest-") && strings.HasSuffix(name, ".wal"):
+			ing.fs.Remove(filepath.Join(ing.dir, name))
+		case strings.HasSuffix(name, ".tmp"):
+			ing.fs.Remove(filepath.Join(ing.dir, name))
+		}
+	}
+}
+
+// Close stops background refresh/compaction and releases the WAL
+// handle. Acknowledged documents are durable regardless.
+func (ing *Ingester) Close() error {
+	ing.mu.Lock()
+	if ing.closed {
+		ing.mu.Unlock()
+		return nil
+	}
+	ing.closed = true
+	ing.mu.Unlock()
+	close(ing.stop)
+	ing.wg.Wait()
+	return ing.seg.Close()
+}

@@ -2,26 +2,48 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"csrank/internal/core"
 	"csrank/internal/query"
-	"csrank/internal/ranking"
 )
+
+// ErrStaleGeneration marks Swap/SwapExtend rejections of a generation
+// that does not advance the shard's current one. Generations are the
+// audit trail of what each shard served; accepting a stale or duplicate
+// gen would silently regress Generations() and confuse swap-under-load
+// accounting, so non-monotonic swaps are refused with this typed error.
+var ErrStaleGeneration = errors.New("shard: swap generation not greater than the shard's current generation")
 
 // Cluster is a document-partitioned set of engines serving one logical
 // collection. Each shard sits behind a core.Serving, so catalog/index
-// generation rollover (recovery, background rebuilds) swaps one shard
-// at a time with zero downtime — in-flight queries finish on the
-// engine snapshot they already fanned out to. The local→global docID
-// maps are fixed at construction: a swapped-in engine must hold the
-// same document partition (same count, same local numbering), which is
-// exactly what a rebuilt or recovered index of the same shard does.
+// generation rollover (recovery, background rebuilds, ingestion
+// compaction) swaps one shard at a time with zero downtime — in-flight
+// queries finish on the engine snapshot they already fanned out to.
+//
+// The local→global docID maps live behind one atomic pointer so
+// compaction can grow a shard: SwapExtend publishes extended maps
+// *before* the grown engine, and maps only ever grow by appending
+// globals larger than every existing entry, so any interleaving a
+// concurrent query observes — old engine with new maps (the extension
+// is an unused suffix) or matched pairs — maps every result it can
+// produce correctly. Plain Swap keeps the PR 7 contract: the
+// replacement must hold the same partition (same count, same local
+// numbering).
 type Cluster struct {
-	shards  []*core.Serving
+	shards []*core.Serving
+	state  atomic.Pointer[topology]
+	mu     sync.Mutex // serializes Swap/SwapExtend
+}
+
+// topology is the immutable docID-mapping snapshot queries read once
+// per request.
+type topology struct {
 	globals [][]uint32
 	total   int
 }
@@ -92,7 +114,8 @@ func NewCluster(engines []*core.Engine, globals [][]uint32) (*Cluster, error) {
 			return nil, fmt.Errorf("shard: global docID %d assigned to two shards", all[i])
 		}
 	}
-	c := &Cluster{globals: globals, total: total}
+	c := &Cluster{}
+	c.state.Store(&topology{globals: globals, total: total})
 	for _, e := range engines {
 		c.shards = append(c.shards, core.NewServing(e, 0))
 	}
@@ -103,10 +126,14 @@ func NewCluster(engines []*core.Engine, globals [][]uint32) (*Cluster, error) {
 func (c *Cluster) NumShards() int { return len(c.shards) }
 
 // NumDocs returns the logical collection size.
-func (c *Cluster) NumDocs() int { return c.total }
+func (c *Cluster) NumDocs() int { return c.state.Load().total }
 
 // Engine returns shard i's current engine and generation.
 func (c *Cluster) Engine(i int) (*core.Engine, uint64) { return c.shards[i].Snapshot() }
+
+// Globals returns shard i's current local→global docID map. The slice
+// is shared with concurrent queries and must not be mutated.
+func (c *Cluster) Globals(i int) []uint32 { return c.state.Load().globals[i] }
 
 // Generations returns each shard's current serving generation.
 func (c *Cluster) Generations() []uint64 {
@@ -122,22 +149,93 @@ func (c *Cluster) Generations() []uint64 {
 // document partition — same count and local numbering — which a rebuilt
 // or recovered index of the shard does by construction; the count is
 // validated here, the numbering is the builder's insertion-order
-// contract. In-flight queries finish on the engine they already hold.
+// contract. gen must be greater than the shard's current generation
+// (ErrStaleGeneration otherwise): generations are an audit trail, and a
+// stale or duplicate gen would silently rewind it. In-flight queries
+// finish on the engine they already hold.
 func (c *Cluster) Swap(i int, eng *core.Engine, gen uint64) (*core.Engine, uint64, error) {
 	if i < 0 || i >= len(c.shards) {
 		return nil, 0, fmt.Errorf("shard: no shard %d in a %d-shard cluster", i, len(c.shards))
 	}
-	if n := eng.Index().NumDocs(); n != len(c.globals[i]) {
-		return nil, 0, fmt.Errorf("shard %d: replacement engine holds %d documents, want %d", i, n, len(c.globals[i]))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := eng.Index().NumDocs(); n != len(c.state.Load().globals[i]) {
+		return nil, 0, fmt.Errorf("shard %d: replacement engine holds %d documents, want %d", i, n, len(c.state.Load().globals[i]))
+	}
+	if cur := c.shards[i].Generation(); gen <= cur {
+		return nil, 0, fmt.Errorf("shard %d: %w (have %d, got %d)", i, ErrStaleGeneration, cur, gen)
 	}
 	old, oldGen := c.shards[i].Swap(eng, gen)
 	return old, oldGen, nil
 }
 
-// Locate maps a global docID back to (shard, local). ok is false when
-// the docID belongs to no shard.
+// SwapExtend atomically replaces shard i's engine with one holding a
+// *grown* partition — the old documents in their old local order plus
+// new documents appended — and publishes the matching extended docID
+// map. globals must extend the shard's current map as a strict prefix,
+// appended entries must keep the map strictly increasing and belong to
+// no other shard, and len(globals) must equal the new engine's document
+// count; gen must advance the shard's generation.
+// The map is published before the engine, so a concurrent query sees
+// either the old engine (the map extension is an unused suffix) or the
+// new engine with the map it needs — never a grown engine with a short
+// map.
+func (c *Cluster) SwapExtend(i int, eng *core.Engine, globals []uint32, gen uint64) (*core.Engine, uint64, error) {
+	if i < 0 || i >= len(c.shards) {
+		return nil, 0, fmt.Errorf("shard: no shard %d in a %d-shard cluster", i, len(c.shards))
+	}
+	if n := eng.Index().NumDocs(); n != len(globals) {
+		return nil, 0, fmt.Errorf("shard %d: replacement engine holds %d documents but the docID map has %d", i, n, len(globals))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	top := c.state.Load()
+	old := top.globals[i]
+	if len(globals) < len(old) {
+		return nil, 0, fmt.Errorf("shard %d: extended docID map shrinks %d → %d", i, len(old), len(globals))
+	}
+	for j, g := range old {
+		if globals[j] != g {
+			return nil, 0, fmt.Errorf("shard %d: extended docID map rewrites local %d (%d → %d)", i, j, g, globals[j])
+		}
+	}
+	// Appended entries: strictly increasing above the shard's own last
+	// entry (local order = global order) and absent from every other
+	// shard's map (disjointness). The membership check is a binary
+	// search per appended entry — compaction extends every shard of the
+	// same collection in turn, so a shard's new globals routinely fall
+	// below another shard's maximum and a cluster-wide floor would be
+	// wrong.
+	for j := len(old); j < len(globals); j++ {
+		if j > 0 && globals[j] <= globals[j-1] {
+			return nil, 0, fmt.Errorf("shard %d: extended docID map not strictly increasing at local %d", i, j)
+		}
+		for s, g := range top.globals {
+			if s == i {
+				continue
+			}
+			at := sort.Search(len(g), func(x int) bool { return g[x] >= globals[j] })
+			if at < len(g) && g[at] == globals[j] {
+				return nil, 0, fmt.Errorf("shard %d: appended global %d already lives on shard %d", i, globals[j], s)
+			}
+		}
+	}
+	if cur := c.shards[i].Generation(); gen <= cur {
+		return nil, 0, fmt.Errorf("shard %d: %w (have %d, got %d)", i, ErrStaleGeneration, cur, gen)
+	}
+
+	next := &topology{globals: make([][]uint32, len(top.globals)), total: top.total + len(globals) - len(old)}
+	copy(next.globals, top.globals)
+	next.globals[i] = globals
+	c.state.Store(next) // map first, engine second — see the ordering contract above
+	oldEng, oldGen := c.shards[i].Swap(eng, gen)
+	return oldEng, oldGen, nil
+}
+
+// Locate maps a global docID back to (shard, local) in the current
+// topology. ok is false when the docID belongs to no shard.
 func (c *Cluster) Locate(global uint32) (shard int, local uint32, ok bool) {
-	for s, g := range c.globals {
+	for s, g := range c.state.Load().globals {
 		j := sort.Search(len(g), func(i int) bool { return g[i] >= global })
 		if j < len(g) && g[j] == global {
 			return s, uint32(j), true
@@ -146,17 +244,33 @@ func (c *Cluster) Locate(global uint32) (shard int, local uint32, ok bool) {
 	return 0, 0, false
 }
 
+// Slices snapshots the cluster as a consistent []core.Slice — one
+// engine snapshot and docID map per shard — plus the generations the
+// snapshot serves. Engines are snapshotted before the topology is
+// loaded; with SwapExtend's publish order (map before engine) that
+// guarantees every engine's map is at least as long as the engine
+// needs.
+func (c *Cluster) Slices() ([]core.Slice, []uint64) {
+	n := len(c.shards)
+	slices := make([]core.Slice, n)
+	gens := make([]uint64, n)
+	for i, s := range c.shards {
+		slices[i].Eng, gens[i] = s.Snapshot()
+	}
+	top := c.state.Load()
+	for i := range slices {
+		slices[i].Globals = top.globals[i]
+	}
+	return slices, gens
+}
+
 // Search evaluates q over the whole cluster and returns the global top
 // k (everything when k ≤ 0), bit-identical — scores, order, tie-breaks
-// — to a single engine holding all documents. Execution is two
-// concurrent fan-outs over one engine snapshot per shard:
-//
-//  1. statistics: every shard computes the statistics its documents
-//     contribute (views, caches and budgets apply per shard), and the
-//     partial integer counts are summed into the union's statistics;
-//  2. scoring: every shard ranks its documents under the merged global
-//     statistics and returns its local top k, which is rank-safe to
-//     truncate because shard-local tie-break order equals global order.
+// — to a single engine holding all documents. Execution is
+// core.SearchSlices' two-phase scatter-gather over one engine snapshot
+// per shard: partial statistics summed exactly into the union's
+// statistics, then per-shard scoring under the merged statistics, then
+// a rank-safe merge in the global docID space.
 //
 // A deadline expiry inside any shard degrades that shard's report (and
 // therefore the merged Summary) instead of failing, matching the
@@ -164,78 +278,24 @@ func (c *Cluster) Locate(global uint32) (shard int, local uint32, ok bool) {
 // the query with the first error in shard order.
 func (c *Cluster) Search(ctx context.Context, q query.Query, k int) ([]Hit, Summary, error) {
 	start := time.Now()
-	n := len(c.shards)
+	slices, gens := c.Slices()
 	sum := Summary{
-		PerShard:    make([]core.ExecStats, n),
-		Generations: make([]uint64, n),
-		Engines:     make([]*core.Engine, n),
+		Generations: gens,
+		Engines:     make([]*core.Engine, len(slices)),
 	}
-	for i, s := range c.shards {
-		sum.Engines[i], sum.Generations[i] = s.Snapshot()
+	for i := range slices {
+		sum.Engines[i] = slices[i].Eng
 	}
-
-	// Phase 1: partial statistics.
-	partCS := make([]ranking.CollectionStats, n)
-	statsSt := make([]core.ExecStats, n)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	for i := 1; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			partCS[i], statsSt[i], errs[i] = sum.Engines[i].StatsFor(ctx, q)
-		}(i)
+	sliceHits, per, err := core.SearchSlices(ctx, slices, q, k)
+	if err != nil {
+		return nil, sum, err
 	}
-	partCS[0], statsSt[0], errs[0] = sum.Engines[0].StatsFor(ctx, q)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, sum, err
-		}
+	hits := make([]Hit, len(sliceHits))
+	for i, h := range sliceHits {
+		hits[i] = Hit{Shard: h.Slice, Local: h.Local, Global: h.Global, Score: h.Score}
 	}
-	cs := core.MergeCollectionStats(partCS...)
-
-	// Phase 2: scoring under the merged statistics.
-	results := make([][]core.Result, n)
-	scoreSt := make([]core.ExecStats, n)
-	for i := 1; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			results[i], scoreSt[i], errs[i] = sum.Engines[i].SearchWithStats(ctx, q, k, cs)
-		}(i)
-	}
-	results[0], scoreSt[0], errs[0] = sum.Engines[0].SearchWithStats(ctx, q, k, cs)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, sum, err
-		}
-	}
-
-	// Rank-safe merge in the global docID space.
-	lists := make([][]core.Result, n)
-	for i, rs := range results {
-		mapped := make([]core.Result, len(rs))
-		for j, r := range rs {
-			mapped[j] = core.Result{DocID: c.globals[i][r.DocID], Score: r.Score}
-		}
-		lists[i] = mapped
-	}
-	merged := core.MergeResults(k, lists...)
-	hits := make([]Hit, len(merged))
-	for i, r := range merged {
-		s, local, ok := c.Locate(r.DocID)
-		if !ok {
-			return nil, sum, fmt.Errorf("shard: merged docID %d belongs to no shard", r.DocID)
-		}
-		hits[i] = Hit{Shard: s, Local: local, Global: r.DocID, Score: r.Score}
-	}
-
-	for i := range sum.PerShard {
-		sum.PerShard[i] = core.MergeStats(statsSt[i], scoreSt[i])
-	}
-	sum.Agg = core.MergeStats(sum.PerShard...)
+	sum.PerShard = per
+	sum.Agg = core.MergeStats(per...)
 	sum.Elapsed = time.Since(start)
 	return hits, sum, nil
 }

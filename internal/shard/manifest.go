@@ -116,13 +116,14 @@ func IsSharded(dir string) bool {
 // match the built-in partitioner can be persisted — the manifest
 // records no explicit maps, so anything else could not be reopened.
 func (c *Cluster) Save(dir string, mapped bool) error {
-	m := NewManifest(c.total, len(c.shards))
-	for i, g := range GlobalMaps(c.total, len(c.shards)) {
-		if len(g) != len(c.globals[i]) {
+	top := c.state.Load()
+	m := NewManifest(top.total, len(c.shards))
+	for i, g := range GlobalMaps(top.total, len(c.shards)) {
+		if len(g) != len(top.globals[i]) {
 			return fmt.Errorf("shard: cluster partition is not %s; cannot persist", PartitionFNV)
 		}
 		for j := range g {
-			if g[j] != c.globals[i][j] {
+			if g[j] != top.globals[i][j] {
 				return fmt.Errorf("shard: cluster partition is not %s; cannot persist", PartitionFNV)
 			}
 		}

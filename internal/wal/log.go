@@ -1,11 +1,8 @@
 package wal
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
-	"io"
 
 	"csrank/internal/fsx"
 )
@@ -23,23 +20,22 @@ var ErrBatchUnloggable = errors.New("wal: batch cannot be framed into a loggable
 // length plus uint32 CRC32-C of the payload.
 const recordHeaderSize = 8
 
-// Log is an append-only record log. Append is the durability point of
-// the ingestion pipeline: each batch is framed into one record, written
-// with a single Write call, and fsynced before Append returns, so an
-// acknowledged batch survives any later crash.
+// Log is an append-only record log of view-maintenance batches: the
+// typed codec over RawLog's framing. Append is the durability point of
+// the ingestion pipeline: each batch is framed into one record and
+// fsynced before Append returns, so an acknowledged batch survives any
+// later crash.
 type Log struct {
-	fs   fsx.FS
-	path string
-	f    fsx.File
+	raw *RawLog
 }
 
 // OpenLog opens (creating if absent) the log at path for appending.
 func OpenLog(fs fsx.FS, path string) (*Log, error) {
-	f, err := fs.OpenAppend(path)
+	raw, err := OpenRawLog(fs, path)
 	if err != nil {
-		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+		return nil, err
 	}
-	return &Log{fs: fs, path: path, f: f}, nil
+	return &Log{raw: raw}, nil
 }
 
 // CreateLog creates an empty log at path, truncating any stale file
@@ -49,15 +45,15 @@ func OpenLog(fs fsx.FS, path string) (*Log, error) {
 // records would make a later recovery replay them on top of a snapshot
 // they were never applied to.
 func CreateLog(fs fsx.FS, path string) (*Log, error) {
-	f, err := fs.Create(path)
+	raw, err := CreateRawLog(fs, path)
 	if err != nil {
-		return nil, fmt.Errorf("wal: create %s: %w", path, err)
+		return nil, err
 	}
-	return &Log{fs: fs, path: path, f: f}, nil
+	return &Log{raw: raw}, nil
 }
 
 // Path returns the log's file path.
-func (l *Log) Path() string { return l.path }
+func (l *Log) Path() string { return l.raw.Path() }
 
 // Append frames the batch into one record and makes it durable. On error
 // the tail of the file may hold a torn record; the caller must stop
@@ -72,21 +68,11 @@ func (l *Log) Append(b Batch) error {
 		return fmt.Errorf("%w: batch encodes to %d bytes, above the %d-byte record cap",
 			ErrBatchUnloggable, len(payload), maxRecordBytes)
 	}
-	rec := make([]byte, recordHeaderSize+len(payload))
-	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(rec[4:8], crc32.Checksum(payload, castagnoli))
-	copy(rec[recordHeaderSize:], payload)
-	if _, err := l.f.Write(rec); err != nil {
-		return fmt.Errorf("wal: append %s: %w", l.path, err)
-	}
-	if err := l.f.Sync(); err != nil {
-		return fmt.Errorf("wal: fsync %s: %w", l.path, err)
-	}
-	return nil
+	return l.raw.AppendRaw(payload)
 }
 
 // Close releases the log's file handle.
-func (l *Log) Close() error { return l.f.Close() }
+func (l *Log) Close() error { return l.raw.Close() }
 
 // ReplayResult reports what a Replay pass found.
 type ReplayResult struct {
@@ -103,66 +89,17 @@ type ReplayResult struct {
 }
 
 // Replay reads the log at path and calls fn for every complete record in
-// order. A torn final record — incomplete header, incomplete payload, or
-// a checksum mismatch on the record that touches end-of-file — is the
-// expected residue of a crash mid-append: it is skipped and reported,
-// not an error. Any damage *before* the final record (checksum mismatch
-// mid-file, an impossible length field, an undecodable payload) cannot
-// be explained by a torn append and is returned as a hard corruption
-// error, because silently resuming past it would drop acknowledged
-// batches.
+// order, decoding each payload as a view-maintenance batch. Torn-tail
+// and corruption semantics are ReplayRaw's: a torn final record is
+// skipped and reported, damage before it is a hard error.
 func Replay(fs fsx.FS, path string, fn func(Batch) error) (ReplayResult, error) {
-	var res ReplayResult
-	f, err := fs.Open(path)
-	if err != nil {
-		return res, err
-	}
-	defer f.Close()
-	data, err := io.ReadAll(f)
-	if err != nil {
-		return res, fmt.Errorf("wal: read %s: %w", path, err)
-	}
-
-	off := 0
-	for off < len(data) {
-		rest := len(data) - off
-		if rest < recordHeaderSize {
-			return tornTail(res, off, rest), nil
-		}
-		length := int(binary.LittleEndian.Uint32(data[off : off+4]))
-		wantCRC := binary.LittleEndian.Uint32(data[off+4 : off+8])
-		if length == 0 && allZero(data[off:]) {
-			// Filesystems may zero-extend the tail page on a crash; a run
-			// of zeros to end-of-file is a torn tail, not corruption.
-			return tornTail(res, off, rest), nil
-		}
-		if length == 0 || length > maxRecordBytes {
-			return res, fmt.Errorf("wal: %s: corrupt record header at offset %d (length %d)", path, off, length)
-		}
-		if rest < recordHeaderSize+length {
-			return tornTail(res, off, rest), nil
-		}
-		payload := data[off+recordHeaderSize : off+recordHeaderSize+length]
-		if crc32.Checksum(payload, castagnoli) != wantCRC {
-			if rest == recordHeaderSize+length {
-				// Final record: a torn write of the payload's last bytes
-				// is indistinguishable from corruption, and the batch was
-				// never acknowledged — skip it.
-				return tornTail(res, off, rest), nil
-			}
-			return res, fmt.Errorf("wal: %s: checksum mismatch at offset %d with %d bytes following — log is corrupt", path, off, rest-recordHeaderSize-length)
-		}
+	return ReplayRaw(fs, path, func(payload []byte) error {
 		batch, err := decodeBatch(payload)
 		if err != nil {
-			return res, fmt.Errorf("wal: %s: record at offset %d: %w", path, off, err)
+			return err
 		}
-		if err := fn(batch); err != nil {
-			return res, fmt.Errorf("wal: %s: replaying record at offset %d: %w", path, off, err)
-		}
-		res.Batches++
-		off += recordHeaderSize + length
-	}
-	return res, nil
+		return fn(batch)
+	})
 }
 
 func allZero(b []byte) bool {

@@ -1,0 +1,137 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"csrank/internal/fsx"
+)
+
+// ErrPayloadTooLarge marks AppendRaw rejections of payloads above the
+// maxRecordBytes cap Replay enforces. Nothing reaches the file: writing
+// such a record would produce a length field replay rejects as corrupt,
+// making every later acknowledged record unreachable.
+var ErrPayloadTooLarge = errors.New("wal: payload exceeds the record size cap")
+
+// RawLog is an append-only log of opaque byte records. It owns the
+// record framing the whole package shares — uint32 payload length,
+// uint32 CRC32-C, payload — and the durability contract: each record
+// is written with a single Write call and fsynced before AppendRaw
+// returns, so an acknowledged record survives any later crash. The
+// typed Log (view-maintenance batches) and the ingestion segment log
+// are both thin codecs over this one framing implementation, so the
+// torn-tail recovery rules are proven once.
+type RawLog struct {
+	fs   fsx.FS
+	path string
+	f    fsx.File
+}
+
+// OpenRawLog opens (creating if absent) the log at path for appending.
+func OpenRawLog(fs fsx.FS, path string) (*RawLog, error) {
+	f, err := fs.OpenAppend(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	return &RawLog{fs: fs, path: path, f: f}, nil
+}
+
+// CreateRawLog creates an empty log at path, truncating any stale file
+// already there.
+func CreateRawLog(fs fsx.FS, path string) (*RawLog, error) {
+	f, err := fs.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: create %s: %w", path, err)
+	}
+	return &RawLog{fs: fs, path: path, f: f}, nil
+}
+
+// Path returns the log's file path.
+func (l *RawLog) Path() string { return l.path }
+
+// AppendRaw frames payload into one record and makes it durable. On
+// error the tail of the file may hold a torn record; the caller must
+// stop appending (a record after a torn one is unreachable to replay)
+// and reopen through recovery.
+func (l *RawLog) AppendRaw(payload []byte) error {
+	if len(payload) > maxRecordBytes {
+		return fmt.Errorf("%w: %d bytes, cap %d", ErrPayloadTooLarge, len(payload), maxRecordBytes)
+	}
+	rec := make([]byte, recordHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.Checksum(payload, castagnoli))
+	copy(rec[recordHeaderSize:], payload)
+	if _, err := l.f.Write(rec); err != nil {
+		return fmt.Errorf("wal: append %s: %w", l.path, err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync %s: %w", l.path, err)
+	}
+	return nil
+}
+
+// Close releases the log's file handle.
+func (l *RawLog) Close() error { return l.f.Close() }
+
+// ReplayRaw reads the log at path and calls fn with every complete
+// record's payload in order. A torn final record — incomplete header,
+// incomplete payload, a checksum mismatch on the record touching
+// end-of-file, or a run of zeros from a zero-extended tail page — is
+// the expected residue of a crash mid-append: it is skipped and
+// reported, not an error. Any damage *before* the final record cannot
+// be explained by a torn append and is returned as a hard corruption
+// error, because silently resuming past it would drop acknowledged
+// records. The payload slice aliases an internal buffer only for the
+// duration of the call; fn must copy what it keeps.
+func ReplayRaw(fs fsx.FS, path string, fn func(payload []byte) error) (ReplayResult, error) {
+	var res ReplayResult
+	f, err := fs.Open(path)
+	if err != nil {
+		return res, err
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return res, fmt.Errorf("wal: read %s: %w", path, err)
+	}
+
+	off := 0
+	for off < len(data) {
+		rest := len(data) - off
+		if rest < recordHeaderSize {
+			return tornTail(res, off, rest), nil
+		}
+		length := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		wantCRC := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if length == 0 && allZero(data[off:]) {
+			// Filesystems may zero-extend the tail page on a crash; a run
+			// of zeros to end-of-file is a torn tail, not corruption.
+			return tornTail(res, off, rest), nil
+		}
+		if length == 0 || length > maxRecordBytes {
+			return res, fmt.Errorf("wal: %s: corrupt record header at offset %d (length %d)", path, off, length)
+		}
+		if rest < recordHeaderSize+length {
+			return tornTail(res, off, rest), nil
+		}
+		payload := data[off+recordHeaderSize : off+recordHeaderSize+length]
+		if crc32.Checksum(payload, castagnoli) != wantCRC {
+			if rest == recordHeaderSize+length {
+				// Final record: a torn write of the payload's last bytes
+				// is indistinguishable from corruption, and the record was
+				// never acknowledged — skip it.
+				return tornTail(res, off, rest), nil
+			}
+			return res, fmt.Errorf("wal: %s: checksum mismatch at offset %d with %d bytes following — log is corrupt", path, off, rest-recordHeaderSize-length)
+		}
+		if err := fn(payload); err != nil {
+			return res, fmt.Errorf("wal: %s: record at offset %d: %w", path, off, err)
+		}
+		res.Batches++
+		off += recordHeaderSize + length
+	}
+	return res, nil
+}

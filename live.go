@@ -1,0 +1,166 @@
+package csrank
+
+import (
+	"fmt"
+	"time"
+
+	"csrank/internal/segment"
+)
+
+// IngestOptions configures live ingestion on an opened cluster.
+type IngestOptions struct {
+	// RefreshEvery is the interval at which newly added documents become
+	// searchable. Zero refreshes synchronously inside every Add: the
+	// document is searchable the moment Add returns, at the cost of
+	// rebuilding the (small) mutable segment's index per write.
+	RefreshEvery time.Duration
+	// CompactThreshold triggers a background compaction — draining the
+	// mutable segment into the persistent shard indexes — once the
+	// segment holds this many documents. Zero compacts only on demand
+	// (Compact).
+	CompactThreshold int
+	// Mapped writes compacted snapshots in the format-v4 paged layout.
+	Mapped bool
+}
+
+// OpenLive opens a sharded data directory (as written by
+// ShardedEngine.Save / csbuild -shards) for serving plus live
+// ingestion: Add durably logs documents to a write-ahead log before
+// acknowledging them, added documents are searchable within one refresh
+// interval, and compaction folds them into the shard indexes without
+// downtime. Rankings over the live collection are bit-identical to a
+// single engine freshly built over the same documents.
+//
+// Reopening a directory after a crash recovers every acknowledged
+// document: it is either in a committed index generation or replayed
+// from the generation's log.
+func OpenLive(dir string, opts BuildOptions, ing IngestOptions) (*ShardedEngine, error) {
+	sc, err := opts.Scorer.build()
+	if err != nil {
+		return nil, err
+	}
+	live, err := segment.Open(dir, segment.Options{
+		Core:             opts.coreOptions(sc),
+		RefreshEvery:     ing.RefreshEvery,
+		CompactThreshold: ing.CompactThreshold,
+		Mapped:           ing.Mapped,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedEngine{cluster: live.Cluster(), live: live}, nil
+}
+
+// Add durably logs the document — fsynced before return — and assigns
+// it the next docID. Only engines opened through OpenLive (or
+// EnableIngest) accept writes. An error means the document was NOT
+// acknowledged.
+func (e *ShardedEngine) Add(d Document) (int, error) {
+	if e.live == nil {
+		return 0, fmt.Errorf("csrank: engine not opened for ingestion (use OpenLive)")
+	}
+	return e.live.Add(d.indexDoc())
+}
+
+// Refresh makes every acknowledged document searchable now, without
+// waiting for the refresh interval.
+func (e *ShardedEngine) Refresh() error {
+	if e.live == nil {
+		return fmt.Errorf("csrank: engine not opened for ingestion (use OpenLive)")
+	}
+	return e.live.Refresh()
+}
+
+// Compact synchronously drains the mutable segment into the shard
+// indexes: each shard's index is extended with its routed share of the
+// segment's documents, persisted as the next on-disk generation, and
+// swapped into serving without downtime.
+func (e *ShardedEngine) Compact() error {
+	if e.live == nil {
+		return fmt.Errorf("csrank: engine not opened for ingestion (use OpenLive)")
+	}
+	return e.live.Compact()
+}
+
+// Pending returns how many acknowledged documents await compaction (0
+// when ingestion is not enabled).
+func (e *ShardedEngine) Pending() int {
+	if e.live == nil {
+		return 0
+	}
+	return e.live.Pending()
+}
+
+// CompactErr returns the most recent background-compaction failure, nil
+// after a success. Compaction failures never lose acknowledged
+// documents; they leave the segment intact for a retry.
+func (e *ShardedEngine) CompactErr() error {
+	if e.live == nil {
+		return nil
+	}
+	return e.live.CompactErr()
+}
+
+// Close stops background ingestion work and releases the write-ahead
+// log. Engines without ingestion enabled need no Close; calling it is a
+// no-op.
+func (e *ShardedEngine) Close() error {
+	if e.live == nil {
+		return nil
+	}
+	return e.live.Close()
+}
+
+// EnableIngest turns the engine into a live, writable collection rooted
+// at dir: the engine is persisted there as a one-shard cluster (unless
+// dir already holds one) and reopened through OpenLive. Afterwards Add
+// accepts documents and Search serves base and live documents merged,
+// still bit-identical to a fresh build over the union.
+func (e *Engine) EnableIngest(dir string, opts BuildOptions, ing IngestOptions) error {
+	if e.live != nil {
+		return fmt.Errorf("csrank: ingestion already enabled")
+	}
+	if !IsSharded(dir) {
+		se, err := e.Sharded()
+		if err != nil {
+			return err
+		}
+		save := se.Save
+		if ing.Mapped {
+			save = se.SaveMapped
+		}
+		if err := save(dir); err != nil {
+			return err
+		}
+	}
+	se, err := OpenLive(dir, opts, ing)
+	if err != nil {
+		return err
+	}
+	e.live = se
+	return nil
+}
+
+// Add durably logs the document and assigns it the next docID; it
+// requires EnableIngest. The document is searchable per the configured
+// refresh interval (immediately, with a zero interval).
+func (e *Engine) Add(d Document) (int, error) {
+	if e.live == nil {
+		return 0, fmt.Errorf("csrank: ingestion not enabled (use EnableIngest)")
+	}
+	return e.live.Add(d)
+}
+
+// Live returns the writable cluster behind an ingestion-enabled engine
+// (nil before EnableIngest), exposing Refresh, Compact, Pending and
+// Close.
+func (e *Engine) Live() *ShardedEngine { return e.live }
+
+// Close stops background ingestion work and releases the write-ahead
+// log; a no-op for engines without ingestion enabled.
+func (e *Engine) Close() error {
+	if e.live == nil {
+		return nil
+	}
+	return e.live.Close()
+}

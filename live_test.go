@@ -1,0 +1,149 @@
+package csrank
+
+import (
+	"fmt"
+	"testing"
+)
+
+func liveDoc(i int) Document {
+	pred := "digestive_system"
+	if i%3 == 0 {
+		pred = "neoplasms"
+	}
+	return Document{
+		Title:      fmt.Sprintf("Live study %d", i),
+		Body:       fmt.Sprintf("uniq%04d leukemia pancreas outcomes", i),
+		Predicates: []string{pred},
+	}
+}
+
+// TestOpenLiveIngestAndCompact: the public live path end to end — add
+// documents to an opened cluster, see them ranked immediately and
+// bit-identically to a fresh batch build, compact, reopen, and still
+// agree with the batch build.
+func TestOpenLiveIngestAndCompact(t *testing.T) {
+	const nBase, nAdd = 50, 20
+	base := NewBuilder()
+	for i := 0; i < nBase; i++ {
+		base.Add(liveDoc(i))
+	}
+	se, err := base.BuildSharded(2, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := se.Save(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	live, err := OpenLive(dir, BuildOptions{}, IngestOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := se.Add(liveDoc(0)); err == nil {
+		t.Fatal("Add accepted on an engine not opened for ingestion")
+	}
+	for i := nBase; i < nBase+nAdd; i++ {
+		id, err := live.Add(liveDoc(i))
+		if err != nil {
+			t.Fatalf("add %d: %v", i, err)
+		}
+		if id != i {
+			t.Fatalf("document %d assigned docID %d", i, id)
+		}
+	}
+
+	full := NewBuilder()
+	for i := 0; i < nBase+nAdd; i++ {
+		full.Add(liveDoc(i))
+	}
+	want, err := full.Build(BuildOptions{DisableViews: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"leukemia", "uniq0055", "uniq0007",
+		"leukemia | neoplasms", "pancreas outcomes | digestive_system",
+	}
+	compare := func(stage string, e *ShardedEngine) {
+		t.Helper()
+		for _, q := range queries {
+			wh, _, err := want.Search(q, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gh, _, err := e.Search(q, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(gh) != len(wh) {
+				t.Fatalf("%s %q: %d hits, want %d", stage, q, len(gh), len(wh))
+			}
+			for i := range wh {
+				if gh[i] != wh[i] {
+					t.Fatalf("%s %q rank %d: %+v, want %+v", stage, q, i, gh[i], wh[i])
+				}
+			}
+		}
+	}
+	compare("live", live)
+	if n := live.NumDocs(); n != nBase+nAdd {
+		t.Fatalf("NumDocs=%d, want %d", n, nBase+nAdd)
+	}
+	if err := live.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if p := live.Pending(); p != 0 {
+		t.Fatalf("%d pending after compaction", p)
+	}
+	compare("compacted", live)
+	if err := live.Close(); err != nil {
+		t.Fatal(err)
+	}
+	live, err = OpenLive(dir, BuildOptions{}, IngestOptions{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer live.Close()
+	compare("reopened", live)
+}
+
+// TestEngineEnableIngest: the single-engine writable facade.
+func TestEngineEnableIngest(t *testing.T) {
+	b := NewBuilder()
+	for i := 0; i < 30; i++ {
+		b.Add(liveDoc(i))
+	}
+	e, err := b.Build(BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Add(liveDoc(30)); err == nil {
+		t.Fatal("Add accepted before EnableIngest")
+	}
+	dir := t.TempDir()
+	if err := e.EnableIngest(dir, BuildOptions{}, IngestOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	id, err := e.Add(liveDoc(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 30 {
+		t.Fatalf("docID %d, want 30", id)
+	}
+	hits, _, err := e.Search("uniq0030", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 || hits[0].DocID != 30 || hits[0].Title != "Live study 30" {
+		t.Fatalf("added document not served: %+v", hits)
+	}
+	if e.NumDocs() != 31 {
+		t.Fatalf("NumDocs=%d, want 31", e.NumDocs())
+	}
+	if e.Live() == nil {
+		t.Fatal("Live() nil after EnableIngest")
+	}
+}

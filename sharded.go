@@ -8,6 +8,7 @@ import (
 	"csrank/internal/core"
 	"csrank/internal/index"
 	"csrank/internal/query"
+	"csrank/internal/segment"
 	"csrank/internal/selection"
 	"csrank/internal/shard"
 	"csrank/internal/views"
@@ -24,6 +25,10 @@ import (
 type ShardedEngine struct {
 	cluster    *shard.Cluster
 	selectTime time.Duration
+	// live is the ingester behind an OpenLive engine; when set, searches
+	// route through its view (shards + mutable segment) and Add accepts
+	// documents.
+	live *segment.Ingester
 }
 
 // BuildSharded indexes the queued documents hash-partitioned over the
@@ -145,6 +150,9 @@ func (e *ShardedEngine) searchDetailed(ctx context.Context, q string, k int) ([]
 	if err != nil {
 		return nil, Stats{}, nil, err
 	}
+	if e.live != nil {
+		return e.searchLive(ctx, pq, k)
+	}
 	res, sum, err := e.cluster.Search(ctx, pq, k)
 	if err != nil {
 		return nil, Stats{}, nil, err
@@ -168,11 +176,44 @@ func (e *ShardedEngine) searchDetailed(ctx context.Context, q string, k int) ([]
 	return hits, agg, perShard, nil
 }
 
+// searchLive evaluates a parsed query over the live view — the shard
+// slices plus the mutable segment — with the same two-phase rank-safe
+// merge the cluster path uses; the extra per-slice report (when the
+// segment is non-empty) is appended after the shards'.
+func (e *ShardedEngine) searchLive(ctx context.Context, pq query.Query, k int) ([]Hit, Stats, []Stats, error) {
+	start := time.Now()
+	res, per, view, err := e.live.Search(ctx, pq, k)
+	if err != nil {
+		return nil, Stats{}, nil, err
+	}
+	hits := make([]Hit, len(res))
+	for i, h := range res {
+		hits[i] = Hit{
+			DocID: int(h.Global),
+			Title: view.Slices[h.Slice].Eng.Index().StoredField(h.Local, "title"),
+			Score: h.Score,
+		}
+	}
+	agg := convertStats(core.MergeStats(per...))
+	agg.Elapsed = time.Since(start)
+	perSlice := make([]Stats, len(per))
+	for i, st := range per {
+		perSlice[i] = convertStats(st)
+	}
+	return hits, agg, perSlice, nil
+}
+
 // NumShards returns the number of document partitions.
 func (e *ShardedEngine) NumShards() int { return e.cluster.NumShards() }
 
-// NumDocs returns the logical collection size across all shards.
-func (e *ShardedEngine) NumDocs() int { return e.cluster.NumDocs() }
+// NumDocs returns the logical collection size across all shards,
+// including live documents not yet compacted.
+func (e *ShardedEngine) NumDocs() int {
+	if e.live != nil {
+		return e.live.NumDocs()
+	}
+	return e.cluster.NumDocs()
+}
 
 // NumViews returns the total number of materialized views across all
 // shards (0 when views are disabled).
