@@ -21,12 +21,16 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
 	"math/rand"
+	"net"
 	"net/http"
 	neturl "net/url"
 	"os"
@@ -46,11 +50,52 @@ type hit struct {
 	Score float64 `json:"score"`
 }
 
+type shardError struct {
+	Shard int    `json:"shard"`
+	Kind  string `json:"kind"`
+	Err   string `json:"error"`
+}
+
 type searchResponse struct {
 	Hits  []hit `json:"hits"`
 	Stats struct {
-		Degraded bool `json:"degraded"`
+		Degraded    bool         `json:"degraded"`
+		ShardErrors []shardError `json:"shard_errors"`
 	} `json:"stats"`
+}
+
+// errCounts splits request failures by class so a report distinguishes
+// "the server is down" (connection errors) from "the server is broken"
+// (HTTP 5xx) from "the server is slow" (client-side timeout) — three
+// different pages for three different on-call actions.
+type errCounts struct {
+	conn    atomic.Int64 // dial/reset/EOF: could not complete an exchange
+	timeout atomic.Int64 // the client's own deadline expired waiting
+	http5xx atomic.Int64 // a well-formed 5xx other than the shed 503
+	other   atomic.Int64 // anything else (unexpected status, bad body)
+}
+
+// transport classifies a round-trip error from the HTTP client.
+func (c *errCounts) transport(err error) {
+	var ne net.Error
+	if errors.Is(err, context.DeadlineExceeded) || (errors.As(err, &ne) && ne.Timeout()) {
+		c.timeout.Add(1)
+		return
+	}
+	c.conn.Add(1)
+}
+
+// status classifies an unexpected (non-200, non-shed) response code.
+func (c *errCounts) status(code int) {
+	if code >= 500 {
+		c.http5xx.Add(1)
+		return
+	}
+	c.other.Add(1)
+}
+
+func (c *errCounts) total() int64 {
+	return c.conn.Load() + c.timeout.Load() + c.http5xx.Load() + c.other.Load()
 }
 
 // indexRequest / indexResponse mirror csserve's POST /index wire
@@ -69,33 +114,40 @@ type indexResponse struct {
 // ingestResult is the -ingest report: open-loop write throughput and
 // the latency of the WAL-durable ack.
 type ingestResult struct {
-	QPS      float64 `json:"qps"`
-	Sent     int64   `json:"sent"`
-	OK       int64   `json:"ok"`
-	Shed429  int64   `json:"shed_429"`
-	Shed503  int64   `json:"shed_503"`
-	Errors   int64   `json:"errors"`
-	FirstDoc int     `json:"first_doc_id"`
-	LastDoc  int     `json:"last_doc_id"`
-	P50ms    float64 `json:"p50_ms"`
-	P90ms    float64 `json:"p90_ms"`
-	P99ms    float64 `json:"p99_ms"`
-	P999ms   float64 `json:"p999_ms"`
+	QPS            float64 `json:"qps"`
+	Sent           int64   `json:"sent"`
+	OK             int64   `json:"ok"`
+	Shed429        int64   `json:"shed_429"`
+	Shed503        int64   `json:"shed_503"`
+	Errors         int64   `json:"errors"` // total of the classes below
+	ConnErrors     int64   `json:"conn_errors"`
+	HTTP5xx        int64   `json:"http_5xx"`
+	ClientTimeouts int64   `json:"client_timeouts"`
+	FirstDoc       int     `json:"first_doc_id"`
+	LastDoc        int     `json:"last_doc_id"`
+	P50ms          float64 `json:"p50_ms"`
+	P90ms          float64 `json:"p90_ms"`
+	P99ms          float64 `json:"p99_ms"`
+	P999ms         float64 `json:"p999_ms"`
 }
 
 // levelResult is one arrival-rate level's outcome in the -out report.
 type levelResult struct {
-	QPS      float64 `json:"qps"`
-	Sent     int64   `json:"sent"`
-	OK       int64   `json:"ok"`
-	Shed429  int64   `json:"shed_429"`
-	Shed503  int64   `json:"shed_503"`
-	Errors   int64   `json:"errors"`
-	Degraded int64   `json:"degraded"`
-	P50ms    float64 `json:"p50_ms"`
-	P90ms    float64 `json:"p90_ms"`
-	P99ms    float64 `json:"p99_ms"`
-	P999ms   float64 `json:"p999_ms"`
+	QPS            float64 `json:"qps"`
+	Sent           int64   `json:"sent"`
+	OK             int64   `json:"ok"`
+	Shed429        int64   `json:"shed_429"`
+	Shed503        int64   `json:"shed_503"`
+	Errors         int64   `json:"errors"` // total of the classes below
+	ConnErrors     int64   `json:"conn_errors"`
+	HTTP5xx        int64   `json:"http_5xx"`
+	ClientTimeouts int64   `json:"client_timeouts"`
+	Degraded       int64   `json:"degraded"`
+	Partial        int64   `json:"partial_results"`
+	P50ms          float64 `json:"p50_ms"`
+	P90ms          float64 `json:"p90_ms"`
+	P99ms          float64 `json:"p99_ms"`
+	P999ms         float64 `json:"p999_ms"`
 }
 
 func main() {
@@ -108,15 +160,16 @@ func main() {
 		out      = flag.String("out", "", "write the per-level JSON report here (default stdout)")
 		compare  = flag.String("compare", "", "second csserve URL: check both servers return identical hits for every query, then exit")
 		ingest   = flag.Int("ingest", 0, "POST this many synthetic documents to /index at the first -qps rate and report ack latency, then exit")
+		chaos    = flag.Bool("chaos", false, "run a chaos drill: arm corrupt-block and panic faults on one shard via /chaosz (csserve must run with -chaos), assert every query still answers as a degraded partial result with zero errors and that the breakers recover, then exit")
 	)
 	flag.Parse()
-	if err := run(*url, *queries, *qps, *duration, *k, *out, *compare, *ingest); err != nil {
+	if err := run(*url, *queries, *qps, *duration, *k, *out, *compare, *ingest, *chaos); err != nil {
 		fmt.Fprintln(os.Stderr, "csload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(url, queriesPath, qpsList string, duration time.Duration, k int, out, compare string, ingest int) error {
+func run(url, queriesPath, qpsList string, duration time.Duration, k int, out, compare string, ingest int, chaos bool) error {
 	if ingest > 0 {
 		field := strings.Split(qpsList, ",")[0]
 		rate, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
@@ -149,6 +202,15 @@ func run(url, queriesPath, qpsList string, duration time.Duration, k int, out, c
 		}
 		fmt.Printf("compare: %d queries identical on %s and %s\n", n, url, compare)
 		return nil
+	}
+	if chaos {
+		cr, err := runChaos(url, qs, k)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "csload: chaos: queries=%d ok=%d degraded=%d attributed=%d errors=%d recovered=%v\n",
+			cr.Queries, cr.OK, cr.Degraded, cr.Attributed, cr.Errors, cr.Recovered)
+		return writeReport(out, cr)
 	}
 
 	var results []levelResult
@@ -215,10 +277,12 @@ func runLevel(url string, qs []string, rate float64, duration time.Duration, k i
 	client := &http.Client{Timeout: 30 * time.Second}
 
 	var (
-		mu                             sync.Mutex
-		latencies                      []time.Duration
-		ok, s429, s503, errs, degraded atomic.Int64
-		wg                             sync.WaitGroup
+		mu                sync.Mutex
+		latencies         []time.Duration
+		ok, s429, s503    atomic.Int64
+		degraded, partial atomic.Int64
+		ec                errCounts
+		wg                sync.WaitGroup
 	)
 	deadline := time.Now().Add(duration)
 	next := time.Now()
@@ -236,7 +300,7 @@ func runLevel(url string, qs []string, rate float64, duration time.Duration, k i
 			resp, err := client.Get(fmt.Sprintf("%s/search?q=%s&k=%d", url, neturl.QueryEscape(q), k))
 			elapsed := time.Since(start)
 			if err != nil {
-				errs.Add(1)
+				ec.transport(err)
 				return
 			}
 			defer resp.Body.Close()
@@ -244,11 +308,14 @@ func runLevel(url string, qs []string, rate float64, duration time.Duration, k i
 			case http.StatusOK:
 				var sr searchResponse
 				if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
-					errs.Add(1)
+					ec.other.Add(1)
 					return
 				}
 				if sr.Stats.Degraded {
 					degraded.Add(1)
+				}
+				if len(sr.Stats.ShardErrors) > 0 {
+					partial.Add(1)
 				}
 				ok.Add(1)
 				mu.Lock()
@@ -260,13 +327,14 @@ func runLevel(url string, qs []string, rate float64, duration time.Duration, k i
 				s503.Add(1)
 			default:
 				io.Copy(io.Discard, resp.Body)
-				errs.Add(1)
+				ec.status(resp.StatusCode)
 			}
 		}()
 	}
 	wg.Wait()
 	lr.OK, lr.Shed429, lr.Shed503 = ok.Load(), s429.Load(), s503.Load()
-	lr.Errors, lr.Degraded = errs.Load(), degraded.Load()
+	lr.Errors, lr.Degraded, lr.Partial = ec.total(), degraded.Load(), partial.Load()
+	lr.ConnErrors, lr.HTTP5xx, lr.ClientTimeouts = ec.conn.Load(), ec.http5xx.Load(), ec.timeout.Load()
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	lr.P50ms = quantile(latencies, 0.50)
 	lr.P90ms = quantile(latencies, 0.90)
@@ -316,7 +384,7 @@ func runIngest(url string, n int, rate float64) (ingestResult, error) {
 		latencies      []time.Duration
 		first, last    atomic.Int64
 		ok, s429, s503 atomic.Int64
-		errs           atomic.Int64
+		ec             errCounts
 		wg             sync.WaitGroup
 	)
 	first.Store(-1)
@@ -336,7 +404,7 @@ func runIngest(url string, n int, rate float64) (ingestResult, error) {
 			resp, err := client.Post(url+"/index", "application/json", strings.NewReader(string(body)))
 			elapsed := time.Since(start)
 			if err != nil {
-				errs.Add(1)
+				ec.transport(err)
 				return
 			}
 			defer resp.Body.Close()
@@ -344,7 +412,7 @@ func runIngest(url string, n int, rate float64) (ingestResult, error) {
 			case http.StatusOK:
 				var ack indexResponse
 				if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
-					errs.Add(1)
+					ec.other.Add(1)
 					return
 				}
 				ok.Add(1)
@@ -376,12 +444,13 @@ func runIngest(url string, n int, rate float64) (ingestResult, error) {
 				s503.Add(1)
 			default:
 				io.Copy(io.Discard, resp.Body)
-				errs.Add(1)
+				ec.status(resp.StatusCode)
 			}
 		}()
 	}
 	wg.Wait()
-	ir.OK, ir.Shed429, ir.Shed503, ir.Errors = ok.Load(), s429.Load(), s503.Load(), errs.Load()
+	ir.OK, ir.Shed429, ir.Shed503, ir.Errors = ok.Load(), s429.Load(), s503.Load(), ec.total()
+	ir.ConnErrors, ir.HTTP5xx, ir.ClientTimeouts = ec.conn.Load(), ec.http5xx.Load(), ec.timeout.Load()
 	ir.FirstDoc, ir.LastDoc = int(first.Load()), int(last.Load())
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	ir.P50ms = quantile(latencies, 0.50)
@@ -389,6 +458,161 @@ func runIngest(url string, n int, rate float64) (ingestResult, error) {
 	ir.P99ms = quantile(latencies, 0.99)
 	ir.P999ms = quantile(latencies, 0.999)
 	return ir, nil
+}
+
+// chaosResult is the -chaos drill report.
+type chaosResult struct {
+	// Faults lists the injected fault kinds, in order.
+	Faults []string `json:"faults"`
+	// TargetShard is the shard the faults were armed against.
+	TargetShard int `json:"target_shard"`
+	// Queries/OK/Degraded/Attributed/Errors count the drill's searches:
+	// every one must answer 200 (OK), flagged degraded, with the lost
+	// shard attributed in shard_errors (attributed); errors must be 0.
+	Queries    int64 `json:"queries"`
+	OK         int64 `json:"ok"`
+	Degraded   int64 `json:"degraded"`
+	Attributed int64 `json:"attributed"`
+	Errors     int64 `json:"errors"`
+	// Recovered reports that after disarming, every breaker returned to
+	// closed (probed successfully) within the recovery window.
+	Recovered bool `json:"breakers_recovered"`
+}
+
+// healthz mirrors the subset of csserve's /healthz the drill reads.
+type healthz struct {
+	Status    string `json:"status"`
+	NumShards int    `json:"num_shards"`
+	Shards    []struct {
+		Shard int    `json:"shard"`
+		State string `json:"state"`
+	} `json:"shards"`
+}
+
+// runChaos drives a fault drill against a live csserve started with
+// -chaos: for each fault kind it arms the fault on one shard, fires
+// queries — every one of which must still answer 200, flagged degraded,
+// with the loss attributed to the faulted shard — then disarms and
+// drives probe queries until the shard's breaker closes again. Any
+// hard failure (non-2xx besides shed, transport error) fails the drill.
+func runChaos(url string, qs []string, k int) (chaosResult, error) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	cr := chaosResult{Faults: []string{"corrupt", "panic"}}
+
+	var h healthz
+	if err := getChaosJSON(client, url+"/healthz", &h); err != nil {
+		return cr, fmt.Errorf("healthz: %w", err)
+	}
+	if h.NumShards < 2 {
+		return cr, fmt.Errorf("chaos drill needs ≥ 2 shards (one to fault, the rest to answer); server has %d", h.NumShards)
+	}
+	cr.TargetShard = 1
+
+	arm := func(body string) error {
+		resp, err := client.Post(url+"/chaosz", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			return fmt.Errorf("chaosz: status %d: %s (is csserve running with -chaos?)", resp.StatusCode, strings.TrimSpace(string(b)))
+		}
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+
+	for _, fault := range cr.Faults {
+		if err := arm(fmt.Sprintf(`{"shard": %d, "%s": true}`, cr.TargetShard, fault)); err != nil {
+			return cr, err
+		}
+		for i := 0; i < 25; i++ {
+			q := qs[i%len(qs)]
+			cr.Queries++
+			resp, err := client.Get(fmt.Sprintf("%s/search?q=%s&k=%d", url, neturl.QueryEscape(q), k))
+			if err != nil {
+				cr.Errors++
+				continue
+			}
+			if resp.StatusCode != http.StatusOK {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				cr.Errors++
+				continue
+			}
+			var sr searchResponse
+			err = json.NewDecoder(resp.Body).Decode(&sr)
+			resp.Body.Close()
+			if err != nil {
+				cr.Errors++
+				continue
+			}
+			cr.OK++
+			if sr.Stats.Degraded {
+				cr.Degraded++
+			}
+			for _, se := range sr.Stats.ShardErrors {
+				if se.Shard == cr.TargetShard {
+					cr.Attributed++
+					break
+				}
+			}
+		}
+		if err := arm(`{"disarm": true}`); err != nil {
+			return cr, err
+		}
+		// Recovery: the open breaker needs its backoff to expire and then a
+		// probe query to succeed, so keep poking until every shard reports
+		// closed (or the window expires).
+		cr.Recovered = false
+		deadline := time.Now().Add(15 * time.Second)
+		for time.Now().Before(deadline) {
+			if resp, err := client.Get(fmt.Sprintf("%s/search?q=%s&k=%d", url, neturl.QueryEscape(qs[0]), k)); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			if err := getChaosJSON(client, url+"/healthz", &h); err == nil {
+				closed := 0
+				for _, s := range h.Shards {
+					if s.State == "closed" {
+						closed++
+					}
+				}
+				if closed == h.NumShards {
+					cr.Recovered = true
+					break
+				}
+			}
+			time.Sleep(200 * time.Millisecond)
+		}
+		if !cr.Recovered {
+			return cr, fmt.Errorf("breakers did not all close within 15s of disarming %s fault", fault)
+		}
+	}
+
+	switch {
+	case cr.Errors > 0:
+		return cr, fmt.Errorf("%d of %d chaos queries failed hard (want 0: every query must answer degraded)", cr.Errors, cr.Queries)
+	case cr.Degraded == 0:
+		return cr, fmt.Errorf("no chaos query came back degraded — faults are not reaching the query path")
+	case cr.Attributed == 0:
+		return cr, fmt.Errorf("no degraded response attributed the loss to shard %d", cr.TargetShard)
+	}
+	return cr, nil
+}
+
+// getChaosJSON fetches a JSON endpoint, accepting 503 (a degraded
+// /healthz still carries the body the drill reads).
+func getChaosJSON(client *http.Client, url string, v any) error {
+	resp, err := client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusServiceUnavailable {
+		return fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
 }
 
 // quantile returns the exact q-quantile of sorted samples, in

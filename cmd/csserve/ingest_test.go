@@ -271,18 +271,32 @@ func TestWireSchemaStability(t *testing.T) {
 		"bad_requests", "degraded", "errors", "generations",
 		"indexed_docs", "inflight", "ingest_enabled", "ingest_errors", "ingest_requests",
 		"latency_p50_ms", "latency_p90_ms", "latency_p999_ms", "latency_p99_ms",
-		"num_docs", "num_shards", "ok", "pending_docs", "pruned_docs",
-		"queue_depth", "requests", "shed_queue_full", "shed_queue_timeout",
+		"num_docs", "num_shards", "ok", "partial_results", "pending_docs", "pruned_docs",
+		"quarantined_blocks", "queue_depth", "requests",
+		"shed_queue_full", "shed_queue_timeout", "shed_unhealthy",
 	})
 	assertKeys(t, "search", jsonKeys(t, searchResponse{Shards: []csrank.Stats{{}}}), []string{
 		"hits", "k", "query", "shards", "stats",
 	})
-	// degraded_reason is omitempty: set it so the full stats key set is
-	// pinned.
-	assertKeys(t, "stats", jsonKeys(t, csrank.Stats{DegradedReason: "x"}), []string{
+	// degraded_reason and shard_errors are omitempty: set them so the
+	// full stats key set is pinned.
+	assertKeys(t, "stats", jsonKeys(t, csrank.Stats{DegradedReason: "x", ShardErrors: []csrank.ShardError{{}}}), []string{
 		"cache_hit", "context_size", "degraded", "degraded_reason",
 		"elapsed_ns", "plan", "pruned_containers", "pruned_docs",
-		"result_size", "used_view",
+		"result_size", "shard_errors", "used_view",
+	})
+	assertKeys(t, "shard error", jsonKeys(t, csrank.ShardError{}), []string{
+		"error", "kind", "shard",
+	})
+	assertKeys(t, "healthz", jsonKeys(t, healthzResponse{Shards: []csrank.ShardHealth{{}}}), []string{
+		"available_shards", "min_shards", "num_shards", "quarantined_blocks",
+		"shards", "status",
+	})
+	assertKeys(t, "shard health", jsonKeys(t, csrank.ShardHealth{}), []string{
+		"consecutive_failures", "generation", "recoveries", "retry_in_ms", "shard", "state", "trips",
+	})
+	assertKeys(t, "chaos request", jsonKeys(t, chaosRequest{}), []string{
+		"corrupt", "delay_ms", "disarm", "panic", "shard",
 	})
 	assertKeys(t, "hit", jsonKeys(t, csrank.Hit{}), []string{
 		"doc_id", "score", "title",

@@ -16,11 +16,15 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"csrank"
@@ -45,31 +49,92 @@ func main() {
 		ingest       = flag.Bool("ingest", false, "accept POST /index writes (requires a sharded data directory; documents are WAL-durable before the 200)")
 		refresh      = flag.Duration("refresh", 500*time.Millisecond, "with -ingest: how often newly added documents become searchable (0 = on every Add)")
 		compactAt    = flag.Int("compact-threshold", 10000, "with -ingest: compact the mutable segment into the shard indexes once it holds this many documents (0 = never automatically)")
+		minShards    = flag.Int("min-shards", 0, "fewest healthy shards for which a partial answer is still served; fewer fails the query (0 = 1, i.e. answer while any shard survives)")
+		shardTimeout = flag.Duration("shard-timeout", 0, "per-shard per-phase budget; a shard exceeding it is dropped from the query and the survivors answer flagged degraded (0 = off)")
+		chaos        = flag.Bool("chaos", false, "serve POST /chaosz fault injection (per-shard latency/panic/corruption) — never in production")
+		drainTimeout = flag.Duration("drain-timeout", 5*time.Second, "on SIGINT/SIGTERM: how long to wait for in-flight requests before exiting")
 	)
 	flag.Parse()
-	if err := run(*data, *addr, *mode, *scorer, *parallel, *pruning, *cache, *timeout, *statsBudget, *k, *maxInflight, *maxQueue, *queueTimeout, *perShard, *ingest, *refresh, *compactAt); err != nil {
+	cfg := serveConfig{
+		data: *data, addr: *addr, mode: *mode, scorer: *scorer,
+		parallel: *parallel, pruning: *pruning, cache: *cache,
+		timeout: *timeout, statsBudget: *statsBudget, k: *k,
+		maxInflight: *maxInflight, maxQueue: *maxQueue, queueTimeout: *queueTimeout,
+		perShard: *perShard, ingest: *ingest, refresh: *refresh, compactAt: *compactAt,
+		minShards: *minShards, shardTimeout: *shardTimeout, chaos: *chaos, drainTimeout: *drainTimeout,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "csserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(data, addr, mode, scorer string, parallel int, pruning bool, cache int, timeout, statsBudget time.Duration, k, maxInflight, maxQueue int, queueTimeout time.Duration, perShard, ingest bool, refresh time.Duration, compactAt int) error {
+// serveConfig carries the parsed flags into run.
+type serveConfig struct {
+	data, addr, mode, scorer   string
+	parallel, cache, k         int
+	pruning, perShard, ingest  bool
+	timeout, statsBudget       time.Duration
+	maxInflight, maxQueue      int
+	queueTimeout               time.Duration
+	refresh                    time.Duration
+	compactAt                  int
+	minShards                  int
+	shardTimeout, drainTimeout time.Duration
+	chaos                      bool
+}
+
+func run(cfg serveConfig) error {
 	opts := csrank.BuildOptions{
-		Scorer:        csrank.Scorer(scorer),
-		Parallelism:   parallel,
-		Pruning:       pruning,
-		CacheContexts: cache,
-		Timeout:       timeout,
-		StatsBudget:   statsBudget,
+		Scorer:        csrank.Scorer(cfg.scorer),
+		Parallelism:   cfg.parallel,
+		Pruning:       cfg.pruning,
+		CacheContexts: cfg.cache,
+		Timeout:       cfg.timeout,
+		StatsBudget:   cfg.statsBudget,
+		MinShards:     cfg.minShards,
+		ShardTimeout:  cfg.shardTimeout,
 	}
-	eng, err := openEngine(data, mode, opts, ingest, refresh, compactAt)
+	if cfg.chaos && cfg.ingest {
+		// The live (mutable-segment) search path fans out without the
+		// chaos seam, so armed faults would silently never fire.
+		return fmt.Errorf("-chaos and -ingest are mutually exclusive")
+	}
+	eng, err := openEngine(cfg.data, cfg.mode, opts, cfg.ingest, cfg.refresh, cfg.compactAt)
 	if err != nil {
 		return err
 	}
-	srv := newServer(eng, newAdmission(maxInflight, maxQueue, queueTimeout), k, timeout, perShard, ingest)
-	fmt.Fprintf(os.Stderr, "csserve: %d documents over %d shard(s); listening on %s (inflight≤%d queue≤%d ingest=%v)\n",
-		eng.NumDocs(), eng.NumShards(), addr, maxInflight, maxQueue, ingest)
-	return http.ListenAndServe(addr, srv.routes())
+	srv := newServer(eng, newAdmission(cfg.maxInflight, cfg.maxQueue, cfg.queueTimeout), cfg.k, cfg.timeout, cfg.perShard, cfg.ingest)
+	srv.chaos = cfg.chaos
+	fmt.Fprintf(os.Stderr, "csserve: %d documents over %d shard(s); listening on %s (inflight≤%d queue≤%d ingest=%v chaos=%v)\n",
+		eng.NumDocs(), eng.NumShards(), cfg.addr, cfg.maxInflight, cfg.maxQueue, cfg.ingest, cfg.chaos)
+
+	httpSrv := &http.Server{Addr: cfg.addr, Handler: srv.routes()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting, drain
+	// in-flight requests up to the drain timeout, then flush the final
+	// counters so the run's tail is in the logs even without a scraper.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "csserve: %s: draining (up to %s)\n", sig, cfg.drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+		defer cancel()
+		shutErr := httpSrv.Shutdown(ctx)
+		if final, err := json.Marshal(srv.statsz()); err == nil {
+			fmt.Fprintf(os.Stderr, "csserve: final statsz: %s\n", final)
+		}
+		if shutErr != nil {
+			return fmt.Errorf("drain incomplete after %s: %w", cfg.drainTimeout, shutErr)
+		}
+		fmt.Fprintln(os.Stderr, "csserve: drained cleanly")
+		return nil
+	}
 }
 
 // openEngine resolves the data directory into a ShardedEngine: a

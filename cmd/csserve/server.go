@@ -48,6 +48,33 @@ type indexResponse struct {
 	Pending int `json:"pending"`
 }
 
+// chaosRequest is the POST /chaosz wire format (only served with
+// -chaos): arm one fault against one shard, or disarm everything.
+type chaosRequest struct {
+	// Shard is the target shard index (ignored with Disarm).
+	Shard int `json:"shard"`
+	// DelayMs stalls each query phase on the shard by this long.
+	DelayMs int `json:"delay_ms"`
+	// Panic crashes the shard's query worker.
+	Panic bool `json:"panic"`
+	// Corrupt simulates a corrupt-block read escaping decode.
+	Corrupt bool `json:"corrupt"`
+	// Disarm removes every armed fault.
+	Disarm bool `json:"disarm"`
+}
+
+// healthzResponse is the /healthz wire format. Status is "ok" when the
+// cluster can serve within its MinShards policy (HTTP 200), "degraded"
+// otherwise (HTTP 503, so load balancers rotate the instance out).
+type healthzResponse struct {
+	Status            string               `json:"status"`
+	NumShards         int                  `json:"num_shards"`
+	AvailableShards   int                  `json:"available_shards"`
+	MinShards         int                  `json:"min_shards"`
+	QuarantinedBlocks int64                `json:"quarantined_blocks"`
+	Shards            []csrank.ShardHealth `json:"shards"`
+}
+
 // statszResponse is the /statsz wire format: cumulative counters plus
 // the latency distribution of admitted searches.
 type statszResponse struct {
@@ -55,14 +82,19 @@ type statszResponse struct {
 	NumShards   int      `json:"num_shards"`
 	Generations []uint64 `json:"generations"`
 
-	Requests    int64 `json:"requests"`
-	OK          int64 `json:"ok"`
-	BadRequests int64 `json:"bad_requests"`
-	ShedQueue   int64 `json:"shed_queue_full"`
-	ShedTimeout int64 `json:"shed_queue_timeout"`
-	Errors      int64 `json:"errors"`
-	Degraded    int64 `json:"degraded"`
-	PrunedDocs  int64 `json:"pruned_docs"`
+	Requests      int64 `json:"requests"`
+	OK            int64 `json:"ok"`
+	BadRequests   int64 `json:"bad_requests"`
+	ShedQueue     int64 `json:"shed_queue_full"`
+	ShedTimeout   int64 `json:"shed_queue_timeout"`
+	ShedUnhealthy int64 `json:"shed_unhealthy"`
+	Errors        int64 `json:"errors"`
+	Degraded      int64 `json:"degraded"`
+	// PartialResults counts 200 responses missing at least one shard
+	// (a subset of Degraded).
+	PartialResults    int64 `json:"partial_results"`
+	QuarantinedBlocks int64 `json:"quarantined_blocks"`
+	PrunedDocs        int64 `json:"pruned_docs"`
 
 	IngestEnabled  bool  `json:"ingest_enabled"`
 	IngestRequests int64 `json:"ingest_requests"`
@@ -134,6 +166,7 @@ type server struct {
 	timeout  time.Duration // per-request deadline covering queue wait + execution
 	perShard bool          // include per-shard stats in responses
 	ingest   bool          // accept POST /index writes
+	chaos    bool          // serve POST /chaosz fault injection
 
 	bufs sync.Pool // *bytes.Buffer, pooled response encoding
 
@@ -142,8 +175,10 @@ type server struct {
 	badRequests    atomic.Int64
 	shedQueue      atomic.Int64
 	shedTimeout    atomic.Int64
+	shedUnhealthy  atomic.Int64
 	errCount       atomic.Int64
 	degraded       atomic.Int64
+	partialResults atomic.Int64
 	prunedDocs     atomic.Int64
 	ingestRequests atomic.Int64
 	indexedDocs    atomic.Int64
@@ -169,6 +204,7 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("/index", s.handleIndex)
 	mux.HandleFunc("/statsz", s.handleStatsz)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/chaosz", s.handleChaosz)
 	return mux
 }
 
@@ -207,6 +243,15 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		k = n
 	}
 
+	// Shed before queuing when too few shards are healthy to answer
+	// within policy: the fan-out would fail anyway, so spend nothing on
+	// it and give the load balancer its 503 immediately.
+	if !s.eng.CanServe() {
+		s.shedUnhealthy.Add(1)
+		s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "too few healthy shards (circuit breakers open)"})
+		return
+	}
+
 	// The deadline covers queue wait AND execution: a request that
 	// queued for most of its budget gets only the remainder to run,
 	// degrading (flagged) rather than overshooting the SLO.
@@ -226,7 +271,7 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	hits, st, perShard, err := s.eng.SearchDetailed(ctx, q, k)
 	s.hist.observe(time.Since(start))
 	if err != nil {
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, csrank.ErrTooFewShards) {
 			s.errCount.Add(1)
 			s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
 			return
@@ -240,6 +285,9 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	s.ok.Add(1)
 	if st.Degraded {
 		s.degraded.Add(1)
+	}
+	if len(st.ShardErrors) > 0 {
+		s.partialResults.Add(1)
 	}
 	s.prunedDocs.Add(st.PrunedDocs)
 	resp := searchResponse{Query: q, K: k, Hits: hits, Stats: st}
@@ -315,19 +363,25 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, indexResponse{DocID: id, Pending: s.eng.Pending()})
 }
 
-func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, statszResponse{
+// statsz assembles the current counters — shared by the /statsz handler
+// and the final flush graceful shutdown logs.
+func (s *server) statsz() statszResponse {
+	return statszResponse{
 		NumDocs:     s.eng.NumDocs(),
 		NumShards:   s.eng.NumShards(),
 		Generations: s.eng.Generations(),
-		Requests:    s.requests.Load(),
-		OK:          s.ok.Load(),
-		BadRequests: s.badRequests.Load(),
-		ShedQueue:   s.shedQueue.Load(),
-		ShedTimeout: s.shedTimeout.Load(),
-		Errors:      s.errCount.Load(),
-		Degraded:    s.degraded.Load(),
-		PrunedDocs:  s.prunedDocs.Load(),
+
+		Requests:          s.requests.Load(),
+		OK:                s.ok.Load(),
+		BadRequests:       s.badRequests.Load(),
+		ShedQueue:         s.shedQueue.Load(),
+		ShedTimeout:       s.shedTimeout.Load(),
+		ShedUnhealthy:     s.shedUnhealthy.Load(),
+		Errors:            s.errCount.Load(),
+		Degraded:          s.degraded.Load(),
+		PartialResults:    s.partialResults.Load(),
+		QuarantinedBlocks: s.eng.QuarantinedBlocks(),
+		PrunedDocs:        s.prunedDocs.Load(),
 
 		IngestEnabled:  s.ingest,
 		IngestRequests: s.ingestRequests.Load(),
@@ -341,10 +395,60 @@ func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		LatencyP90:  s.hist.quantile(0.90),
 		LatencyP99:  s.hist.quantile(0.99),
 		LatencyP999: s.hist.quantile(0.999),
-	})
+	}
 }
 
+func (s *server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.statsz())
+}
+
+// handleHealthz reports per-shard breaker states and overall
+// serveability: 200 "ok" while at least max(1, MinShards) shards are
+// available, 503 "degraded" otherwise — the signal a load balancer
+// uses to rotate the instance out until breakers recover.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.WriteHeader(http.StatusOK)
-	w.Write([]byte("ok\n"))
+	h := s.eng.Health()
+	resp := healthzResponse{
+		Status:            "ok",
+		NumShards:         h.NumShards,
+		AvailableShards:   h.AvailableShards,
+		MinShards:         h.MinShards,
+		QuarantinedBlocks: h.QuarantinedBlocks,
+		Shards:            h.Shards,
+	}
+	status := http.StatusOK
+	if !h.Healthy() {
+		resp.Status = "degraded"
+		status = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, status, resp)
+}
+
+// handleChaosz arms or disarms fault injection on one shard — only when
+// the server was started with -chaos (403 otherwise, so a production
+// instance cannot be faulted remotely).
+func (s *server) handleChaosz(w http.ResponseWriter, r *http.Request) {
+	if !s.chaos {
+		s.writeJSON(w, http.StatusForbidden, errorResponse{Error: "fault injection disabled (start csserve with -chaos)"})
+		return
+	}
+	if r.Method != http.MethodPost {
+		s.writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	var req chaosRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad fault: " + err.Error()})
+		return
+	}
+	if req.Disarm {
+		s.eng.DisarmFaults()
+		s.writeJSON(w, http.StatusOK, map[string]string{"status": "disarmed"})
+		return
+	}
+	if err := s.eng.ArmFault(req.Shard, time.Duration(req.DelayMs)*time.Millisecond, req.Panic, req.Corrupt); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "armed"})
 }

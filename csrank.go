@@ -127,6 +127,18 @@ type BuildOptions struct {
 	// documents and containers whose score bound proves they cannot
 	// rank. Results stay bit-identical to exhaustive scoring.
 	Pruning bool
+	// MinShards (sharded engines only) is the fewest healthy shards for
+	// which a partial answer is still served; when fewer survive a
+	// query's fan-out, the query fails instead (fail-closed). ≤ 0 means
+	// 1: answer as long as any shard survives. Set it to the shard count
+	// to fail fast on any shard loss.
+	MinShards int
+	// ShardTimeout (sharded engines only) bounds each shard's work per
+	// query phase; a shard that exceeds it is dropped from the query and
+	// the surviving shards answer alone, flagged Degraded with the loss
+	// attributed in Stats.ShardErrors. Zero disables the per-shard
+	// timeout (Timeout still degrades in-shard).
+	ShardTimeout time.Duration
 }
 
 // coreOptions maps the runtime subset of BuildOptions onto the engine
@@ -266,8 +278,30 @@ type Stats struct {
 	// PrunedContainers counts whole docID containers pruning dismissed
 	// wholesale.
 	PrunedContainers int64 `json:"pruned_containers"`
+	// ShardErrors attributes every shard that did not contribute to a
+	// sharded answer — shed by its circuit breaker or lost to a panic,
+	// timeout, or corrupt block. Non-empty exactly when the hits are a
+	// partial answer over the surviving shards (Degraded is then set).
+	ShardErrors []ShardError `json:"shard_errors,omitempty"`
 	// Elapsed is the wall-clock execution time in nanoseconds.
 	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// ErrTooFewShards fails a sharded query when fewer shards survive (or
+// are admitted by their circuit breakers) than BuildOptions.MinShards
+// allows — the fail-closed half of the partial-results policy.
+var ErrTooFewShards = core.ErrTooFewSlices
+
+// ShardError attributes the loss of one shard in a degraded sharded
+// execution.
+type ShardError struct {
+	// Shard is the shard index.
+	Shard int `json:"shard"`
+	// Kind classifies the failure: "corruption", "panic", "timeout",
+	// "error", or "breaker-open" (shed up front, never attempted).
+	Kind string `json:"kind"`
+	// Err is the underlying error text.
+	Err string `json:"error"`
 }
 
 // Engine answers context-sensitive queries.

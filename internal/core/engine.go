@@ -182,6 +182,25 @@ func (st *ExecStats) degrade(reason string) {
 	}
 }
 
+// Degrade flags the execution as degraded with the given reason,
+// accumulating "; "-joined reasons. Exported for layers above the engine
+// (the shard scatter-gather marks cluster-level partial results through
+// it).
+func (st *ExecStats) Degrade(reason string) { st.degrade(reason) }
+
+// quarantineReason is the degradation reason attached when an execution
+// touched quarantined (corrupt, empty-serving) mapped blocks.
+const quarantineReason = "corrupt block(s) quarantined: affected containers skipped"
+
+// noteQuarantine is deferred by every public query entry point: an
+// execution that touched quarantined blocks silently skipped their
+// containers, so its results are partial and must say so.
+func noteQuarantine(st *ExecStats) {
+	if st.QuarantineSkips > 0 {
+		st.degrade(quarantineReason)
+	}
+}
+
 // Engine evaluates context-sensitive queries over an index, optionally
 // accelerated by a view catalog. It is safe for concurrent use,
 // including SwapCatalog racing with in-flight queries.
@@ -404,6 +423,7 @@ func (e *Engine) SearchConventionalCtx(ctx context.Context, q query.Query, k int
 	ctx, cancel := e.applyDeadline(ctx)
 	defer cancel()
 	defer recoverToError(&err, "conventional search")
+	defer noteQuarantine(&st)
 	return e.searchConventional(ctx, q, k)
 }
 
@@ -420,6 +440,7 @@ func (e *Engine) SearchContextSensitiveCtx(ctx context.Context, q query.Query, k
 	ctx, cancel := e.applyDeadline(ctx)
 	defer cancel()
 	defer recoverToError(&err, "context-sensitive search")
+	defer noteQuarantine(&st)
 	return e.searchContextual(ctx, q, k, true)
 }
 
@@ -436,6 +457,7 @@ func (e *Engine) SearchStraightforwardCtx(ctx context.Context, q query.Query, k 
 	ctx, cancel := e.applyDeadline(ctx)
 	defer cancel()
 	defer recoverToError(&err, "straightforward search")
+	defer noteQuarantine(&st)
 	return e.searchContextual(ctx, q, k, false)
 }
 

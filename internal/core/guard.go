@@ -13,11 +13,38 @@ import (
 // Search*Ctx entry points carry a final recover so even sequential
 // execution converts a panic into an error.
 
+// PanicError is a recovered query-path panic converted into an error:
+// the crash site, the panic value, and the captured stack. When the
+// panic value is itself an error (e.g. a *postings.BlockCorruptError
+// escaping a strict decode), Unwrap exposes it so errors.As can classify
+// the failure through the recovery boundary — the shard layer uses this
+// to attribute a shard loss to corruption rather than a generic panic.
+type PanicError struct {
+	// What names the execution site that panicked.
+	What string
+	// Value is the recovered panic value.
+	Value interface{}
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: panic in %s: %v\n%s", e.What, e.Value, e.Stack)
+}
+
+// Unwrap returns the panic value when it was an error, nil otherwise.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
 // panicError converts a recovered panic value into a query error carrying
 // the captured stack, so the crash site is diagnosable from the error
 // alone.
 func panicError(what string, r interface{}) error {
-	return fmt.Errorf("core: panic in %s: %v\n%s", what, r, debug.Stack())
+	return &PanicError{What: what, Value: r, Stack: debug.Stack()}
 }
 
 // recoverToError is the deferred form of panicError for functions with a

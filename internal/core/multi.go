@@ -2,10 +2,13 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
+	"csrank/internal/postings"
 	"csrank/internal/query"
 	"csrank/internal/ranking"
 )
@@ -41,82 +44,297 @@ type SliceHit struct {
 	Score  float64
 }
 
+// SliceHook is a fault-injection seam called inside a slice's isolated
+// worker at the start of each phase ("stats", "score"), before the
+// engine call. A hook may sleep (latency injection — it should select on
+// ctx.Done so per-slice timeouts still bound it) or panic (crash and
+// corruption injection); panics are recovered by the same boundary that
+// isolates engine panics. Production paths leave hooks nil.
+type SliceHook func(ctx context.Context, phase string)
+
+// SliceFailure attributes the loss of one slice during a partial
+// scatter-gather: which slice, a coarse failure kind for operators and
+// breakers, and the underlying error.
+type SliceFailure struct {
+	Slice int
+	// Kind is one of "corruption" (a *postings.BlockCorruptError escaped
+	// the slice, through a panic or not), "panic" (any other recovered
+	// panic), "timeout" (the per-slice timeout fired), or "error".
+	Kind string
+	Err  error
+}
+
+// Failure kinds reported by SliceFailure.Kind.
+const (
+	FailKindCorruption = "corruption"
+	FailKindPanic      = "panic"
+	FailKindTimeout    = "timeout"
+	FailKindError      = "error"
+)
+
+// SliceOptions configures SearchSlicesPartial's failure policy.
+type SliceOptions struct {
+	// MinSlices is the fewest surviving slices for which a partial answer
+	// is still acceptable; with fewer the query fails with
+	// ErrTooFewSlices (fail-closed). ≤ 0 means 1: answer as long as any
+	// slice survives. len(slices) means fail-fast on any loss.
+	MinSlices int
+	// Timeout bounds each slice's work per phase; an expired slice is
+	// dropped from the query (unlike an engine-level Deadline, which
+	// degrades in place). 0 disables the per-slice timeout.
+	Timeout time.Duration
+	// Hooks holds an optional fault-injection hook per slice (parallel to
+	// the slices; shorter is allowed, missing or nil entries inject
+	// nothing).
+	Hooks []SliceHook
+}
+
+// ErrTooFewSlices fails a partial scatter-gather when fewer slices
+// survive than SliceOptions.MinSlices allows.
+var ErrTooFewSlices = errors.New("core: too few healthy slices for a partial answer")
+
+// errSliceTimeout is the cancel cause installed by a per-slice timeout,
+// distinguishing it from a caller cancellation.
+var errSliceTimeout = errors.New("core: slice timed out")
+
+// classifySliceFailure maps a slice error to its SliceFailure kind.
+// Corruption is checked first: a *BlockCorruptError that escaped by
+// panic unwraps through PanicError and must not be masked as a generic
+// panic.
+func classifySliceFailure(err error) string {
+	var bce *postings.BlockCorruptError
+	if errors.As(err, &bce) {
+		return FailKindCorruption
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return FailKindPanic
+	}
+	if errors.Is(err, errSliceTimeout) {
+		return FailKindTimeout
+	}
+	return FailKindError
+}
+
 // SearchSlices evaluates q over the union of the slices and returns the
 // global top k (everything when k ≤ 0), bit-identical — scores, order,
 // tie-breaks — to a single engine holding all documents, plus each
 // slice's merged (stats + scoring phase) execution report. A deadline
 // expiry inside any slice degrades that slice's report instead of
 // failing; cancellation or a slice panic fails the query with the first
-// error in slice order.
+// error in slice order. It is SearchSlicesPartial under the strictest
+// policy (every slice must answer); callers that can serve partial
+// results use SearchSlicesPartial directly.
 func SearchSlices(ctx context.Context, slices []Slice, q query.Query, k int) ([]SliceHit, []ExecStats, error) {
+	hits, per, failures, err := SearchSlicesPartial(ctx, slices, q, k, SliceOptions{MinSlices: len(slices)})
+	if err != nil {
+		if len(failures) > 0 {
+			// Fail-fast contract: surface the first failed slice's own
+			// error, not the policy wrapper.
+			return nil, nil, failures[0].Err
+		}
+		return nil, nil, err
+	}
+	return hits, per, nil
+}
+
+// SearchSlicesPartial is SearchSlices with per-slice failure isolation:
+// a slice that panics, reads a corrupt block, or exceeds opt.Timeout is
+// dropped from the query — from both the statistics merge and the
+// scoring phase — and the remaining slices answer alone. The returned
+// hits are bit-identical to SearchSlices over exactly the surviving
+// slices: when a slice fails *after* its statistics were merged, scoring
+// is re-run for every survivor under the re-merged statistics, so a
+// partial answer is never ranked under statistics of documents it cannot
+// return. Failures attributes every lost slice; stats entries of lost
+// slices are zero. The error is non-nil only when the caller's context
+// was canceled, fewer than opt.MinSlices slices survived
+// (ErrTooFewSlices), or the merge itself failed — never for an isolated
+// slice loss within policy.
+func SearchSlicesPartial(ctx context.Context, slices []Slice, q query.Query, k int, opt SliceOptions) ([]SliceHit, []ExecStats, []SliceFailure, error) {
 	n := len(slices)
 	if n == 0 {
-		return nil, nil, fmt.Errorf("core: search over zero slices")
+		return nil, nil, nil, fmt.Errorf("core: search over zero slices")
+	}
+	minAlive := opt.MinSlices
+	if minAlive < 1 {
+		minAlive = 1
+	}
+	if minAlive > n {
+		minAlive = n
 	}
 
-	// Phase 1: partial statistics.
+	hook := func(i int) SliceHook {
+		if i < len(opt.Hooks) {
+			return opt.Hooks[i]
+		}
+		return nil
+	}
+	// runSlice executes one slice's phase work behind the isolation
+	// boundary: a per-slice timeout context (cancel cause errSliceTimeout,
+	// so a timeout is distinguishable from a caller cancellation), the
+	// fault-injection hook, and panic recovery. The engine treats the
+	// timeout's cancellation as a hard error — exactly what drops the
+	// slice — while its own Deadline option would merely degrade in
+	// place.
+	runSlice := func(i int, phase string, fn func(sctx context.Context) error) error {
+		sctx := ctx
+		if opt.Timeout > 0 {
+			c, cancel := context.WithCancelCause(ctx)
+			timer := time.AfterFunc(opt.Timeout, func() { cancel(errSliceTimeout) })
+			defer timer.Stop()
+			defer cancel(nil)
+			sctx = c
+		}
+		err := func() (err error) {
+			defer recoverToError(&err, "slice "+phase+" phase")
+			if h := hook(i); h != nil {
+				h(sctx, phase)
+			}
+			return fn(sctx)
+		}()
+		if err != nil && context.Cause(sctx) == errSliceTimeout {
+			err = fmt.Errorf("slice %d: %w after %v in %s phase (%v)", i, errSliceTimeout, opt.Timeout, phase, err)
+		}
+		return err
+	}
+
+	alive := make([]bool, n)
+	errs := make([]error, n)
+	var failures []SliceFailure
+	fail := func(i int) {
+		alive[i] = false
+		failures = append(failures, SliceFailure{Slice: i, Kind: classifySliceFailure(errs[i]), Err: errs[i]})
+	}
+
+	// Phase 1: partial statistics, every slice isolated.
 	partCS := make([]ranking.CollectionStats, n)
 	statsSt := make([]ExecStats, n)
-	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for i := 1; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			partCS[i], statsSt[i], errs[i] = slices[i].Eng.StatsFor(ctx, q)
+			errs[i] = runSlice(i, "stats", func(sctx context.Context) error {
+				var err error
+				partCS[i], statsSt[i], err = slices[i].Eng.StatsFor(sctx, q)
+				return err
+			})
 		}(i)
 	}
-	partCS[0], statsSt[0], errs[0] = slices[0].Eng.StatsFor(ctx, q)
+	errs[0] = runSlice(0, "stats", func(sctx context.Context) error {
+		var err error
+		partCS[0], statsSt[0], err = slices[0].Eng.StatsFor(sctx, q)
+		return err
+	})
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, nil, err
+	if cerr := ctx.Err(); cerr != nil {
+		// The caller's own context died: that fails the query, it does not
+		// degrade it.
+		return nil, nil, nil, cerr
+	}
+	aliveCount := 0
+	for i := range slices {
+		if errs[i] != nil {
+			fail(i)
+		} else {
+			alive[i] = true
+			aliveCount++
 		}
 	}
-	cs := MergeCollectionStats(partCS...)
 
-	// Phase 2: scoring under the merged statistics.
+	// Phase 2: scoring under the survivors' merged statistics. A slice
+	// lost during scoring invalidates the merge it was scored under —
+	// its phase-1 statistics are folded into every survivor's ranking —
+	// so the loop re-merges over the remaining survivors and re-scores
+	// all of them. Each round removes at least one slice; the loop runs
+	// at most n times. Per-slice phase-1 statistics stay valid addends
+	// throughout (they are facts about disjoint document sets).
 	results := make([][]Result, n)
 	scoreSt := make([]ExecStats, n)
-	for i := 1; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			results[i], scoreSt[i], errs[i] = slices[i].Eng.SearchWithStats(ctx, q, k, cs)
-		}(i)
-	}
-	results[0], scoreSt[0], errs[0] = slices[0].Eng.SearchWithStats(ctx, q, k, cs)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, nil, err
+	for {
+		if aliveCount < minAlive {
+			return nil, nil, failures, fmt.Errorf("%w: %d of %d shards healthy, policy requires %d", ErrTooFewSlices, aliveCount, n, minAlive)
+		}
+		var aliveCS []ranking.CollectionStats
+		for i := range slices {
+			if alive[i] {
+				aliveCS = append(aliveCS, partCS[i])
+			}
+		}
+		cs := MergeCollectionStats(aliveCS...)
+		// Run the lowest-numbered survivor on the caller's goroutine,
+		// everything else concurrently — same shape as phase 1.
+		self := -1
+		for i := range slices {
+			if !alive[i] {
+				continue
+			}
+			if self < 0 {
+				self = i
+				continue
+			}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = runSlice(i, "score", func(sctx context.Context) error {
+					var err error
+					results[i], scoreSt[i], err = slices[i].Eng.SearchWithStats(sctx, q, k, cs)
+					return err
+				})
+			}(i)
+		}
+		errs[self] = runSlice(self, "score", func(sctx context.Context) error {
+			var err error
+			results[self], scoreSt[self], err = slices[self].Eng.SearchWithStats(sctx, q, k, cs)
+			return err
+		})
+		wg.Wait()
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, nil, nil, cerr
+		}
+		lost := false
+		for i := range slices {
+			if alive[i] && errs[i] != nil {
+				fail(i)
+				aliveCount--
+				lost = true
+			}
+		}
+		if !lost {
+			break
 		}
 	}
 
-	// Rank-safe merge in the global docID space.
-	lists := make([][]Result, n)
-	for i, rs := range results {
-		mapped := make([]Result, len(rs))
-		for j, r := range rs {
+	// Rank-safe merge in the global docID space, over survivors only.
+	lists := make([][]Result, 0, aliveCount)
+	for i := range slices {
+		if !alive[i] {
+			continue
+		}
+		mapped := make([]Result, len(results[i]))
+		for j, r := range results[i] {
 			mapped[j] = Result{DocID: slices[i].Globals[r.DocID], Score: r.Score}
 		}
-		lists[i] = mapped
+		lists = append(lists, mapped)
 	}
 	merged := MergeResults(k, lists...)
 	hits := make([]SliceHit, len(merged))
 	for i, r := range merged {
 		s, local, ok := locateSlice(slices, r.DocID)
 		if !ok {
-			return nil, nil, fmt.Errorf("core: merged docID %d belongs to no slice", r.DocID)
+			return nil, nil, failures, fmt.Errorf("core: merged docID %d belongs to no slice", r.DocID)
 		}
 		hits[i] = SliceHit{Slice: s, Local: local, Global: r.DocID, Score: r.Score}
 	}
 
 	per := make([]ExecStats, n)
 	for i := range per {
-		per[i] = MergeStats(statsSt[i], scoreSt[i])
+		if alive[i] {
+			per[i] = MergeStats(statsSt[i], scoreSt[i])
+		}
 	}
-	return hits, per, nil
+	return hits, per, failures, nil
 }
 
 // locateSlice maps a global docID back to (slice, local) by binary

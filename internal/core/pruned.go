@@ -535,14 +535,22 @@ func (w *prunedWorker) run(ctx context.Context, lo uint32, hi uint64) error {
 				}
 			}
 			d := driver.DocID()
+			if driver.Exhausted() {
+				// DocID resolution ran off a quarantined tail.
+				return nil
+			}
 			match := true
 			for _, i := range pq.seekOrder {
 				c := w.curs[i]
 				if !c.NextAtLeast(d) {
 					return nil
 				}
-				if c.DocID() != d {
-					if !driver.NextAtLeast(c.DocID()) {
+				got := c.DocID()
+				if c.Exhausted() {
+					return nil
+				}
+				if got != d {
+					if !driver.NextAtLeast(got) {
 						return nil
 					}
 					match = false

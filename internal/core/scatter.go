@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"errors"
+	"sort"
+	"strings"
 	"time"
 
 	"csrank/internal/query"
@@ -46,6 +48,7 @@ func (e *Engine) StatsFor(ctx context.Context, q query.Query) (cs ranking.Collec
 	ctx, cancel := e.applyDeadline(ctx)
 	defer cancel()
 	defer recoverToError(&err, "statistics phase")
+	defer noteQuarantine(&st)
 	start := time.Now()
 	defer func() { st.Elapsed = time.Since(start) }()
 	a, aerr := e.analyze(q)
@@ -123,6 +126,7 @@ func (e *Engine) SearchWithStats(ctx context.Context, q query.Query, k int, cs r
 	ctx, cancel := e.applyDeadline(ctx)
 	defer cancel()
 	defer recoverToError(&err, "scatter-gather scoring")
+	defer noteQuarantine(&st)
 	start := time.Now()
 	defer func() { st.Elapsed = time.Since(start) }()
 	a, aerr := e.analyze(q)
@@ -216,14 +220,19 @@ const PlanMixed Plan = "mixed"
 // MergeStats aggregates per-shard (and per-phase) execution reports
 // into one cluster-level ExecStats: cost counters, result/context
 // cardinalities, fallback keyword counts and pruning counters sum;
-// Degraded and UsedView are sticky ORs with degradation reasons
-// deduplicated; CacheHit reports whether any part was answered from a
-// statistics cache; phase timings and Elapsed take the maximum, the
-// wall-clock shape of a concurrent fan-out. Parts with an empty Plan
-// (scoring-phase reports) do not vote on the merged plan.
+// Degraded and UsedView are sticky ORs; CacheHit reports whether any
+// part was answered from a statistics cache; phase timings and Elapsed
+// take the maximum, the wall-clock shape of a concurrent fan-out. The
+// merged DegradedReason is the *union* of every part's individual
+// reasons (each part's "; "-joined list is split back into its atoms),
+// deduplicated and sorted, so the merged reason is deterministic no
+// matter which shard reported first and no reason is lost when shards
+// degrade differently. Parts with an empty Plan (scoring-phase reports)
+// do not vote on the merged plan.
 func MergeStats(parts ...ExecStats) ExecStats {
 	var m ExecStats
-	var reasons map[string]bool
+	var reasons []string
+	seen := map[string]bool{}
 	for _, p := range parts {
 		m.Stats.Add(p.Stats)
 		if p.Plan != "" {
@@ -240,18 +249,24 @@ func MergeStats(parts ...ExecStats) ExecStats {
 		m.ResultSize += p.ResultSize
 		m.ContextSize += p.ContextSize
 		m.CacheHit = m.CacheHit || p.CacheHit
-		if p.Degraded && !reasons[p.DegradedReason] {
-			if reasons == nil {
-				reasons = make(map[string]bool)
+		if p.Degraded {
+			m.Degraded = true
+			for _, r := range strings.Split(p.DegradedReason, "; ") {
+				if r != "" && !seen[r] {
+					seen[r] = true
+					reasons = append(reasons, r)
+				}
 			}
-			reasons[p.DegradedReason] = true
-			m.degrade(p.DegradedReason)
 		}
 		m.Pruning.add(p.Pruning)
 		m.Phases = maxPhases(m.Phases, p.Phases)
 		if p.Elapsed > m.Elapsed {
 			m.Elapsed = p.Elapsed
 		}
+	}
+	if len(reasons) > 0 {
+		sort.Strings(reasons)
+		m.DegradedReason = strings.Join(reasons, "; ")
 	}
 	return m
 }

@@ -170,3 +170,60 @@ func TestMergeStats(t *testing.T) {
 		t.Fatalf("single-part plan %q, want %q", single.Plan, PlanView)
 	}
 }
+
+// TestMergeStatsDegradedReasonUnion: the merged DegradedReason must be
+// the deduplicated, sorted union of every part's reason atoms —
+// deterministic regardless of which shard reports first, with no reason
+// lost when shards degrade differently and no flag raised by healthy
+// parts alone.
+func TestMergeStatsDegradedReasonUnion(t *testing.T) {
+	degraded := func(reasons ...string) ExecStats {
+		var s ExecStats
+		for _, r := range reasons {
+			s.degrade(r)
+		}
+		return s
+	}
+	cases := []struct {
+		name       string
+		parts      []ExecStats
+		degradedOK bool
+		reason     string
+	}{
+		{"all healthy", []ExecStats{{}, {}, {}}, false, ""},
+		{"one degraded among healthy",
+			[]ExecStats{{}, degraded("timeout"), {}}, true, "timeout"},
+		{"identical reasons collapse",
+			[]ExecStats{degraded("timeout"), degraded("timeout")}, true, "timeout"},
+		{"distinct reasons sort",
+			[]ExecStats{degraded("timeout"), degraded("approx stats")},
+			true, "approx stats; timeout"},
+		{"compound lists split into atoms",
+			[]ExecStats{degraded("b", "a"), degraded("a", "c")},
+			true, "a; b; c"},
+		{"order of parts irrelevant",
+			[]ExecStats{degraded("c"), {}, degraded("a", "b")},
+			true, "a; b; c"},
+		{"empty-reason degraded part keeps the flag",
+			[]ExecStats{{Degraded: true}, {}}, true, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := MergeStats(tc.parts...)
+			if m.Degraded != tc.degradedOK {
+				t.Fatalf("Degraded=%v, want %v", m.Degraded, tc.degradedOK)
+			}
+			if m.DegradedReason != tc.reason {
+				t.Fatalf("DegradedReason %q, want %q", m.DegradedReason, tc.reason)
+			}
+			// Reversing the parts must give the identical merge.
+			rev := make([]ExecStats, len(tc.parts))
+			for i, p := range tc.parts {
+				rev[len(tc.parts)-1-i] = p
+			}
+			if r := MergeStats(rev...); r.DegradedReason != m.DegradedReason || r.Degraded != m.Degraded {
+				t.Fatalf("merge not order-independent: %q vs %q", r.DegradedReason, m.DegradedReason)
+			}
+		})
+	}
+}

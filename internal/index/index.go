@@ -97,7 +97,24 @@ type Index struct {
 	mapping *fsx.Mapping
 	cache   *postings.BlockCache
 	stviews map[string]*storedView // stored fields read in place
+	// quar is the index-wide corrupt-block registry: a mapped block that
+	// fails its CRC at materialization is blacklisted and served as an
+	// empty container instead of panicking the query (see
+	// postings.Quarantine). Nil for heap indexes.
+	quar *postings.Quarantine
 }
+
+// Quarantined returns how many mapped blocks this index has blacklisted
+// after failing payload validation on the query path (0 for heap
+// indexes). A non-zero count means some containers read as empty and
+// results over them are degraded; Verify still reports the underlying
+// corruption.
+func (ix *Index) Quarantined() int64 { return ix.quar.Blocks() }
+
+// QuarantineDetails returns a bounded sample of the blacklisted blocks'
+// corruption reports (nil for heap indexes or when nothing is
+// quarantined).
+func (ix *Index) QuarantineDetails() []string { return ix.quar.Details() }
 
 // Schema returns the schema the index was built with.
 func (ix *Index) Schema() Schema { return ix.schema }

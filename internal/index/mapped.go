@@ -325,6 +325,7 @@ func openMapped(data []byte, m *fsx.Mapping, cacheBudget int64) (*Index, error) 
 		mapping: m,
 		cache:   postings.NewBlockCache(cacheBudget),
 		stviews: make(map[string]*storedView, len(toc.Stored)),
+		quar:    &postings.Quarantine{},
 	}
 
 	for field, off := range toc.Lengths {
@@ -379,6 +380,7 @@ func openMapped(data []byte, m *fsx.Mapping, cacheBudget int64) (*Index, error) 
 			if l.Len() > toc.NumDocs {
 				return nil, fmt.Errorf("index: term %q has %d postings for %d documents", term, l.Len(), toc.NumDocs)
 			}
+			l.SetQuarantine(ix.quar)
 			fi.terms[term] = l
 			fi.totalTF[term] = meta.SumTF
 		}

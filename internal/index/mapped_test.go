@@ -9,7 +9,6 @@ import (
 	"testing"
 
 	"csrank/internal/fsx"
-	"csrank/internal/postings"
 )
 
 // synthIndex builds a randomized multi-field index large enough to
@@ -222,10 +221,12 @@ func TestMappedDetectsCorruption(t *testing.T) {
 	}
 }
 
-// TestMappedCorruptBlockFailsQueryNotOpen: flipping a payload byte is
-// invisible to the lazy open but must surface as a *BlockCorruptError
-// panic the moment the block materializes.
-func TestMappedCorruptBlockFailsQueryNotOpen(t *testing.T) {
+// TestMappedCorruptBlockQuarantinedNotFatal: flipping a payload byte is
+// invisible to the lazy open; the moment the block materializes it must
+// be quarantined — the walk continues with the container served empty,
+// the registry counts the block, and Verify still reports the raw
+// corruption. A bitflip costs one container, not the process.
+func TestMappedCorruptBlockQuarantinedNotFatal(t *testing.T) {
 	ix := synthIndex(t, rand.New(rand.NewSource(5)), 100)
 	var buf bytes.Buffer
 	if err := ix.WritePaged(&buf, 64); err != nil {
@@ -252,19 +253,24 @@ func TestMappedCorruptBlockFailsQueryNotOpen(t *testing.T) {
 	if mx2.Verify() == nil {
 		t.Fatal("Verify missed payload corruption")
 	}
-	defer func() {
-		if r := recover(); r == nil {
-			t.Fatal("walking corrupt payload did not panic")
-		} else if _, ok := r.(*postings.BlockCorruptError); !ok {
-			t.Fatalf("panic %T, want *BlockCorruptError", r)
+	if got := mx2.Quarantined(); got != 0 {
+		t.Fatalf("quarantined %d blocks before any query touched one", got)
+	}
+	// Walk every posting twice: no panic, and the second pass must not
+	// double-count the blacklisted block.
+	for pass := 0; pass < 2; pass++ {
+		for _, f := range []string{"title", "content", "mesh"} {
+			for _, term := range mx2.Terms(f) {
+				mx2.Postings(f, term).ForEach(func(d, tf uint32) {})
+			}
 		}
-	}()
-	for _, f := range []string{"title", "content", "mesh"} {
-		for _, term := range mx2.Terms(f) {
-			mx2.Postings(f, term).ForEach(func(d, tf uint32) {})
+		if got := mx2.Quarantined(); got != 1 {
+			t.Fatalf("pass %d: quarantined %d blocks, want exactly 1", pass, got)
 		}
 	}
-	t.Fatal("no block decoded the corrupt byte") // unreachable if flip landed in a real block
+	if det := mx2.QuarantineDetails(); len(det) != 1 {
+		t.Fatalf("quarantine details %v, want one report", det)
+	}
 }
 
 // bytesIndexWithin returns the offset of sub within outer, where sub is

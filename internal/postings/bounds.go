@@ -177,8 +177,13 @@ func (b *BoundCursor) NextAtLeastWithBound(target uint32) (docID uint32, bound C
 	if !b.c.seek(target) {
 		return 0, ChunkBound{}, false
 	}
+	docID = b.c.docID()
+	if b.c.exhausted() {
+		// docID resolution ran off a quarantined tail.
+		return 0, ChunkBound{}, false
+	}
 	bound, _ = b.ContainerBound()
-	return b.c.docID(), bound, true
+	return docID, bound, true
 }
 
 // TFMask is a survivor set over term frequencies 0..255 for

@@ -239,7 +239,11 @@ align:
 			}
 		}
 		for i, l := range lists {
-			keys[i], words[i], _ = l.payload(cis[i])
+			var quarantined bool
+			keys[i], words[i], _, quarantined = l.payloadQ(cis[i])
+			if quarantined {
+				st.addQuarantineSkip()
+			}
 		}
 		if allDense {
 			count += andChunks(words, base, visit)

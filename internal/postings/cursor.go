@@ -67,29 +67,61 @@ func (c *cursor) enterChunk(ci int) {
 	c.firstInChunk()
 }
 
-// loadViews installs the payload views of chunk ci.
+// loadViews installs the payload views of chunk ci, charging a
+// quarantine skip when the chunk's mapped block is blacklisted.
 func (c *cursor) loadViews(ci int) {
-	c.keys, c.bits, c.tfs = c.l.payload(ci)
+	var quarantined bool
+	c.keys, c.bits, c.tfs, quarantined = c.l.payloadQ(ci)
+	if quarantined {
+		c.st.addQuarantineSkip()
+	}
 }
 
-// firstInChunk positions on the chunk's first element (views loaded).
-func (c *cursor) firstInChunk() {
+// firstInChunk positions on the chunk's first element (views loaded) and
+// reports whether one exists. Heap chunks are never empty; a quarantined
+// mapped chunk serves an empty payload and answers false.
+func (c *cursor) firstInChunk() bool {
 	base := c.l.chunks[c.ci].base
 	if c.bits != nil {
-		c.bit = bitsFirstFrom(c.bits, 0)
+		b := bitsFirstFrom(c.bits, 0)
+		if b < 0 {
+			return false
+		}
+		c.bit = b
 		c.rank = 0
-		c.cur = base | uint32(c.bit)
-		return
+		c.cur = base | uint32(b)
+		return true
+	}
+	if len(c.keys) == 0 {
+		return false
 	}
 	c.ki = 0
 	c.cur = base | uint32(c.keys[0])
+	return true
 }
 
 // resolve materializes a pending chunk and fixes the in-chunk position.
+// Quarantined (empty-serving) chunks are walked past rank-safely. When
+// every remaining chunk is quarantined the cursor exhausts with cur set
+// to MaxUint32 — callers that resolved through docID must re-check
+// exhausted() before trusting the value (the kernels in this package and
+// core's pruned loop all do).
 func (c *cursor) resolve() {
-	c.loadViews(c.ci)
-	c.firstInChunk()
-	c.pending = false
+	for {
+		c.loadViews(c.ci)
+		if c.firstInChunk() {
+			c.pending = false
+			return
+		}
+		c.ci++
+		if c.ci >= len(c.l.chunks) {
+			c.gpos = c.l.n
+			c.cur = ^uint32(0)
+			c.pending = false
+			return
+		}
+		c.gpos = c.l.offsets[c.ci]
+	}
 }
 
 func (c *cursor) exhausted() bool { return c.gpos >= c.l.n }
@@ -153,6 +185,9 @@ func (c *cursor) seek(target uint32) bool {
 		if target <= c.l.chunks[c.ci].base|(chunkSpan-1) {
 			// Target falls inside this chunk's range: the payload decides.
 			c.resolve()
+			if c.exhausted() {
+				return false
+			}
 			if c.cur >= target {
 				return true
 			}
@@ -215,7 +250,9 @@ func (c *cursor) advanceTo(target uint32) {
 	// Same chunk: advance within it.
 	if c.pending {
 		c.resolve()
-		if c.cur >= target {
+		if c.exhausted() || c.cur >= target {
+			// Resolution may have skipped quarantined chunks: any landing
+			// position is ≥ the next chunk's base > target, so it stands.
 			return
 		}
 	}

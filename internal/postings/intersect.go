@@ -55,6 +55,10 @@ func conjoin(lists []*List, st *Stats, cc *canceler, onMatch func(docID uint32, 
 			return
 		}
 		candidate := driver.docID()
+		if driver.exhausted() {
+			// docID resolution ran off a quarantined tail: done.
+			return
+		}
 		matched := true
 		for _, idx := range order[1:] {
 			c := cursors[idx]
@@ -62,7 +66,11 @@ func conjoin(lists []*List, st *Stats, cc *canceler, onMatch func(docID uint32, 
 				// Some list is exhausted: no further matches anywhere.
 				return
 			}
-			if got := c.docID(); got != candidate {
+			got := c.docID()
+			if c.exhausted() {
+				return
+			}
+			if got != candidate {
 				// Re-seek the driver to the larger DocID and restart.
 				if !driver.seek(got) {
 					return
@@ -206,6 +214,10 @@ func MergeIntersect(a, b *List, st *Stats) *Intersection {
 	ca, cb := newCursor(a, st), newCursor(b, st)
 	for !ca.exhausted() && !cb.exhausted() {
 		da, db := ca.docID(), cb.docID()
+		if ca.exhausted() || cb.exhausted() {
+			// docID resolution ran off a quarantined tail.
+			break
+		}
 		switch {
 		case da < db:
 			ca.next()
@@ -300,7 +312,10 @@ func UnionCtx(ctx context.Context, lists []*List, st *Stats) (*List, error) {
 				continue
 			}
 			n := int(l.chunks[cis[i]].n)
-			keys, words, tfs := l.payload(cis[i])
+			keys, words, tfs, quarantined := l.payloadQ(cis[i])
+			if quarantined {
+				st.addQuarantineSkip()
+			}
 			if words != nil {
 				r := 0
 				for w, word := range words {

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"sync"
 	"sync/atomic"
 	"unsafe"
 )
@@ -58,14 +59,69 @@ var nativeLittleEndian = func() bool {
 }()
 
 // BlockCorruptError reports a mapped block whose payload failed its CRC
-// or structural validation at materialization time. Cursor steps cannot
-// return errors, so it is delivered by panic; the engine's per-worker
-// panic isolation converts it into an ordinary query error, and offline
-// walkers surface it through Index verification.
+// or structural validation at materialization time. On the query path
+// the block is *quarantined* instead of failing the process: the source
+// memoizes a permanent empty payload for the block, the query skips the
+// container rank-safely (exactly as pruning's SkipContainer would have)
+// and reports the skip through Stats.QuarantineSkips, which the engine
+// surfaces as a degraded execution. The error type still escapes by
+// panic from paths that decode without a quarantining source (offline
+// strict decoding) so Index verification and tests can detect raw
+// corruption.
 type BlockCorruptError struct{ Detail string }
 
 func (e *BlockCorruptError) Error() string {
 	return "postings: mapped block corrupt: " + e.Detail
+}
+
+// Quarantine is the corrupt-block blacklist shared by every mapped list
+// of one index: cumulative counters plus a bounded sample of details,
+// for operator surfaces (/healthz, /statsz, fsck tooling). The per-block
+// blacklist itself lives in each source's materialization slots — a
+// quarantined block's empty payload is memoized outside the block cache
+// budget, so it is never evicted and never re-decoded.
+type Quarantine struct {
+	blocks atomic.Int64
+
+	mu      sync.Mutex
+	details []string
+}
+
+// maxQuarantineDetails bounds the retained corruption reports; the
+// counter keeps the true total.
+const maxQuarantineDetails = 16
+
+func (q *Quarantine) record(detail string) {
+	if q == nil {
+		return
+	}
+	q.blocks.Add(1)
+	q.mu.Lock()
+	if len(q.details) < maxQuarantineDetails {
+		q.details = append(q.details, detail)
+	}
+	q.mu.Unlock()
+}
+
+// Blocks returns how many distinct blocks have been quarantined.
+func (q *Quarantine) Blocks() int64 {
+	if q == nil {
+		return 0
+	}
+	return q.blocks.Load()
+}
+
+// Details returns a copy of the retained corruption reports (at most
+// maxQuarantineDetails; Blocks() is the true total).
+func (q *Quarantine) Details() []string {
+	if q == nil {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]string, len(q.details))
+	copy(out, q.details)
+	return out
 }
 
 // MappedListMeta is the per-list record a format-v4 table of contents
@@ -237,6 +293,9 @@ type mappedSource struct {
 	hasTFs  bool
 	sumTF   int64
 	mat     []atomic.Pointer[chunkPayload]
+	// quar is the index-wide corrupt-block registry (nil ⇒ strict mode:
+	// corruption panics a *BlockCorruptError instead of quarantining).
+	quar *Quarantine
 }
 
 func (s *mappedSource) entry(ci int) dirEntry {
@@ -251,11 +310,33 @@ func (s *mappedSource) blockTFLen(ci int) uint32 {
 // aliasing) the block on first touch. Concurrent callers may decode the
 // same block; one wins the CAS and the duplicates are garbage. A cache
 // eviction clears the slot, after which the next touch decodes again.
+//
+// A block whose payload fails validation is quarantined when the source
+// carries a Quarantine registry: the slot memoizes a permanent empty
+// payload flagged quarantined — never inserted into the cache, so never
+// evicted and never re-decoded — and the container reads as empty from
+// then on. A bitflip costs one container, not the process. Without a
+// registry the *BlockCorruptError panic escapes as before (strict mode,
+// used by offline verification).
 func (s *mappedSource) materialize(l *List, ci int) *chunkPayload {
 	if p := s.mat[ci].Load(); p != nil {
 		return p
 	}
-	p, weight := s.decodeBlock(l, ci)
+	p, weight, corrupt := s.decodeBlockSafe(l, ci)
+	if corrupt != nil {
+		p, weight = quarantinedPayload(l.chunks[ci].enc), 0
+		if s.mat[ci].CompareAndSwap(nil, p) {
+			// First discoverer records; CAS losers saw another copy (the
+			// same bytes are corrupt for every decoder) and must not
+			// double-count the block.
+			s.quar.record(corrupt.Detail)
+			return p
+		}
+		if q := s.mat[ci].Load(); q != nil {
+			return q
+		}
+		return p
+	}
 	if s.mat[ci].CompareAndSwap(nil, p) {
 		if weight > 0 && s.cache != nil {
 			s.cache.insert(&s.mat[ci], weight)
@@ -267,6 +348,52 @@ func (s *mappedSource) materialize(l *List, ci int) *chunkPayload {
 	}
 	// Lost the CAS but the winner was already evicted: our copy serves.
 	return p
+}
+
+// decodeBlockSafe is decodeBlock with the corruption panic converted to
+// a value when the source quarantines; any other panic (and corruption
+// in strict mode) propagates.
+func (s *mappedSource) decodeBlockSafe(l *List, ci int) (p *chunkPayload, weight int64, corrupt *BlockCorruptError) {
+	if s.quar == nil {
+		p, weight = s.decodeBlock(l, ci)
+		return p, weight, nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			be, ok := r.(*BlockCorruptError)
+			if !ok {
+				panic(r)
+			}
+			p, weight, corrupt = nil, 0, be
+		}
+	}()
+	p, weight = s.decodeBlock(l, ci)
+	return p, weight, nil
+}
+
+// zeroChunkBits is the shared all-zero bitset quarantined dense blocks
+// alias: full chunkWords length, so the word-AND kernels index it like
+// any dense payload, with every bit off. Read-only by contract.
+var zeroChunkBits [chunkWords]uint64
+
+// quarantinedPayload builds the permanent empty payload of a
+// quarantined block, shaped after the block's declared encoding so every
+// consumer branch (dense word loops, sparse key walks) reads it safely.
+func quarantinedPayload(enc uint8) *chunkPayload {
+	p := &chunkPayload{quarantined: true}
+	if enc == BlockDenseRaw {
+		p.bits = zeroChunkBits[:]
+	}
+	return p
+}
+
+// SetQuarantine arms corrupt-block quarantine on a mapped list, sharing
+// the given registry (one per index). Heap lists ignore it. Must be
+// called before the list serves queries.
+func (l *List) SetQuarantine(q *Quarantine) {
+	if l.src != nil {
+		l.src.quar = q
+	}
 }
 
 // decodeBlock verifies and decodes block ci. weight is the decoded heap

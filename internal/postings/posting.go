@@ -63,30 +63,42 @@ type List struct {
 
 // chunkPayload is one chunk's resident payload: exactly one of
 // keys/bits is non-nil, and tfs is the chunk-local TF column (nil ⇒
-// TF = 1 for every posting of the chunk).
+// TF = 1 for every posting of the chunk). A quarantined payload is the
+// permanent empty stand-in for a corrupt mapped block: no keys, an
+// all-zero bitset for dense encodings, so every kernel reads the
+// container as empty (see mapped.go).
 type chunkPayload struct {
-	keys []uint16
-	bits []uint64
-	tfs  []uint32
+	keys        []uint16
+	bits        []uint64
+	tfs         []uint32
+	quarantined bool
 }
 
 // payload returns chunk ci's payload views. Heap chunks answer with
 // field reads (the TF view is a subslice of the global array); mapped
 // chunks materialize the block on first touch — decoding it, or
 // aliasing the mapping directly for raw encodings — and memoize the
-// result. Mapped materialization verifies the block's CRC and panics
-// with a *BlockCorruptError on mismatch; the engine's worker recovery
-// turns that into a query error.
+// result. Mapped materialization verifies the block's CRC; with a
+// Quarantine registry armed a corrupt block is served as a permanently
+// empty container (quarantine), otherwise the *BlockCorruptError panic
+// escapes and the engine's worker recovery turns it into a query error.
 func (l *List) payload(ci int) (keys []uint16, bits []uint64, tfs []uint32) {
+	keys, bits, tfs, _ = l.payloadQ(ci)
+	return keys, bits, tfs
+}
+
+// payloadQ is payload plus the quarantined bit, for query-path callers
+// that account quarantine skips against their Stats.
+func (l *List) payloadQ(ci int) (keys []uint16, bits []uint64, tfs []uint32, quarantined bool) {
 	if l.src == nil {
 		ch := &l.chunks[ci]
 		if l.tfs != nil {
 			tfs = l.tfs[l.offsets[ci]:l.offsets[ci+1]]
 		}
-		return ch.keys, ch.bits, tfs
+		return ch.keys, ch.bits, tfs, false
 	}
 	p := l.src.materialize(l, ci)
-	return p.keys, p.bits, p.tfs
+	return p.keys, p.bits, p.tfs, p.quarantined
 }
 
 // blockHasTFs reports whether chunk ci stores explicit TFs, without
@@ -294,22 +306,29 @@ func (l *List) SumTF() int64 {
 	return sum
 }
 
-// MaxDocID returns the largest DocID in the list, or 0 for an empty list.
+// MaxDocID returns the largest DocID in the list, or 0 for an empty
+// list. Quarantined (corrupt, empty-serving) trailing chunks are walked
+// past; 0 if every chunk is quarantined.
 func (l *List) MaxDocID() uint32 {
 	if l.n == 0 {
 		return 0
 	}
-	ci := len(l.chunks) - 1
-	base := l.chunks[ci].base
-	keys, bs, _ := l.payload(ci)
-	if bs == nil {
-		return base | uint32(keys[len(keys)-1])
-	}
-	for w := chunkWords - 1; ; w-- {
-		if x := bs[w]; x != 0 {
-			return base | uint32(w<<6+63-bits.LeadingZeros64(x))
+	for ci := len(l.chunks) - 1; ci >= 0; ci-- {
+		base := l.chunks[ci].base
+		keys, bs, _ := l.payload(ci)
+		if bs == nil {
+			if len(keys) == 0 {
+				continue
+			}
+			return base | uint32(keys[len(keys)-1])
+		}
+		for w := chunkWords - 1; w >= 0; w-- {
+			if x := bs[w]; x != 0 {
+				return base | uint32(w<<6+63-bits.LeadingZeros64(x))
+			}
 		}
 	}
+	return 0
 }
 
 // findChunk returns the index of the chunk whose range covers docID, or -1.

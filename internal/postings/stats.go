@@ -31,6 +31,13 @@ type Stats struct {
 	// ListWork stays comparable across container representations; this
 	// counter isolates how much of it was popcount work.
 	BitmapWords int64
+	// QuarantineSkips counts touches of quarantined mapped blocks — blocks
+	// whose payload failed its CRC or structural validation and is served
+	// as an empty container instead of panicking (see mapped.go). A
+	// non-zero count means this execution silently skipped corrupt
+	// containers and its results are partial; the engine surfaces that as
+	// a degraded execution.
+	QuarantineSkips int64
 }
 
 // Add accumulates other into s.
@@ -42,6 +49,7 @@ func (s *Stats) Add(other Stats) {
 	s.Intersections += other.Intersections
 	s.ViewGroupsScanned += other.ViewGroupsScanned
 	s.BitmapWords += other.BitmapWords
+	s.QuarantineSkips += other.QuarantineSkips
 }
 
 // ListWork returns the total inverted-list cost: entries scanned during
@@ -84,5 +92,11 @@ func (s *Stats) addIntersection() {
 func (s *Stats) addBitmapWords(n int64) {
 	if s != nil {
 		s.BitmapWords += n
+	}
+}
+
+func (s *Stats) addQuarantineSkip() {
+	if s != nil {
+		s.QuarantineSkips++
 	}
 }

@@ -1,0 +1,209 @@
+package shard
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Per-shard circuit breakers. A shard that keeps failing — a corrupt
+// mmap, a sick disk stalling every read into timeout — should not be
+// asked again on every query: each attempt burns the per-shard timeout
+// (the cluster's tail latency) to learn what the last attempt already
+// learned. The breaker converts repeated failure into fast local
+// knowledge: after Threshold consecutive failures the shard is *open*
+// (excluded from fan-out up front, at zero cost), and after a jittered
+// backoff a single *half-open* probe query tests recovery — success
+// closes the breaker, failure re-opens it with doubled backoff.
+
+// BreakerState is a breaker's position in the closed → open → half-open
+// cycle.
+type BreakerState string
+
+const (
+	// BreakerClosed: healthy; requests flow.
+	BreakerClosed BreakerState = "closed"
+	// BreakerOpen: tripped; requests are shed until the backoff expires.
+	BreakerOpen BreakerState = "open"
+	// BreakerHalfOpen: backoff expired; exactly one probe request is in
+	// flight to test recovery.
+	BreakerHalfOpen BreakerState = "half-open"
+)
+
+// BreakerConfig tunes a Breaker. The zero value selects the defaults.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that opens the breaker.
+	// ≤ 0 selects 3.
+	Threshold int
+	// Backoff is the first open interval; each consecutive re-open
+	// doubles it. ≤ 0 selects 500ms.
+	Backoff time.Duration
+	// MaxBackoff caps the doubling. ≤ 0 selects 30s.
+	MaxBackoff time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 500 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 30 * time.Second
+	}
+	if c.MaxBackoff < c.Backoff {
+		c.MaxBackoff = c.Backoff
+	}
+	return c
+}
+
+// Breaker is one shard's circuit breaker. All methods are
+// mutex-serialized; the breaker sits on the admission path, where one
+// uncontended lock per query per shard is noise.
+type Breaker struct {
+	mu  sync.Mutex
+	cfg BreakerConfig
+
+	state       BreakerState
+	consecutive int           // consecutive failures while closed
+	backoff     time.Duration // next open interval
+	openUntil   time.Time     // when open → half-open
+	probing     bool          // a half-open probe is in flight
+	trips       int64         // closed→open transitions (monotonic)
+	recoveries  int64         // half-open→closed transitions (monotonic)
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg = cfg.withDefaults()
+	return &Breaker{cfg: cfg, state: BreakerClosed, backoff: cfg.Backoff}
+}
+
+// Allow reports whether a request may be sent to the shard now, and is
+// the mutating half of admission: an open breaker whose backoff has
+// expired transitions to half-open here, and a half-open breaker grants
+// exactly one probe (concurrent queries see false until the probe's
+// Record lands). Every Allow(true) must be paired with one Record.
+func (b *Breaker) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if now.Before(b.openUntil) {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Record reports the outcome of a request Allow admitted. In the closed
+// state failures accumulate toward the threshold and any success resets
+// the count; in the half-open state the probe's outcome decides — success
+// closes the breaker and resets the backoff, failure re-opens it with
+// doubled backoff.
+func (b *Breaker) Record(ok bool, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		if ok {
+			b.consecutive = 0
+			return
+		}
+		b.consecutive++
+		if b.consecutive >= b.cfg.Threshold {
+			b.open(now)
+		}
+	case BreakerHalfOpen:
+		b.probing = false
+		if ok {
+			b.state = BreakerClosed
+			b.consecutive = 0
+			b.backoff = b.cfg.Backoff
+			b.recoveries++
+			return
+		}
+		b.backoff *= 2
+		if b.backoff > b.cfg.MaxBackoff {
+			b.backoff = b.cfg.MaxBackoff
+		}
+		b.open(now)
+	default:
+		// A Record can land after the breaker already opened (two queries
+		// in flight when the threshold tripped). The shard is already
+		// shedding; nothing to learn.
+	}
+}
+
+// open transitions to the open state for the current backoff interval,
+// jittered ±25% so a cluster of breakers tripped by one event does not
+// probe in lockstep.
+func (b *Breaker) open(now time.Time) {
+	b.state = BreakerOpen
+	b.probing = false
+	b.trips++
+	interval := b.backoff
+	jitter := time.Duration(rand.Int63n(int64(interval)/2+1)) - interval/4
+	b.openUntil = now.Add(interval + jitter)
+}
+
+// BreakerSnapshot is a point-in-time view for health reporting.
+type BreakerSnapshot struct {
+	State               BreakerState
+	ConsecutiveFailures int
+	Trips               int64
+	Recoveries          int64
+	// RetryIn is how long until an open breaker will probe (0 otherwise).
+	RetryIn time.Duration
+}
+
+// Snapshot returns the breaker's current state without mutating it: an
+// open breaker past its backoff reports half-open (that is what the next
+// Allow would make it), so health endpoints and admission checks see the
+// effective state.
+func (b *Breaker) Snapshot(now time.Time) BreakerSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := BreakerSnapshot{
+		State:               b.state,
+		ConsecutiveFailures: b.consecutive,
+		Trips:               b.trips,
+		Recoveries:          b.recoveries,
+	}
+	if b.state == BreakerOpen {
+		if retry := b.openUntil.Sub(now); retry > 0 {
+			s.RetryIn = retry
+		} else {
+			s.State = BreakerHalfOpen
+		}
+	}
+	return s
+}
+
+// Available reports, without mutating state, whether Allow would admit a
+// request now — closed, or due for a half-open probe. Admission control
+// counts Available shards against the MinShards policy before paying for
+// a fan-out.
+func (b *Breaker) Available(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		return !now.Before(b.openUntil)
+	default:
+		return !b.probing
+	}
+}

@@ -1,0 +1,121 @@
+package shard
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerStateMachine walks the breaker deterministically with an
+// injected clock: closed tolerates Threshold-1 failures, trips on the
+// Threshold-th, refuses while open, grants exactly one half-open probe
+// after the backoff, and a probe success closes it with the backoff
+// reset while a probe failure re-opens it with the backoff doubled.
+func TestBreakerStateMachine(t *testing.T) {
+	cfg := BreakerConfig{Threshold: 3, Backoff: time.Second, MaxBackoff: 4 * time.Second}
+	b := NewBreaker(cfg)
+	now := time.Unix(1000, 0)
+
+	// Closed: always admits; a success resets the failure streak.
+	for i := 0; i < 2; i++ {
+		if !b.Allow(now) {
+			t.Fatalf("closed breaker refused query %d", i)
+		}
+		b.Record(false, now)
+	}
+	if s := b.Snapshot(now); s.State != BreakerClosed || s.ConsecutiveFailures != 2 {
+		t.Fatalf("after 2 failures: %+v", s)
+	}
+	b.Record(true, now)
+	if s := b.Snapshot(now); s.ConsecutiveFailures != 0 {
+		t.Fatalf("success did not reset the streak: %+v", s)
+	}
+
+	// Threshold consecutive failures trip it.
+	for i := 0; i < 3; i++ {
+		if !b.Allow(now) {
+			t.Fatal("closed breaker refused")
+		}
+		b.Record(false, now)
+	}
+	s := b.Snapshot(now)
+	if s.State != BreakerOpen || s.Trips != 1 {
+		t.Fatalf("after threshold failures: %+v", s)
+	}
+	if s.RetryIn <= 0 || s.RetryIn > 4*time.Second {
+		t.Fatalf("RetryIn %v outside (0, MaxBackoff]", s.RetryIn)
+	}
+	if b.Allow(now) || b.Available(now) {
+		t.Fatal("open breaker admitted a query")
+	}
+
+	// Past the (jittered ≤ 1.25×base) backoff: exactly one probe.
+	now = now.Add(2 * time.Second)
+	if s := b.Snapshot(now); s.State != BreakerHalfOpen {
+		t.Fatalf("expired open not reported half-open: %+v", s)
+	}
+	if !b.Allow(now) {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if b.Allow(now) {
+		t.Fatal("half-open breaker granted a second probe")
+	}
+
+	// Probe failure: re-open with the backoff doubled.
+	b.Record(false, now)
+	if s := b.Snapshot(now); s.State != BreakerOpen || s.Trips != 2 {
+		t.Fatalf("after failed probe: %+v", s)
+	}
+	if b.Allow(now.Add(1200 * time.Millisecond)) {
+		t.Fatal("doubled backoff (≥ 1.5s even with -25% jitter) admitted at 1.2s")
+	}
+	now = now.Add(3 * time.Second)
+	if !b.Allow(now) {
+		t.Fatal("second probe refused past the doubled backoff")
+	}
+
+	// Probe success: closed, streak cleared, recovery counted.
+	b.Record(true, now)
+	s = b.Snapshot(now)
+	if s.State != BreakerClosed || s.ConsecutiveFailures != 0 || s.Recoveries != 1 {
+		t.Fatalf("after successful probe: %+v", s)
+	}
+	if !b.Allow(now) || !b.Available(now) {
+		t.Fatal("recovered breaker refused a query")
+	}
+}
+
+// TestBreakerBackoffCap: repeated failed probes double the backoff only
+// up to MaxBackoff (with jitter ≤ 1.25× that), never unbounded.
+func TestBreakerBackoffCap(t *testing.T) {
+	cfg := BreakerConfig{Threshold: 1, Backoff: 100 * time.Millisecond, MaxBackoff: time.Second}
+	b := NewBreaker(cfg)
+	now := time.Unix(2000, 0)
+	for i := 0; i < 12; i++ {
+		for !b.Allow(now) {
+			now = now.Add(50 * time.Millisecond)
+		}
+		b.Record(false, now)
+		if s := b.Snapshot(now); s.RetryIn > 1250*time.Millisecond {
+			t.Fatalf("round %d: RetryIn %v exceeds jittered MaxBackoff", i, s.RetryIn)
+		}
+	}
+}
+
+// TestBreakerDefaults: the zero config serves with the documented
+// defaults instead of a breaker that trips on nothing or instantly.
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(BreakerConfig{})
+	now := time.Unix(3000, 0)
+	b.Record(false, now)
+	b.Record(false, now)
+	if s := b.Snapshot(now); s.State != BreakerClosed {
+		t.Fatalf("tripped below the default threshold of 3: %+v", s)
+	}
+	b.Record(false, now)
+	if s := b.Snapshot(now); s.State != BreakerOpen {
+		t.Fatalf("did not trip at the default threshold: %+v", s)
+	}
+	if b.Allow(now.Add(100 * time.Millisecond)) {
+		t.Fatal("admitted before the default 500ms backoff (even with -25% jitter)")
+	}
+}

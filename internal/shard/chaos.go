@@ -1,0 +1,114 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"csrank/internal/core"
+	"csrank/internal/postings"
+)
+
+// Fault injection. The partial-results machinery (isolation, breakers,
+// quarantine) only earns trust if it can be exercised deliberately:
+// chaos faults are armed per shard and fire inside the slice worker —
+// behind the same recovery boundary that isolates real failures — so an
+// injected panic or corrupt-block read takes exactly the path a real one
+// would. Production clusters arm nothing and pay one nil-map check per
+// query.
+
+// Fault describes the misbehavior injected into one shard's query
+// execution. Fields combine: a Delay with a Panic stalls, then crashes.
+type Fault struct {
+	// Delay stalls each phase's start by this long (respecting the
+	// per-shard timeout's context, so a large delay manifests as a
+	// timeout — the way a seized disk would).
+	Delay time.Duration
+	// Panic crashes the slice worker at phase start with a generic panic.
+	Panic bool
+	// Corrupt panics with a *postings.BlockCorruptError, simulating a
+	// corrupt block escaping a strict decode path.
+	Corrupt bool
+}
+
+func (f Fault) active() bool { return f.Delay > 0 || f.Panic || f.Corrupt }
+
+// chaosRegistry holds the armed faults, keyed by shard.
+type chaosRegistry struct {
+	mu     sync.Mutex
+	faults map[int]Fault
+}
+
+func (r *chaosRegistry) arm(shard int, f Fault) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.faults == nil {
+		r.faults = make(map[int]Fault)
+	}
+	if f.active() {
+		r.faults[shard] = f
+	} else {
+		delete(r.faults, shard)
+	}
+}
+
+func (r *chaosRegistry) disarmAll() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.faults = nil
+}
+
+// get returns the fault armed for shard (zero Fault when none).
+func (r *chaosRegistry) get(shard int) Fault {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.faults[shard]
+}
+
+// armed reports whether any fault is armed.
+func (r *chaosRegistry) armed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.faults) > 0
+}
+
+// hook builds the core.SliceHook injecting shard's armed fault, or nil
+// when the shard is clean. The fault is re-read per phase so disarming
+// takes effect mid-query.
+func (r *chaosRegistry) hook(shard int) core.SliceHook {
+	if !r.get(shard).active() {
+		return nil
+	}
+	return func(ctx context.Context, phase string) {
+		f := r.get(shard)
+		if f.Delay > 0 {
+			select {
+			case <-time.After(f.Delay):
+			case <-ctx.Done():
+				// The per-shard timeout (or the caller) fired mid-stall; the
+				// engine call below will observe the dead context.
+			}
+		}
+		if f.Corrupt {
+			panic(&postings.BlockCorruptError{Detail: fmt.Sprintf("chaos: injected corrupt block on shard %d (%s phase)", shard, phase)})
+		}
+		if f.Panic {
+			panic(fmt.Sprintf("chaos: injected panic on shard %d (%s phase)", shard, phase))
+		}
+	}
+}
+
+// ArmFault injects f into shard i's query execution until disarmed (a
+// zero Fault disarms just that shard). Test and chaos-drill seam; never
+// armed in production serving.
+func (c *Cluster) ArmFault(i int, f Fault) error {
+	if i < 0 || i >= len(c.shards) {
+		return fmt.Errorf("shard: no shard %d in a %d-shard cluster", i, len(c.shards))
+	}
+	c.chaos.arm(i, f)
+	return nil
+}
+
+// DisarmFaults removes every armed fault.
+func (c *Cluster) DisarmFaults() { c.chaos.disarmAll() }

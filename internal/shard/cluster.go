@@ -39,6 +39,75 @@ type Cluster struct {
 	shards []*core.Serving
 	state  atomic.Pointer[topology]
 	mu     sync.Mutex // serializes Swap/SwapExtend
+
+	polMu    sync.Mutex // guards policy and breakers
+	policy   Policy
+	breakers []*Breaker
+
+	chaos chaosRegistry
+}
+
+// Policy is the cluster's failure policy: how much of the collection may
+// be missing before a partial answer is worse than no answer, and how
+// long one shard may stall the fan-out.
+type Policy struct {
+	// MinShards is the fewest healthy shards for which a partial answer
+	// is still served; with fewer the query fails with
+	// core.ErrTooFewSlices (fail-closed). ≤ 0 means 1 — answer as long
+	// as any shard survives. NumShards means fail-fast on any loss.
+	MinShards int
+	// ShardTimeout bounds each shard's work per phase; an expired shard
+	// is dropped from the query and the survivors answer. 0 disables the
+	// per-shard timeout (the engine-level deadline still degrades
+	// in-shard).
+	ShardTimeout time.Duration
+	// Breaker tunes the per-shard circuit breakers (zero value =
+	// defaults).
+	Breaker BreakerConfig
+}
+
+// ShardError attributes the loss of one shard in a degraded execution.
+type ShardError struct {
+	// Shard is the cluster shard index.
+	Shard int `json:"shard"`
+	// Kind is the failure class: "corruption", "panic", "timeout",
+	// "error", or "breaker-open" (shed up front, never attempted).
+	Kind string `json:"kind"`
+	// Err is the underlying error text.
+	Err string `json:"error"`
+}
+
+// KindBreakerOpen marks a shard shed by its open circuit breaker before
+// the fan-out, in addition to core's failure kinds.
+const KindBreakerOpen = "breaker-open"
+
+// SetPolicy installs a failure policy, recreating the per-shard circuit
+// breakers with pol.Breaker's settings (breaker state is reset). Install
+// policy before serving; swapping it under load loses breaker history
+// but is otherwise safe — in-flight queries finish against the breakers
+// they admitted through.
+func (c *Cluster) SetPolicy(pol Policy) {
+	breakers := make([]*Breaker, len(c.shards))
+	for i := range breakers {
+		breakers[i] = NewBreaker(pol.Breaker)
+	}
+	c.polMu.Lock()
+	defer c.polMu.Unlock()
+	c.policy = pol
+	c.breakers = breakers
+}
+
+// Policy returns the current failure policy.
+func (c *Cluster) Policy() Policy {
+	c.polMu.Lock()
+	defer c.polMu.Unlock()
+	return c.policy
+}
+
+func (c *Cluster) breakerSnapshot() []*Breaker {
+	c.polMu.Lock()
+	defer c.polMu.Unlock()
+	return c.breakers
 }
 
 // topology is the immutable docID-mapping snapshot queries read once
@@ -72,6 +141,11 @@ type Summary struct {
 	// callers use them to resolve stored fields for the returned hits
 	// (the serving pointer may have swapped since).
 	Engines []*core.Engine
+	// Failed attributes every shard that did not contribute to the
+	// answer — shed by its breaker or lost to a panic, timeout, or
+	// corruption. Non-empty exactly when the answer is partial (and
+	// Agg.Degraded is then set).
+	Failed []ShardError
 	// Elapsed is the cluster-level wall clock: fan-out, both phases,
 	// merge.
 	Elapsed time.Duration
@@ -119,6 +193,7 @@ func NewCluster(engines []*core.Engine, globals [][]uint32) (*Cluster, error) {
 	for _, e := range engines {
 		c.shards = append(c.shards, core.NewServing(e, 0))
 	}
+	c.SetPolicy(Policy{})
 	return c, nil
 }
 
@@ -265,37 +340,196 @@ func (c *Cluster) Slices() ([]core.Slice, []uint64) {
 }
 
 // Search evaluates q over the whole cluster and returns the global top
-// k (everything when k ≤ 0), bit-identical — scores, order, tie-breaks
-// — to a single engine holding all documents. Execution is
-// core.SearchSlices' two-phase scatter-gather over one engine snapshot
-// per shard: partial statistics summed exactly into the union's
-// statistics, then per-shard scoring under the merged statistics, then
-// a rank-safe merge in the global docID space.
+// k (everything when k ≤ 0). With every shard healthy the answer is
+// bit-identical — scores, order, tie-breaks — to a single engine
+// holding all documents: core.SearchSlicesPartial's two-phase
+// scatter-gather over one engine snapshot per shard (partial statistics
+// summed exactly into the union's statistics, then per-shard scoring
+// under the merged statistics, then a rank-safe merge in the global
+// docID space).
 //
-// A deadline expiry inside any shard degrades that shard's report (and
-// therefore the merged Summary) instead of failing, matching the
-// engine's boundedness contract; cancellation or a shard panic fails
-// the query with the first error in shard order.
+// Shards are failure domains, not a shared fate: a shard that panics,
+// reads a corrupt block, or exceeds Policy.ShardTimeout is dropped from
+// the query, and — as long as at least Policy.MinShards survive — the
+// rest answer alone, bit-identically to a cluster built over exactly
+// the surviving shards, with Summary.Failed attributing each loss and
+// Agg.Degraded set. Shards whose circuit breaker is open are shed
+// before the fan-out at zero cost; breakers observe every attempted
+// shard's outcome. Fewer than MinShards survivors fail the query with
+// core.ErrTooFewSlices (fail-closed), and caller cancellation fails it
+// with ctx's error. An engine-level deadline expiry still degrades
+// in-shard rather than dropping the shard, matching the single-engine
+// boundedness contract.
 func (c *Cluster) Search(ctx context.Context, q query.Query, k int) ([]Hit, Summary, error) {
 	start := time.Now()
 	slices, gens := c.Slices()
+	n := len(slices)
+	pol := c.Policy()
+	breakers := c.breakerSnapshot()
+	minShards := pol.MinShards
+	if minShards < 1 {
+		minShards = 1
+	}
+	if minShards > n {
+		minShards = n
+	}
+
 	sum := Summary{
 		Generations: gens,
-		Engines:     make([]*core.Engine, len(slices)),
+		Engines:     make([]*core.Engine, n),
 	}
 	for i := range slices {
 		sum.Engines[i] = slices[i].Eng
 	}
-	sliceHits, per, err := core.SearchSlices(ctx, slices, q, k)
+
+	// Admission: shed shards whose breaker is open before paying for any
+	// fan-out, and fail closed up front when too few remain.
+	now := time.Now()
+	include := make([]int, 0, n) // cluster shard index per included slice
+	for i := range slices {
+		if breakers[i].Allow(now) {
+			include = append(include, i)
+		} else {
+			sum.Failed = append(sum.Failed, ShardError{Shard: i, Kind: KindBreakerOpen, Err: "circuit breaker open: shard is shedding"})
+		}
+	}
+	if len(include) < minShards {
+		sum.Elapsed = time.Since(start)
+		return nil, sum, fmt.Errorf("%w: %d of %d shards admitted, policy requires %d", core.ErrTooFewSlices, len(include), n, minShards)
+	}
+
+	sub := make([]core.Slice, len(include))
+	var hooks []core.SliceHook
+	armed := c.chaos.armed()
+	if armed {
+		hooks = make([]core.SliceHook, len(include))
+	}
+	for j, i := range include {
+		sub[j] = slices[i]
+		if armed {
+			hooks[j] = c.chaos.hook(i)
+		}
+	}
+
+	sliceHits, per, failures, err := core.SearchSlicesPartial(ctx, sub, q, k, core.SliceOptions{
+		MinSlices: minShards,
+		Timeout:   pol.ShardTimeout,
+		Hooks:     hooks,
+	})
+
+	// Feed the breakers: every admitted shard records its outcome. A
+	// caller cancellation attributes no failures (it says nothing about
+	// shard health), so all record success — which also releases any
+	// half-open probe this query consumed.
+	lost := make(map[int]bool, len(failures))
+	for _, f := range failures {
+		lost[f.Slice] = true
+		sum.Failed = append(sum.Failed, ShardError{Shard: include[f.Slice], Kind: f.Kind, Err: f.Err.Error()})
+	}
+	now = time.Now()
+	for j, i := range include {
+		breakers[i].Record(!lost[j], now)
+	}
 	if err != nil {
+		sum.Elapsed = time.Since(start)
 		return nil, sum, err
 	}
+
+	// Map slice-space hits and reports back to cluster shard indices.
 	hits := make([]Hit, len(sliceHits))
 	for i, h := range sliceHits {
-		hits[i] = Hit{Shard: h.Slice, Local: h.Local, Global: h.Global, Score: h.Score}
+		hits[i] = Hit{Shard: include[h.Slice], Local: h.Local, Global: h.Global, Score: h.Score}
 	}
-	sum.PerShard = per
+	sum.PerShard = make([]core.ExecStats, n)
+	for j, i := range include {
+		sum.PerShard[i] = per[j]
+	}
 	sum.Agg = core.MergeStats(per...)
+	if len(sum.Failed) > 0 {
+		sum.Agg.Degrade(fmt.Sprintf("%d of %d shards unavailable: partial results over %d shards", len(sum.Failed), n, len(include)-len(lost)))
+	}
 	sum.Elapsed = time.Since(start)
 	return hits, sum, nil
+}
+
+// ShardHealth is one shard's view in a Health report.
+type ShardHealth struct {
+	Shard               int
+	Generation          uint64
+	State               BreakerState
+	ConsecutiveFailures int
+	Trips               int64
+	Recoveries          int64
+	RetryIn             time.Duration
+}
+
+// Health reports each shard's breaker state and the number of shards
+// admission would currently accept queries for.
+type Health struct {
+	NumShards int
+	Available int
+	Shards    []ShardHealth
+}
+
+// Health snapshots the cluster's serving health without mutating any
+// breaker.
+func (c *Cluster) Health() Health {
+	breakers := c.breakerSnapshot()
+	now := time.Now()
+	h := Health{NumShards: len(c.shards), Shards: make([]ShardHealth, len(c.shards))}
+	for i, b := range breakers {
+		s := b.Snapshot(now)
+		h.Shards[i] = ShardHealth{
+			Shard:               i,
+			Generation:          c.shards[i].Generation(),
+			State:               s.State,
+			ConsecutiveFailures: s.ConsecutiveFailures,
+			Trips:               s.Trips,
+			Recoveries:          s.Recoveries,
+			RetryIn:             s.RetryIn,
+		}
+		if b.Available(now) {
+			h.Available++
+		}
+	}
+	return h
+}
+
+// CanServe reports whether admission would currently accept a query:
+// at least max(1, Policy.MinShards) shards have an available breaker.
+// Cheaper than Health (no per-shard snapshots built), for the serving
+// hot path's early shed.
+func (c *Cluster) CanServe() bool {
+	breakers := c.breakerSnapshot()
+	pol := c.Policy()
+	min := pol.MinShards
+	if min < 1 {
+		min = 1
+	}
+	if min > len(c.shards) {
+		min = len(c.shards)
+	}
+	now := time.Now()
+	avail := 0
+	for _, b := range breakers {
+		if b.Available(now) {
+			avail++
+			if avail >= min {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Quarantined returns the total number of corrupt blocks quarantined
+// across every shard's current engine (always 0 for heap-resident
+// indexes, which decode strictly at load).
+func (c *Cluster) Quarantined() int64 {
+	var total int64
+	for _, s := range c.shards {
+		eng, _ := s.Snapshot()
+		total += eng.Index().Quarantined()
+	}
+	return total
 }

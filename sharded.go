@@ -80,7 +80,14 @@ func (b *Builder) BuildSharded(shards int, opts BuildOptions) (*ShardedEngine, e
 	if err != nil {
 		return nil, err
 	}
+	cluster.SetPolicy(opts.shardPolicy())
 	return &ShardedEngine{cluster: cluster, selectTime: selTime}, nil
+}
+
+// shardPolicy maps the sharding subset of BuildOptions onto the
+// cluster's failure policy.
+func (o BuildOptions) shardPolicy() shard.Policy {
+	return shard.Policy{MinShards: o.MinShards, ShardTimeout: o.ShardTimeout}
 }
 
 // Sharded wraps an existing single engine as a one-shard cluster, so
@@ -121,6 +128,7 @@ func OpenSharded(dir string, opts BuildOptions) (*ShardedEngine, error) {
 	if err != nil {
 		return nil, err
 	}
+	cluster.SetPolicy(opts.shardPolicy())
 	return &ShardedEngine{cluster: cluster}, nil
 }
 
@@ -169,6 +177,9 @@ func (e *ShardedEngine) searchDetailed(ctx context.Context, q string, k int) ([]
 	// The cluster-level wall clock (fan-out + both phases + merge), not
 	// the slowest shard's own clock, is what a serving SLO measures.
 	agg.Elapsed = sum.Elapsed
+	for _, f := range sum.Failed {
+		agg.ShardErrors = append(agg.ShardErrors, ShardError{Shard: f.Shard, Kind: f.Kind, Err: f.Err})
+	}
 	perShard := make([]Stats, len(sum.PerShard))
 	for i, st := range sum.PerShard {
 		perShard[i] = convertStats(st)
@@ -230,6 +241,97 @@ func (e *ShardedEngine) NumViews() int {
 
 // Generations returns each shard's current serving generation.
 func (e *ShardedEngine) Generations() []uint64 { return e.cluster.Generations() }
+
+// ShardHealth is one shard's entry in a ClusterHealth report. The JSON
+// tags are the wire format cmd/csserve's /healthz uses.
+type ShardHealth struct {
+	// Shard is the shard index.
+	Shard int `json:"shard"`
+	// Generation is the shard's current serving generation.
+	Generation uint64 `json:"generation"`
+	// State is the shard's circuit-breaker state: "closed" (healthy),
+	// "open" (shedding), or "half-open" (probing recovery).
+	State string `json:"state"`
+	// ConsecutiveFailures counts failures since the last success while
+	// closed.
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	// Trips counts closed→open transitions over the breaker's lifetime.
+	Trips int64 `json:"trips"`
+	// Recoveries counts half-open→closed transitions.
+	Recoveries int64 `json:"recoveries"`
+	// RetryInMs is how long until an open breaker probes again (0 unless
+	// open).
+	RetryInMs int64 `json:"retry_in_ms"`
+}
+
+// ClusterHealth reports the cluster's serving health: per-shard breaker
+// states, how many shards admission would accept a query for right now,
+// the policy floor, and the corrupt-block quarantine count.
+type ClusterHealth struct {
+	NumShards         int           `json:"num_shards"`
+	AvailableShards   int           `json:"available_shards"`
+	MinShards         int           `json:"min_shards"`
+	QuarantinedBlocks int64         `json:"quarantined_blocks"`
+	Shards            []ShardHealth `json:"shards"`
+}
+
+// Healthy reports whether the cluster can currently serve within
+// policy: at least max(1, MinShards) shards available.
+func (h ClusterHealth) Healthy() bool {
+	min := h.MinShards
+	if min < 1 {
+		min = 1
+	}
+	return h.AvailableShards >= min
+}
+
+// Health snapshots the cluster's serving health without mutating any
+// breaker state.
+func (e *ShardedEngine) Health() ClusterHealth {
+	ch := e.cluster.Health()
+	pol := e.cluster.Policy()
+	out := ClusterHealth{
+		NumShards:         ch.NumShards,
+		AvailableShards:   ch.Available,
+		MinShards:         pol.MinShards,
+		QuarantinedBlocks: e.cluster.Quarantined(),
+		Shards:            make([]ShardHealth, len(ch.Shards)),
+	}
+	for i, s := range ch.Shards {
+		out.Shards[i] = ShardHealth{
+			Shard:               s.Shard,
+			Generation:          s.Generation,
+			State:               string(s.State),
+			ConsecutiveFailures: s.ConsecutiveFailures,
+			Trips:               s.Trips,
+			Recoveries:          s.Recoveries,
+			RetryInMs:           s.RetryIn.Milliseconds(),
+		}
+	}
+	return out
+}
+
+// CanServe reports whether a query would currently be admitted: at
+// least max(1, MinShards) shards have a closed (or probing-ready)
+// circuit breaker. Serving front ends use it to shed before paying for
+// a doomed fan-out.
+func (e *ShardedEngine) CanServe() bool { return e.cluster.CanServe() }
+
+// QuarantinedBlocks returns the total corrupt blocks quarantined across
+// all shards (always 0 for heap-resident indexes).
+func (e *ShardedEngine) QuarantinedBlocks() int64 { return e.cluster.Quarantined() }
+
+// ArmFault injects a chaos fault into one shard's query execution until
+// disarmed: delay stalls each phase (a delay past ShardTimeout
+// manifests as a shard timeout), panicFault crashes the shard's worker,
+// corrupt simulates a corrupt-block read escaping decode. A chaos-drill
+// and test seam — never arm it on a production cluster.
+func (e *ShardedEngine) ArmFault(s int, delay time.Duration, panicFault, corrupt bool) error {
+	return e.cluster.ArmFault(s, shard.Fault{Delay: delay, Panic: panicFault, Corrupt: corrupt})
+}
+
+// DisarmFaults removes every armed chaos fault.
+func (e *ShardedEngine) DisarmFaults() { e.cluster.DisarmFaults() }
 
 // SelectionTime returns the total per-shard view selection and
 // materialization time during BuildSharded (zero for loaded engines).

@@ -39,7 +39,11 @@ func TestStatsJSONRoundTrip(t *testing.T) {
 		DegradedReason:   "stats budget expired",
 		PrunedDocs:       1 << 40, // int64 fields must not truncate
 		PrunedContainers: 77,
-		Elapsed:          1500 * time.Microsecond,
+		ShardErrors: []ShardError{
+			{Shard: 2, Kind: "timeout", Err: "slice 2: core: slice timed out after 50ms"},
+			{Shard: 3, Kind: "breaker-open", Err: "circuit breaker open: shard is shedding"},
+		},
+		Elapsed: 1500 * time.Microsecond,
 	}
 	data, err := json.Marshal(in)
 	if err != nil {
