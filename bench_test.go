@@ -755,3 +755,51 @@ func BenchmarkCodec(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkResultCache measures the serving-layer result cache: the
+// cost of a cached hit (key build + tag build + lookup + slice copies)
+// against re-executing the identical query through the full two-phase
+// scatter-gather, on the same 4-shard engine.
+func BenchmarkResultCache(b *testing.B) {
+	build := func(cached bool) *ShardedEngine {
+		opts := BuildOptions{}
+		if cached {
+			opts.Cache = CacheOptions{ResultBytes: 64 << 20}
+		}
+		bl := NewBuilder()
+		rebuildDemoDocs(bl)
+		se, err := bl.BuildSharded(4, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return se
+	}
+	const q = "pancreas leukemia | digestive_system"
+	b.Run("hit", func(b *testing.B) {
+		se := build(true)
+		if _, _, err := se.Search(q, 10); err != nil { // warm the entry
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, st, err := se.Search(q, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !st.ResultCacheHit {
+				b.Fatal("miss on a warmed cache")
+			}
+		}
+	})
+	b.Run("uncached", func(b *testing.B) {
+		se := build(false)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := se.Search(q, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

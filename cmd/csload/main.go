@@ -59,8 +59,10 @@ type shardError struct {
 type searchResponse struct {
 	Hits  []hit `json:"hits"`
 	Stats struct {
-		Degraded    bool         `json:"degraded"`
-		ShardErrors []shardError `json:"shard_errors"`
+		Degraded           bool         `json:"degraded"`
+		ShardErrors        []shardError `json:"shard_errors"`
+		ResultCacheHit     bool         `json:"result_cache_hit"`
+		SingleFlightShared bool         `json:"single_flight_shared"`
 	} `json:"stats"`
 }
 
@@ -144,10 +146,31 @@ type levelResult struct {
 	ClientTimeouts int64   `json:"client_timeouts"`
 	Degraded       int64   `json:"degraded"`
 	Partial        int64   `json:"partial_results"`
-	P50ms          float64 `json:"p50_ms"`
-	P90ms          float64 `json:"p90_ms"`
-	P99ms          float64 `json:"p99_ms"`
-	P999ms         float64 `json:"p999_ms"`
+	// DistinctQueries is how many distinct query strings the level fired —
+	// the working-set size a result cache had to cover (with -zipf this is
+	// typically far below Sent).
+	DistinctQueries int64 `json:"distinct_queries"`
+	// CacheHits / CacheMisses / Coalesced split the OK responses by how
+	// the server answered: from its result cache, by real execution, or by
+	// coalescing onto a concurrent identical query.
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+	Coalesced   int64   `json:"coalesced"`
+	P50ms       float64 `json:"p50_ms"`
+	P90ms       float64 `json:"p90_ms"`
+	P99ms       float64 `json:"p99_ms"`
+	P999ms      float64 `json:"p999_ms"`
+	// HitP*/MissP* are the same percentiles over only the cache-hit and
+	// only the cache-miss responses (0 when the class is empty) — the
+	// split that shows what the cache is actually worth at the tail.
+	HitP50ms   float64 `json:"hit_p50_ms"`
+	HitP90ms   float64 `json:"hit_p90_ms"`
+	HitP99ms   float64 `json:"hit_p99_ms"`
+	HitP999ms  float64 `json:"hit_p999_ms"`
+	MissP50ms  float64 `json:"miss_p50_ms"`
+	MissP90ms  float64 `json:"miss_p90_ms"`
+	MissP99ms  float64 `json:"miss_p99_ms"`
+	MissP999ms float64 `json:"miss_p999_ms"`
 }
 
 func main() {
@@ -161,15 +184,16 @@ func main() {
 		compare  = flag.String("compare", "", "second csserve URL: check both servers return identical hits for every query, then exit")
 		ingest   = flag.Int("ingest", 0, "POST this many synthetic documents to /index at the first -qps rate and report ack latency, then exit")
 		chaos    = flag.Bool("chaos", false, "run a chaos drill: arm corrupt-block and panic faults on one shard via /chaosz (csserve must run with -chaos), assert every query still answers as a degraded partial result with zero errors and that the breakers recover, then exit")
+		zipf     = flag.Bool("zipf", false, "draw queries from a zipfian (s=1.0) popularity distribution over the query log instead of cycling it — the skewed arrival pattern result caches are sized for")
 	)
 	flag.Parse()
-	if err := run(*url, *queries, *qps, *duration, *k, *out, *compare, *ingest, *chaos); err != nil {
+	if err := run(*url, *queries, *qps, *duration, *k, *out, *compare, *ingest, *chaos, *zipf); err != nil {
 		fmt.Fprintln(os.Stderr, "csload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(url, queriesPath, qpsList string, duration time.Duration, k int, out, compare string, ingest int, chaos bool) error {
+func run(url, queriesPath, qpsList string, duration time.Duration, k int, out, compare string, ingest int, chaos, zipf bool) error {
 	if ingest > 0 {
 		field := strings.Split(qpsList, ",")[0]
 		rate, err := strconv.ParseFloat(strings.TrimSpace(field), 64)
@@ -219,14 +243,14 @@ func run(url, queriesPath, qpsList string, duration time.Duration, k int, out, c
 		if err != nil || rate <= 0 {
 			return fmt.Errorf("bad qps %q", field)
 		}
-		fmt.Fprintf(os.Stderr, "csload: %v qps for %v against %s\n", rate, duration, url)
-		lr, err := runLevel(url, qs, rate, duration, k)
+		fmt.Fprintf(os.Stderr, "csload: %v qps for %v against %s (zipf=%v)\n", rate, duration, url, zipf)
+		lr, err := runLevel(url, qs, rate, duration, k, zipf)
 		if err != nil {
 			return err
 		}
 		results = append(results, lr)
-		fmt.Fprintf(os.Stderr, "csload: sent=%d ok=%d shed=%d+%d errors=%d degraded=%d p50=%.2fms p99=%.2fms p999=%.2fms\n",
-			lr.Sent, lr.OK, lr.Shed429, lr.Shed503, lr.Errors, lr.Degraded, lr.P50ms, lr.P99ms, lr.P999ms)
+		fmt.Fprintf(os.Stderr, "csload: sent=%d ok=%d shed=%d+%d errors=%d degraded=%d distinct=%d hits=%d coalesced=%d p50=%.2fms p99=%.2fms p999=%.2fms\n",
+			lr.Sent, lr.OK, lr.Shed429, lr.Shed503, lr.Errors, lr.Degraded, lr.DistinctQueries, lr.CacheHits, lr.Coalesced, lr.P50ms, lr.P99ms, lr.P999ms)
 		if lr.Errors > 0 {
 			return fmt.Errorf("%d request(s) failed with non-shed errors at %v qps", lr.Errors, rate)
 		}
@@ -268,22 +292,61 @@ func readQueries(path string) ([]string, error) {
 	return qs, nil
 }
 
+// zipfPicker draws query indexes from a zipfian popularity distribution
+// with exponent s=1.0: P(rank r) ∝ 1/r over the query log, queries.txt
+// order = popularity order. The stdlib's rand.Zipf requires s > 1, so
+// this inverts the harmonic CDF directly — exact, deterministic
+// (seeded), and O(log n) per draw.
+type zipfPicker struct {
+	rng *rand.Rand
+	cdf []float64
+}
+
+func newZipfPicker(n int, seed int64) *zipfPicker {
+	cdf := make([]float64, n)
+	sum := 0.0
+	for r := 0; r < n; r++ {
+		sum += 1.0 / float64(r+1)
+		cdf[r] = sum
+	}
+	for r := range cdf {
+		cdf[r] /= sum
+	}
+	return &zipfPicker{rng: rand.New(rand.NewSource(seed)), cdf: cdf}
+}
+
+func (z *zipfPicker) pick() int {
+	i := sort.SearchFloat64s(z.cdf, z.rng.Float64())
+	if i >= len(z.cdf) {
+		i = len(z.cdf) - 1
+	}
+	return i
+}
+
 // runLevel fires requests open-loop at the given rate for the given
-// duration, cycling through the query log, and waits for every
-// in-flight request before computing exact percentiles.
-func runLevel(url string, qs []string, rate float64, duration time.Duration, k int) (levelResult, error) {
+// duration — cycling through the query log, or sampling it zipfian with
+// zipf — and waits for every in-flight request before computing exact
+// percentiles, overall and split by cache-hit vs cache-miss.
+func runLevel(url string, qs []string, rate float64, duration time.Duration, k int, zipf bool) (levelResult, error) {
 	lr := levelResult{QPS: rate}
 	interval := time.Duration(float64(time.Second) / rate)
 	client := &http.Client{Timeout: 30 * time.Second}
+	var zp *zipfPicker
+	if zipf {
+		zp = newZipfPicker(len(qs), 1)
+	}
 
 	var (
-		mu                sync.Mutex
-		latencies         []time.Duration
-		ok, s429, s503    atomic.Int64
-		degraded, partial atomic.Int64
-		ec                errCounts
-		wg                sync.WaitGroup
+		mu                   sync.Mutex
+		latencies            []time.Duration
+		hitLat, missLat      []time.Duration
+		ok, s429, s503       atomic.Int64
+		degraded, partial    atomic.Int64
+		cacheHits, coalesced atomic.Int64
+		ec                   errCounts
+		wg                   sync.WaitGroup
 	)
+	distinct := make(map[int]bool)
 	deadline := time.Now().Add(duration)
 	next := time.Now()
 	for i := 0; time.Now().Before(deadline); i++ {
@@ -291,7 +354,12 @@ func runLevel(url string, qs []string, rate float64, duration time.Duration, k i
 			time.Sleep(d)
 		}
 		next = next.Add(interval)
-		q := qs[i%len(qs)]
+		qi := i % len(qs)
+		if zp != nil {
+			qi = zp.pick()
+		}
+		distinct[qi] = true
+		q := qs[qi]
 		lr.Sent++
 		wg.Add(1)
 		go func() {
@@ -317,9 +385,20 @@ func runLevel(url string, qs []string, rate float64, duration time.Duration, k i
 				if len(sr.Stats.ShardErrors) > 0 {
 					partial.Add(1)
 				}
+				if sr.Stats.ResultCacheHit {
+					cacheHits.Add(1)
+				}
+				if sr.Stats.SingleFlightShared {
+					coalesced.Add(1)
+				}
 				ok.Add(1)
 				mu.Lock()
 				latencies = append(latencies, elapsed)
+				if sr.Stats.ResultCacheHit {
+					hitLat = append(hitLat, elapsed)
+				} else {
+					missLat = append(missLat, elapsed)
+				}
 				mu.Unlock()
 			case http.StatusTooManyRequests:
 				s429.Add(1)
@@ -335,11 +414,18 @@ func runLevel(url string, qs []string, rate float64, duration time.Duration, k i
 	lr.OK, lr.Shed429, lr.Shed503 = ok.Load(), s429.Load(), s503.Load()
 	lr.Errors, lr.Degraded, lr.Partial = ec.total(), degraded.Load(), partial.Load()
 	lr.ConnErrors, lr.HTTP5xx, lr.ClientTimeouts = ec.conn.Load(), ec.http5xx.Load(), ec.timeout.Load()
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	lr.P50ms = quantile(latencies, 0.50)
-	lr.P90ms = quantile(latencies, 0.90)
-	lr.P99ms = quantile(latencies, 0.99)
-	lr.P999ms = quantile(latencies, 0.999)
+	lr.DistinctQueries = int64(len(distinct))
+	lr.CacheHits, lr.Coalesced = cacheHits.Load(), coalesced.Load()
+	lr.CacheMisses = lr.OK - lr.CacheHits
+	for _, s := range [][]time.Duration{latencies, hitLat, missLat} {
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+	lr.P50ms, lr.P90ms = quantile(latencies, 0.50), quantile(latencies, 0.90)
+	lr.P99ms, lr.P999ms = quantile(latencies, 0.99), quantile(latencies, 0.999)
+	lr.HitP50ms, lr.HitP90ms = quantile(hitLat, 0.50), quantile(hitLat, 0.90)
+	lr.HitP99ms, lr.HitP999ms = quantile(hitLat, 0.99), quantile(hitLat, 0.999)
+	lr.MissP50ms, lr.MissP90ms = quantile(missLat, 0.50), quantile(missLat, 0.90)
+	lr.MissP99ms, lr.MissP999ms = quantile(missLat, 0.99), quantile(missLat, 0.999)
 	return lr, nil
 }
 
@@ -668,24 +754,31 @@ func compareServers(urlA, urlB string, qs []string, k int) (int, error) {
 			return sr, err
 		}
 	}
-	for _, q := range qs {
-		a, err := fetch(urlA, q)
-		if err != nil {
-			return 0, err
-		}
-		b, err := fetch(urlB, q)
-		if err != nil {
-			return 0, err
-		}
-		if len(a.Hits) != len(b.Hits) {
-			return 0, fmt.Errorf("%q: %d hits on %s, %d on %s", q, len(a.Hits), urlA, len(b.Hits), urlB)
-		}
-		for i := range a.Hits {
-			if a.Hits[i].DocID != b.Hits[i].DocID || a.Hits[i].Score != b.Hits[i].Score {
-				return 0, fmt.Errorf("%q rank %d: (#%d, %v) on %s but (#%d, %v) on %s",
-					q, i, a.Hits[i].DocID, a.Hits[i].Score, urlA, b.Hits[i].DocID, b.Hits[i].Score, urlB)
+	// Two rounds over the log: round 1 populates any result cache, round
+	// 2 compares cached answers against the other server's fresh (or
+	// equally cached) execution — so a cache serving anything but the
+	// bit-identical ranking fails the equivalence check, not just a
+	// sharding bug.
+	for round := 1; round <= 2; round++ {
+		for _, q := range qs {
+			a, err := fetch(urlA, q)
+			if err != nil {
+				return 0, err
+			}
+			b, err := fetch(urlB, q)
+			if err != nil {
+				return 0, err
+			}
+			if len(a.Hits) != len(b.Hits) {
+				return 0, fmt.Errorf("%q (round %d): %d hits on %s, %d on %s", q, round, len(a.Hits), urlA, len(b.Hits), urlB)
+			}
+			for i := range a.Hits {
+				if a.Hits[i].DocID != b.Hits[i].DocID || a.Hits[i].Score != b.Hits[i].Score {
+					return 0, fmt.Errorf("%q (round %d) rank %d: (#%d, %v) on %s but (#%d, %v) on %s",
+						q, round, i, a.Hits[i].DocID, a.Hits[i].Score, urlA, b.Hits[i].DocID, b.Hits[i].Score, urlB)
+				}
 			}
 		}
 	}
-	return len(qs), nil
+	return 2 * len(qs), nil
 }

@@ -105,7 +105,7 @@ func TestQuantile(t *testing.T) {
 func TestRunLevel(t *testing.T) {
 	ts := fakeServe(10)
 	defer ts.Close()
-	lr, err := runLevel(ts.URL, []string{"pancreas | digestive_system"}, 200, 250*time.Millisecond, 5)
+	lr, err := runLevel(ts.URL, []string{"pancreas | digestive_system"}, 200, 250*time.Millisecond, 5, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,6 +114,38 @@ func TestRunLevel(t *testing.T) {
 	}
 	if lr.P50ms <= 0 || lr.P999ms < lr.P50ms {
 		t.Fatalf("percentiles %+v", lr)
+	}
+	if lr.DistinctQueries != 1 || lr.CacheHits+lr.CacheMisses != lr.OK {
+		t.Fatalf("cache split %+v", lr)
+	}
+}
+
+// TestZipfPicker pins the sampler's shape: deterministic under a seed,
+// in-range, and actually skewed — rank 0 must draw roughly 1/H(n) of
+// the samples, far above uniform.
+func TestZipfPicker(t *testing.T) {
+	const n, draws = 100, 20000
+	z := newZipfPicker(n, 1)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		idx := z.pick()
+		if idx < 0 || idx >= n {
+			t.Fatalf("pick %d out of range [0,%d)", idx, n)
+		}
+		counts[idx]++
+	}
+	// H(100) ≈ 5.19, so rank 0 expects ≈ 19% of draws; uniform would be 1%.
+	if frac := float64(counts[0]) / draws; frac < 0.15 || frac > 0.25 {
+		t.Fatalf("rank-0 fraction %.3f, want ≈ 0.19 (zipf s=1)", frac)
+	}
+	if counts[0] <= counts[n-1] {
+		t.Fatalf("head %d not more popular than tail %d", counts[0], counts[n-1])
+	}
+	a, b := newZipfPicker(n, 7), newZipfPicker(n, 7)
+	for i := 0; i < 100; i++ {
+		if x, y := a.pick(), b.pick(); x != y {
+			t.Fatalf("same seed diverged at draw %d: %d vs %d", i, x, y)
+		}
 	}
 }
 
@@ -192,8 +224,8 @@ func TestCompareServers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n != 2 {
-		t.Fatalf("compared %d queries", n)
+	if n != 4 { // two rounds over the two-query log (round 2 is cached-vs-fresh)
+		t.Fatalf("compared %d queries, want 4", n)
 	}
 	c := fakeServe(99) // diverging scores
 	defer c.Close()

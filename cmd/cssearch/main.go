@@ -40,7 +40,7 @@ func main() {
 		q           = flag.String("q", "", "query, e.g. \"pancreas leukemia | digestive_system\"")
 		k           = flag.Int("k", 10, "number of results")
 		mode        = flag.String("mode", "context", "context | conventional | straightforward | compare")
-		scorer      = flag.String("scorer", "pivoted-tfidf", "pivoted-tfidf | bm25 | dirichlet-lm")
+		scorer      = flag.String("scorer", "pivoted-tfidf", "pivoted-tfidf | bm25 | dirichlet-lm | cosine-tfidf | jelinek-mercer-lm")
 		parallel    = flag.Int("parallel", 0, "intra-query parallelism (0 = GOMAXPROCS, 1 = sequential)")
 		timeout     = flag.Duration("timeout", 0, "per-query deadline (e.g. 50ms); on expiry partial results are returned flagged degraded (0 = unbounded)")
 		pruning     = flag.Bool("pruning", false, "enable block-max dynamic pruning (safe: top-k is bit-identical to exhaustive scoring)")
@@ -205,8 +205,9 @@ func printListStats(data string, out io.Writer) error {
 			"", bs.SparseRaw, bs.DenseRaw, bs.SparsePacked, bs.TFBlocks)
 	}
 	if ix.Mapped() {
-		budget, used, ins, evs := ix.BlockCacheStats()
-		fmt.Fprintf(out, "  block cache: budget=%d used=%d insertions=%d evictions=%d\n", budget, used, ins, evs)
+		cs := ix.BlockCacheStats()
+		fmt.Fprintf(out, "  block cache: budget=%d used=%d hits=%d misses=%d insertions=%d evictions=%d promotions=%d ghost_hits=%d\n",
+			cs.Budget, cs.Used, cs.Hits, cs.Misses, cs.Insertions, cs.Evictions, cs.Promotions, cs.GhostHits)
 	}
 	return nil
 }
@@ -237,6 +238,10 @@ func openEngine(data, walDir, scorerName string, parallel int, timeout time.Dura
 		sc = ranking.NewBM25()
 	case "dirichlet-lm":
 		sc = ranking.NewDirichletLM()
+	case "cosine-tfidf":
+		sc = ranking.NewCosineTFIDF()
+	case "jelinek-mercer-lm":
+		sc = ranking.NewJelinekMercerLM()
 	default:
 		return nil, nil, fmt.Errorf("unknown scorer %q", scorerName)
 	}

@@ -268,22 +268,23 @@ func assertKeys(t *testing.T, what string, got, want []string) {
 // silently shipping.
 func TestWireSchemaStability(t *testing.T) {
 	assertKeys(t, "statsz", jsonKeys(t, statszResponse{}), []string{
-		"bad_requests", "degraded", "errors", "generations",
+		"bad_requests", "block_cache", "degraded", "errors", "generations",
 		"indexed_docs", "inflight", "ingest_enabled", "ingest_errors", "ingest_requests",
 		"latency_p50_ms", "latency_p90_ms", "latency_p999_ms", "latency_p99_ms",
 		"num_docs", "num_shards", "ok", "partial_results", "pending_docs", "pruned_docs",
-		"quarantined_blocks", "queue_depth", "requests",
+		"quarantined_blocks", "queue_depth", "requests", "result_cache",
 		"shed_queue_full", "shed_queue_timeout", "shed_unhealthy",
 	})
 	assertKeys(t, "search", jsonKeys(t, searchResponse{Shards: []csrank.Stats{{}}}), []string{
 		"hits", "k", "query", "shards", "stats",
 	})
-	// degraded_reason and shard_errors are omitempty: set them so the
-	// full stats key set is pinned.
-	assertKeys(t, "stats", jsonKeys(t, csrank.Stats{DegradedReason: "x", ShardErrors: []csrank.ShardError{{}}}), []string{
+	// degraded_reason, shard_errors and single_flight_shared are
+	// omitempty: set them so the full stats key set is pinned.
+	assertKeys(t, "stats", jsonKeys(t, csrank.Stats{DegradedReason: "x", ShardErrors: []csrank.ShardError{{}}, SingleFlightShared: true}), []string{
 		"cache_hit", "context_size", "degraded", "degraded_reason",
 		"elapsed_ns", "plan", "pruned_containers", "pruned_docs",
-		"result_size", "shard_errors", "used_view",
+		"result_cache_hit", "result_size", "shard_errors",
+		"single_flight_shared", "used_view",
 	})
 	assertKeys(t, "shard error", jsonKeys(t, csrank.ShardError{}), []string{
 		"error", "kind", "shard",

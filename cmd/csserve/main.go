@@ -35,10 +35,11 @@ func main() {
 		data         = flag.String("data", "data", "data directory (single-engine or sharded cluster)")
 		addr         = flag.String("addr", ":8080", "listen address")
 		mode         = flag.String("mode", "auto", "auto | single | sharded — how to interpret -data")
-		scorer       = flag.String("scorer", "pivoted-tfidf", "pivoted-tfidf | bm25 | dirichlet-lm")
+		scorer       = flag.String("scorer", "pivoted-tfidf", "pivoted-tfidf | bm25 | dirichlet-lm | cosine-tfidf | jelinek-mercer-lm")
 		parallel     = flag.Int("parallel", 0, "intra-query parallelism per shard (0 = GOMAXPROCS)")
 		pruning      = flag.Bool("pruning", false, "enable block-max dynamic pruning (rank-safe)")
 		cache        = flag.Int("cache", 256, "context-statistics cache entries per shard (0 = off)")
+		resultCache  = flag.Int64("result-cache", 64<<20, "serving-layer result cache budget in bytes; hits skip the shard fan-out AND the admission queue, concurrent identical queries coalesce onto one execution (0 = off)")
 		timeout      = flag.Duration("timeout", 0, "per-request deadline covering queue wait + execution; on expiry partial results are returned flagged degraded (0 = unbounded)")
 		statsBudget  = flag.Duration("stats-budget", 0, "per-query context-statistics budget; past it ranking uses approximate statistics flagged degraded (0 = unbounded)")
 		k            = flag.Int("k", 10, "default result count (override per request with ?k=)")
@@ -57,7 +58,7 @@ func main() {
 	flag.Parse()
 	cfg := serveConfig{
 		data: *data, addr: *addr, mode: *mode, scorer: *scorer,
-		parallel: *parallel, pruning: *pruning, cache: *cache,
+		parallel: *parallel, pruning: *pruning, cache: *cache, resultCache: *resultCache,
 		timeout: *timeout, statsBudget: *statsBudget, k: *k,
 		maxInflight: *maxInflight, maxQueue: *maxQueue, queueTimeout: *queueTimeout,
 		perShard: *perShard, ingest: *ingest, refresh: *refresh, compactAt: *compactAt,
@@ -73,6 +74,7 @@ func main() {
 type serveConfig struct {
 	data, addr, mode, scorer   string
 	parallel, cache, k         int
+	resultCache                int64
 	pruning, perShard, ingest  bool
 	timeout, statsBudget       time.Duration
 	maxInflight, maxQueue      int
@@ -94,6 +96,7 @@ func run(cfg serveConfig) error {
 		StatsBudget:   cfg.statsBudget,
 		MinShards:     cfg.minShards,
 		ShardTimeout:  cfg.shardTimeout,
+		Cache:         csrank.CacheOptions{ResultBytes: cfg.resultCache},
 	}
 	if cfg.chaos && cfg.ingest {
 		// The live (mutable-segment) search path fans out without the
@@ -172,5 +175,5 @@ func openEngine(data, mode string, opts csrank.BuildOptions, ingest bool, refres
 	if err != nil {
 		return nil, err
 	}
-	return e.Sharded()
+	return e.ShardedWithOptions(opts)
 }

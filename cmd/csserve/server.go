@@ -105,6 +105,12 @@ type statszResponse struct {
 	Inflight   int `json:"inflight"`
 	QueueDepth int `json:"queue_depth"`
 
+	// ResultCache is the serving-layer result cache (hits, misses,
+	// generation invalidations, single-flight coalescing); BlockCache
+	// sums the per-shard decoded-block caches of mapped indexes.
+	ResultCache csrank.ResultCacheStats `json:"result_cache"`
+	BlockCache  csrank.BlockCacheStats  `json:"block_cache"`
+
 	LatencyP50  float64 `json:"latency_p50_ms"`
 	LatencyP90  float64 `json:"latency_p90_ms"`
 	LatencyP99  float64 `json:"latency_p99_ms"`
@@ -262,24 +268,37 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	if !s.admit(ctx, w) {
-		return
+	// The admission gate is passed to the engine rather than taken here:
+	// result-cache hits and single-flight followers answer without a real
+	// shard fan-out, so they must not spend (or wait for) an execution
+	// slot — under a hot cache the admission queue is reserved for the
+	// queries that actually cost something.
+	gate := func(ctx context.Context) (func(), error) {
+		if err := s.adm.acquire(ctx); err != nil {
+			return nil, err
+		}
+		return s.adm.release, nil
 	}
-	defer s.adm.release()
-
 	start := time.Now()
-	hits, st, perShard, err := s.eng.SearchDetailed(ctx, q, k)
+	hits, st, perShard, err := s.eng.SearchGated(ctx, q, k, gate)
 	s.hist.observe(time.Since(start))
 	if err != nil {
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, csrank.ErrTooFewShards) {
+		switch {
+		case errors.Is(err, errQueueFull):
+			s.shedQueue.Add(1)
+			s.writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+		case errors.Is(err, errQueueTimeout), errors.Is(err, context.DeadlineExceeded):
+			s.shedTimeout.Add(1)
+			s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		case errors.Is(err, context.Canceled), errors.Is(err, csrank.ErrTooFewShards):
 			s.errCount.Add(1)
 			s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
-			return
+		default:
+			// Anything else at this point is a malformed query: the engine's
+			// deadline path degrades instead of failing.
+			s.badRequests.Add(1)
+			s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		}
-		// Anything else at this point is a malformed query: the engine's
-		// deadline path degrades instead of failing.
-		s.badRequests.Add(1)
-		s.writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
 	s.ok.Add(1)
@@ -391,6 +410,8 @@ func (s *server) statsz() statszResponse {
 
 		Inflight:    s.adm.inflight(),
 		QueueDepth:  s.adm.queueDepth(),
+		ResultCache: s.eng.ResultCacheStats(),
+		BlockCache:  s.eng.BlockCacheStats(),
 		LatencyP50:  s.hist.quantile(0.50),
 		LatencyP90:  s.hist.quantile(0.90),
 		LatencyP99:  s.hist.quantile(0.99),

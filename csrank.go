@@ -70,6 +70,11 @@ const (
 	// DirichletLM is a Dirichlet-smoothed query-likelihood language
 	// model (μ = 2000).
 	DirichletLM Scorer = "dirichlet-lm"
+	// CosineTFIDF is classic cosine-normalized TF-IDF.
+	CosineTFIDF Scorer = "cosine-tfidf"
+	// JelinekMercerLM is a Jelinek-Mercer-smoothed query-likelihood
+	// language model (λ = 0.3).
+	JelinekMercerLM Scorer = "jelinek-mercer-lm"
 )
 
 func (s Scorer) build() (ranking.Scorer, error) {
@@ -80,6 +85,10 @@ func (s Scorer) build() (ranking.Scorer, error) {
 		return ranking.NewBM25(), nil
 	case DirichletLM:
 		return ranking.NewDirichletLM(), nil
+	case CosineTFIDF:
+		return ranking.NewCosineTFIDF(), nil
+	case JelinekMercerLM:
+		return ranking.NewJelinekMercerLM(), nil
 	default:
 		return nil, fmt.Errorf("csrank: unknown scorer %q", string(s))
 	}
@@ -139,6 +148,33 @@ type BuildOptions struct {
 	// attributed in Stats.ShardErrors. Zero disables the per-shard
 	// timeout (Timeout still degrades in-shard).
 	ShardTimeout time.Duration
+	// Cache configures the serving-layer result cache (sharded engines
+	// only; see CacheOptions). The zero value disables it.
+	Cache CacheOptions
+}
+
+// CacheOptions configures the serving-layer result cache of a
+// ShardedEngine: final merged results ([]Hit + Stats) memoized per
+// (query, context, k, configuration), tagged with every input
+// generation — shard serving generations, catalog versions, the live
+// view's content sequence — so index rollover, catalog swaps, ingestion
+// visibility and compaction each invalidate exactly the affected
+// entries, and a hit is bit-identical to re-execution. Degraded,
+// partial or failed results are never cached. Concurrent identical
+// queries additionally coalesce onto a single execution (single
+// flight), whether or not the result ends up cacheable.
+type CacheOptions struct {
+	// ResultBytes bounds the memory held by cached results across the
+	// engine. 0 disables result caching and single-flight coalescing.
+	ResultBytes int64
+}
+
+// cacheFingerprint folds every result-affecting runtime option into the
+// cache key, so distinct configurations can never alias — belt and
+// braces on top of the cache already being private to one engine
+// instance whose configuration is immutable.
+func (o BuildOptions) cacheFingerprint() string {
+	return fmt.Sprintf("%s|views=%v|prune=%v|cost=%v", o.Scorer, o.DisableViews, o.Pruning, o.CostBasedPlanning)
 }
 
 // coreOptions maps the runtime subset of BuildOptions onto the engine
@@ -283,6 +319,14 @@ type Stats struct {
 	// timeout, or corrupt block. Non-empty exactly when the hits are a
 	// partial answer over the surviving shards (Degraded is then set).
 	ShardErrors []ShardError `json:"shard_errors,omitempty"`
+	// ResultCacheHit reports that the hits were served from the
+	// serving-layer result cache (bit-identical to re-execution by the
+	// cache's generation-tag contract) without touching the shards.
+	ResultCacheHit bool `json:"result_cache_hit"`
+	// SingleFlightShared reports that this query coalesced onto a
+	// concurrent identical query's execution and shares its (clean,
+	// cacheable) result.
+	SingleFlightShared bool `json:"single_flight_shared,omitempty"`
 	// Elapsed is the wall-clock execution time in nanoseconds.
 	Elapsed time.Duration `json:"elapsed_ns"`
 }

@@ -211,7 +211,13 @@ type Engine struct {
 	// path loads the pointer once and sticks with that snapshot, so a
 	// query never mixes statistics from two catalog states.
 	catalog atomic.Pointer[views.Catalog]
-	scorer  ranking.Scorer
+	// catVersion counts catalog swaps. It is the engine's contribution to
+	// serving-layer result-cache tags: a result computed under one
+	// catalog state must never serve after SwapCatalog (plans and stats
+	// differ even when scores do not), and the monotonic counter makes
+	// the staleness check an equality test.
+	catVersion atomic.Uint64
+	scorer     ranking.Scorer
 
 	contentField string
 	predField    string
@@ -288,8 +294,13 @@ func (e *Engine) Catalog() *views.Catalog { return e.catalog.Load() }
 // new one. Pass nil to disable view acceleration.
 func (e *Engine) SwapCatalog(cat *views.Catalog) {
 	e.catalog.Store(cat)
+	e.catVersion.Add(1)
 	e.cache.purge()
 }
+
+// CatalogVersion returns how many times SwapCatalog has run on this
+// engine — a monotonic component of result-cache tags.
+func (e *Engine) CatalogVersion() uint64 { return e.catVersion.Load() }
 
 // Scorer returns the engine's ranking function.
 func (e *Engine) Scorer() ranking.Scorer { return e.scorer }

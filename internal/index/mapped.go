@@ -414,10 +414,10 @@ func (ix *Index) Verify() error {
 	return ix.paged.VerifyAll()
 }
 
-// BlockCacheStats reports the decoded-block cache's budget, current
-// usage, insertions and evictions (zeros for heap indexes).
-func (ix *Index) BlockCacheStats() (budget, used, insertions, evictions int64) {
-	return ix.cache.Budget(), ix.cache.Used(), ix.cache.Insertions(), ix.cache.Evictions()
+// BlockCacheStats reports the decoded-block cache's budget, usage and
+// hit/miss/eviction counters (zeros for heap indexes).
+func (ix *Index) BlockCacheStats() postings.BlockCacheStats {
+	return ix.cache.Stats()
 }
 
 // storedSlice returns field's stored values as a materialized slice,

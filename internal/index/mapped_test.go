@@ -329,14 +329,14 @@ func TestMappedBlockCacheAccounting(t *testing.T) {
 	for _, term := range mx.Terms("content") {
 		mx.Postings("content", term).ForEach(func(d, tf uint32) {})
 	}
-	budget, used, ins, _ := mx.BlockCacheStats()
-	if budget != 4096 {
-		t.Fatalf("budget %d", budget)
+	cs := mx.BlockCacheStats()
+	if cs.Budget != 4096 {
+		t.Fatalf("budget %d", cs.Budget)
 	}
-	if ins == 0 {
+	if cs.Insertions == 0 {
 		t.Fatal("no decoded blocks charged (expected some TF columns)")
 	}
-	if used > 2*budget {
-		t.Fatalf("cache used %d far over budget", used)
+	if cs.Used > 2*cs.Budget {
+		t.Fatalf("cache used %d far over budget", cs.Used)
 	}
 }

@@ -320,6 +320,17 @@ func (s *mappedSource) blockTFLen(ci int) uint32 {
 // used by offline verification).
 func (s *mappedSource) materialize(l *List, ci int) *chunkPayload {
 	if p := s.mat[ci].Load(); p != nil {
+		if p.cached {
+			// Scan-resistance bookkeeping for cache-charged blocks: mark
+			// the block re-touched (checked-then-set, so a hot block costs
+			// one read, not a contended write, per touch) and count the
+			// hit. Zero-copy and quarantined payloads are memoized outside
+			// the cache and skip both.
+			if p.accessed.Load() == 0 {
+				p.accessed.Store(1)
+			}
+			s.cache.noteHit()
+		}
 		return p
 	}
 	p, weight, corrupt := s.decodeBlockSafe(l, ci)
@@ -337,8 +348,9 @@ func (s *mappedSource) materialize(l *List, ci int) *chunkPayload {
 		}
 		return p
 	}
+	p.cached = weight > 0 && s.cache != nil
 	if s.mat[ci].CompareAndSwap(nil, p) {
-		if weight > 0 && s.cache != nil {
+		if p.cached {
 			s.cache.insert(&s.mat[ci], weight)
 		}
 		return p

@@ -22,6 +22,7 @@ import (
 	"math"
 	"math/bits"
 	"sort"
+	"sync/atomic"
 )
 
 // DefaultSegmentSize is the default number of postings per skip segment
@@ -72,6 +73,14 @@ type chunkPayload struct {
 	bits        []uint64
 	tfs         []uint32
 	quarantined bool
+	// cached marks a payload charged to a BlockCache (decoded, weight
+	// > 0), set before publication. Only cached payloads pay the
+	// reference-bit write and hit count on the materialize fast path;
+	// zero-copy aliases and quarantined stand-ins skip both.
+	cached bool
+	// accessed is the cache's S3-FIFO reference bit: set on a slot hit,
+	// read and cleared by the evictor deciding promotion.
+	accessed atomic.Uint32
 }
 
 // payload returns chunk ci's payload views. Heap chunks answer with

@@ -79,6 +79,15 @@ type View struct {
 	Base   int
 	// Total is the searchable document count.
 	Total int
+	// Seq is a monotonic content sequence number: it advances exactly
+	// when the searchable content changes — an acknowledged document
+	// became visible, or a compaction committed a new generation — and
+	// stays put across periodic refresh ticks that republish identical
+	// content. Two views with equal Seq rank bit-identically (same
+	// documents, same generation, deterministic index build), which is
+	// what lets serving-layer result caches use Seq as their live-path
+	// invalidation tag.
+	Seq uint64
 }
 
 // Ingester owns live ingestion for one cluster data directory: the
@@ -103,6 +112,11 @@ type Ingester struct {
 	closed     bool
 
 	view atomic.Pointer[View]
+	// viewSeq/lastGen/lastCount implement View.Seq (all under mu): the
+	// sequence advances when (generation, acknowledged-doc count) moves.
+	viewSeq   uint64
+	lastGen   uint64
+	lastCount int
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -324,7 +338,12 @@ func (ing *Ingester) refreshLocked() error {
 		}
 		slices = append(slices, core.Slice{Eng: core.New(segIx, nil, ing.opts.Core), Globals: globals})
 	}
-	ing.view.Store(&View{Slices: slices, Base: nBase, Total: ing.total + len(docs)})
+	newCount := ing.total + len(docs)
+	if ing.viewSeq == 0 || ing.gen != ing.lastGen || newCount != ing.lastCount {
+		ing.viewSeq++
+		ing.lastGen, ing.lastCount = ing.gen, newCount
+	}
+	ing.view.Store(&View{Slices: slices, Base: nBase, Total: newCount, Seq: ing.viewSeq})
 	return nil
 }
 

@@ -48,7 +48,9 @@ func OpenLive(dir string, opts BuildOptions, ing IngestOptions) (*ShardedEngine,
 	if err != nil {
 		return nil, err
 	}
-	return &ShardedEngine{cluster: live.Cluster(), live: live}, nil
+	se := &ShardedEngine{cluster: live.Cluster(), live: live}
+	se.attachCache(opts)
+	return se, nil
 }
 
 // Add durably logs the document — fsynced before return — and assigns

@@ -3,10 +3,13 @@ package csrank
 import (
 	"context"
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
 	"csrank/internal/core"
 	"csrank/internal/index"
+	"csrank/internal/postings"
 	"csrank/internal/query"
 	"csrank/internal/segment"
 	"csrank/internal/selection"
@@ -29,6 +32,102 @@ type ShardedEngine struct {
 	// route through its view (shards + mutable segment) and Add accepts
 	// documents.
 	live *segment.Ingester
+	// rcache is the serving-layer result cache plus single-flight table
+	// (nil when CacheOptions disables it); cacheFP is the configuration
+	// fingerprint folded into every key.
+	rcache  *core.ResultCache
+	cacheFP string
+}
+
+// attachCache wires the serving-layer result cache per opts.Cache. Every
+// construction path (BuildSharded, OpenSharded, OpenLive,
+// ShardedWithOptions) calls it so the cache's configuration fingerprint
+// always matches the engines actually serving.
+func (e *ShardedEngine) attachCache(opts BuildOptions) {
+	e.rcache = core.NewResultCache(opts.Cache.ResultBytes)
+	e.cacheFP = opts.cacheFingerprint()
+}
+
+// cacheKey is the result-cache key for a parsed query: configuration
+// fingerprint, k, the keywords in query order (keyword order is
+// score-neutral but plan-visible, so reordered queries get their own
+// Stats), and the normalized (sorted, deduplicated) context.
+func (e *ShardedEngine) cacheKey(pq query.Query, k int) string {
+	var b strings.Builder
+	b.WriteString(e.cacheFP)
+	b.WriteByte(0)
+	b.WriteString(strconv.Itoa(k))
+	for _, w := range pq.Keywords {
+		b.WriteByte(0)
+		b.WriteString(w)
+	}
+	b.WriteByte(1)
+	for _, m := range pq.NormalizedContext() {
+		b.WriteByte(0)
+		b.WriteString(m)
+	}
+	return b.String()
+}
+
+// cacheTag encodes every input generation a result depends on. All
+// components are monotonic counters, so two equal tags prove that no
+// shard swapped, no catalog changed, and no live document became
+// visible in between — which is what makes serving a tagged entry
+// bit-identical to re-executing the query.
+func (e *ShardedEngine) cacheTag() string {
+	var b strings.Builder
+	if e.live != nil {
+		// Live path: the view sequence covers both ingestion visibility and
+		// compaction generations; per-slice catalog versions cover
+		// SwapExtend on the underlying engines.
+		v := e.live.View()
+		b.WriteString("live:")
+		b.WriteString(strconv.FormatUint(v.Seq, 10))
+		for _, sl := range v.Slices {
+			b.WriteByte(';')
+			b.WriteString(strconv.FormatUint(sl.Eng.CatalogVersion(), 10))
+		}
+		return b.String()
+	}
+	for i := 0; i < e.cluster.NumShards(); i++ {
+		eng, gen := e.cluster.Engine(i)
+		b.WriteString(strconv.FormatUint(gen, 10))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatUint(eng.CatalogVersion(), 10))
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// cachedResult is the opaque value a ResultCache entry holds: the final
+// merged ranking plus the aggregate and per-shard statistics it was
+// computed with. The stored slices belong to the cache; every consumer
+// gets copies via copyOut.
+type cachedResult struct {
+	hits []Hit
+	agg  Stats
+	per  []Stats
+}
+
+// sizeBytes estimates the entry's resident size for the byte budget.
+func (r *cachedResult) sizeBytes() int64 {
+	n := int64(128)
+	for i := range r.hits {
+		n += 48 + int64(len(r.hits[i].Title))
+	}
+	n += int64(1+len(r.per)) * 256
+	return n
+}
+
+// copyOut returns mutation-safe copies of the slices; the aggregate
+// Stats is a value (ShardErrors is always empty on cacheable results,
+// so the shallow copy shares nothing).
+func (r *cachedResult) copyOut() ([]Hit, Stats, []Stats) {
+	hits := make([]Hit, len(r.hits))
+	copy(hits, r.hits)
+	per := make([]Stats, len(r.per))
+	copy(per, r.per)
+	return hits, r.agg, per
 }
 
 // BuildSharded indexes the queued documents hash-partitioned over the
@@ -81,7 +180,9 @@ func (b *Builder) BuildSharded(shards int, opts BuildOptions) (*ShardedEngine, e
 		return nil, err
 	}
 	cluster.SetPolicy(opts.shardPolicy())
-	return &ShardedEngine{cluster: cluster, selectTime: selTime}, nil
+	se := &ShardedEngine{cluster: cluster, selectTime: selTime}
+	se.attachCache(opts)
+	return se, nil
 }
 
 // shardPolicy maps the sharding subset of BuildOptions onto the
@@ -100,6 +201,19 @@ func (e *Engine) Sharded() (*ShardedEngine, error) {
 		return nil, err
 	}
 	return &ShardedEngine{cluster: cluster, selectTime: e.selectTime}, nil
+}
+
+// ShardedWithOptions is Sharded with the caching subset of opts applied
+// to the wrapper (the engine's own runtime options are unchanged): the
+// way cmd/csserve enables the result cache over a single-engine data
+// directory.
+func (e *Engine) ShardedWithOptions(opts BuildOptions) (*ShardedEngine, error) {
+	se, err := e.Sharded()
+	if err != nil {
+		return nil, err
+	}
+	se.attachCache(opts)
+	return se, nil
 }
 
 // Save persists the cluster under dir (which must exist): one
@@ -129,7 +243,9 @@ func OpenSharded(dir string, opts BuildOptions) (*ShardedEngine, error) {
 		return nil, err
 	}
 	cluster.SetPolicy(opts.shardPolicy())
-	return &ShardedEngine{cluster: cluster}, nil
+	se := &ShardedEngine{cluster: cluster}
+	se.attachCache(opts)
+	return se, nil
 }
 
 // Search parses and evaluates q ("w1 w2 | m1 m2") over all shards,
@@ -154,10 +270,115 @@ func (e *ShardedEngine) SearchDetailed(ctx context.Context, q string, k int) ([]
 }
 
 func (e *ShardedEngine) searchDetailed(ctx context.Context, q string, k int) ([]Hit, Stats, []Stats, error) {
+	return e.SearchGated(ctx, q, k, nil)
+}
+
+// SearchGated is SearchDetailed with serving-layer caching, single-flight
+// coalescing, and an admission gate. The gate — nil means admit freely —
+// is invoked only when the query actually executes against the shards;
+// result-cache hits and coalesced followers never pay for an admission
+// slot. When the gate returns an error the query is rejected with it;
+// otherwise its release func is called when execution finishes.
+//
+// A cache hit sets Stats.ResultCacheHit and is bit-identical to
+// re-execution (modulo Elapsed, which reports the cache-hit latency): the
+// entry's generation tag matching the current serving state proves no
+// input changed since it was computed. A coalesced follower sets
+// Stats.SingleFlightShared. Degraded, partial, or errored executions are
+// never cached and never shared.
+func (e *ShardedEngine) SearchGated(ctx context.Context, q string, k int, gate func(context.Context) (func(), error)) ([]Hit, Stats, []Stats, error) {
 	pq, err := query.Parse(q)
 	if err != nil {
 		return nil, Stats{}, nil, err
 	}
+	if e.rcache == nil {
+		if gate != nil {
+			release, err := gate(ctx)
+			if err != nil {
+				return nil, Stats{}, nil, err
+			}
+			defer release()
+		}
+		return e.searchParsed(ctx, pq, k)
+	}
+	key := e.cacheKey(pq, k)
+	start := time.Now()
+	if v, ok := e.rcache.Lookup(key, e.cacheTag()); ok {
+		hits, agg, per := v.(*cachedResult).copyOut()
+		agg.ResultCacheHit = true
+		agg.Elapsed = time.Since(start)
+		return hits, agg, per, nil
+	}
+	f, leader := e.rcache.Join(key)
+	if !leader {
+		v, ok, werr := f.Wait(ctx)
+		if werr != nil {
+			return nil, Stats{}, nil, werr
+		}
+		if ok {
+			e.rcache.NoteCoalesced()
+			hits, agg, per := v.(*cachedResult).copyOut()
+			agg.SingleFlightShared = true
+			agg.Elapsed = time.Since(start)
+			return hits, agg, per, nil
+		}
+		// The leader's outcome wasn't shareable (error, degraded, or a
+		// generation moved mid-execution): execute independently.
+		return e.executeAndStore(ctx, pq, k, key, nil, gate)
+	}
+	return e.executeAndStore(ctx, pq, k, key, f, gate)
+}
+
+// executeAndStore runs a real backend execution for key: pass the gate,
+// execute, then — only for a clean result whose generation tag did not
+// move during execution — store it and share it with coalesced
+// followers. As single-flight leader (f non-nil) it is obligated to
+// Finish on every path, including gate rejection and panics.
+func (e *ShardedEngine) executeAndStore(ctx context.Context, pq query.Query, k int, key string, f *core.Flight, gate func(context.Context) (func(), error)) ([]Hit, Stats, []Stats, error) {
+	finished := false
+	if f != nil {
+		defer func() {
+			if !finished {
+				e.rcache.Finish(key, f, nil, false)
+			}
+		}()
+	}
+	if gate != nil {
+		release, err := gate(ctx)
+		if err != nil {
+			return nil, Stats{}, nil, err
+		}
+		defer release()
+	}
+	tagBefore := e.cacheTag()
+	hits, agg, per, err := e.searchParsed(ctx, pq, k)
+	var r *cachedResult
+	if err == nil && !agg.Degraded && len(agg.ShardErrors) == 0 {
+		// Recompute the tag after execution: if any generation moved while
+		// we ran, the result may mix old and new state and must not be
+		// remembered under either tag.
+		if tag := e.cacheTag(); tag == tagBefore {
+			r = &cachedResult{hits: hits, agg: agg, per: per}
+			e.rcache.Store(key, tag, r, r.sizeBytes())
+		}
+	}
+	if f != nil {
+		finished = true
+		if r != nil {
+			e.rcache.Finish(key, f, r, true)
+		} else {
+			e.rcache.Finish(key, f, nil, false)
+		}
+	}
+	if r != nil {
+		// The stored slices now belong to the cache; hand back copies.
+		h, _, p := r.copyOut()
+		return h, agg, p, nil
+	}
+	return hits, agg, per, err
+}
+
+func (e *ShardedEngine) searchParsed(ctx context.Context, pq query.Query, k int) ([]Hit, Stats, []Stats, error) {
 	if e.live != nil {
 		return e.searchLive(ctx, pq, k)
 	}
@@ -336,3 +557,84 @@ func (e *ShardedEngine) DisarmFaults() { e.cluster.DisarmFaults() }
 // SelectionTime returns the total per-shard view selection and
 // materialization time during BuildSharded (zero for loaded engines).
 func (e *ShardedEngine) SelectionTime() time.Duration { return e.selectTime }
+
+// ResultCacheStats is a counter snapshot of the serving-layer result
+// cache. The JSON tags are the wire format cmd/csserve's /statsz uses.
+type ResultCacheStats struct {
+	// Entries and Bytes describe the resident population; Budget is the
+	// configured byte bound.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	Budget  int64 `json:"budget"`
+	// Hits and Misses count lookups; Stores counts insertions and
+	// overwrites.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	Stores int64 `json:"stores"`
+	// Evictions counts byte-pressure removals; Invalidations counts
+	// entries dropped because an input generation moved.
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
+	// Coalesced counts followers served by another query's execution.
+	Coalesced int64 `json:"coalesced"`
+}
+
+// ResultCacheStats snapshots the result cache (zeros when disabled).
+func (e *ShardedEngine) ResultCacheStats() ResultCacheStats {
+	st := e.rcache.Stats()
+	return ResultCacheStats{
+		Entries:       st.Entries,
+		Bytes:         st.Bytes,
+		Budget:        st.Budget,
+		Hits:          st.Hits,
+		Misses:        st.Misses,
+		Stores:        st.Stores,
+		Evictions:     st.Evictions,
+		Invalidations: st.Invalidations,
+		Coalesced:     st.Coalesced,
+	}
+}
+
+// BlockCacheStats is a counter snapshot of the decoded-block caches
+// under this engine, summed across shards (all zeros for heap-resident
+// indexes, which do not bound decoded blocks). The JSON tags are the
+// wire format cmd/csserve's /statsz uses.
+type BlockCacheStats struct {
+	Budget     int64 `json:"budget"`
+	Used       int64 `json:"used"`
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Insertions int64 `json:"insertions"`
+	Evictions  int64 `json:"evictions"`
+	// Promotions counts probationary blocks that graduated to the main
+	// queue on reuse; GhostHits counts re-decoded blocks recognized by
+	// the ghost list (the S3-FIFO signals; see internal/postings).
+	Promotions int64 `json:"promotions"`
+	GhostHits  int64 `json:"ghost_hits"`
+}
+
+// BlockCacheStats sums the per-shard decoded-block cache counters.
+func (e *ShardedEngine) BlockCacheStats() BlockCacheStats {
+	var out BlockCacheStats
+	add := func(cs postings.BlockCacheStats) {
+		out.Budget += cs.Budget
+		out.Used += cs.Used
+		out.Hits += cs.Hits
+		out.Misses += cs.Misses
+		out.Insertions += cs.Insertions
+		out.Evictions += cs.Evictions
+		out.Promotions += cs.Promotions
+		out.GhostHits += cs.GhostHits
+	}
+	if e.live != nil {
+		for _, sl := range e.live.View().Slices {
+			add(sl.Eng.Index().BlockCacheStats())
+		}
+		return out
+	}
+	for i := 0; i < e.cluster.NumShards(); i++ {
+		eng, _ := e.cluster.Engine(i)
+		add(eng.Index().BlockCacheStats())
+	}
+	return out
+}

@@ -43,7 +43,9 @@ func TestStatsJSONRoundTrip(t *testing.T) {
 			{Shard: 2, Kind: "timeout", Err: "slice 2: core: slice timed out after 50ms"},
 			{Shard: 3, Kind: "breaker-open", Err: "circuit breaker open: shard is shedding"},
 		},
-		Elapsed: 1500 * time.Microsecond,
+		ResultCacheHit:     true,
+		SingleFlightShared: true,
+		Elapsed:            1500 * time.Microsecond,
 	}
 	data, err := json.Marshal(in)
 	if err != nil {
